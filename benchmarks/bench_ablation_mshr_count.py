@@ -1,0 +1,52 @@
+"""Ablation (Section 5.3.3): MSHR file size / CRQ depth sweep.
+
+The platform ships 16 MSHRs with a CRQ of matching depth.  Fewer
+entries cap memory-level parallelism (longer makespans); more entries
+buy diminishing returns once the request stream's concurrency is
+covered.  Second-phase merging opportunity also grows with the number
+of simultaneously-outstanding entries.
+"""
+
+from dataclasses import replace
+
+from repro.analysis.report import format_table
+from repro.core.config import CoalescerConfig
+from repro.sim.driver import run_benchmark
+
+SWEEP = (4, 8, 16, 32)
+
+
+def test_ablation_mshr_count(benchmark, platform):
+    def run():
+        out = {}
+        for n in SWEEP:
+            cfg = CoalescerConfig(num_mshrs=n)
+            out[n] = run_benchmark("FT", platform.with_coalescer(cfg))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [
+            n,
+            f"{r.coalescing_efficiency:.2%}",
+            r.hmc.requests,
+            f"{r.memory_ns / 1e3:.1f}",
+            f"{r.coalescer.crq_fill_ns:.1f}",
+        ]
+        for n, r in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["mshrs", "coalescing eff", "hmc requests", "memory us", "crq fill ns"],
+            rows,
+            title="Ablation: MSHR count (CRQ depth follows)",
+        )
+    )
+
+    # More MSHRs -> more outstanding parallelism -> shorter makespan.
+    assert results[16].memory_ns <= results[4].memory_ns
+    # Every configuration still conserves and coalesces.
+    for n, r in results.items():
+        assert r.coalescing_efficiency > 0.3, n

@@ -1,0 +1,56 @@
+"""Ablation (Section 4.1): 4-stage vs 10-stage sorting pipeline.
+
+The paper chooses the merge-grouped 4-stage pipeline over the
+one-step-per-stage 10-stage design: a 2-tau latency penalty buys a
+large reduction in request buffers and comparators.  This bench
+reproduces the hardware-cost table and measures the end-to-end impact
+of the choice.
+"""
+
+from conftest import print_figure
+
+from repro.analysis.report import format_table
+from repro.core.config import CoalescerConfig
+from repro.core.pipeline import PipelinedSortingNetwork
+from repro.sim.driver import run_benchmark
+
+
+def test_ablation_pipeline_depth(benchmark, platform):
+    merge_cfg = CoalescerConfig(pipeline_stages="merge")
+    step_cfg = CoalescerConfig(pipeline_stages="step")
+    merge_pipe = PipelinedSortingNetwork(merge_cfg)
+    step_pipe = PipelinedSortingNetwork(step_cfg)
+
+    def run():
+        return {
+            "merge": run_benchmark("STREAM", platform.with_coalescer(merge_cfg)),
+            "step": run_benchmark("STREAM", platform.with_coalescer(step_cfg)),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        ["pipeline stages", merge_pipe.num_pipeline_stages, step_pipe.num_pipeline_stages],
+        ["request buffers", merge_pipe.request_buffers(), step_pipe.request_buffers()],
+        ["comparators", merge_pipe.comparators(), step_pipe.comparators()],
+        ["initiation interval (cy)", merge_pipe.initiation_interval_cycles, step_pipe.initiation_interval_cycles],
+        ["full latency (cy)", merge_pipe.full_latency_cycles, step_pipe.full_latency_cycles],
+        ["coalescing efficiency", f"{results['merge'].coalescing_efficiency:.2%}", f"{results['step'].coalescing_efficiency:.2%}"],
+        ["runtime (us)", f"{results['merge'].runtime_ns / 1e3:.1f}", f"{results['step'].runtime_ns / 1e3:.1f}"],
+    ]
+    print()
+    print(format_table(["metric", "4-stage (merge)", "10-stage (step)"], rows,
+                       title="Ablation: pipeline depth (Section 4.1)"))
+
+    # The paper's hardware-cost numbers.
+    assert merge_pipe.request_buffers() == 64
+    assert step_pipe.request_buffers() == 160
+    assert step_pipe.num_pipeline_stages == 10
+    assert merge_pipe.comparators() < step_pipe.comparators() == 63
+
+    # Both pipelines produce identical coalescing (same sorted output);
+    # only latency/area differ.
+    assert abs(
+        results["merge"].coalescing_efficiency
+        - results["step"].coalescing_efficiency
+    ) < 0.02

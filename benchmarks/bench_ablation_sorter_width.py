@@ -1,0 +1,71 @@
+"""Ablation (Section 3.3): sorting-network width sweep.
+
+The paper builds a 16-wide odd-even mergesort network.  Wider networks
+see more requests per sequence (more coalescing opportunity) but cost
+comparators quadratically-ish and add pipeline depth; narrower ones
+are cheap but fragment coalescable runs across sequences.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.config import CoalescerConfig
+from repro.core.sorting import BitonicSortNetwork, OddEvenMergesortNetwork
+from repro.sim.driver import run_benchmark
+
+WIDTHS = (8, 16, 32)
+
+
+def test_ablation_sorter_width(benchmark, platform):
+    def run():
+        out = {}
+        for w in WIDTHS:
+            cfg = CoalescerConfig(sorter_width=w)
+            out[w] = run_benchmark("STREAM", platform.with_coalescer(cfg))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for w, r in results.items():
+        net = OddEvenMergesortNetwork(w)
+        rows.append(
+            [
+                w,
+                net.num_comparators,
+                net.num_steps,
+                f"{r.coalescing_efficiency:.2%}",
+                f"{r.coalescer.dmc_latency_ns:.1f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["width", "comparators", "steps", "coalescing eff", "dmc ns"],
+            rows,
+            title="Ablation: sorting network width",
+        )
+    )
+
+    # Section 3.3's algorithm choice: odd-even mergesort beats the
+    # bitonic sorter on comparators at every width, at equal depth.
+    net_rows = []
+    for w in WIDTHS:
+        oe = OddEvenMergesortNetwork(w)
+        bt = BitonicSortNetwork(w)
+        net_rows.append([w, oe.num_comparators, bt.num_comparators, oe.num_steps])
+        assert oe.num_comparators < bt.num_comparators
+        assert oe.num_steps == bt.num_steps
+    print()
+    print(
+        format_table(
+            ["width", "odd-even comparators", "bitonic comparators", "steps"],
+            net_rows,
+            title="Sorting-network algorithm choice (Section 3.3)",
+        )
+    )
+
+    # Hardware cost grows superlinearly with width.
+    assert OddEvenMergesortNetwork(32).num_comparators > 2 * OddEvenMergesortNetwork(16).num_comparators
+
+    # A wider window never coalesces less on a streaming workload.
+    assert results[16].coalescing_efficiency >= results[8].coalescing_efficiency - 0.03
+    assert results[32].coalescing_efficiency >= results[16].coalescing_efficiency - 0.03

@@ -1,0 +1,62 @@
+"""Extension: adaptive request granularity for sparse workloads.
+
+The HMC interface natively supports 16 B..256 B payloads, and the
+paper's related work cites adaptive-granularity memory systems (Yoon
+et al. [40]).  The coalescer can only help when requests are
+*coalescable*; for genuinely sparse traffic (SG, SSCA2, EP) the miss
+stream stays single-line and Equation-1 efficiency is pinned at
+requested/96.  Shrinking lone-line packets to the smallest sufficient
+FLIT multiple recovers that efficiency with no effect on coalescable
+workloads -- a natural extension of the paper's design that its
+bit-52/53 addressing already leaves room for.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.config import CoalescerConfig
+from repro.sim.driver import run_benchmark
+
+BENCHMARKS = ("SG", "SSCA2", "EP", "STREAM")
+
+
+def test_extension_adaptive_granularity(benchmark, platform):
+    adaptive_cfg = CoalescerConfig(adaptive_granularity=True)
+
+    def run():
+        return {
+            name: (
+                run_benchmark(name, platform),
+                run_benchmark(name, platform.with_coalescer(adaptive_cfg)),
+            )
+            for name in BENCHMARKS
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, (normal, adaptive) in results.items():
+        rows.append(
+            [
+                name,
+                f"{normal.bandwidth_efficiency:.2%}",
+                f"{adaptive.bandwidth_efficiency:.2%}",
+                normal.transferred_bytes // 1024,
+                adaptive.transferred_bytes // 1024,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["benchmark", "bw eff (paper cfg)", "bw eff (adaptive)", "KB moved", "KB moved adaptive"],
+            rows,
+            title="Extension: adaptive request granularity",
+        )
+    )
+
+    # The sparse workloads gain decisively...
+    for name in ("SG", "SSCA2", "EP"):
+        normal, adaptive = results[name]
+        assert adaptive.bandwidth_efficiency > normal.bandwidth_efficiency * 1.3, name
+        assert adaptive.transferred_bytes < normal.transferred_bytes, name
+    # ...while a coalescable workload is essentially unaffected.
+    normal, adaptive = results["STREAM"]
+    assert abs(adaptive.coalescing_efficiency - normal.coalescing_efficiency) < 0.05

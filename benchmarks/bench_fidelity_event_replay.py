@@ -1,0 +1,60 @@
+"""Fidelity check: trace-driven driver vs discrete-event replay.
+
+The driver's fast path folds queueing into per-vault bookkeeping; the
+event-driven replay adds the finite 16-entry outstanding window.  This
+bench replays Figure 15's headline comparison under the stricter model
+and checks that the paper's conclusion is model-robust.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.config import UNCOALESCED_CONFIG
+from repro.sim.driver import run_benchmark
+from repro.sim.events import replay_issued_requests
+
+BENCHMARKS = ("STREAM", "FT", "SG")
+
+
+def test_fidelity_event_replay(benchmark, platform):
+    def run():
+        out = {}
+        for name in BENCHMARKS:
+            coal_sim = run_benchmark(name, platform)
+            base_sim = run_benchmark(
+                name, platform.with_coalescer(UNCOALESCED_CONFIG)
+            )
+            out[name] = {
+                "coal_fast": coal_sim.memory_ns,
+                "base_fast": base_sim.memory_ns,
+                "coal_event": replay_issued_requests(coal_sim).makespan_ns,
+                "base_event": replay_issued_requests(base_sim).makespan_ns,
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            f"{r['base_fast'] / 1e3:.1f}",
+            f"{r['coal_fast'] / 1e3:.1f}",
+            f"{r['base_event'] / 1e3:.1f}",
+            f"{r['coal_event'] / 1e3:.1f}",
+        ]
+        for name, r in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["benchmark", "base fast us", "coal fast us", "base event us", "coal event us"],
+            rows,
+            title="Fidelity: fast vs event-driven memory makespan",
+        )
+    )
+
+    for name, r in results.items():
+        # The coalescer's win is robust to the timing model on
+        # coalescable workloads.
+        if name in ("STREAM", "FT"):
+            assert r["coal_event"] < r["base_event"], name
+        # The models agree within an order of magnitude everywhere.
+        assert r["coal_event"] < 20 * max(r["coal_fast"], 1.0), name

@@ -1,0 +1,25 @@
+"""Figure 1: bandwidth efficiency of HMC request packets.
+
+Analytic: Equation 1 over the HMC 2.1 packet framing.  The series must
+match the paper exactly (33.33% at 16 B rising to 88.89% at 256 B,
+control overhead falling from 66.67% to 11.11%).
+"""
+
+from conftest import print_figure
+
+from repro.sim.experiments import fig1_bandwidth_efficiency
+
+
+def test_fig01_bandwidth_efficiency(benchmark):
+    data = benchmark.pedantic(fig1_bandwidth_efficiency, rounds=1, iterations=1)
+    print_figure(data)
+
+    by_size = {row[0]: row[1] for row in data.rows}
+    assert abs(by_size[16] - 1 / 3) < 1e-9
+    assert abs(by_size[256] - 8 / 9) < 1e-9
+    # Efficiency rises monotonically with packet size.
+    effs = [row[1] for row in data.rows]
+    assert effs == sorted(effs)
+    # Efficiency and overhead always sum to one.
+    for _, eff, ovh in data.rows:
+        assert abs(eff + ovh - 1.0) < 1e-9

@@ -1,0 +1,25 @@
+"""Figure 2: control overhead vs total requested data.
+
+Analytic: for a given volume of requested data, smaller request
+granularities multiply the number of packets and hence the 32 B
+control cost per transaction.  The paper's headline ratio -- 16 B
+requests move 16x the control data of 256 B requests -- must hold.
+"""
+
+from conftest import print_figure
+
+from repro.sim.experiments import fig2_control_overhead
+
+
+def test_fig02_control_overhead(benchmark):
+    data = benchmark.pedantic(fig2_control_overhead, rounds=1, iterations=1)
+    print_figure(data)
+
+    assert abs(data.summary["ratio_16B_vs_256B"] - 16.0) < 1e-9
+    # Control traffic grows with total requested data for every size.
+    for col in range(1, len(data.headers)):
+        series = [row[col] for row in data.rows]
+        assert series == sorted(series)
+    # And shrinks with request size at fixed total.
+    for row in data.rows:
+        assert list(row[1:]) == sorted(row[1:], reverse=True)

@@ -1,0 +1,40 @@
+"""Figure 8: coalescing efficiency of the memory coalescer.
+
+Runs all 12 benchmarks under conventional MSHR-only coalescing, the
+DMC unit alone, and the combined two-phase coalescer.  Reproduction
+targets (paper): combined > dmc-only > mshr-only on average
+(47.47% / 38.13% / 31.53%), FT the most coalescable benchmark, and
+the irregular workloads (SG, SSCA2, EP) near the bottom.
+"""
+
+from conftest import print_figure
+
+
+def test_fig08_coalescing_efficiency(benchmark, suite):
+    data = benchmark.pedantic(
+        suite.fig8_coalescing_efficiency, rounds=1, iterations=1
+    )
+    print_figure(data)
+
+    by_name = {row[0]: row for row in data.rows}
+
+    # Average ordering matches the paper.
+    assert (
+        data.summary["avg_combined"]
+        >= data.summary["avg_dmc_only"]
+        >= data.summary["avg_mshr_only"]
+    )
+    # Two-phase coalescing eliminates a large share of requests.
+    assert data.summary["avg_combined"] > 0.25
+
+    # Per-benchmark: combined never loses to either phase alone.
+    for name, mshr, dmc, combined in data.rows:
+        assert combined >= max(mshr, dmc) - 0.02, name
+
+    # FT is the most coalescable benchmark (paper: 75.52%).
+    ft = by_name["FT"][3]
+    assert ft == max(row[3] for row in data.rows) or ft > 0.55
+
+    # The irregular benchmarks barely coalesce.
+    for name in ("SG", "SSCA2", "EP"):
+        assert by_name[name][3] < 0.1, name

@@ -1,0 +1,28 @@
+"""Figure 10: coalesced HMC request distribution of HPCG.
+
+Buckets HPCG's coalesced requests by the data *actually requested*
+rather than the line size.  Paper: small requests dominate, with 16 B
+loads the single largest bucket (40.25%) -- evidence that HPCG's raw
+requests are sparsely distributed with little spatial locality.
+"""
+
+from conftest import print_figure
+
+
+def test_fig10_hpcg_distribution(benchmark, suite):
+    data = benchmark.pedantic(
+        lambda: suite.fig10_request_distribution("HPCG"), rounds=1, iterations=1
+    )
+    print_figure(data)
+
+    assert data.summary["total_requests"] > 0
+    shares = [row[3] for row in data.rows]
+    assert abs(sum(shares) - 1.0) < 1e-9
+
+    # 16 B loads are the dominant bucket, as in the paper.
+    assert data.summary["dominant_size"] == 16.0
+    assert data.summary["share_16B_loads"] > 0.30
+
+    # Every bucket is a FLIT multiple within the HMC packet range.
+    for size, _kind, _count, _share in data.rows:
+        assert 16 <= size <= 256 and size % 16 == 0

@@ -1,0 +1,23 @@
+"""Figure 12: average latency of coalescing in the DMC unit.
+
+With 2-cycle compare/merge operations at 3.3 GHz, first-phase
+coalescing of a sorted sequence costs a handful of nanoseconds --
+"over 10 times faster than the memory accesses" (paper: < 9 ns on all
+benchmarks, 7.1 ns average).
+"""
+
+from conftest import print_figure
+
+
+def test_fig12_dmc_latency(benchmark, suite):
+    data = benchmark.pedantic(suite.fig12_dmc_latency, rounds=1, iterations=1)
+    print_figure(data)
+
+    # Single-digit-to-low-teens nanoseconds per sequence, far below
+    # the >= 100 ns HMC access the paper compares against.
+    for name, ns in data.rows:
+        assert 0 < ns < 20, name
+    assert data.summary["avg_ns"] < 15
+
+    # The DMC latency hides comfortably inside one memory access.
+    assert data.summary["avg_ns"] * 5 < 100

@@ -1,0 +1,38 @@
+"""Figure 14: coalescer latency vs sorting-buffer timeout.
+
+Sweeps the front-buffer timeout and reports the mean added latency
+(buffer wait + sort + DMC) per benchmark.  The paper's qualitative
+finding: there is a regime where the timeout has no effect (the
+coalescing work dominates) and a regime where it directly costs
+latency.  With this stack's smooth one-request-per-cycle LLC arrivals
+the binding regime sits at the small-timeout end: starving the sorter
+(timeout below the pipeline initiation interval) congests it, while
+timeouts past the buffer fill time change nothing.
+"""
+
+from conftest import print_figure
+
+from repro.sim.experiments import fig14_timeout_sweep
+
+SWEEP = (8, 12, 16, 20, 24, 28)
+SUBSET = ("SG", "HPCG", "STREAM", "FT", "EP", "SP")
+
+
+def test_fig14_timeout_sweep(benchmark, platform):
+    data = benchmark.pedantic(
+        lambda: fig14_timeout_sweep(SWEEP, platform, SUBSET),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(data)
+
+    for row in data.rows:
+        name, *latencies = row
+        assert all(v > 0 for v in latencies), name
+        # Starved sorter (T=8 < 12-cycle initiation interval) is the
+        # worst point of the sweep.
+        assert latencies[0] >= max(latencies[1:]) - 1e-9, name
+        # Once the timeout exceeds the 16-cycle buffer fill time the
+        # curve is flat: the last three points agree closely.
+        tail = latencies[-3:]
+        assert max(tail) - min(tail) < 0.25 * max(tail), name

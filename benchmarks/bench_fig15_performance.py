@@ -1,0 +1,34 @@
+"""Figure 15: performance improvement with the memory coalescer.
+
+Modelled runtime (compute + HMC makespan + pipeline fill) of the
+two-phase coalescer vs the uncoalesced 64 B-per-miss baseline.
+Reproduction targets (paper): 13.14% average improvement, the majority
+of benchmarks above 10%, FT (25.43%) and SparseLU (22.21%) on top, and
+the compute-bound EP essentially unchanged.
+"""
+
+from conftest import print_figure
+
+
+def test_fig15_performance(benchmark, suite):
+    data = benchmark.pedantic(suite.fig15_performance, rounds=1, iterations=1)
+    print_figure(data)
+
+    imps = {row[0]: row[1] for row in data.rows}
+
+    # Double-digit average improvement, like the paper's 13.14%.
+    assert 0.05 < data.summary["avg_improvement"] < 0.25
+
+    # Majority of benchmarks gain more than 10%.
+    assert sum(1 for v in imps.values() if v > 0.10) >= 6
+
+    # FT and SparseLU lead (paper: 25.43% and 22.21%).
+    top2 = sorted(imps, key=imps.get, reverse=True)[:3]
+    assert "FT" in top2
+    assert imps["SparseLU"] > 0.15
+
+    # EP is compute-bound: the coalescer neither helps nor hurts.
+    assert abs(imps["EP"]) < 0.05
+    # Nothing regresses materially.
+    for name, v in imps.items():
+        assert v > -0.05, name

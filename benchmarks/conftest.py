@@ -1,0 +1,45 @@
+"""Shared fixtures for the figure-reproduction benchmark harness.
+
+A single session-scoped :class:`EvaluationSuite` backs all figure
+benches, so each (benchmark, configuration) simulation runs exactly
+once regardless of how many figures consume it.
+"""
+
+import pytest
+
+from repro.sim.driver import PlatformConfig
+from repro.sim.experiments import EvaluationSuite
+
+#: Trace length for the benchmark harness: long enough for stable
+#: percentages, short enough that the full suite finishes in minutes.
+BENCH_ACCESSES = 8_000
+
+
+@pytest.fixture(scope="session")
+def suite() -> EvaluationSuite:
+    return EvaluationSuite(PlatformConfig(accesses=BENCH_ACCESSES))
+
+
+@pytest.fixture(scope="session")
+def platform() -> PlatformConfig:
+    return PlatformConfig(accesses=BENCH_ACCESSES)
+
+
+def print_figure(data) -> None:
+    """Render a FigureData like the paper's figure, via stdout."""
+    from repro.analysis.report import format_table
+
+    rows = [
+        [
+            f"{v:.4f}" if isinstance(v, float) else v
+            for v in row
+        ]
+        for row in data.rows
+    ]
+    print()
+    print(f"== {data.figure}: {data.description} ==")
+    print(format_table(data.headers, rows))
+    if data.summary:
+        print("summary:")
+        for key, value in data.summary.items():
+            print(f"  {key}: {value:.4f}" if isinstance(value, float) else f"  {key}: {value}")

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Tune the sorting-buffer timeout (Figure 14).
+
+The request sorting network launches a sequence when its buffer fills
+*or* when the oldest buffered request has waited ``timeout`` cycles.
+Too small a timeout starves the sorter (tiny sequences, congested
+pipeline); too large a timeout makes requests idle in the buffer.
+This example sweeps the timeout and prints the mean coalescer latency
+per benchmark, plus the coalescing efficiency trade-off.
+
+Usage::
+
+    python examples/timeout_tuning.py [ACCESSES]
+"""
+
+import sys
+
+from repro.analysis.report import format_table
+from repro.core.config import CoalescerConfig
+from repro.sim.driver import PlatformConfig, run_benchmark
+from repro.sim.experiments import fig14_timeout_sweep
+
+
+def main() -> None:
+    accesses = int(sys.argv[1]) if len(sys.argv) > 1 else 6_000
+    platform = PlatformConfig(accesses=accesses)
+    benchmarks = ("STREAM", "FT", "SG", "HPCG")
+
+    data = fig14_timeout_sweep(platform=platform, benchmarks=benchmarks)
+    rows = [[r[0]] + [f"{v:.1f}" for v in r[1:]] for r in data.rows]
+    print(format_table(data.headers, rows, title=data.description))
+
+    print()
+    print("coalescing efficiency at each timeout (STREAM):")
+    effs = []
+    for timeout in (8, 12, 16, 20, 24, 28):
+        cfg = CoalescerConfig(timeout_cycles=timeout)
+        r = run_benchmark("STREAM", platform.with_coalescer(cfg))
+        effs.append((timeout, r.coalescing_efficiency))
+    print(
+        format_table(
+            ["timeout_cycles", "coalescing_efficiency"],
+            [[t, f"{e:.2%}"] for t, e in effs],
+        )
+    )
+    print()
+    print(
+        "The paper's guidance (Section 5.3.3): set the timeout to about "
+        "the average coalescing latency -- large enough to gather full "
+        "sequences, small enough not to add buffer idle time."
+    )
+
+
+if __name__ == "__main__":
+    main()

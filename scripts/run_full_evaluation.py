@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Run the complete figure-reproduction suite and print every table.
+
+Used to populate EXPERIMENTS.md; also a convenient one-shot driver:
+
+    python scripts/run_full_evaluation.py [ACCESSES]
+"""
+
+import sys
+import time
+
+from repro.analysis.report import format_table
+from repro.sim.driver import PlatformConfig
+from repro.sim.experiments import (
+    EvaluationSuite,
+    fig1_bandwidth_efficiency,
+    fig2_control_overhead,
+    fig14_timeout_sweep,
+)
+
+
+def show(data):
+    rows = [
+        [f"{v:.4f}" if isinstance(v, float) else v for v in row]
+        for row in data.rows
+    ]
+    print()
+    print(f"== {data.figure}: {data.description} ==")
+    print(format_table(data.headers, rows))
+    for key, value in data.summary.items():
+        print(f"  {key}: {value:.4f}" if isinstance(value, float) else f"  {key}: {value}")
+
+
+def main() -> None:
+    accesses = int(sys.argv[1]) if len(sys.argv) > 1 else 24_000
+    t0 = time.time()
+    show(fig1_bandwidth_efficiency())
+    show(fig2_control_overhead())
+
+    suite = EvaluationSuite(PlatformConfig(accesses=accesses))
+    show(suite.fig8_coalescing_efficiency())
+    show(suite.fig9_bandwidth_efficiency())
+    show(suite.fig10_request_distribution("HPCG"))
+    show(suite.fig11_bandwidth_saving())
+    show(suite.fig12_dmc_latency())
+    show(suite.fig13_crq_fill_time())
+    show(suite.fig15_performance())
+    show(fig14_timeout_sweep(platform=PlatformConfig(accesses=max(6000, accesses // 3))))
+    print(f"\ntotal wall time: {time.time() - t0:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept so ``pip install -e . --no-build-isolation --no-use-pep517`` works
+on environments whose setuptools lacks an integrated ``bdist_wheel``
+(this sandbox has setuptools 65 and no ``wheel`` package, and no
+network to fetch one).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""repro: a reproduction of "Memory Coalescing for Hybrid Memory Cube"
+(Wang, Leidel, Chen -- ICPP 2018).
+
+The package implements the paper's two-phase memory coalescer and the
+full evaluation stack around it:
+
+* :mod:`repro.core` -- the coalescer (pipelined odd-even mergesort
+  network, DMC unit, CRQ, dynamic MSHRs);
+* :mod:`repro.cache` -- the L1/L2/LLC hierarchy and memory tracer;
+* :mod:`repro.hmc` -- the packetized HMC 2.1 device model;
+* :mod:`repro.riscv` -- an RV64I core + assembler for real executed
+  traces;
+* :mod:`repro.workloads` -- the paper's 12 benchmark access patterns;
+* :mod:`repro.sim` -- the end-to-end driver and per-figure experiments;
+* :mod:`repro.analysis` -- analytic models and report rendering.
+
+Quickstart
+----------
+>>> from repro import run_benchmark, PlatformConfig
+>>> result = run_benchmark("STREAM", PlatformConfig(accesses=12_000))
+>>> 0.0 <= result.coalescing_efficiency <= 1.0
+True
+"""
+
+from repro.core import CoalescerConfig, MemoryCoalescer
+from repro.hmc import HMCDevice, HMCTimingConfig
+from repro.sim import PlatformConfig, SimulationResult, run_benchmark
+from repro.workloads import BENCHMARKS, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARKS",
+    "CoalescerConfig",
+    "HMCDevice",
+    "HMCTimingConfig",
+    "MemoryCoalescer",
+    "PlatformConfig",
+    "SimulationResult",
+    "get_workload",
+    "run_benchmark",
+    "__version__",
+]

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the 12 benchmarks and their suites.
+``run BENCHMARK``
+    Run one benchmark end to end (baseline vs coalesced) and print the
+    headline metrics.
+``figures``
+    Regenerate every paper figure as text tables (the one-shot
+    equivalent of ``pytest benchmarks/ --benchmark-only``).
+``disasm KERNEL``
+    Assemble one of the RV64IM kernels and print its disassembly.
+``trace BENCHMARK FILE``
+    Capture a benchmark's LLC trace to a file (or summarize an
+    existing trace with ``--summary``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(_args) -> int:
+    from repro.analysis.report import format_table
+    from repro.workloads import BENCHMARKS, get_workload
+
+    rows = []
+    for name in BENCHMARKS:
+        w = get_workload(name)
+        rows.append(
+            [name, w.suite, w.element_size, w.compute_cycles_per_access]
+        )
+    print(
+        format_table(
+            ["benchmark", "suite", "element_B", "compute_cy/access"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.analysis.report import format_table
+    from repro.core.config import UNCOALESCED_CONFIG
+    from repro.sim.driver import PlatformConfig, run_benchmark, runtime_improvement
+
+    platform = PlatformConfig(accesses=args.accesses, seed=args.seed)
+    coal = run_benchmark(args.benchmark, platform)
+    base = run_benchmark(args.benchmark, platform.with_coalescer(UNCOALESCED_CONFIG))
+    rows = [
+        ["LLC requests", base.coalescer.llc_requests, coal.coalescer.llc_requests],
+        ["HMC requests", base.hmc.requests, coal.hmc.requests],
+        ["coalescing efficiency", "-", f"{coal.coalescing_efficiency:.2%}"],
+        ["bandwidth efficiency", f"{base.bandwidth_efficiency:.2%}", f"{coal.bandwidth_efficiency:.2%}"],
+        ["runtime (us)", f"{base.runtime_ns / 1e3:.1f}", f"{coal.runtime_ns / 1e3:.1f}"],
+    ]
+    print(format_table(["metric", "baseline", "coalesced"], rows, title=args.benchmark))
+    print(f"runtime improvement: {runtime_improvement(base, coal):.2%}")
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.analysis.export import save_figure_svgs, save_figures
+    from repro.analysis.report import format_table
+    from repro.sim.driver import PlatformConfig
+    from repro.sim.experiments import (
+        EvaluationSuite,
+        fig1_bandwidth_efficiency,
+        fig2_control_overhead,
+        fig14_timeout_sweep,
+    )
+
+    def show(data):
+        rows = [
+            [f"{v:.4f}" if isinstance(v, float) else v for v in row]
+            for row in data.rows
+        ]
+        print()
+        print(f"== {data.figure}: {data.description} ==")
+        print(format_table(data.headers, rows))
+        for key, value in data.summary.items():
+            print(
+                f"  {key}: {value:.4f}"
+                if isinstance(value, float)
+                else f"  {key}: {value}"
+            )
+
+    suite = EvaluationSuite(PlatformConfig(accesses=args.accesses))
+    figures = [
+        fig1_bandwidth_efficiency(),
+        fig2_control_overhead(),
+        suite.fig8_coalescing_efficiency(),
+        suite.fig9_bandwidth_efficiency(),
+        suite.fig10_request_distribution("HPCG"),
+        suite.fig11_bandwidth_saving(),
+        suite.fig12_dmc_latency(),
+        suite.fig13_crq_fill_time(),
+        suite.fig15_performance(),
+        fig14_timeout_sweep(
+            platform=PlatformConfig(accesses=max(3000, args.accesses // 3))
+        ),
+    ]
+    for data in figures:
+        show(data)
+    if args.json:
+        path = save_figures(figures, args.json)
+        print(f"\nwrote {path}")
+    if args.svg_dir:
+        paths = save_figure_svgs(figures, args.svg_dir)
+        print(f"wrote {len(paths)} SVG files to {args.svg_dir}")
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    from repro.riscv.disasm import disassemble
+    from repro.riscv.programs import ALL_KERNELS
+
+    if args.kernel not in ALL_KERNELS:
+        print(
+            f"unknown kernel {args.kernel!r}; options: {', '.join(ALL_KERNELS)}",
+            file=sys.stderr,
+        )
+        return 2
+    kernel = ALL_KERNELS[args.kernel]()
+    words = kernel.assemble()
+    for line in disassemble(words, base_addr=0x1000, with_addresses=True):
+        print(line)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.analysis.report import format_table
+    from repro.cache.hierarchy import CacheHierarchy
+    from repro.cache.tracefile import save_trace, trace_summary
+    from repro.cache.tracer import MemoryTracer
+    from repro.sim.driver import PlatformConfig
+    from repro.workloads import get_workload
+
+    if args.summary:
+        stats = trace_summary(args.file)
+        print(format_table(["metric", "value"], sorted(stats.items())))
+        return 0
+
+    platform = PlatformConfig(accesses=args.accesses, seed=args.seed)
+    workload = get_workload(
+        args.benchmark, num_threads=platform.num_threads, seed=platform.seed
+    )
+    hierarchy = CacheHierarchy(platform.hierarchy)
+    tracer = MemoryTracer(hierarchy, cycles_per_access=platform.cycles_per_access)
+    path = save_trace(
+        tracer.trace(workload.accesses(platform.accesses)), args.file
+    )
+    print(
+        f"wrote {tracer.stats.llc_requests} LLC requests "
+        f"({tracer.stats.cpu_accesses} CPU accesses) to {path}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of 'Memory Coalescing for Hybrid Memory Cube' (ICPP 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the 12 benchmarks").set_defaults(fn=_cmd_list)
+
+    run = sub.add_parser("run", help="run one benchmark, baseline vs coalesced")
+    run.add_argument("benchmark")
+    run.add_argument("--accesses", type=int, default=24_000)
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(fn=_cmd_run)
+
+    figures = sub.add_parser("figures", help="regenerate every paper figure")
+    figures.add_argument("--accesses", type=int, default=12_000)
+    figures.add_argument("--json", help="archive figure data to this JSON file")
+    figures.add_argument("--svg-dir", help="render each figure as SVG into this directory")
+    figures.set_defaults(fn=_cmd_figures)
+
+    disasm = sub.add_parser("disasm", help="disassemble a bundled RV64IM kernel")
+    disasm.add_argument("kernel")
+    disasm.set_defaults(fn=_cmd_disasm)
+
+    trace = sub.add_parser("trace", help="capture or summarize an LLC trace")
+    trace.add_argument("benchmark", nargs="?", default="STREAM")
+    trace.add_argument("file")
+    trace.add_argument("--accesses", type=int, default=24_000)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--summary", action="store_true", help="summarize FILE instead of writing it"
+    )
+    trace.set_defaults(fn=_cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

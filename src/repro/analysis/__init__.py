@@ -1,0 +1,31 @@
+"""Analytic models, report rendering and figure export."""
+
+from repro.analysis.efficiency import (
+    bandwidth_efficiency_curve,
+    control_overhead_sweep,
+)
+from repro.analysis.export import (
+    compare_runs,
+    figure_to_dict,
+    load_figures,
+    render_figure_svg,
+    save_figure_svgs,
+    save_figures,
+)
+from repro.analysis.report import format_bar_chart, format_table
+from repro.analysis.svg import grouped_bar_chart, line_chart
+
+__all__ = [
+    "bandwidth_efficiency_curve",
+    "compare_runs",
+    "control_overhead_sweep",
+    "figure_to_dict",
+    "format_bar_chart",
+    "format_table",
+    "grouped_bar_chart",
+    "line_chart",
+    "load_figures",
+    "render_figure_svg",
+    "save_figure_svgs",
+    "save_figures",
+]

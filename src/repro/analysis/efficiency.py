@@ -1,0 +1,73 @@
+"""Analytic bandwidth-efficiency models (Figures 1 and 2).
+
+Both figures are closed-form consequences of the HMC packet framing
+(Section 2.2.2): every transaction moves its payload plus 32 B of
+control, so efficiency and control overhead per request size -- and
+total control traffic for a given data volume -- follow directly from
+:mod:`repro.hmc.packet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hmc.packet import (
+    bandwidth_efficiency,
+    control_bytes_for_total,
+    control_overhead_fraction,
+)
+
+#: Request sizes the paper plots in Figure 1 (bytes).
+FIGURE1_SIZES = (16, 32, 48, 64, 80, 96, 112, 128, 256)
+
+#: Total requested-data points the paper sweeps in Figure 2 (bytes).
+FIGURE2_TOTALS = tuple(2**k * 1024 for k in range(0, 11))  # 1 KiB .. 1 MiB
+
+
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    """One bar of Figure 1."""
+
+    request_bytes: int
+    efficiency: float
+    control_overhead: float
+
+
+def bandwidth_efficiency_curve(
+    sizes: tuple[int, ...] = FIGURE1_SIZES,
+) -> list[EfficiencyPoint]:
+    """Figure 1: bandwidth efficiency and control overhead per size."""
+    return [
+        EfficiencyPoint(
+            request_bytes=size,
+            efficiency=bandwidth_efficiency(size),
+            control_overhead=control_overhead_fraction(size),
+        )
+        for size in sizes
+    ]
+
+
+@dataclass(frozen=True)
+class ControlTrafficPoint:
+    """One group of Figure 2."""
+
+    total_requested: int
+    control_bytes_by_size: dict[int, int]
+
+
+def control_overhead_sweep(
+    totals: tuple[int, ...] = FIGURE2_TOTALS,
+    request_sizes: tuple[int, ...] = (16, 32, 64, 128, 256),
+) -> list[ControlTrafficPoint]:
+    """Figure 2: control bytes moved vs total requested data, for each
+    request granularity."""
+    return [
+        ControlTrafficPoint(
+            total_requested=total,
+            control_bytes_by_size={
+                size: control_bytes_for_total(total, size)
+                for size in request_sizes
+            },
+        )
+        for total in totals
+    ]

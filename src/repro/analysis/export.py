@@ -1,0 +1,131 @@
+"""Persist and compare figure data.
+
+``figure_to_dict`` / ``save_figures`` serialize
+:class:`repro.sim.experiments.FigureData` to JSON so evaluation runs
+can be archived and diffed; :func:`render_figure_svg` picks a sensible
+chart form for each figure and writes an SVG next to the JSON.
+``compare_runs`` reports where two archived runs diverge beyond a
+tolerance -- the regression check a CI pipeline wants.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.analysis.svg import grouped_bar_chart, line_chart
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.experiments import FigureData
+
+
+def figure_to_dict(data: "FigureData") -> dict:
+    """JSON-ready representation of one figure."""
+    return {
+        "figure": data.figure,
+        "description": data.description,
+        "headers": list(data.headers),
+        "rows": [list(row) for row in data.rows],
+        "summary": dict(data.summary),
+    }
+
+
+def save_figures(figures: list["FigureData"], path: str | Path) -> Path:
+    """Write a list of figures to one JSON document."""
+    path = Path(path)
+    path.write_text(
+        json.dumps([figure_to_dict(f) for f in figures], indent=2) + "\n"
+    )
+    return path
+
+
+def load_figures(path: str | Path) -> list[dict]:
+    """Load an archived figure document."""
+    return json.loads(Path(path).read_text())
+
+
+def render_figure_svg(data: "FigureData") -> str:
+    """Render one figure as SVG, choosing the chart form by shape.
+
+    Figures whose first column is a benchmark label become grouped bar
+    charts; numeric-x figures (1, 2, 14) become line charts.
+    """
+    first_col = [row[0] for row in data.rows]
+    numeric_x = all(isinstance(v, (int, float)) for v in first_col)
+    value_cols = data.headers[1:]
+
+    if numeric_x:
+        series = {
+            name: [float(row[i + 1]) for row in data.rows]
+            for i, name in enumerate(value_cols)
+            if all(isinstance(row[i + 1], (int, float)) for row in data.rows)
+        }
+        return line_chart(
+            [float(v) for v in first_col],
+            series,
+            title=f"{data.figure}: {data.description}",
+            x_label=data.headers[0],
+        )
+
+    series = {}
+    percentish = True
+    for i, name in enumerate(value_cols):
+        col = [row[i + 1] for row in data.rows]
+        if all(isinstance(v, (int, float)) for v in col):
+            series[name] = [float(v) for v in col]
+            percentish &= all(0 <= v <= 1.5 for v in series[name])
+    if not series:
+        raise ValueError(f"{data.figure} has no numeric series to plot")
+    return grouped_bar_chart(
+        [str(v) for v in first_col],
+        series,
+        title=f"{data.figure}: {data.description}",
+        percent=percentish,
+    )
+
+
+def save_figure_svgs(figures: list["FigureData"], directory: str | Path) -> list[Path]:
+    """Render every figure to ``directory`` as ``figure_N.svg``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    out = []
+    for data in figures:
+        slug = data.figure.lower().replace(" ", "_")
+        path = directory / f"{slug}.svg"
+        path.write_text(render_figure_svg(data))
+        out.append(path)
+    return out
+
+
+def compare_runs(
+    old: list[dict], new: list[dict], *, tolerance: float = 0.05
+) -> list[str]:
+    """Summary-level regression report between two archived runs.
+
+    Returns human-readable difference lines for every summary scalar
+    whose relative change exceeds ``tolerance``.
+    """
+    diffs = []
+    old_by_fig = {f["figure"]: f for f in old}
+    for fig in new:
+        base = old_by_fig.get(fig["figure"])
+        if base is None:
+            diffs.append(f"{fig['figure']}: new figure (no baseline)")
+            continue
+        for key, value in fig["summary"].items():
+            if key.startswith("paper_"):
+                continue
+            prev = base["summary"].get(key)
+            if prev is None:
+                diffs.append(f"{fig['figure']}.{key}: new metric")
+                continue
+            if not isinstance(value, (int, float)) or not isinstance(prev, (int, float)):
+                continue
+            denom = max(abs(prev), 1e-12)
+            if abs(value - prev) / denom > tolerance:
+                diffs.append(
+                    f"{fig['figure']}.{key}: {prev:.4g} -> {value:.4g} "
+                    f"({(value - prev) / denom:+.1%})"
+                )
+    return diffs

@@ -1,0 +1,260 @@
+"""Dependency-free SVG chart rendering for the reproduced figures.
+
+The bench harness prints text tables; this module additionally renders
+the same series as standalone SVG files (grouped bar charts and line
+charts), so the reproduced figures can be compared against the paper's
+visually.  No matplotlib -- the sandbox is offline -- just hand-rolled
+SVG, which also keeps the output deterministic and diffable.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+from typing import Sequence
+
+#: A small colour-blind-safe palette.
+PALETTE = ("#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377")
+
+
+@dataclass
+class ChartStyle:
+    """Geometry and typography of a chart."""
+
+    width: int = 640
+    height: int = 360
+    margin_left: int = 64
+    margin_right: int = 16
+    margin_top: int = 40
+    margin_bottom: int = 72
+    font: str = "monospace"
+    font_size: int = 11
+    title_size: int = 14
+
+    @property
+    def plot_width(self) -> int:
+        return self.width - self.margin_left - self.margin_right
+
+    @property
+    def plot_height(self) -> int:
+        return self.height - self.margin_top - self.margin_bottom
+
+
+def _esc(text: str) -> str:
+    return html.escape(str(text), quote=True)
+
+
+class SVGBuilder:
+    """Tiny element-accumulating SVG writer."""
+
+    def __init__(self, width: int, height: int):
+        self.width = width
+        self.height = height
+        self._parts: list[str] = []
+
+    def rect(self, x, y, w, h, fill, opacity=1.0, title=None) -> None:
+        tip = f"<title>{_esc(title)}</title>" if title else ""
+        self._parts.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" height="{h:.2f}" '
+            f'fill="{fill}" fill-opacity="{opacity}">{tip}</rect>'
+        )
+
+    def line(self, x1, y1, x2, y2, stroke="#999", width=1.0, dash=None) -> None:
+        d = f' stroke-dasharray="{dash}"' if dash else ""
+        self._parts.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{stroke}" stroke-width="{width}"{d}/>'
+        )
+
+    def polyline(self, points, stroke, width=2.0) -> None:
+        pts = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self._parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def circle(self, x, y, r, fill) -> None:
+        self._parts.append(
+            f'<circle cx="{x:.2f}" cy="{y:.2f}" r="{r}" fill="{fill}"/>'
+        )
+
+    def text(
+        self, x, y, content, *, size=11, anchor="middle", fill="#222",
+        font="monospace", rotate=None,
+    ) -> None:
+        transform = f' transform="rotate({rotate} {x:.2f} {y:.2f})"' if rotate else ""
+        self._parts.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-family="{font}" '
+            f'font-size="{size}" text-anchor="{anchor}" fill="{fill}"{transform}>'
+            f"{_esc(content)}</text>"
+        )
+
+    def render(self) -> str:
+        body = "\n  ".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'  <rect width="{self.width}" height="{self.height}" fill="white"/>\n'
+            f"  {body}\n</svg>\n"
+        )
+
+
+def _nice_ticks(vmax: float, count: int = 5) -> list[float]:
+    """Pleasant y-axis tick values from 0 to >= vmax."""
+    import math
+
+    if vmax <= 0:
+        return [0.0, 1.0]
+    raw = vmax / count
+    magnitude = 10 ** math.floor(math.log10(raw))
+    step = magnitude
+    for mult in (1, 2, 2.5, 5, 10):
+        step = magnitude * mult
+        if step * count >= vmax:
+            break
+    ticks = []
+    v = 0.0
+    while v < vmax + step:
+        ticks.append(round(v, 10))
+        if ticks[-1] >= vmax:
+            break
+        v += step
+    return ticks
+
+
+def grouped_bar_chart(
+    labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str = "",
+    y_label: str = "",
+    percent: bool = False,
+    style: ChartStyle | None = None,
+) -> str:
+    """Render a grouped bar chart (the Figure 8/9-style layout)."""
+    style = style or ChartStyle()
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(labels):
+            raise ValueError(f"series {name!r} length mismatch")
+    vmax = max((max(vals, default=0.0) for vals in series.values()), default=0.0)
+    ticks = _nice_ticks(vmax or 1.0)
+    top = ticks[-1]
+
+    svg = SVGBuilder(style.width, style.height)
+    x0, y0 = style.margin_left, style.margin_top
+    pw, ph = style.plot_width, style.plot_height
+
+    if title:
+        svg.text(style.width / 2, y0 - 16, title, size=style.title_size)
+
+    # Axes + gridlines.
+    for t in ticks:
+        y = y0 + ph * (1 - t / top)
+        svg.line(x0, y, x0 + pw, y, stroke="#ddd")
+        label = f"{t:.0%}" if percent else f"{t:g}"
+        svg.text(x0 - 6, y + 4, label, anchor="end", size=style.font_size)
+    svg.line(x0, y0, x0, y0 + ph, stroke="#333")
+    svg.line(x0, y0 + ph, x0 + pw, y0 + ph, stroke="#333")
+    if y_label:
+        svg.text(14, y0 + ph / 2, y_label, rotate=-90, size=style.font_size)
+
+    # Bars.
+    groups = len(labels)
+    group_w = pw / max(1, groups)
+    bar_w = group_w * 0.8 / max(1, len(names))
+    for gi, label in enumerate(labels):
+        gx = x0 + gi * group_w + group_w * 0.1
+        for si, name in enumerate(names):
+            v = series[name][gi]
+            h = ph * (v / top) if top else 0
+            svg.rect(
+                gx + si * bar_w,
+                y0 + ph - h,
+                bar_w * 0.92,
+                h,
+                PALETTE[si % len(PALETTE)],
+                title=f"{label} {name}: {v:.4g}",
+            )
+        svg.text(
+            gx + group_w * 0.4,
+            y0 + ph + 14,
+            label,
+            size=style.font_size,
+            rotate=-35 if groups > 6 else None,
+            anchor="end" if groups > 6 else "middle",
+        )
+
+    # Legend.
+    lx = x0
+    ly = style.height - 12
+    for si, name in enumerate(names):
+        svg.rect(lx, ly - 9, 10, 10, PALETTE[si % len(PALETTE)])
+        svg.text(lx + 14, ly, name, anchor="start", size=style.font_size)
+        lx += 14 + 7 * len(name) + 18
+    return svg.render()
+
+
+def line_chart(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    style: ChartStyle | None = None,
+) -> str:
+    """Render a multi-series line chart (the Figure 14-style layout)."""
+    style = style or ChartStyle()
+    for name, vals in series.items():
+        if len(vals) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+    if len(x_values) < 2:
+        raise ValueError("need at least two x values")
+    vmax = max(max(vals) for vals in series.values())
+    ticks = _nice_ticks(vmax or 1.0)
+    top = ticks[-1]
+    xmin, xmax = min(x_values), max(x_values)
+
+    svg = SVGBuilder(style.width, style.height)
+    x0, y0 = style.margin_left, style.margin_top
+    pw, ph = style.plot_width, style.plot_height
+
+    if title:
+        svg.text(style.width / 2, y0 - 16, title, size=style.title_size)
+    for t in ticks:
+        y = y0 + ph * (1 - t / top)
+        svg.line(x0, y, x0 + pw, y, stroke="#ddd")
+        svg.text(x0 - 6, y + 4, f"{t:g}", anchor="end", size=style.font_size)
+    svg.line(x0, y0, x0, y0 + ph, stroke="#333")
+    svg.line(x0, y0 + ph, x0 + pw, y0 + ph, stroke="#333")
+
+    def sx(x):
+        return x0 + pw * (x - xmin) / (xmax - xmin)
+
+    def sy(v):
+        return y0 + ph * (1 - v / top)
+
+    for x in x_values:
+        svg.text(sx(x), y0 + ph + 14, f"{x:g}", size=style.font_size)
+        svg.line(sx(x), y0 + ph, sx(x), y0 + ph + 3, stroke="#333")
+
+    for si, (name, vals) in enumerate(series.items()):
+        colour = PALETTE[si % len(PALETTE)]
+        pts = [(sx(x), sy(v)) for x, v in zip(x_values, vals)]
+        svg.polyline(pts, colour)
+        for px, py in pts:
+            svg.circle(px, py, 2.5, colour)
+
+    if x_label:
+        svg.text(x0 + pw / 2, style.height - 28, x_label, size=style.font_size)
+    if y_label:
+        svg.text(14, y0 + ph / 2, y_label, rotate=-90, size=style.font_size)
+
+    lx = x0
+    ly = style.height - 10
+    for si, name in enumerate(series):
+        svg.rect(lx, ly - 9, 10, 10, PALETTE[si % len(PALETTE)])
+        svg.text(lx + 14, ly, name, anchor="start", size=style.font_size)
+        lx += 14 + 7 * len(name) + 18
+    return svg.render()

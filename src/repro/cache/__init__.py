@@ -1,0 +1,32 @@
+"""Cache-hierarchy substrate.
+
+The paper's memory coalescer consumes the miss/write-back stream of a
+shared last-level cache (LLC) fed by 12 cores.  This package provides
+that substrate:
+
+* :mod:`repro.cache.set_assoc` -- a set-associative write-back,
+  write-allocate cache with pluggable replacement;
+* :mod:`repro.cache.hierarchy` -- per-core L1s over a shared L2 and a
+  shared LLC;
+* :mod:`repro.cache.tracer` -- the *memory tracer* of Section 5.1 that
+  converts a CPU access stream into the LLC-level
+  :class:`repro.core.request.MemoryRequest` trace the coalescer ingests.
+"""
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cache.set_assoc import CacheConfig, CacheStats, SetAssociativeCache
+from repro.cache.tracefile import load_trace, save_trace, trace_summary
+from repro.cache.tracer import MemoryTracer, TraceRecord
+
+__all__ = [
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheStats",
+    "HierarchyConfig",
+    "MemoryTracer",
+    "SetAssociativeCache",
+    "TraceRecord",
+    "load_trace",
+    "save_trace",
+    "trace_summary",
+]

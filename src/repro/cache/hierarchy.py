@@ -1,0 +1,301 @@
+"""Multi-level cache hierarchy: per-core L1/L2, shared LLC.
+
+The simulated platform follows the paper's Section 5.2 set-up: 12 CPUs
+whose private caches sit above a shared last-level cache; LLC misses
+and write-backs feed the memory coalescer.  The hierarchy is mostly a
+*locality filter*: its job is to turn raw CPU access streams into a
+realistic LLC-level miss stream.
+
+Design notes
+------------
+* Write-back + write-allocate at every level.
+* L1 and (by default) L2 are private per core; the LLC is shared.
+* Non-inclusive, non-exclusive (NINE): fills allocate on the way up,
+  evictions do not back-invalidate.
+* Dirty victims propagate downward; a dirty LLC victim becomes a
+  write-back (store) request in the coalescer's input stream.
+* **In-flight (secondary) misses**: with ``llc_fill_latency > 0`` the
+  LLC remembers when each missed line's data will actually arrive.
+  Another core touching the line before then produces a *secondary
+  miss* event -- a same-line request that the conventional MSHR path
+  merges (the paper's second-phase coalescing baseline).  With the
+  default latency of 0 the model is purely functional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.set_assoc import CacheConfig, SetAssociativeCache
+from repro.core.address import CACHE_LINE_SIZE
+from repro.core.request import Access, MemoryRequest, RequestType
+
+
+@dataclass(frozen=True, slots=True)
+class HierarchyConfig:
+    """Geometry of the three-level hierarchy."""
+
+    num_cores: int = 12
+    line_size: int = CACHE_LINE_SIZE
+    l1_size: int = 32 * 1024
+    l1_assoc: int = 8
+    l2_size: int = 256 * 1024
+    l2_assoc: int = 8
+    l2_private: bool = True
+    llc_size: int = 2 * 1024 * 1024
+    llc_assoc: int = 16
+    #: Cycles until a missed line's data is usable; 0 disables
+    #: secondary-miss (in-flight) tracking.
+    llc_fill_latency: int = 0
+    #: Next-line prefetcher at the LLC: every demand miss to line L
+    #: also fetches L+1 when absent.  Prefetches add traffic but the
+    #: extra requests are perfectly adjacent to their triggers -- an
+    #: interesting interaction with the coalescer (see the ablation).
+    llc_prefetch: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        if self.llc_fill_latency < 0:
+            raise ValueError("llc_fill_latency must be non-negative")
+
+    def l1_config(self) -> CacheConfig:
+        return CacheConfig(self.l1_size, self.l1_assoc, self.line_size)
+
+    def l2_config(self) -> CacheConfig:
+        return CacheConfig(self.l2_size, self.l2_assoc, self.line_size)
+
+    def llc_config(self) -> CacheConfig:
+        return CacheConfig(self.llc_size, self.llc_assoc, self.line_size)
+
+
+@dataclass(slots=True)
+class LLCEvent:
+    """One LLC-level event produced by a CPU access.
+
+    ``is_secondary`` marks an in-flight re-miss: the line is already
+    being fetched for another core, so conventional MSHRs merge this
+    request instead of issuing a second memory access.
+    """
+
+    request: MemoryRequest
+    is_writeback: bool = False
+    is_secondary: bool = False
+    is_prefetch: bool = False
+
+
+class CacheHierarchy:
+    """Three-level hierarchy turning accesses into LLC miss traffic."""
+
+    def __init__(self, config: HierarchyConfig | None = None):
+        self.config = config or HierarchyConfig()
+        self.l1 = [
+            SetAssociativeCache(self.config.l1_config())
+            for _ in range(self.config.num_cores)
+        ]
+        if self.config.l2_private:
+            self.l2 = [
+                SetAssociativeCache(self.config.l2_config())
+                for _ in range(self.config.num_cores)
+            ]
+        else:
+            shared_l2 = SetAssociativeCache(self.config.l2_config())
+            self.l2 = [shared_l2] * self.config.num_cores
+        self.llc = SetAssociativeCache(self.config.llc_config())
+        #: line address -> cycle its fill completes (secondary-miss window).
+        self._inflight: dict[int, int] = {}
+        self.secondary_misses = 0
+
+    def access(self, access: Access, cycle: int = 0) -> list[LLCEvent]:
+        """Run one CPU access through the hierarchy at ``cycle``.
+
+        Returns the LLC-level events (0 or more): a fill request per
+        LLC-missing line, secondary misses for lines still in flight,
+        plus any dirty write-backs the allocations caused on the path.
+        """
+        if access.is_fence:
+            return [
+                LLCEvent(request=MemoryRequest(addr=0, rtype=RequestType.FENCE))
+            ]
+        if not 0 <= access.thread_id < self.config.num_cores:
+            raise ValueError(
+                f"thread_id {access.thread_id} out of range "
+                f"(num_cores={self.config.num_cores})"
+            )
+
+        line_size = self.config.line_size
+        first = access.addr - (access.addr % line_size)
+        last = (access.addr + access.size - 1) - (
+            (access.addr + access.size - 1) % line_size
+        )
+
+        events: list[LLCEvent] = []
+        line_addr = first
+        while line_addr <= last:
+            lo = max(access.addr, line_addr)
+            hi = min(access.addr + access.size, line_addr + line_size)
+            events.extend(
+                self._access_line(
+                    line_addr,
+                    is_store=access.is_store,
+                    core=access.thread_id,
+                    requested_bytes=hi - lo,
+                    target=access.access_id,
+                    cycle=cycle,
+                )
+            )
+            line_addr += line_size
+        return events
+
+    # -- internals ----------------------------------------------------------
+
+    def _access_line(
+        self,
+        line_addr: int,
+        *,
+        is_store: bool,
+        core: int,
+        requested_bytes: int,
+        target: int,
+        cycle: int,
+    ) -> list[LLCEvent]:
+        events: list[LLCEvent] = []
+
+        r1 = self.l1[core].access_line(line_addr, is_store=is_store)
+        if r1.writeback_addr is not None:
+            self._fill_l2(core, r1.writeback_addr, events)
+        if r1.hit:
+            return events
+
+        r2 = self.l2[core].access_line(line_addr, is_store=False)
+        if r2.writeback_addr is not None:
+            self._fill_llc(r2.writeback_addr, events)
+        if r2.hit:
+            return events
+
+        r3 = self.llc.access_line(line_addr, is_store=False)
+        if r3.writeback_addr is not None:
+            self._inflight.pop(r3.writeback_addr, None)
+            events.append(
+                LLCEvent(
+                    request=MemoryRequest(
+                        addr=r3.writeback_addr,
+                        rtype=RequestType.STORE,
+                        requested_bytes=self.config.line_size,
+                    ),
+                    is_writeback=True,
+                )
+            )
+        if r3.evicted_addr is not None:
+            self._inflight.pop(r3.evicted_addr, None)
+
+        rtype = RequestType.STORE if is_store else RequestType.LOAD
+        if not r3.hit:
+            if self.config.llc_fill_latency:
+                self._inflight[line_addr] = cycle + self.config.llc_fill_latency
+            events.append(
+                LLCEvent(
+                    request=MemoryRequest(
+                        addr=line_addr,
+                        rtype=rtype,
+                        requested_bytes=requested_bytes,
+                        targets=[target],
+                    ),
+                )
+            )
+            if self.config.llc_prefetch:
+                self._prefetch_next(line_addr, cycle, events)
+        else:
+            # LLC hit -- but is the line's fill still in flight?  Then
+            # this core's request must also go to the miss handling
+            # architecture, where it merges with the outstanding miss.
+            ready = self._inflight.get(line_addr)
+            if ready is not None:
+                if cycle < ready:
+                    self.secondary_misses += 1
+                    events.append(
+                        LLCEvent(
+                            request=MemoryRequest(
+                                addr=line_addr,
+                                rtype=rtype,
+                                requested_bytes=requested_bytes,
+                                targets=[target],
+                            ),
+                            is_secondary=True,
+                        )
+                    )
+                else:
+                    del self._inflight[line_addr]
+        return events
+
+    def _prefetch_next(
+        self, line_addr: int, cycle: int, events: list[LLCEvent]
+    ) -> None:
+        """Issue a next-line prefetch into the LLC (and to memory)."""
+        nxt = line_addr + self.config.line_size
+        if self.llc.contains(nxt) or nxt in self._inflight:
+            return
+        res = self.llc.access_line(nxt, is_store=False)
+        if res.writeback_addr is not None:
+            self._inflight.pop(res.writeback_addr, None)
+            events.append(
+                LLCEvent(
+                    request=MemoryRequest(
+                        addr=res.writeback_addr,
+                        rtype=RequestType.STORE,
+                        requested_bytes=self.config.line_size,
+                    ),
+                    is_writeback=True,
+                )
+            )
+        if res.evicted_addr is not None:
+            self._inflight.pop(res.evicted_addr, None)
+        if self.config.llc_fill_latency:
+            self._inflight[nxt] = cycle + self.config.llc_fill_latency
+        request = MemoryRequest(addr=nxt, rtype=RequestType.LOAD)
+        # Speculative: no demand bytes are requested yet (Equation 1
+        # counts prefetched-but-unused data as pure overhead).
+        request.requested_bytes = 0
+        events.append(LLCEvent(request=request, is_prefetch=True))
+
+    def _fill_l2(self, core: int, line_addr: int, events: list[LLCEvent]) -> None:
+        res = self.l2[core].access_line(line_addr, is_store=True)
+        if res.writeback_addr is not None:
+            self._fill_llc(res.writeback_addr, events)
+
+    def _fill_llc(self, line_addr: int, events: list[LLCEvent]) -> None:
+        res = self.llc.access_line(line_addr, is_store=True)
+        if res.writeback_addr is not None:
+            self._inflight.pop(res.writeback_addr, None)
+            events.append(
+                LLCEvent(
+                    request=MemoryRequest(
+                        addr=res.writeback_addr,
+                        rtype=RequestType.STORE,
+                        requested_bytes=self.config.line_size,
+                    ),
+                    is_writeback=True,
+                )
+            )
+        if res.evicted_addr is not None:
+            self._inflight.pop(res.evicted_addr, None)
+
+    # -- inspection ----------------------------------------------------------
+
+    def total_llc_misses(self) -> int:
+        return self.llc.stats.misses
+
+    def miss_rates(self) -> dict[str, float]:
+        """Per-level aggregate miss rates."""
+        l1_hits = sum(c.stats.hits for c in self.l1)
+        l1_misses = sum(c.stats.misses for c in self.l1)
+        l1_total = l1_hits + l1_misses
+        l2_caches = self.l2 if self.config.l2_private else [self.l2[0]]
+        l2_hits = sum(c.stats.hits for c in l2_caches)
+        l2_misses = sum(c.stats.misses for c in l2_caches)
+        l2_total = l2_hits + l2_misses
+        return {
+            "l1": (l1_misses / l1_total) if l1_total else 0.0,
+            "l2": (l2_misses / l2_total) if l2_total else 0.0,
+            "llc": self.llc.stats.miss_rate,
+        }

@@ -1,0 +1,183 @@
+"""Set-associative cache model.
+
+A write-back, write-allocate cache with configurable size,
+associativity, line size and replacement policy (LRU, FIFO or
+pseudo-random).  The model is functional (no data payloads) and
+per-line: an access touching two lines is handled as two lookups,
+mirroring how a real cache splits unaligned accesses.
+
+Victim state is reported to the caller so a hierarchy can propagate
+dirty write-backs downward -- the LLC's write-backs are part of the
+request stream the paper's coalescer sorts and coalesces.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+
+class Replacement(enum.Enum):
+    """Replacement policy of a cache set."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+    RANDOM = "random"
+
+
+@dataclass(frozen=True, slots=True)
+class CacheConfig:
+    """Geometry and policy of one cache level."""
+
+    size_bytes: int
+    associativity: int
+    line_size: int = 64
+    replacement: Replacement = Replacement.LRU
+    seed: int = 0x5EED  # for RANDOM replacement determinism
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0 or self.line_size <= 0:
+            raise ValueError("cache geometry must be positive")
+        if self.line_size & (self.line_size - 1):
+            raise ValueError("line_size must be a power of two")
+        if self.size_bytes % (self.associativity * self.line_size):
+            raise ValueError(
+                "size must be a multiple of associativity * line_size"
+            )
+        sets = self.size_bytes // (self.associativity * self.line_size)
+        if sets & (sets - 1):
+            raise ValueError("number of sets must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_size)
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss accounting for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.miss_rate if self.accesses else 0.0
+
+
+@dataclass(slots=True)
+class AccessResult:
+    """Outcome of a single-line cache lookup."""
+
+    hit: bool
+    #: Byte address of an evicted dirty line needing write-back, or None.
+    writeback_addr: int | None = None
+    #: Byte address of an evicted clean line (silently dropped), or None.
+    evicted_addr: int | None = None
+
+
+class SetAssociativeCache:
+    """One level of set-associative cache.
+
+    Each set is an insertion-ordered dict ``tag -> dirty`` used as an
+    LRU/FIFO queue: the first key is the replacement victim.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.stats = CacheStats()
+        self._sets: list[dict[int, bool]] = [
+            {} for _ in range(config.num_sets)
+        ]
+        self._rng = random.Random(config.seed)
+
+    # -- address mapping ----------------------------------------------------
+
+    def _locate(self, line_addr: int) -> tuple[int, int]:
+        """Map a line-aligned address to (set index, tag)."""
+        line_no = line_addr // self.config.line_size
+        return line_no % self.config.num_sets, line_no // self.config.num_sets
+
+    def _line_addr(self, set_index: int, tag: int) -> int:
+        return (tag * self.config.num_sets + set_index) * self.config.line_size
+
+    # -- operations ----------------------------------------------------------
+
+    def access_line(self, line_addr: int, *, is_store: bool) -> AccessResult:
+        """Look up one line; allocate on miss (write-allocate).
+
+        Returns the hit/miss outcome plus any eviction this allocation
+        caused.
+        """
+        set_index, tag = self._locate(line_addr)
+        ways = self._sets[set_index]
+
+        if tag in ways:
+            self.stats.hits += 1
+            if self.config.replacement is Replacement.LRU:
+                dirty = ways.pop(tag) or is_store
+                ways[tag] = dirty  # move to MRU position
+            else:
+                # FIFO / RANDOM do not reorder on hit.
+                ways[tag] = ways[tag] or is_store
+            return AccessResult(hit=True)
+
+        self.stats.misses += 1
+        result = AccessResult(hit=False)
+        if len(ways) >= self.config.associativity:
+            victim_tag = self._pick_victim(ways)
+            victim_dirty = ways.pop(victim_tag)
+            victim_addr = self._line_addr(set_index, victim_tag)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.writebacks += 1
+                result.writeback_addr = victim_addr
+            else:
+                result.evicted_addr = victim_addr
+        ways[tag] = is_store
+        return result
+
+    def _pick_victim(self, ways: dict[int, bool]) -> int:
+        if self.config.replacement is Replacement.RANDOM:
+            return self._rng.choice(list(ways))
+        return next(iter(ways))  # LRU / FIFO: oldest entry first
+
+    def contains(self, line_addr: int) -> bool:
+        """Whether the line is currently resident (no LRU update)."""
+        set_index, tag = self._locate(line_addr)
+        return tag in self._sets[set_index]
+
+    def is_dirty(self, line_addr: int) -> bool:
+        """Whether a resident line is dirty (False if absent)."""
+        set_index, tag = self._locate(line_addr)
+        return self._sets[set_index].get(tag, False)
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop a line if present; returns whether it was dirty."""
+        set_index, tag = self._locate(line_addr)
+        return bool(self._sets[set_index].pop(tag, False))
+
+    def resident_lines(self) -> int:
+        """Total lines currently cached (for occupancy tests)."""
+        return sum(len(s) for s in self._sets)
+
+    def flush_dirty(self) -> list[int]:
+        """Drain every dirty line, returning their addresses."""
+        out = []
+        for set_index, ways in enumerate(self._sets):
+            for tag, dirty in list(ways.items()):
+                if dirty:
+                    out.append(self._line_addr(set_index, tag))
+                    ways[tag] = False
+        return out

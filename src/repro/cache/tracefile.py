@@ -1,0 +1,161 @@
+"""Trace persistence: save and replay LLC request traces.
+
+Traces are the interchange currency of this stack: the memory tracer
+produces them, the coalescer consumes them.  This module defines a
+simple versioned text format so traces can be archived, inspected with
+standard tools, or brought in from external simulators:
+
+.. code-block:: text
+
+    #repro-trace v1
+    # cycle  type  addr  size  requested  flags
+    12 L 0x1000 64 8 -
+    14 S 0x2040 64 64 w
+
+One record per line; ``type`` is ``L``/``S``/``F`` (load/store/fence),
+``flags`` is a combination of ``w`` (write-back), ``2`` (secondary
+miss) and ``p`` (prefetch), or ``-``.  Cycles must be non-decreasing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.cache.tracer import TraceRecord
+from repro.core.request import MemoryRequest, RequestType
+
+MAGIC = "#repro-trace v1"
+
+_TYPE_TO_CODE = {
+    RequestType.LOAD: "L",
+    RequestType.STORE: "S",
+    RequestType.FENCE: "F",
+}
+_CODE_TO_TYPE = {v: k for k, v in _TYPE_TO_CODE.items()}
+
+
+class TraceFormatError(ValueError):
+    """Raised for malformed trace files."""
+
+
+def format_record(record: TraceRecord) -> str:
+    """Render one trace record as a file line."""
+    req = record.request
+    flags = ""
+    if record.is_writeback:
+        flags += "w"
+    if record.is_secondary:
+        flags += "2"
+    if record.is_prefetch:
+        flags += "p"
+    return (
+        f"{record.cycle} {_TYPE_TO_CODE[req.rtype]} {req.addr:#x} "
+        f"{req.size} {req.requested_bytes} {flags or '-'}"
+    )
+
+
+def parse_record(line: str, lineno: int = 0) -> TraceRecord:
+    """Parse one trace file line."""
+    parts = line.split()
+    if len(parts) != 6:
+        raise TraceFormatError(
+            f"line {lineno}: expected 6 fields, got {len(parts)}: {line!r}"
+        )
+    cycle_s, code, addr_s, size_s, req_s, flags = parts
+    try:
+        cycle = int(cycle_s)
+        addr = int(addr_s, 0)
+        size = int(size_s)
+        requested = int(req_s)
+    except ValueError as exc:
+        raise TraceFormatError(f"line {lineno}: bad number: {exc}") from exc
+    rtype = _CODE_TO_TYPE.get(code)
+    if rtype is None:
+        raise TraceFormatError(f"line {lineno}: unknown type code {code!r}")
+    if cycle < 0:
+        raise TraceFormatError(f"line {lineno}: negative cycle")
+    if flags != "-" and (set(flags) - set("w2p")):
+        raise TraceFormatError(f"line {lineno}: bad flags {flags!r}")
+
+    if rtype is RequestType.FENCE:
+        request = MemoryRequest(addr=0, rtype=RequestType.FENCE)
+    else:
+        request = MemoryRequest(
+            addr=addr, rtype=rtype, size=size, requested_bytes=requested
+        )
+    return TraceRecord(
+        request=request,
+        cycle=cycle,
+        is_writeback="w" in flags,
+        is_secondary="2" in flags,
+        is_prefetch="p" in flags,
+    )
+
+
+def save_trace(records: Iterable[TraceRecord], path: str | Path) -> Path:
+    """Write a trace stream to ``path`` (streaming; constant memory)."""
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(MAGIC + "\n")
+        fh.write("# cycle type addr size requested flags\n")
+        for record in records:
+            fh.write(format_record(record) + "\n")
+    return path
+
+
+def load_trace(path: str | Path) -> Iterator[TraceRecord]:
+    """Lazily read a trace file, validating cycle monotonicity."""
+    path = Path(path)
+    with path.open() as fh:
+        header = fh.readline().rstrip("\n")
+        if header != MAGIC:
+            raise TraceFormatError(
+                f"{path}: not a repro trace (header {header!r})"
+            )
+        last_cycle = -1
+        for lineno, raw in enumerate(fh, start=2):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            record = parse_record(line, lineno)
+            if record.cycle < last_cycle:
+                raise TraceFormatError(
+                    f"line {lineno}: cycles must be non-decreasing "
+                    f"({record.cycle} < {last_cycle})"
+                )
+            last_cycle = record.cycle
+            yield record
+
+
+def trace_summary(path: str | Path) -> dict[str, int]:
+    """Cheap one-pass statistics over a trace file."""
+    loads = stores = fences = writebacks = secondaries = prefetches = 0
+    requested = 0
+    first = last = 0
+    for i, rec in enumerate(load_trace(path)):
+        if i == 0:
+            first = rec.cycle
+        last = rec.cycle
+        if rec.request.rtype is RequestType.LOAD:
+            loads += 1
+        elif rec.request.rtype is RequestType.STORE:
+            stores += 1
+        else:
+            fences += 1
+        writebacks += rec.is_writeback
+        secondaries += rec.is_secondary
+        prefetches += rec.is_prefetch
+        if not rec.request.is_fence:
+            requested += rec.request.requested_bytes
+    return {
+        "loads": loads,
+        "stores": stores,
+        "fences": fences,
+        "writebacks": writebacks,
+        "secondaries": secondaries,
+        "prefetches": prefetches,
+        "requested_bytes": requested,
+        "first_cycle": first,
+        "last_cycle": last,
+    }

@@ -1,0 +1,72 @@
+"""Core memory-coalescer package.
+
+This package implements the paper's primary contribution: a two-phase
+memory coalescer for Hybrid Memory Cube (HMC) devices, composed of
+
+* a pipelined Batcher odd-even mergesort request sorting network
+  (:mod:`repro.core.sorting`, :mod:`repro.core.pipeline`),
+* a dynamic memory coalescing (DMC) unit performing first-phase
+  coalescing into large HMC packets (:mod:`repro.core.dmc`),
+* a coalesced request queue (CRQ) (:mod:`repro.core.crq`), and
+* dynamic MSHRs performing second-phase coalescing
+  (:mod:`repro.core.mshr`),
+
+all orchestrated by :class:`repro.core.coalescer.MemoryCoalescer`.
+"""
+
+from repro.core.address import (
+    AddressExtension,
+    CACHE_LINE_SIZE,
+    PHYS_ADDR_BITS,
+    TYPE_BIT,
+    VALID_BIT,
+    line_base,
+    line_index,
+    line_offset,
+)
+from repro.core.coalescer import CoalescerStats, MemoryCoalescer
+from repro.core.config import CoalescerConfig
+from repro.core.crq import CoalescedRequestQueue
+from repro.core.dmc import DMCUnit
+from repro.core.mshr import DynamicMSHRFile, MSHREntry, MSHRSubentry
+from repro.core.pipeline import PipelinedSortingNetwork
+from repro.core.request import (
+    Access,
+    CoalescedRequest,
+    MemoryRequest,
+    RequestType,
+)
+from repro.core.sorting import (
+    BitonicSortNetwork,
+    OddEvenMergesortNetwork,
+    odd_even_merge_sort_schedule,
+)
+from repro.core.warp import WarpCoalescer
+
+__all__ = [
+    "Access",
+    "BitonicSortNetwork",
+    "WarpCoalescer",
+    "AddressExtension",
+    "CACHE_LINE_SIZE",
+    "CoalescedRequest",
+    "CoalescedRequestQueue",
+    "CoalescerConfig",
+    "CoalescerStats",
+    "DMCUnit",
+    "DynamicMSHRFile",
+    "MSHREntry",
+    "MSHRSubentry",
+    "MemoryCoalescer",
+    "MemoryRequest",
+    "OddEvenMergesortNetwork",
+    "PHYS_ADDR_BITS",
+    "PipelinedSortingNetwork",
+    "RequestType",
+    "TYPE_BIT",
+    "VALID_BIT",
+    "line_base",
+    "line_index",
+    "line_offset",
+    "odd_even_merge_sort_schedule",
+]

@@ -1,0 +1,139 @@
+"""Physical-address extensions used by the request sorting network.
+
+The paper (Section 3.4) sorts memory requests on an *extended* physical
+address so that request-type separation and invalid-request padding fall
+out of the ordinary numeric comparison performed by the sorting network:
+
+* bits ``0..51``  -- the physical address (52 bits, as on x86-64),
+* bit ``52``      -- the *Type* bit: ``0`` for loads, ``1`` for stores,
+  so every store key is numerically larger than every load key and the
+  two classes separate during sorting with no extra logic,
+* bit ``53``      -- the *Valid* bit: ``0`` for valid requests, ``1``
+  for the padding entries appended when fewer than ``n`` requests
+  arrive before the timeout.  Because the network sorts into
+  non-decreasing order, invalid keys sink to the end of the sequence
+  and are dropped before the DMC unit.
+
+This module provides the bit constants, key packing/unpacking helpers
+and cache-line arithmetic shared by the whole stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Number of physical address bits actually used (x86-64 style).
+PHYS_ADDR_BITS = 52
+
+#: Bit position of the request-type flag in the extended sort key.
+TYPE_BIT = 52
+
+#: Bit position of the validity flag in the extended sort key.
+VALID_BIT = 53
+
+#: Mask selecting the raw physical address from an extended key.
+PHYS_ADDR_MASK = (1 << PHYS_ADDR_BITS) - 1
+
+#: Cache line size assumed throughout the paper (bytes).
+CACHE_LINE_SIZE = 64
+
+#: The key value used for padding slots: invalid bit set, all address
+#: bits set, so padding compares greater than every real request.
+INVALID_KEY = (1 << (VALID_BIT + 1)) - 1
+
+
+def extend_address(addr: int, *, is_store: bool) -> int:
+    """Pack a physical address and request type into a sort key.
+
+    Parameters
+    ----------
+    addr:
+        Physical byte address; must fit in :data:`PHYS_ADDR_BITS` bits.
+    is_store:
+        ``True`` for store requests.  Stores receive a larger key than
+        any load so the sorting network separates the two types.
+
+    Returns
+    -------
+    int
+        The 54-bit extended key (valid bit clear).
+    """
+    if addr < 0 or addr > PHYS_ADDR_MASK:
+        raise ValueError(
+            f"physical address {addr:#x} does not fit in {PHYS_ADDR_BITS} bits"
+        )
+    key = addr
+    if is_store:
+        key |= 1 << TYPE_BIT
+    return key
+
+
+def invalid_key() -> int:
+    """Return the padding key (valid bit set, maximal value)."""
+    return INVALID_KEY
+
+
+def key_is_valid(key: int) -> bool:
+    """``True`` when the key's Valid bit (bit 53) is clear."""
+    return not (key >> VALID_BIT) & 1
+
+
+def key_is_store(key: int) -> bool:
+    """``True`` when the key's Type bit (bit 52) is set."""
+    return bool((key >> TYPE_BIT) & 1)
+
+
+def key_address(key: int) -> int:
+    """Extract the raw 52-bit physical address from an extended key."""
+    return key & PHYS_ADDR_MASK
+
+
+def line_base(addr: int, line_size: int = CACHE_LINE_SIZE) -> int:
+    """Round ``addr`` down to the start of its cache line."""
+    return addr - (addr % line_size)
+
+
+def line_index(addr: int, line_size: int = CACHE_LINE_SIZE) -> int:
+    """Return the cache-line number containing ``addr``."""
+    return addr // line_size
+
+
+def line_offset(addr: int, line_size: int = CACHE_LINE_SIZE) -> int:
+    """Return the byte offset of ``addr`` within its cache line."""
+    return addr % line_size
+
+
+def lines_spanned(addr: int, size: int, line_size: int = CACHE_LINE_SIZE) -> int:
+    """Number of cache lines touched by an access of ``size`` bytes at ``addr``."""
+    if size <= 0:
+        raise ValueError("access size must be positive")
+    first = line_index(addr, line_size)
+    last = line_index(addr + size - 1, line_size)
+    return last - first + 1
+
+
+@dataclass(frozen=True, slots=True)
+class AddressExtension:
+    """Decoded view of an extended 54-bit sort key.
+
+    Mirrors Figure 5 of the paper: ``| valid | type | 52-bit address |``.
+    """
+
+    address: int
+    is_store: bool
+    is_valid: bool
+
+    @classmethod
+    def decode(cls, key: int) -> "AddressExtension":
+        """Decode an extended key into its three fields."""
+        return cls(
+            address=key_address(key),
+            is_store=key_is_store(key),
+            is_valid=key_is_valid(key),
+        )
+
+    def encode(self) -> int:
+        """Re-pack the fields into an extended key."""
+        if not self.is_valid:
+            return INVALID_KEY
+        return extend_address(self.address, is_store=self.is_store)

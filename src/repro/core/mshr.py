@@ -1,0 +1,319 @@
+"""Dynamic Miss Status Holding Registers (Sections 3.2.3 and 3.5).
+
+A conventional MSHR entry holds one outstanding cache-line miss plus
+subentries recording which targets (register destinations / store
+buffers) wait on it.  The paper extends each entry so that it can hold
+a *coalesced* request of 1, 2 or 4 cache lines:
+
+* a 2-bit **size** field: ``00`` = 64 B, ``01`` = 128 B, ``10`` = 256 B;
+* a **T** bit giving the request type (load/store), placed in front of
+  the address bits so merging compares a single 53-bit value;
+* a 2-bit **line ID** per subentry so each target knows which of the
+  entry's lines it waits on:
+  ``subentry.addr = entry.addr + lineID * line_size`` (Equation 2).
+
+Second-phase coalescing compares each CRQ request against all valid
+entries simultaneously (the hardware comparators every MSHR file
+already has):
+
+* **case A** -- the request's lines are a subset of an entry's lines:
+  the request merges entirely as subentries of that entry;
+* **case B** -- a partial overlap: the overlapped lines merge as
+  subentries, and the non-overlapping remainder is re-packed into new
+  aligned packets that allocate fresh entries;
+* otherwise a new entry is allocated (issuing one HMC request).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.config import CoalescerConfig
+from repro.core.dmc import split_aligned_runs
+from repro.core.request import CoalescedRequest, MemoryRequest, RequestType
+
+
+class InsertOutcome(enum.Enum):
+    """Result of offering a coalesced request to the MSHR file."""
+
+    #: Fully merged into an existing entry (case A); nothing to issue.
+    MERGED = "merged"
+    #: Partially merged; the returned remainder packets still need slots.
+    PARTIAL = "partial"
+    #: A fresh entry was allocated; one HMC request must be issued.
+    ALLOCATED = "allocated"
+    #: No free entry; the request must wait in the CRQ.
+    FULL = "full"
+
+
+@dataclass(slots=True)
+class MSHRSubentry:
+    """One waiting target inside an MSHR entry.
+
+    ``line_id`` selects which of the entry's cache lines the target
+    requested (Equation 2); ``request`` is the original line-granularity
+    LLC miss carrying the target tokens.
+    """
+
+    line_id: int
+    request: MemoryRequest
+
+    def address_within(self, entry: "MSHREntry", line_size: int) -> int:
+        """The cache-line address this subentry waits on (Equation 2)."""
+        return entry.addr + self.line_id * line_size
+
+
+@dataclass(slots=True)
+class MSHREntry:
+    """One dynamic MSHR entry holding a coalesced outstanding miss."""
+
+    index: int
+    valid: bool = False
+    addr: int = 0
+    num_lines: int = 1
+    rtype: RequestType = RequestType.LOAD
+    subentries: list[MSHRSubentry] = field(default_factory=list)
+    issue_cycle: int = 0
+    complete_cycle: int = 0
+
+    @property
+    def size_field(self) -> int:
+        """The size encoding (00=64 B, 01=128 B, 10=256 B, 11=512 B)."""
+        return {1: 0b00, 2: 0b01, 4: 0b10, 8: 0b11}[self.num_lines]
+
+    @property
+    def t_bit(self) -> int:
+        """The request-type bit stored ahead of the address bits."""
+        return 1 if self.rtype is RequestType.STORE else 0
+
+    def base_line(self, line_size: int) -> int:
+        """First cache-line number covered by this entry."""
+        return self.addr // line_size
+
+    def covers_line(self, line: int, line_size: int) -> bool:
+        base = self.addr // line_size
+        return base <= line < base + self.num_lines
+
+    def line_id_of(self, line: int, line_size: int) -> int:
+        """Line ID (0..3, or 0..7 with future scaling) of an absolute
+        line number within this entry."""
+        base = self.addr // line_size
+        if not base <= line < base + self.num_lines:
+            raise ValueError(f"line {line} outside entry {base}+{self.num_lines}")
+        return line - base
+
+
+@dataclass(slots=True)
+class MSHRStats:
+    """Aggregate counters for the dynamic MSHR file."""
+
+    offered: int = 0
+    allocated: int = 0
+    merged_full: int = 0
+    merged_partial: int = 0
+    rejected_full: int = 0
+    completions: int = 0
+    subentries_added: int = 0
+    remainder_packets: int = 0
+
+    @property
+    def requests_eliminated(self) -> int:
+        """HMC requests avoided by second-phase coalescing.
+
+        A full merge (case A) eliminates one would-be HMC request; a
+        partial merge (case B) eliminates one but re-issues its
+        remainder packets.
+        """
+        return (
+            self.merged_full
+            + self.merged_partial
+            - self.remainder_packets
+        )
+
+
+class DynamicMSHRFile:
+    """The file of dynamic MSHR entries with second-phase coalescing."""
+
+    def __init__(self, config: CoalescerConfig):
+        self.config = config
+        self.entries = [MSHREntry(index=i) for i in range(config.num_mshrs)]
+        self.stats = MSHRStats()
+
+    # -- occupancy ---------------------------------------------------------
+
+    def free_entries(self) -> int:
+        """Number of invalid (available) entries."""
+        return sum(1 for e in self.entries if not e.valid)
+
+    @property
+    def has_free_entry(self) -> bool:
+        return any(not e.valid for e in self.entries)
+
+    @property
+    def all_idle(self) -> bool:
+        """True when no entry is in use (bypass condition, Section 4.2)."""
+        return all(not e.valid for e in self.entries)
+
+    def occupancy(self) -> int:
+        return sum(1 for e in self.entries if e.valid)
+
+    # -- completion ----------------------------------------------------------
+
+    def pop_completions(self, cycle: int) -> list[MSHREntry]:
+        """Free every entry whose HMC response has arrived by ``cycle``.
+
+        Returns snapshots of the freed entries so callers can notify
+        the waiting targets recorded in the subentries.
+        """
+        done: list[MSHREntry] = []
+        for entry in self.entries:
+            if entry.valid and entry.complete_cycle <= cycle:
+                done.append(
+                    MSHREntry(
+                        index=entry.index,
+                        valid=True,
+                        addr=entry.addr,
+                        num_lines=entry.num_lines,
+                        rtype=entry.rtype,
+                        subentries=list(entry.subentries),
+                        issue_cycle=entry.issue_cycle,
+                        complete_cycle=entry.complete_cycle,
+                    )
+                )
+                entry.valid = False
+                entry.subentries = []
+                self.stats.completions += 1
+        return done
+
+    # -- second-phase coalescing ----------------------------------------------
+
+    def offer(
+        self, request: CoalescedRequest, cycle: int, service_cycles
+    ) -> tuple[InsertOutcome, list[CoalescedRequest], "MSHREntry | None"]:
+        """Offer one coalesced request to the file.
+
+        ``service_cycles`` is the modelled HMC round-trip for a request
+        of this size (an int, or a zero-argument callable evaluated
+        lazily so a backing device model is only consulted when the
+        request is actually issued), used to schedule the entry's
+        completion when a new entry is allocated.
+
+        Returns ``(outcome, remainder, entry)``: for
+        :attr:`InsertOutcome.PARTIAL` the remainder packets must be
+        offered again (keeping their CRQ position); for
+        :attr:`InsertOutcome.ALLOCATED` ``entry`` is the fresh entry
+        whose HMC request the caller must issue.
+        """
+        self.stats.offered += 1
+        line_size = self.config.line_size
+        req_lines = set(request.lines)
+
+        if self.config.enable_mshr_coalescing:
+            # Simultaneous compare against all valid entries of the
+            # same type (the T bit participates in the comparison).
+            overlaps: list[tuple[MSHREntry, set[int]]] = []
+            for entry in self.entries:
+                if not entry.valid or entry.rtype is not request.rtype:
+                    continue
+                entry_base = entry.base_line(line_size)
+                entry_lines = {entry_base + k for k in range(entry.num_lines)}
+                common = req_lines & entry_lines
+                if common:
+                    overlaps.append((entry, common))
+
+            if overlaps:
+                covered: set[int] = set()
+                for entry, common in overlaps:
+                    self._merge_lines(entry, request, common)
+                    covered |= common
+                remainder = sorted(req_lines - covered)
+                if not remainder:
+                    self.stats.merged_full += 1
+                    return InsertOutcome.MERGED, [], None
+                self.stats.merged_partial += 1
+                rest = self._repack(request, remainder)
+                self.stats.remainder_packets += len(rest)
+                return InsertOutcome.PARTIAL, rest, None
+
+        entry = self._allocate(request, cycle, service_cycles)
+        if entry is None:
+            self.stats.rejected_full += 1
+            return InsertOutcome.FULL, [], None
+        return InsertOutcome.ALLOCATED, [], entry
+
+    def allocate_direct(
+        self, request: CoalescedRequest, cycle: int, service_cycles
+    ) -> MSHREntry | None:
+        """Allocate without attempting any merge (bypass path)."""
+        self.stats.offered += 1
+        entry = self._allocate(request, cycle, service_cycles)
+        if entry is None:
+            self.stats.rejected_full += 1
+        return entry
+
+    # -- internals ----------------------------------------------------------
+
+    def _merge_lines(
+        self, entry: MSHREntry, request: CoalescedRequest, lines: set[int]
+    ) -> None:
+        """Attach the request's targets for ``lines`` as subentries."""
+        line_size = self.config.line_size
+        for req in request.constituents:
+            if req.line in lines:
+                entry.subentries.append(
+                    MSHRSubentry(
+                        line_id=entry.line_id_of(req.line, line_size),
+                        request=req,
+                    )
+                )
+                self.stats.subentries_added += 1
+
+    def _repack(
+        self, request: CoalescedRequest, lines: list[int]
+    ) -> list[CoalescedRequest]:
+        """Re-pack leftover lines of a case-B split into aligned packets."""
+        chunks = split_aligned_runs(lines, self.config.max_packet_lines)
+        by_line: dict[int, list[MemoryRequest]] = {}
+        for req in request.constituents:
+            by_line.setdefault(req.line, []).append(req)
+        packets = []
+        for base, num in chunks:
+            members: list[MemoryRequest] = []
+            for ln in range(base, base + num):
+                members.extend(by_line.get(ln, ()))
+            packets.append(
+                CoalescedRequest(
+                    addr=base * self.config.line_size,
+                    num_lines=num,
+                    rtype=request.rtype,
+                    constituents=members,
+                    issue_cycle=request.issue_cycle,
+                )
+            )
+        return packets
+
+    def _allocate(
+        self, request: CoalescedRequest, cycle: int, service_cycles
+    ) -> MSHREntry | None:
+        for entry in self.entries:
+            if not entry.valid:
+                if callable(service_cycles):
+                    service_cycles = service_cycles()
+                entry.valid = True
+                entry.addr = request.addr
+                entry.num_lines = request.num_lines
+                entry.rtype = request.rtype
+                entry.subentries = [
+                    MSHRSubentry(
+                        line_id=entry.line_id_of(req.line, self.config.line_size),
+                        request=req,
+                    )
+                    for req in request.constituents
+                ]
+                entry.issue_cycle = cycle
+                entry.complete_cycle = cycle + service_cycles
+                self.stats.allocated += 1
+                self.stats.subentries_added += len(entry.subentries)
+                return entry
+        return None

@@ -1,0 +1,297 @@
+"""Batcher odd-even mergesort network (Section 3.3).
+
+The paper builds its pipelined request sorting network from Batcher's
+odd-even mergesort [Batcher 1968] because, among the classic parallel
+sorting networks, it needs the fewest comparators while keeping the
+O(log^2 n) parallel depth.
+
+Terminology used throughout this module (matching Figure 4):
+
+*comparator*
+    A compare-exchange between two wire positions ``(i, j)``, ``i < j``:
+    after the operation position ``i`` holds the smaller key.
+
+*step*
+    A maximal set of comparators that touch disjoint wires and can
+    therefore fire in parallel.  A 16-input network has 10 steps.
+
+*merge stage*
+    The outer phase of the mergesort recursion: after stage ``s``,
+    every aligned block of ``2**s`` inputs is sorted.  A 16-input
+    network has 4 merge stages containing 1, 2, 3 and 4 steps.
+
+The schedule produced here is the standard iterative formulation of
+Batcher's network; for n = 16 it yields exactly the 4-stage / 10-step /
+63-comparator layout the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+Comparator = tuple[int, int]
+Step = list[Comparator]
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def odd_even_merge_sort_schedule(n: int) -> list[list[Step]]:
+    """Build the comparator schedule of an ``n``-input network.
+
+    Returns
+    -------
+    list of merge stages, each a list of steps, each a list of
+    ``(i, j)`` comparator index pairs with ``i < j``.
+
+    Raises
+    ------
+    ValueError
+        If ``n`` is not a power of two (Batcher networks are defined
+        on power-of-two widths; the paper pads short sequences with
+        invalid requests instead of shrinking the network).
+    """
+    if not _is_power_of_two(n) or n < 2:
+        raise ValueError(f"network width must be a power of two >= 2, got {n}")
+
+    stages: list[list[Step]] = []
+    p = 1
+    while p < n:
+        stage: list[Step] = []
+        k = p
+        while k >= 1:
+            step: Step = []
+            j = k % p
+            while j <= n - 1 - k:
+                for i in range(min(k, n - j - k)):
+                    lo = i + j
+                    hi = i + j + k
+                    # Only compare wires inside the same 2p-block being merged.
+                    if lo // (p * 2) == hi // (p * 2):
+                        step.append((lo, hi))
+                j += 2 * k
+            stage.append(step)
+            k //= 2
+        stages.append(stage)
+        p *= 2
+    return stages
+
+
+def bitonic_sort_schedule(n: int) -> list[list[Step]]:
+    """Build the comparator schedule of an ``n``-input bitonic sorter.
+
+    Included for the Section 3.3 comparison: the paper selects
+    odd-even mergesort because it "requires fewest comparators as
+    compared to shellsort and bitonic sort" at equal O(log^2 n) depth.
+    This schedule lets the claim be checked quantitatively (80 vs 63
+    comparators at n = 16).
+    """
+    if not _is_power_of_two(n) or n < 2:
+        raise ValueError(f"network width must be a power of two >= 2, got {n}")
+    stages: list[list[Step]] = []
+    k = 2
+    while k <= n:
+        stage: list[Step] = []
+        j = k // 2
+        first = True
+        while j >= 1:
+            step: Step = []
+            for i in range(n):
+                # The first step of each stage compares mirrored pairs
+                # within k-blocks (forming bitonic sequences); later
+                # steps are the butterfly exchanges.
+                if first:
+                    partner = (i // k) * k + (k - 1 - (i % k))
+                else:
+                    partner = i ^ j
+                if i < partner:
+                    step.append((i, partner))
+            stage.append(step)
+            j //= 2
+            first = False
+        stages.append(stage)
+        k *= 2
+    return stages
+
+
+def flatten_steps(stages: Sequence[Sequence[Step]]) -> list[Step]:
+    """Flatten a stage-grouped schedule into the ordered list of steps."""
+    return [step for stage in stages for step in stage]
+
+
+@dataclass(frozen=True)
+class NetworkShape:
+    """Static size metrics of an odd-even mergesort network."""
+
+    width: int
+    num_stages: int
+    num_steps: int
+    num_comparators: int
+    steps_per_stage: tuple[int, ...]
+    comparators_per_step: tuple[int, ...]
+
+
+class OddEvenMergesortNetwork:
+    """A combinational odd-even mergesort network of width ``n``.
+
+    The network is purely functional: :meth:`apply` sorts a full-width
+    sequence of integer keys; :meth:`apply_items` sorts arbitrary items
+    under a key function; :meth:`apply_prefix_stages` runs only the
+    first ``s`` merge stages, which is what the paper's *stage select*
+    component exploits for short sequences.
+    """
+
+    def __init__(self, width: int):
+        self.width = width
+        self.stages: list[list[Step]] = odd_even_merge_sort_schedule(width)
+        self.steps: list[Step] = flatten_steps(self.stages)
+
+    # -- static structure ------------------------------------------------
+
+    @property
+    def num_stages(self) -> int:
+        """Number of merge stages (log2 n)."""
+        return len(self.stages)
+
+    @property
+    def num_steps(self) -> int:
+        """Total number of parallel steps ((log^2 n + log n) / 2)."""
+        return len(self.steps)
+
+    @property
+    def num_comparators(self) -> int:
+        """Total comparators across the network (63 for n = 16)."""
+        return sum(len(step) for step in self.steps)
+
+    def shape(self) -> NetworkShape:
+        """Return the static shape metrics of the network."""
+        return NetworkShape(
+            width=self.width,
+            num_stages=self.num_stages,
+            num_steps=self.num_steps,
+            num_comparators=self.num_comparators,
+            steps_per_stage=tuple(len(stage) for stage in self.stages),
+            comparators_per_step=tuple(len(step) for step in self.steps),
+        )
+
+    def required_stages(self, count: int) -> int:
+        """Merge stages needed to sort ``count`` leading valid inputs.
+
+        After merge stage ``s`` every aligned block of ``2**s`` wires is
+        sorted.  When only the first ``count`` wires carry valid
+        requests (the rest are maximal padding keys), the sequence is
+        fully sorted once the first block covering all valid wires is
+        sorted, i.e. after ``ceil(log2(count))`` stages.  This is the
+        stage-select optimization of Section 3.3.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count > self.width:
+            raise ValueError(f"count {count} exceeds network width {self.width}")
+        if count <= 1:
+            return 0
+        return (count - 1).bit_length()
+
+    # -- evaluation ------------------------------------------------------
+
+    def apply(self, keys: Sequence[int]) -> list[int]:
+        """Sort a full-width sequence of keys through the whole network."""
+        return self.apply_prefix_stages(keys, self.num_stages)
+
+    def apply_prefix_stages(self, keys: Sequence[int], stages: int) -> list[int]:
+        """Run only the first ``stages`` merge stages over ``keys``."""
+        if len(keys) != self.width:
+            raise ValueError(
+                f"expected {self.width} keys, got {len(keys)} "
+                "(pad short sequences with invalid keys)"
+            )
+        if not 0 <= stages <= self.num_stages:
+            raise ValueError(f"stages must be in [0, {self.num_stages}]")
+        data = list(keys)
+        for stage in self.stages[:stages]:
+            for step in stage:
+                for lo, hi in step:
+                    if data[lo] > data[hi]:
+                        data[lo], data[hi] = data[hi], data[lo]
+        return data
+
+    def apply_items(
+        self,
+        items: Sequence[T],
+        key: Callable[[T], int],
+        stages: int | None = None,
+    ) -> list[T]:
+        """Sort arbitrary items by ``key`` through the network.
+
+        Items with equal keys are never exchanged (compare-exchange
+        swaps only on strict greater-than), so the network is stable
+        for duplicate keys.
+        """
+        if len(items) != self.width:
+            raise ValueError(f"expected {self.width} items, got {len(items)}")
+        n_stages = self.num_stages if stages is None else stages
+        data = list(items)
+        cached = [key(item) for item in data]
+        for stage in self.stages[:n_stages]:
+            for step in stage:
+                for lo, hi in step:
+                    if cached[lo] > cached[hi]:
+                        data[lo], data[hi] = data[hi], data[lo]
+                        cached[lo], cached[hi] = cached[hi], cached[lo]
+        return data
+
+    def count_operations(self, stages: int | None = None) -> int:
+        """Number of comparator firings when running ``stages`` stages."""
+        n_stages = self.num_stages if stages is None else stages
+        return sum(len(step) for stage in self.stages[:n_stages] for step in stage)
+
+    def validate(self) -> None:
+        """Structural sanity checks (used by tests and on construction).
+
+        Verifies that every step touches each wire at most once, which
+        is the property that makes a step a single parallel time-slot.
+        """
+        for step_index, step in enumerate(self.steps):
+            seen: set[int] = set()
+            for lo, hi in step:
+                if lo >= hi:
+                    raise AssertionError(f"comparator {lo, hi} not ordered")
+                if lo in seen or hi in seen:
+                    raise AssertionError(
+                        f"step {step_index} reuses a wire: {(lo, hi)}"
+                    )
+                seen.add(lo)
+                seen.add(hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"OddEvenMergesortNetwork(width={self.width}, "
+            f"stages={self.num_stages}, steps={self.num_steps}, "
+            f"comparators={self.num_comparators})"
+        )
+
+
+class BitonicSortNetwork(OddEvenMergesortNetwork):
+    """A bitonic sorter with the same evaluation interface.
+
+    Exists to quantify the paper's Section 3.3 design choice: bitonic
+    networks have the same depth but strictly more comparators than
+    odd-even mergesort at every width.
+    """
+
+    def __init__(self, width: int):
+        self.width = width
+        self.stages = bitonic_sort_schedule(width)
+        self.steps = flatten_steps(self.stages)
+
+    def required_stages(self, count: int) -> int:
+        """Stage select does not transfer to bitonic networks: their
+        merge stages need *bitonic* (not sorted) block inputs, so every
+        stage always runs."""
+        if not 0 <= count <= self.width:
+            raise ValueError(f"count must be in [0, {self.width}]")
+        return self.num_stages if count > 1 else 0

@@ -1,0 +1,51 @@
+"""Hybrid Memory Cube (HMC) device model.
+
+Implements the packetized HMC 2.1 interface the paper evaluates
+against (Sections 2.2 and 5.2):
+
+* :mod:`repro.hmc.packet` -- FLIT framing, request/response packets,
+  the 32 B-per-request control overhead and the bandwidth-efficiency
+  metric of Equation 1;
+* :mod:`repro.hmc.link` -- SerDes link bandwidth/serialization;
+* :mod:`repro.hmc.vault` -- vaults and banks with open-row tracking
+  (bank conflicts are the latency term coalescing reduces);
+* :mod:`repro.hmc.device` -- the full device front-end with service
+  timing and aggregate statistics.
+"""
+
+from repro.hmc.atomics import AtomicOp, atomic_traffic, rmw_traffic_without_atomics
+from repro.hmc.device import HMCDevice, HMCResponse, HMCStats
+from repro.hmc.link import HMCLink, LinkStats
+from repro.hmc.packet import (
+    FLIT_BYTES,
+    PACKET_CONTROL_BYTES,
+    REQUEST_CONTROL_BYTES,
+    bandwidth_efficiency,
+    control_overhead_fraction,
+    packet_flits,
+    transferred_bytes,
+)
+from repro.hmc.timing import HMCTimingConfig
+from repro.hmc.vault import Bank, Vault, VaultStats
+
+__all__ = [
+    "AtomicOp",
+    "Bank",
+    "atomic_traffic",
+    "rmw_traffic_without_atomics",
+    "FLIT_BYTES",
+    "HMCDevice",
+    "HMCLink",
+    "HMCResponse",
+    "HMCStats",
+    "HMCTimingConfig",
+    "LinkStats",
+    "PACKET_CONTROL_BYTES",
+    "REQUEST_CONTROL_BYTES",
+    "Vault",
+    "VaultStats",
+    "bandwidth_efficiency",
+    "control_overhead_fraction",
+    "packet_flits",
+    "transferred_bytes",
+]

@@ -1,0 +1,84 @@
+"""HMC atomic requests (HMC 2.1 specification, section 7).
+
+The packetized HMC interface defines read-modify-write *atomic*
+commands executed by the logic layer next to the DRAM: dual 8-byte
+add (``2ADD8``), single 16-byte add (``ADD16``), compare-and-swap,
+swap, and bit write.  They matter to this stack for the same reason
+coalescing does: an atomic replaces a load + store round trip (two
+transactions, 2 x 32 B control, two bank accesses) with a single
+16 B-operand transaction served at the vault.
+
+The paper's coalescer never generates atomics (LLC misses are plain
+reads/writes), so this module is a substrate extension: it lets the
+histogram/GUPS-style update workloads be expressed the way HMC-native
+software would write them, and the extension bench quantifies the
+traffic this saves on top of -- and orthogonal to -- coalescing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AtomicOp(enum.Enum):
+    """HMC 2.1 atomic commands (operand is one 16 B FLIT)."""
+
+    #: Dual 8-byte add immediate: two independent 64-bit adds.
+    DUAL_ADD8 = "2ADD8"
+    #: Single 16-byte add immediate.
+    ADD16 = "ADD16"
+    #: 8-byte increment (no operand payload needed, still one FLIT).
+    INC8 = "INC8"
+    #: 16-byte compare-and-swap; returns the old value.
+    CAS16 = "CAS16"
+    #: 16-byte swap; returns the old value.
+    SWAP16 = "SWAP16"
+    #: Bit write: operand = (mask, value).
+    BIT_WRITE = "BWR"
+
+    @property
+    def returns_data(self) -> bool:
+        """Whether the response carries the pre-op value (one FLIT)."""
+        return self in (AtomicOp.CAS16, AtomicOp.SWAP16)
+
+
+#: Every atomic request: 1 header/tail FLIT + 1 operand FLIT.
+ATOMIC_REQUEST_FLITS = 2
+#: Response: 1 control FLIT, +1 data FLIT for returning atomics.
+ATOMIC_RESPONSE_FLITS = 1
+
+#: Extra logic-layer latency of the read-modify-write (ns): the
+#: embedded ALU operates on the open row buffer.
+ATOMIC_ALU_NS = 2.0
+
+
+@dataclass(frozen=True, slots=True)
+class AtomicTraffic:
+    """Byte accounting of one atomic transaction."""
+
+    op: AtomicOp
+    payload_bytes: int
+    control_bytes: int
+
+    @property
+    def transferred_bytes(self) -> int:
+        return self.payload_bytes + self.control_bytes
+
+
+def atomic_traffic(op: AtomicOp) -> AtomicTraffic:
+    """Bytes moved by one atomic transaction.
+
+    Request: 16 B control + 16 B operand.  Response: 16 B control,
+    plus 16 B of returned data for CAS/swap.
+    """
+    payload = 16 + (16 if op.returns_data else 0)
+    return AtomicTraffic(op=op, payload_bytes=payload, control_bytes=32)
+
+
+def rmw_traffic_without_atomics(data_bytes: int = 16) -> int:
+    """Bytes a read-modify-write costs as separate load + store
+    transactions through 64 B line fills (the non-atomic path)."""
+    # Load: 64 B line + 32 B control.  Store (write-back of the dirty
+    # line): 64 B + 32 B control.
+    return 2 * (64 + 32)

@@ -1,0 +1,230 @@
+"""The HMC device front-end.
+
+Combines the link and vault models into a single service interface:
+``service(addr, size, is_store, arrive_ns)`` returns the completion
+time of the transaction, and the device accumulates all the traffic
+statistics the paper's evaluation reports -- transferred vs requested
+bytes (Equation 1), per-size request distributions (Figure 10), bank
+conflict counts, and control-overhead savings (Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hmc.link import HMCLink
+from repro.hmc.packet import REQUEST_CONTROL_BYTES, transferred_bytes
+from repro.hmc.timing import HMCTimingConfig
+from repro.hmc.vault import Vault
+
+
+@dataclass(slots=True)
+class HMCResponse:
+    """Completion record of one HMC transaction."""
+
+    addr: int
+    data_bytes: int
+    is_write: bool
+    arrive_ns: float
+    complete_ns: float
+    row_hit: bool
+    vault: int
+
+    @property
+    def latency_ns(self) -> float:
+        return self.complete_ns - self.arrive_ns
+
+
+@dataclass(slots=True)
+class HMCStats:
+    """Aggregate device statistics."""
+
+    requests: int = 0
+    reads: int = 0
+    writes: int = 0
+    payload_bytes: int = 0
+    requested_bytes: int = 0
+    control_bytes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    total_latency_ns: float = 0.0
+    last_complete_ns: float = 0.0
+    size_histogram: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def transferred_bytes(self) -> int:
+        """All bytes that crossed the links (payload + control)."""
+        return self.payload_bytes + self.control_bytes
+
+    @property
+    def bandwidth_efficiency(self) -> float:
+        """Equation 1 over the whole run, using *actually requested*
+        bytes as the numerator (Figure 9's accounting)."""
+        if not self.transferred_bytes:
+            return 0.0
+        return self.requested_bytes / self.transferred_bytes
+
+    @property
+    def payload_efficiency(self) -> float:
+        """Equation 1 with packet payload as numerator (Figure 1)."""
+        if not self.transferred_bytes:
+            return 0.0
+        return self.payload_bytes / self.transferred_bytes
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return self.total_latency_ns / self.requests if self.requests else 0.0
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+
+class HMCDevice:
+    """An 8 GB HMC 2.1 cube with 256 B block addressing (Section 5.2)."""
+
+    def __init__(self, config: HMCTimingConfig | None = None):
+        self.config = config or HMCTimingConfig()
+        self.link = HMCLink(self.config)
+        self.vaults = [Vault(i, self.config) for i in range(self.config.num_vaults)]
+        self.stats = HMCStats()
+
+    def service(
+        self,
+        addr: int,
+        data_bytes: int,
+        *,
+        is_write: bool = False,
+        arrive_ns: float = 0.0,
+        requested_bytes: int | None = None,
+    ) -> HMCResponse:
+        """Serve one packetized transaction.
+
+        Parameters
+        ----------
+        addr, data_bytes:
+            Target address and packet payload (16 B .. 256 B, FLIT
+            multiple; must not cross a block boundary).
+        is_write:
+            Write transactions carry payload in the request packet.
+        arrive_ns:
+            When the transaction reaches the device.
+        requested_bytes:
+            Bytes the application actually asked for (defaults to the
+            payload) -- the Equation 1 numerator.
+        """
+        if data_bytes > self.config.block_bytes:
+            raise ValueError(
+                f"request of {data_bytes} B exceeds the {self.config.block_bytes} B block"
+            )
+        if addr // self.config.block_bytes != (addr + data_bytes - 1) // self.config.block_bytes:
+            raise ValueError("request must not cross an HMC block boundary")
+        if addr < 0 or addr + data_bytes > self.config.capacity_bytes:
+            raise ValueError("address out of device range")
+
+        vault_index = self.config.vault_of(addr)
+        at_vault = self.link.transfer(data_bytes, arrive_ns, is_write=is_write)
+        at_vault += self.config.t_serdes_ns / 2
+        done, row_hit = self.vaults[vault_index].service(addr, data_bytes, at_vault)
+        complete = done + self.config.t_serdes_ns / 2
+
+        req = requested_bytes if requested_bytes is not None else data_bytes
+        s = self.stats
+        s.requests += 1
+        if is_write:
+            s.writes += 1
+        else:
+            s.reads += 1
+        s.payload_bytes += data_bytes
+        s.requested_bytes += req
+        s.control_bytes += REQUEST_CONTROL_BYTES
+        s.row_hits += int(row_hit)
+        s.row_misses += int(not row_hit)
+        s.total_latency_ns += complete - arrive_ns
+        s.last_complete_ns = max(s.last_complete_ns, complete)
+        s.size_histogram[data_bytes] = s.size_histogram.get(data_bytes, 0) + 1
+
+        return HMCResponse(
+            addr=addr,
+            data_bytes=data_bytes,
+            is_write=is_write,
+            arrive_ns=arrive_ns,
+            complete_ns=complete,
+            row_hit=row_hit,
+            vault=vault_index,
+        )
+
+    def service_atomic(
+        self,
+        addr: int,
+        op,
+        *,
+        arrive_ns: float = 0.0,
+    ) -> HMCResponse:
+        """Serve one HMC 2.1 atomic (read-modify-write at the vault).
+
+        Atomics carry a single 16 B operand FLIT and execute against
+        the open row in the logic layer -- one bank access instead of
+        the load + writeback pair a CPU-side RMW costs.
+        """
+        from repro.hmc.atomics import ATOMIC_ALU_NS, atomic_traffic
+
+        if addr < 0 or addr + 16 > self.config.capacity_bytes:
+            raise ValueError("address out of device range")
+
+        traffic = atomic_traffic(op)
+        vault_index = self.config.vault_of(addr)
+        # Both directions' FLITs cross the links.
+        flits = 2 + (2 if op.returns_data else 1)
+        start = max(arrive_ns, self.link.free_at_ns)
+        self.link.free_at_ns = start + self.config.link_transfer_ns(flits)
+        self.link.stats.transactions += 1
+        self.link.stats.flits += flits
+        self.link.stats.payload_bytes += traffic.payload_bytes
+        self.link.stats.control_bytes += traffic.control_bytes - 16
+        at_vault = (
+            start
+            + self.config.link_transfer_ns(2)
+            + self.config.t_serdes_ns / 2
+        )
+        done, row_hit = self.vaults[vault_index].service(addr, 16, at_vault)
+        complete = done + ATOMIC_ALU_NS + self.config.t_serdes_ns / 2
+
+        s = self.stats
+        s.requests += 1
+        s.writes += 1
+        s.payload_bytes += traffic.payload_bytes
+        s.requested_bytes += 16
+        s.control_bytes += traffic.control_bytes
+        s.row_hits += int(row_hit)
+        s.row_misses += int(not row_hit)
+        s.total_latency_ns += complete - arrive_ns
+        s.last_complete_ns = max(s.last_complete_ns, complete)
+        s.size_histogram[16] = s.size_histogram.get(16, 0) + 1
+
+        return HMCResponse(
+            addr=addr,
+            data_bytes=16,
+            is_write=True,
+            arrive_ns=arrive_ns,
+            complete_ns=complete,
+            row_hit=row_hit,
+            vault=vault_index,
+        )
+
+    # -- derived reporting ----------------------------------------------------
+
+    def control_bytes_saved_vs(self, baseline_requests: int) -> int:
+        """Control bytes saved relative to a run that would have issued
+        ``baseline_requests`` transactions (Figure 11)."""
+        return (baseline_requests - self.stats.requests) * REQUEST_CONTROL_BYTES
+
+    def vault_stats(self):
+        """Iterate per-vault statistics."""
+        return [v.stats for v in self.vaults]
+
+    @staticmethod
+    def ideal_transfer(data_bytes: int) -> int:
+        """Bytes one exact-sized transaction would move (Section 2.2.2)."""
+        return transferred_bytes(data_bytes)

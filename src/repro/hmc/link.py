@@ -1,0 +1,81 @@
+"""SerDes link model.
+
+The HMC exposes its vaults through high-speed serial links (the paper
+cites an effective 320 GB/s).  Control and payload FLITs share the
+same links, which is why control overhead directly costs bandwidth
+(Section 2.2.2).  The link model serializes FLITs at the aggregate
+link rate and accounts every byte moved, split into payload and
+control, so Equation 1 can be evaluated over a whole run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hmc.packet import REQUEST_CONTROL_BYTES, packet_flits
+from repro.hmc.timing import HMCTimingConfig
+
+
+@dataclass(slots=True)
+class LinkStats:
+    """Aggregate link traffic accounting."""
+
+    transactions: int = 0
+    flits: int = 0
+    payload_bytes: int = 0
+    control_bytes: int = 0
+    busy_ns: float = 0.0
+
+    @property
+    def transferred_bytes(self) -> int:
+        return self.payload_bytes + self.control_bytes
+
+    @property
+    def control_fraction(self) -> float:
+        total = self.transferred_bytes
+        return self.control_bytes / total if total else 0.0
+
+
+class HMCLink:
+    """Aggregate serializing front-end of the cube's links."""
+
+    def __init__(self, config: HMCTimingConfig):
+        self.config = config
+        self.free_at_ns = 0.0
+        self.stats = LinkStats()
+
+    def transfer(
+        self, data_bytes: int, arrive_ns: float, *, is_write: bool
+    ) -> float:
+        """Serialize one transaction's FLITs (both directions).
+
+        Returns when the request packet has fully crossed the link and
+        the vault may start (response serialization is accounted in the
+        stats but overlaps with vault service in this approximation).
+        """
+        req_flits, resp_flits = packet_flits(data_bytes, is_write=is_write)
+        flits = req_flits + resp_flits
+
+        start = max(arrive_ns, self.free_at_ns)
+        req_time = self.config.link_transfer_ns(req_flits)
+        total_time = self.config.link_transfer_ns(flits)
+        self.free_at_ns = start + total_time
+
+        self.stats.transactions += 1
+        self.stats.flits += flits
+        self.stats.payload_bytes += data_bytes
+        self.stats.control_bytes += REQUEST_CONTROL_BYTES
+        self.stats.busy_ns += total_time
+        return start + req_time
+
+    def utilization(self, elapsed_ns: float) -> float:
+        """Fraction of ``elapsed_ns`` the links spent moving FLITs."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_ns / elapsed_ns)
+
+    def effective_bandwidth_gbps(self, elapsed_ns: float) -> float:
+        """Payload bytes per nanosecond (= GB/s) over the run."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.stats.payload_bytes / elapsed_ns

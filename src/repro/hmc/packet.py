@@ -1,0 +1,106 @@
+"""HMC packet framing and bandwidth-efficiency arithmetic (Section 2.2).
+
+The HMC interface is packetized: every transaction consists of a
+*request packet* plus a complementary *response packet*, each carrying
+a fixed 16 B of control data (header + tail) -- 32 B of control per
+transaction.  The 16 B FLIT is the minimum unit of data movement, so a
+packet carrying ``d`` payload bytes occupies ``1 + d/16`` FLITs (one
+control FLIT plus the payload FLITs).
+
+These definitions reproduce the paper's numbers exactly:
+
+* a 256 B read is 18 FLITs total (1 request + 17 response), moving
+  288 B for 256 B of payload -> 88.89 % bandwidth efficiency;
+* sixteen 16 B reads move 768 B for 256 B of payload -> 33.33 %;
+* Figure 1's efficiency/overhead curves and Figure 2's control-traffic
+  sweep are direct evaluations of these functions.
+"""
+
+from __future__ import annotations
+
+#: Size of one FLIT (flow control unit), the minimum data movement.
+FLIT_BYTES = 16
+
+#: Control data carried by each packet (header + tail).
+PACKET_CONTROL_BYTES = 16
+
+#: Control data per complete transaction (request + response packets).
+REQUEST_CONTROL_BYTES = 2 * PACKET_CONTROL_BYTES
+
+#: Request payload sizes supported by the HMC 2.1 interface.
+SUPPORTED_REQUEST_SIZES = (16, 32, 48, 64, 80, 96, 112, 128, 256)
+
+
+def _check_size(data_bytes: int) -> None:
+    if data_bytes <= 0:
+        raise ValueError("request payload must be positive")
+    if data_bytes % FLIT_BYTES:
+        raise ValueError(
+            f"payload {data_bytes} is not a multiple of the {FLIT_BYTES} B FLIT"
+        )
+
+
+def payload_flits(data_bytes: int) -> int:
+    """FLITs occupied by ``data_bytes`` of payload."""
+    _check_size(data_bytes)
+    return data_bytes // FLIT_BYTES
+
+
+def packet_flits(data_bytes: int, *, is_write: bool) -> tuple[int, int]:
+    """(request, response) packet sizes in FLITs for one transaction.
+
+    A read moves its payload in the response packet; a write moves it
+    in the request packet.  The non-payload packet is a single control
+    FLIT.
+    """
+    _check_size(data_bytes)
+    data = payload_flits(data_bytes)
+    if is_write:
+        return 1 + data, 1
+    return 1, 1 + data
+
+
+def total_flits(data_bytes: int, *, is_write: bool = False) -> int:
+    """Total FLITs moved by one transaction (both directions)."""
+    req, resp = packet_flits(data_bytes, is_write=is_write)
+    return req + resp
+
+
+def transferred_bytes(data_bytes: int) -> int:
+    """Total bytes moved for ``data_bytes`` of payload (Section 2.2.2)."""
+    _check_size(data_bytes)
+    return data_bytes + REQUEST_CONTROL_BYTES
+
+
+def bandwidth_efficiency(requested_bytes: int, moved_payload_bytes: int | None = None) -> float:
+    """Equation 1: requested data / transferred data.
+
+    ``requested_bytes`` is what the application actually asked for;
+    ``moved_payload_bytes`` is the payload the request packet carried
+    (defaults to ``requested_bytes`` for an exact-sized request).  The
+    distinction matters for Figure 9, where 64 B line fills often carry
+    far fewer *requested* bytes.
+    """
+    if moved_payload_bytes is None:
+        moved_payload_bytes = requested_bytes
+    if requested_bytes < 0 or moved_payload_bytes <= 0:
+        raise ValueError("byte counts must be positive")
+    return requested_bytes / transferred_bytes(moved_payload_bytes)
+
+
+def control_overhead_fraction(data_bytes: int) -> float:
+    """Fraction of moved bytes that are control (Figure 1's red series)."""
+    return REQUEST_CONTROL_BYTES / transferred_bytes(data_bytes)
+
+
+def control_bytes_for_total(total_requested: int, request_size: int) -> int:
+    """Control bytes moved when fetching ``total_requested`` bytes in
+    ``request_size``-byte transactions (Figure 2).
+
+    The final partial request still pays full control overhead.
+    """
+    if total_requested < 0:
+        raise ValueError("total_requested must be non-negative")
+    _check_size(request_size)
+    requests = -(-total_requested // request_size)  # ceil division
+    return requests * REQUEST_CONTROL_BYTES

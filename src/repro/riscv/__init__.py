@@ -1,0 +1,42 @@
+"""RISC-V RV64I substrate.
+
+The paper implements its memory coalescer against "a small, embedded
+RISC-V core that implements the basic RISC-V RV64I instruction set"
+(Section 5.1), running benchmarks under the Spike simulator with a
+memory tracer attached.  This package is the equivalent substrate:
+
+* :mod:`repro.riscv.isa` -- RV64I instruction encodings and decoder;
+* :mod:`repro.riscv.assembler` -- a two-pass assembler with labels and
+  the common pseudo-instructions;
+* :mod:`repro.riscv.memory` -- sparse byte-addressable memory;
+* :mod:`repro.riscv.cpu` -- a functional RV64I core with a load/store
+  trace hook (the "memory tracer" attachment point);
+* :mod:`repro.riscv.programs` -- assembly kernels (stream triad,
+  gather, SpMV, pointer chase) whose traces feed the coalescer.
+"""
+
+from repro.riscv.assembler import AssemblerError, assemble
+from repro.riscv.cpu import RV64Core, TrapError
+from repro.riscv.disasm import disassemble, disassemble_word
+from repro.riscv.isa import DecodeError, Instruction, decode, encode
+from repro.riscv.memory import SparseMemory
+from repro.riscv.multicore import HartResult, MultiCoreRunner
+from repro.riscv.programs import ALL_KERNELS, Kernel
+
+__all__ = [
+    "ALL_KERNELS",
+    "AssemblerError",
+    "DecodeError",
+    "HartResult",
+    "Instruction",
+    "Kernel",
+    "MultiCoreRunner",
+    "RV64Core",
+    "SparseMemory",
+    "TrapError",
+    "assemble",
+    "decode",
+    "disassemble",
+    "disassemble_word",
+    "encode",
+]

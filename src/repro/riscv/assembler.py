@@ -1,0 +1,281 @@
+"""A small two-pass RV64I assembler.
+
+Supports the full RV64I mnemonic set of :mod:`repro.riscv.isa`, labels,
+ABI register names, decimal/hex immediates, ``#``/``;`` comments and
+the common pseudo-instructions::
+
+    nop  mv  li  j  jr  ret  call  beqz  bnez  blez  bgez  bltz  bgtz
+    ble  bgt  bleu  bgtu  neg  not  seqz  snez  sltz  sgtz
+
+``li`` materializes arbitrary 64-bit constants with the standard
+lui/addiw/slli/addi recipe.  Programs are assembled to a list of
+32-bit words ready for :meth:`repro.riscv.memory.SparseMemory.load_words`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.riscv.isa import BRANCHES, Instruction, LOADS, SPECS, STORES, encode, sign_extend
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input."""
+
+
+ABI_REGISTERS = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7,
+    "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13,
+    "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22,
+    "s7": 23, "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+
+def parse_register(token: str) -> int:
+    token = token.strip().lower()
+    if token in ABI_REGISTERS:
+        return ABI_REGISTERS[token]
+    if token.startswith("x") and token[1:].isdigit():
+        n = int(token[1:])
+        if 0 <= n < 32:
+            return n
+    raise AssemblerError(f"unknown register {token!r}")
+
+
+def parse_immediate(token: str) -> int:
+    token = token.strip().lower().replace("_", "")
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblerError(f"bad immediate {token!r}") from exc
+
+
+@dataclass(slots=True)
+class _Pending:
+    """One concrete instruction, possibly with an unresolved label."""
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    label: str | None = None  # branch/jump target to resolve in pass 2
+
+
+def _li_sequence(rd: int, value: int) -> list[_Pending]:
+    """Materialize a 64-bit constant (standard lui/addiw/slli chain)."""
+    if not -(1 << 63) <= value < (1 << 64):
+        raise AssemblerError(f"li constant {value} out of 64-bit range")
+    if value >= (1 << 63):
+        value -= 1 << 64  # treat as the signed equivalent
+
+    if -(1 << 11) <= value < (1 << 11):
+        return [_Pending("addi", rd=rd, rs1=0, imm=value)]
+    if -(1 << 31) <= value < (1 << 31):
+        hi = (value + 0x800) >> 12
+        lo = value - (hi << 12)
+        seq = [_Pending("lui", rd=rd, imm=hi & 0xFFFFF)]
+        if lo:
+            seq.append(_Pending("addiw", rd=rd, rs1=rd, imm=lo))
+        return seq
+    lo12 = sign_extend(value & 0xFFF, 12)
+    rest = (value - lo12) >> 12
+    seq = _li_sequence(rd, rest)
+    seq.append(_Pending("slli", rd=rd, rs1=rd, imm=12))
+    if lo12:
+        seq.append(_Pending("addi", rd=rd, rs1=rd, imm=lo12))
+    return seq
+
+
+def _split_operands(rest: str) -> list[str]:
+    return [tok.strip() for tok in rest.split(",") if tok.strip()]
+
+
+def _parse_mem_operand(token: str) -> tuple[int, int]:
+    """Parse ``imm(reg)`` into (imm, reg)."""
+    token = token.strip()
+    if "(" not in token or not token.endswith(")"):
+        raise AssemblerError(f"expected imm(reg), got {token!r}")
+    imm_part, reg_part = token[:-1].split("(", 1)
+    imm = parse_immediate(imm_part) if imm_part.strip() else 0
+    return imm, parse_register(reg_part)
+
+
+def _expand(mnemonic: str, ops: list[str]) -> list[_Pending]:
+    """Expand one statement into concrete pending instructions."""
+    m = mnemonic
+
+    # -- pseudo-instructions ------------------------------------------------
+    if m == "nop":
+        return [_Pending("addi", rd=0, rs1=0, imm=0)]
+    if m == "mv":
+        return [_Pending("addi", rd=parse_register(ops[0]), rs1=parse_register(ops[1]), imm=0)]
+    if m == "li":
+        return _li_sequence(parse_register(ops[0]), parse_immediate(ops[1]))
+    if m == "j":
+        return [_Pending("jal", rd=0, label=ops[0])]
+    if m == "jr":
+        return [_Pending("jalr", rd=0, rs1=parse_register(ops[0]), imm=0)]
+    if m == "ret":
+        return [_Pending("jalr", rd=0, rs1=1, imm=0)]
+    if m == "call":
+        return [_Pending("jal", rd=1, label=ops[0])]
+    if m == "beqz":
+        return [_Pending("beq", rs1=parse_register(ops[0]), rs2=0, label=ops[1])]
+    if m == "bnez":
+        return [_Pending("bne", rs1=parse_register(ops[0]), rs2=0, label=ops[1])]
+    if m == "blez":
+        return [_Pending("bge", rs1=0, rs2=parse_register(ops[0]), label=ops[1])]
+    if m == "bgez":
+        return [_Pending("bge", rs1=parse_register(ops[0]), rs2=0, label=ops[1])]
+    if m == "bltz":
+        return [_Pending("blt", rs1=parse_register(ops[0]), rs2=0, label=ops[1])]
+    if m == "bgtz":
+        return [_Pending("blt", rs1=0, rs2=parse_register(ops[0]), label=ops[1])]
+    if m in ("ble", "bgt", "bleu", "bgtu"):
+        base = {"ble": "bge", "bgt": "blt", "bleu": "bgeu", "bgtu": "bltu"}[m]
+        # Swap operands: ble a,b == bge b,a.
+        return [
+            _Pending(
+                base,
+                rs1=parse_register(ops[1]),
+                rs2=parse_register(ops[0]),
+                label=ops[2],
+            )
+        ]
+    if m == "neg":
+        return [_Pending("sub", rd=parse_register(ops[0]), rs1=0, rs2=parse_register(ops[1]))]
+    if m == "not":
+        return [_Pending("xori", rd=parse_register(ops[0]), rs1=parse_register(ops[1]), imm=-1)]
+    if m == "seqz":
+        return [_Pending("sltiu", rd=parse_register(ops[0]), rs1=parse_register(ops[1]), imm=1)]
+    if m == "snez":
+        return [_Pending("sltu", rd=parse_register(ops[0]), rs1=0, rs2=parse_register(ops[1]))]
+    if m == "sltz":
+        return [_Pending("slt", rd=parse_register(ops[0]), rs1=parse_register(ops[1]), rs2=0)]
+    if m == "sgtz":
+        return [_Pending("slt", rd=parse_register(ops[0]), rs1=0, rs2=parse_register(ops[1]))]
+
+    # -- real instructions ----------------------------------------------------
+    if m not in SPECS:
+        raise AssemblerError(f"unknown mnemonic {m!r}")
+    if m in ("ecall", "ebreak", "fence"):
+        return [_Pending(m)]
+    if m in LOADS:
+        rd = parse_register(ops[0])
+        imm, rs1 = _parse_mem_operand(ops[1])
+        return [_Pending(m, rd=rd, rs1=rs1, imm=imm)]
+    if m in STORES:
+        rs2 = parse_register(ops[0])
+        imm, rs1 = _parse_mem_operand(ops[1])
+        return [_Pending(m, rs1=rs1, rs2=rs2, imm=imm)]
+    if m in BRANCHES:
+        return [
+            _Pending(
+                m,
+                rs1=parse_register(ops[0]),
+                rs2=parse_register(ops[1]),
+                label=ops[2],
+            )
+        ]
+    if m == "jal":
+        if len(ops) == 1:  # jal label == jal ra, label
+            return [_Pending("jal", rd=1, label=ops[0])]
+        return [_Pending("jal", rd=parse_register(ops[0]), label=ops[1])]
+    if m == "jalr":
+        if len(ops) == 2 and "(" in ops[1]:
+            imm, rs1 = _parse_mem_operand(ops[1])
+            return [_Pending("jalr", rd=parse_register(ops[0]), rs1=rs1, imm=imm)]
+        return [
+            _Pending(
+                "jalr",
+                rd=parse_register(ops[0]),
+                rs1=parse_register(ops[1]),
+                imm=parse_immediate(ops[2]) if len(ops) > 2 else 0,
+            )
+        ]
+    if m in ("lui", "auipc"):
+        return [_Pending(m, rd=parse_register(ops[0]), imm=parse_immediate(ops[1]))]
+
+    spec = SPECS[m]
+    if spec.fmt == "R":
+        return [
+            _Pending(
+                m,
+                rd=parse_register(ops[0]),
+                rs1=parse_register(ops[1]),
+                rs2=parse_register(ops[2]),
+            )
+        ]
+    # Remaining I-type ALU ops.
+    return [
+        _Pending(
+            m,
+            rd=parse_register(ops[0]),
+            rs1=parse_register(ops[1]),
+            imm=parse_immediate(ops[2]),
+        )
+    ]
+
+
+def assemble(source: str, base_addr: int = 0) -> list[int]:
+    """Assemble RV64I source text into a list of 32-bit words.
+
+    ``base_addr`` is where the image will be loaded; label/PC-relative
+    offsets are computed against it.
+    """
+    pending: list[_Pending] = []
+    labels: dict[str, int] = {}
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        while ":" in line:
+            label, line = line.split(":", 1)
+            label = label.strip()
+            if not label or not label.replace("_", "").replace(".", "").isalnum():
+                raise AssemblerError(f"line {lineno}: bad label {label!r}")
+            if label in labels:
+                raise AssemblerError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = len(pending)  # patched to address below
+            line = line.strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        ops = _split_operands(parts[1]) if len(parts) > 1 else []
+        try:
+            expansion = _expand(mnemonic, ops)
+        except (AssemblerError, IndexError) as exc:
+            raise AssemblerError(f"line {lineno}: {raw.strip()!r}: {exc}") from exc
+        # Labels recorded before this statement point at its first word.
+        pending.extend(expansion)
+
+    # Pass 1 recorded label positions in *instruction index* space while
+    # statements were being expanded; convert to byte addresses.
+    label_addrs = {name: base_addr + 4 * idx for name, idx in labels.items()}
+
+    words: list[int] = []
+    for idx, p in enumerate(pending):
+        imm = p.imm
+        if p.label is not None:
+            # A numeric "label" is an absolute immediate offset.
+            if p.label in label_addrs:
+                target = label_addrs[p.label]
+                imm = target - (base_addr + 4 * idx)
+            else:
+                try:
+                    imm = parse_immediate(p.label)
+                except AssemblerError:
+                    raise AssemblerError(f"undefined label {p.label!r}") from None
+        inst = Instruction(p.mnemonic, rd=p.rd, rs1=p.rs1, rs2=p.rs2, imm=imm)
+        try:
+            words.append(encode(inst))
+        except ValueError as exc:
+            raise AssemblerError(f"instruction {idx} ({p.mnemonic}): {exc}") from exc
+    return words

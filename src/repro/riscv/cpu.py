@@ -1,0 +1,330 @@
+"""Functional RV64IM core with a memory-trace hook.
+
+The core executes assembled RV64I images against a
+:class:`repro.riscv.memory.SparseMemory` and calls an optional trace
+callback for every architectural load, store and fence -- the exact
+attachment point the paper's memory tracer uses inside Spike
+(Section 5.1).  Traced accesses are :class:`repro.core.request.Access`
+objects ready for the cache hierarchy.
+
+Semantics follow the unprivileged spec: 64-bit two's-complement
+registers (``x0`` hardwired to zero), little-endian memory, ``*W``
+instructions operating on sign-extended 32-bit values, the M
+extension's round-toward-zero division with the spec's
+divide-by-zero/overflow results, and the Linux exit convention
+(``ecall`` with ``a7 == 93`` halts with exit code ``a0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.request import Access, RequestType
+from repro.riscv.isa import Instruction, decode, sign_extend
+from repro.riscv.memory import SparseMemory
+
+MASK64 = (1 << 64) - 1
+MASK32 = (1 << 32) - 1
+
+#: Linux RISC-V syscall numbers the core understands.
+SYSCALL_EXIT = 93
+
+
+class TrapError(RuntimeError):
+    """Raised on unsupported traps (unknown syscalls, ebreak, bad PC)."""
+
+
+@dataclass(slots=True)
+class CoreStats:
+    """Retired-instruction accounting."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches_taken: int = 0
+    fences: int = 0
+
+
+class RV64Core:
+    """A single in-order functional RV64I hart."""
+
+    def __init__(
+        self,
+        memory: SparseMemory | None = None,
+        trace_hook: Callable[[Access], None] | None = None,
+        hart_id: int = 0,
+    ):
+        self.memory = memory or SparseMemory()
+        self.trace_hook = trace_hook
+        self.hart_id = hart_id
+        self.regs = [0] * 32
+        self.pc = 0
+        self.halted = False
+        self.exit_code: int | None = None
+        self.stats = CoreStats()
+
+    # -- register helpers -----------------------------------------------------
+
+    def read_reg(self, index: int) -> int:
+        """Unsigned 64-bit register value (x0 reads as zero)."""
+        return 0 if index == 0 else self.regs[index]
+
+    def write_reg(self, index: int, value: int) -> None:
+        if index:
+            self.regs[index] = value & MASK64
+
+    def read_reg_signed(self, index: int) -> int:
+        v = self.read_reg(index)
+        return v - (1 << 64) if v >> 63 else v
+
+    def set_reg_abi(self, name: str, value: int) -> None:
+        """Set a register by ABI name (test/program setup convenience)."""
+        from repro.riscv.assembler import parse_register
+
+        self.write_reg(parse_register(name), value)
+
+    def get_reg_abi(self, name: str) -> int:
+        from repro.riscv.assembler import parse_register
+
+        return self.read_reg(parse_register(name))
+
+    # -- program loading ---------------------------------------------------------
+
+    def load_program(self, words: list[int], base_addr: int = 0x1000) -> None:
+        """Place an assembled image in memory and point the PC at it."""
+        self.memory.load_words(base_addr, words)
+        self.pc = base_addr
+        self.halted = False
+        self.exit_code = None
+
+    # -- execution ----------------------------------------------------------------
+
+    def step(self) -> Instruction:
+        """Fetch, decode and execute one instruction."""
+        if self.halted:
+            raise TrapError("core is halted")
+        if self.pc % 4:
+            raise TrapError(f"misaligned PC {self.pc:#x}")
+        word = self.memory.read_int(self.pc, 4)
+        if word == 0:
+            raise TrapError(f"fetched illegal zero word at pc={self.pc:#x}")
+        inst = decode(word)
+        self._execute(inst)
+        self.stats.instructions += 1
+        return inst
+
+    def run(self, max_instructions: int = 10_000_000) -> int:
+        """Run until ``ecall`` exit / ``ebreak`` or the instruction cap.
+
+        Returns the exit code.
+        """
+        while not self.halted:
+            if self.stats.instructions >= max_instructions:
+                raise TrapError(
+                    f"instruction limit {max_instructions} exceeded at pc={self.pc:#x}"
+                )
+            self.step()
+        return self.exit_code or 0
+
+    # -- internals -------------------------------------------------------------------
+
+    def _trace(self, addr: int, size: int, rtype: RequestType) -> None:
+        if self.trace_hook is not None:
+            self.trace_hook(
+                Access(
+                    addr=addr,
+                    size=size if rtype is not RequestType.FENCE else 0,
+                    rtype=rtype,
+                    thread_id=self.hart_id,
+                    pc=self.pc,
+                )
+            )
+
+    def _execute(self, inst: Instruction) -> None:
+        m = inst.mnemonic
+        rs1 = self.read_reg(inst.rs1)
+        rs2 = self.read_reg(inst.rs2)
+        s1 = self.read_reg_signed(inst.rs1)
+        s2 = self.read_reg_signed(inst.rs2)
+        next_pc = self.pc + 4
+
+        if m == "lui":
+            self.write_reg(inst.rd, sign_extend(inst.imm << 12, 32) & MASK64)
+        elif m == "auipc":
+            self.write_reg(inst.rd, (self.pc + sign_extend(inst.imm << 12, 32)) & MASK64)
+        elif m == "jal":
+            self.write_reg(inst.rd, next_pc)
+            next_pc = self.pc + inst.imm
+        elif m == "jalr":
+            target = (rs1 + inst.imm) & ~1
+            self.write_reg(inst.rd, next_pc)
+            next_pc = target & MASK64
+        elif inst.is_branch:
+            taken = {
+                "beq": rs1 == rs2,
+                "bne": rs1 != rs2,
+                "blt": s1 < s2,
+                "bge": s1 >= s2,
+                "bltu": rs1 < rs2,
+                "bgeu": rs1 >= rs2,
+            }[m]
+            if taken:
+                next_pc = self.pc + inst.imm
+                self.stats.branches_taken += 1
+        elif inst.is_load:
+            addr = (rs1 + inst.imm) & MASK64
+            size = inst.memory_size
+            self._trace(addr, size, RequestType.LOAD)
+            signed = m in ("lb", "lh", "lw")
+            value = self.memory.read_int(addr, size, signed=signed)
+            if m == "ld":
+                pass  # full 64-bit
+            self.write_reg(inst.rd, value & MASK64)
+            self.stats.loads += 1
+        elif inst.is_store:
+            addr = (rs1 + inst.imm) & MASK64
+            size = inst.memory_size
+            self._trace(addr, size, RequestType.STORE)
+            self.memory.write_int(addr, rs2, size)
+            self.stats.stores += 1
+        elif m == "addi":
+            self.write_reg(inst.rd, rs1 + inst.imm)
+        elif m == "slti":
+            self.write_reg(inst.rd, int(s1 < inst.imm))
+        elif m == "sltiu":
+            self.write_reg(inst.rd, int(rs1 < (inst.imm & MASK64)))
+        elif m == "xori":
+            self.write_reg(inst.rd, rs1 ^ (inst.imm & MASK64))
+        elif m == "ori":
+            self.write_reg(inst.rd, rs1 | (inst.imm & MASK64))
+        elif m == "andi":
+            self.write_reg(inst.rd, rs1 & (inst.imm & MASK64))
+        elif m == "slli":
+            self.write_reg(inst.rd, rs1 << inst.imm)
+        elif m == "srli":
+            self.write_reg(inst.rd, rs1 >> inst.imm)
+        elif m == "srai":
+            self.write_reg(inst.rd, s1 >> inst.imm)
+        elif m == "addiw":
+            self.write_reg(inst.rd, sign_extend((rs1 + inst.imm) & MASK32, 32) & MASK64)
+        elif m == "slliw":
+            self.write_reg(inst.rd, sign_extend((rs1 << inst.imm) & MASK32, 32) & MASK64)
+        elif m == "srliw":
+            self.write_reg(inst.rd, sign_extend(((rs1 & MASK32) >> inst.imm), 32) & MASK64)
+        elif m == "sraiw":
+            self.write_reg(inst.rd, (sign_extend(rs1 & MASK32, 32) >> inst.imm) & MASK64)
+        elif m == "add":
+            self.write_reg(inst.rd, rs1 + rs2)
+        elif m == "sub":
+            self.write_reg(inst.rd, rs1 - rs2)
+        elif m == "sll":
+            self.write_reg(inst.rd, rs1 << (rs2 & 0x3F))
+        elif m == "slt":
+            self.write_reg(inst.rd, int(s1 < s2))
+        elif m == "sltu":
+            self.write_reg(inst.rd, int(rs1 < rs2))
+        elif m == "xor":
+            self.write_reg(inst.rd, rs1 ^ rs2)
+        elif m == "srl":
+            self.write_reg(inst.rd, rs1 >> (rs2 & 0x3F))
+        elif m == "sra":
+            self.write_reg(inst.rd, s1 >> (rs2 & 0x3F))
+        elif m == "or":
+            self.write_reg(inst.rd, rs1 | rs2)
+        elif m == "and":
+            self.write_reg(inst.rd, rs1 & rs2)
+        elif m == "addw":
+            self.write_reg(inst.rd, sign_extend((rs1 + rs2) & MASK32, 32) & MASK64)
+        elif m == "subw":
+            self.write_reg(inst.rd, sign_extend((rs1 - rs2) & MASK32, 32) & MASK64)
+        elif m == "sllw":
+            self.write_reg(inst.rd, sign_extend((rs1 << (rs2 & 0x1F)) & MASK32, 32) & MASK64)
+        elif m == "srlw":
+            self.write_reg(inst.rd, sign_extend((rs1 & MASK32) >> (rs2 & 0x1F), 32) & MASK64)
+        elif m == "sraw":
+            self.write_reg(
+                inst.rd, (sign_extend(rs1 & MASK32, 32) >> (rs2 & 0x1F)) & MASK64
+            )
+        elif m == "mul":
+            self.write_reg(inst.rd, rs1 * rs2)
+        elif m == "mulh":
+            self.write_reg(inst.rd, (s1 * s2) >> 64)
+        elif m == "mulhsu":
+            self.write_reg(inst.rd, (s1 * rs2) >> 64)
+        elif m == "mulhu":
+            self.write_reg(inst.rd, (rs1 * rs2) >> 64)
+        elif m == "div":
+            self.write_reg(inst.rd, self._div_signed(s1, s2))
+        elif m == "divu":
+            self.write_reg(inst.rd, MASK64 if rs2 == 0 else rs1 // rs2)
+        elif m == "rem":
+            self.write_reg(inst.rd, self._rem_signed(s1, s2))
+        elif m == "remu":
+            self.write_reg(inst.rd, rs1 if rs2 == 0 else rs1 % rs2)
+        elif m == "mulw":
+            self.write_reg(inst.rd, sign_extend((rs1 * rs2) & MASK32, 32) & MASK64)
+        elif m == "divw":
+            w1 = sign_extend(rs1 & MASK32, 32)
+            w2 = sign_extend(rs2 & MASK32, 32)
+            self.write_reg(
+                inst.rd, sign_extend(self._div_signed(w1, w2) & MASK32, 32) & MASK64
+            )
+        elif m == "divuw":
+            w1 = rs1 & MASK32
+            w2 = rs2 & MASK32
+            res = MASK32 if w2 == 0 else w1 // w2
+            self.write_reg(inst.rd, sign_extend(res, 32) & MASK64)
+        elif m == "remw":
+            w1 = sign_extend(rs1 & MASK32, 32)
+            w2 = sign_extend(rs2 & MASK32, 32)
+            self.write_reg(
+                inst.rd, sign_extend(self._rem_signed(w1, w2) & MASK32, 32) & MASK64
+            )
+        elif m == "remuw":
+            w1 = rs1 & MASK32
+            w2 = rs2 & MASK32
+            res = w1 if w2 == 0 else w1 % w2
+            self.write_reg(inst.rd, sign_extend(res, 32) & MASK64)
+        elif m == "fence":
+            self._trace(0, 0, RequestType.FENCE)
+            self.stats.fences += 1
+        elif m == "ecall":
+            self._syscall()
+        elif m == "ebreak":
+            self.halted = True
+            self.exit_code = 0
+        else:  # pragma: no cover - decode() only yields known mnemonics
+            raise TrapError(f"unimplemented mnemonic {m}")
+
+        self.pc = next_pc & MASK64
+
+    @staticmethod
+    def _div_signed(a: int, b: int) -> int:
+        """RISC-V signed division: truncate toward zero; div-by-zero
+        yields -1; the most-negative / -1 overflow wraps."""
+        if b == 0:
+            return MASK64
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        return q & MASK64
+
+    @staticmethod
+    def _rem_signed(a: int, b: int) -> int:
+        """RISC-V signed remainder: sign follows the dividend;
+        rem-by-zero yields the dividend."""
+        if b == 0:
+            return a & MASK64
+        r = abs(a) % abs(b)
+        if a < 0:
+            r = -r
+        return r & MASK64
+
+    def _syscall(self) -> None:
+        number = self.read_reg(17)  # a7
+        if number == SYSCALL_EXIT:
+            self.halted = True
+            self.exit_code = self.read_reg(10) & 0xFF  # a0
+        else:
+            raise TrapError(f"unsupported syscall {number} at pc={self.pc:#x}")

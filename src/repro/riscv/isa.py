@@ -1,0 +1,373 @@
+"""RV64IM instruction set: encodings, encoder and decoder.
+
+Implements the RV64I base integer ISA (unprivileged spec) plus the M
+standard extension: the six instruction formats (R/I/S/B/U/J), all
+base ALU/branch/load/store instructions, the RV64-specific ``*W`` word
+forms, multiply/divide/remainder, ``FENCE`` and ``ECALL``/``EBREAK``.
+Instructions round-trip exactly through :func:`encode` /
+:func:`decode`, which the property tests exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MASK32 = 0xFFFFFFFF
+
+
+class DecodeError(ValueError):
+    """Raised for malformed or unsupported instruction words."""
+
+
+@dataclass(frozen=True, slots=True)
+class Spec:
+    """Encoding metadata of one mnemonic."""
+
+    fmt: str
+    opcode: int
+    funct3: int | None = None
+    funct7: int | None = None
+
+
+# RV64I instruction table (mnemonic -> encoding spec).
+SPECS: dict[str, Spec] = {
+    # U-type
+    "lui": Spec("U", 0b0110111),
+    "auipc": Spec("U", 0b0010111),
+    # J-type
+    "jal": Spec("J", 0b1101111),
+    # I-type jumps/loads/ALU
+    "jalr": Spec("I", 0b1100111, 0b000),
+    "lb": Spec("I", 0b0000011, 0b000),
+    "lh": Spec("I", 0b0000011, 0b001),
+    "lw": Spec("I", 0b0000011, 0b010),
+    "ld": Spec("I", 0b0000011, 0b011),
+    "lbu": Spec("I", 0b0000011, 0b100),
+    "lhu": Spec("I", 0b0000011, 0b101),
+    "lwu": Spec("I", 0b0000011, 0b110),
+    "addi": Spec("I", 0b0010011, 0b000),
+    "slti": Spec("I", 0b0010011, 0b010),
+    "sltiu": Spec("I", 0b0010011, 0b011),
+    "xori": Spec("I", 0b0010011, 0b100),
+    "ori": Spec("I", 0b0010011, 0b110),
+    "andi": Spec("I", 0b0010011, 0b111),
+    "slli": Spec("I", 0b0010011, 0b001, 0b0000000),  # shamt is 6 bits on RV64
+    "srli": Spec("I", 0b0010011, 0b101, 0b0000000),
+    "srai": Spec("I", 0b0010011, 0b101, 0b0100000),
+    "addiw": Spec("I", 0b0011011, 0b000),
+    "slliw": Spec("I", 0b0011011, 0b001, 0b0000000),
+    "srliw": Spec("I", 0b0011011, 0b101, 0b0000000),
+    "sraiw": Spec("I", 0b0011011, 0b101, 0b0100000),
+    # S-type stores
+    "sb": Spec("S", 0b0100011, 0b000),
+    "sh": Spec("S", 0b0100011, 0b001),
+    "sw": Spec("S", 0b0100011, 0b010),
+    "sd": Spec("S", 0b0100011, 0b011),
+    # B-type branches
+    "beq": Spec("B", 0b1100011, 0b000),
+    "bne": Spec("B", 0b1100011, 0b001),
+    "blt": Spec("B", 0b1100011, 0b100),
+    "bge": Spec("B", 0b1100011, 0b101),
+    "bltu": Spec("B", 0b1100011, 0b110),
+    "bgeu": Spec("B", 0b1100011, 0b111),
+    # R-type ALU
+    "add": Spec("R", 0b0110011, 0b000, 0b0000000),
+    "sub": Spec("R", 0b0110011, 0b000, 0b0100000),
+    "sll": Spec("R", 0b0110011, 0b001, 0b0000000),
+    "slt": Spec("R", 0b0110011, 0b010, 0b0000000),
+    "sltu": Spec("R", 0b0110011, 0b011, 0b0000000),
+    "xor": Spec("R", 0b0110011, 0b100, 0b0000000),
+    "srl": Spec("R", 0b0110011, 0b101, 0b0000000),
+    "sra": Spec("R", 0b0110011, 0b101, 0b0100000),
+    "or": Spec("R", 0b0110011, 0b110, 0b0000000),
+    "and": Spec("R", 0b0110011, 0b111, 0b0000000),
+    # M standard extension (funct7 = 0000001)
+    "mul": Spec("R", 0b0110011, 0b000, 0b0000001),
+    "mulh": Spec("R", 0b0110011, 0b001, 0b0000001),
+    "mulhsu": Spec("R", 0b0110011, 0b010, 0b0000001),
+    "mulhu": Spec("R", 0b0110011, 0b011, 0b0000001),
+    "div": Spec("R", 0b0110011, 0b100, 0b0000001),
+    "divu": Spec("R", 0b0110011, 0b101, 0b0000001),
+    "rem": Spec("R", 0b0110011, 0b110, 0b0000001),
+    "remu": Spec("R", 0b0110011, 0b111, 0b0000001),
+    "mulw": Spec("R", 0b0111011, 0b000, 0b0000001),
+    "divw": Spec("R", 0b0111011, 0b100, 0b0000001),
+    "divuw": Spec("R", 0b0111011, 0b101, 0b0000001),
+    "remw": Spec("R", 0b0111011, 0b110, 0b0000001),
+    "remuw": Spec("R", 0b0111011, 0b111, 0b0000001),
+    "addw": Spec("R", 0b0111011, 0b000, 0b0000000),
+    "subw": Spec("R", 0b0111011, 0b000, 0b0100000),
+    "sllw": Spec("R", 0b0111011, 0b001, 0b0000000),
+    "srlw": Spec("R", 0b0111011, 0b101, 0b0000000),
+    "sraw": Spec("R", 0b0111011, 0b101, 0b0100000),
+    # System / fence
+    "fence": Spec("I", 0b0001111, 0b000),
+    "ecall": Spec("I", 0b1110011, 0b000),
+    "ebreak": Spec("I", 0b1110011, 0b000),
+}
+
+LOADS = {"lb", "lh", "lw", "ld", "lbu", "lhu", "lwu"}
+STORES = {"sb", "sh", "sw", "sd"}
+BRANCHES = {"beq", "bne", "blt", "bge", "bltu", "bgeu"}
+LOAD_SIZES = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4, "lwu": 4, "ld": 8}
+STORE_SIZES = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """A decoded RV64I instruction.
+
+    ``imm`` is the sign-extended immediate (shift amount for shifts);
+    unused fields are zero.
+    """
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    @property
+    def is_load(self) -> bool:
+        return self.mnemonic in LOADS
+
+    @property
+    def is_store(self) -> bool:
+        return self.mnemonic in STORES
+
+    @property
+    def is_branch(self) -> bool:
+        return self.mnemonic in BRANCHES
+
+    @property
+    def memory_size(self) -> int:
+        """Bytes accessed by a load/store (0 otherwise)."""
+        return LOAD_SIZES.get(self.mnemonic) or STORE_SIZES.get(self.mnemonic, 0)
+
+
+def _check_reg(r: int) -> None:
+    if not 0 <= r < 32:
+        raise ValueError(f"register x{r} out of range")
+
+
+def _fits_signed(value: int, bits: int) -> bool:
+    return -(1 << (bits - 1)) <= value < (1 << (bits - 1))
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low ``bits`` of ``value`` as a signed integer."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def encode(inst: Instruction) -> int:
+    """Encode an instruction into its 32-bit word."""
+    spec = SPECS.get(inst.mnemonic)
+    if spec is None:
+        raise ValueError(f"unknown mnemonic {inst.mnemonic!r}")
+    for r in (inst.rd, inst.rs1, inst.rs2):
+        _check_reg(r)
+    op = spec.opcode
+    f3 = spec.funct3 or 0
+
+    if inst.mnemonic == "ecall":
+        return 0b1110011
+    if inst.mnemonic == "ebreak":
+        return (1 << 20) | 0b1110011
+    if inst.mnemonic == "fence":
+        # iorw,iorw fence: pred/succ = 0b1111.
+        return (0b11111111 << 20) | (f3 << 12) | op
+
+    if spec.fmt == "R":
+        return (
+            (spec.funct7 << 25)
+            | (inst.rs2 << 20)
+            | (inst.rs1 << 15)
+            | (f3 << 12)
+            | (inst.rd << 7)
+            | op
+        )
+    if spec.fmt == "I":
+        if inst.mnemonic in ("slli", "srli", "srai"):
+            if not 0 <= inst.imm < 64:
+                raise ValueError("RV64 shift amount must be in [0, 64)")
+            imm12 = (spec.funct7 << 5) | inst.imm
+        elif inst.mnemonic in ("slliw", "srliw", "sraiw"):
+            if not 0 <= inst.imm < 32:
+                raise ValueError("word shift amount must be in [0, 32)")
+            imm12 = (spec.funct7 << 5) | inst.imm
+        else:
+            if not _fits_signed(inst.imm, 12):
+                raise ValueError(f"immediate {inst.imm} does not fit in 12 bits")
+            imm12 = inst.imm & 0xFFF
+        return (imm12 << 20) | (inst.rs1 << 15) | (f3 << 12) | (inst.rd << 7) | op
+    if spec.fmt == "S":
+        if not _fits_signed(inst.imm, 12):
+            raise ValueError(f"immediate {inst.imm} does not fit in 12 bits")
+        imm = inst.imm & 0xFFF
+        return (
+            ((imm >> 5) << 25)
+            | (inst.rs2 << 20)
+            | (inst.rs1 << 15)
+            | (f3 << 12)
+            | ((imm & 0x1F) << 7)
+            | op
+        )
+    if spec.fmt == "B":
+        if not _fits_signed(inst.imm, 13) or inst.imm % 2:
+            raise ValueError(f"branch offset {inst.imm} invalid")
+        imm = inst.imm & 0x1FFF
+        return (
+            (((imm >> 12) & 1) << 31)
+            | (((imm >> 5) & 0x3F) << 25)
+            | (inst.rs2 << 20)
+            | (inst.rs1 << 15)
+            | (f3 << 12)
+            | (((imm >> 1) & 0xF) << 8)
+            | (((imm >> 11) & 1) << 7)
+            | op
+        )
+    if spec.fmt == "U":
+        if not 0 <= inst.imm < (1 << 20) and not _fits_signed(inst.imm, 20):
+            raise ValueError(f"U-immediate {inst.imm} does not fit in 20 bits")
+        return ((inst.imm & 0xFFFFF) << 12) | (inst.rd << 7) | op
+    if spec.fmt == "J":
+        if not _fits_signed(inst.imm, 21) or inst.imm % 2:
+            raise ValueError(f"jump offset {inst.imm} invalid")
+        imm = inst.imm & 0x1FFFFF
+        return (
+            (((imm >> 20) & 1) << 31)
+            | (((imm >> 1) & 0x3FF) << 21)
+            | (((imm >> 11) & 1) << 20)
+            | (((imm >> 12) & 0xFF) << 12)
+            | (inst.rd << 7)
+            | op
+        )
+    raise AssertionError(f"unhandled format {spec.fmt}")  # pragma: no cover
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit instruction word."""
+    word &= MASK32
+    op = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    f3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    f7 = (word >> 25) & 0x7F
+
+    if op == 0b0110111:
+        return Instruction("lui", rd=rd, imm=(word >> 12) & 0xFFFFF)
+    if op == 0b0010111:
+        return Instruction("auipc", rd=rd, imm=(word >> 12) & 0xFFFFF)
+    if op == 0b1101111:
+        imm = (
+            (((word >> 31) & 1) << 20)
+            | (((word >> 21) & 0x3FF) << 1)
+            | (((word >> 20) & 1) << 11)
+            | (((word >> 12) & 0xFF) << 12)
+        )
+        return Instruction("jal", rd=rd, imm=sign_extend(imm, 21))
+    if op == 0b1100111 and f3 == 0:
+        return Instruction("jalr", rd=rd, rs1=rs1, imm=sign_extend(word >> 20, 12))
+    if op == 0b0000011:
+        table = {0: "lb", 1: "lh", 2: "lw", 3: "ld", 4: "lbu", 5: "lhu", 6: "lwu"}
+        if f3 not in table:
+            raise DecodeError(f"bad load funct3 {f3}")
+        return Instruction(table[f3], rd=rd, rs1=rs1, imm=sign_extend(word >> 20, 12))
+    if op == 0b0100011:
+        table = {0: "sb", 1: "sh", 2: "sw", 3: "sd"}
+        if f3 not in table:
+            raise DecodeError(f"bad store funct3 {f3}")
+        imm = ((word >> 25) << 5) | ((word >> 7) & 0x1F)
+        return Instruction(table[f3], rs1=rs1, rs2=rs2, imm=sign_extend(imm, 12))
+    if op == 0b1100011:
+        table = {0: "beq", 1: "bne", 4: "blt", 5: "bge", 6: "bltu", 7: "bgeu"}
+        if f3 not in table:
+            raise DecodeError(f"bad branch funct3 {f3}")
+        imm = (
+            (((word >> 31) & 1) << 12)
+            | (((word >> 25) & 0x3F) << 5)
+            | (((word >> 8) & 0xF) << 1)
+            | (((word >> 7) & 1) << 11)
+        )
+        return Instruction(table[f3], rs1=rs1, rs2=rs2, imm=sign_extend(imm, 13))
+    if op == 0b0010011:
+        if f3 == 0b001:
+            if (word >> 26) != 0:
+                raise DecodeError("bad slli funct6")
+            return Instruction("slli", rd=rd, rs1=rs1, imm=(word >> 20) & 0x3F)
+        if f3 == 0b101:
+            shamt = (word >> 20) & 0x3F
+            top = word >> 26
+            if top == 0b000000:
+                return Instruction("srli", rd=rd, rs1=rs1, imm=shamt)
+            if top == 0b010000:
+                return Instruction("srai", rd=rd, rs1=rs1, imm=shamt)
+            raise DecodeError("bad shift funct6")
+        table = {0: "addi", 2: "slti", 3: "sltiu", 4: "xori", 6: "ori", 7: "andi"}
+        return Instruction(table[f3], rd=rd, rs1=rs1, imm=sign_extend(word >> 20, 12))
+    if op == 0b0011011:
+        if f3 == 0b000:
+            return Instruction("addiw", rd=rd, rs1=rs1, imm=sign_extend(word >> 20, 12))
+        shamt = (word >> 20) & 0x1F
+        if f3 == 0b001 and f7 == 0:
+            return Instruction("slliw", rd=rd, rs1=rs1, imm=shamt)
+        if f3 == 0b101 and f7 == 0:
+            return Instruction("srliw", rd=rd, rs1=rs1, imm=shamt)
+        if f3 == 0b101 and f7 == 0b0100000:
+            return Instruction("sraiw", rd=rd, rs1=rs1, imm=shamt)
+        raise DecodeError(f"bad OP-IMM-32 word {word:#010x}")
+    if op == 0b0110011:
+        table = {
+            (0, 0b0000000): "add",
+            (0, 0b0100000): "sub",
+            (1, 0b0000000): "sll",
+            (2, 0b0000000): "slt",
+            (3, 0b0000000): "sltu",
+            (4, 0b0000000): "xor",
+            (5, 0b0000000): "srl",
+            (5, 0b0100000): "sra",
+            (6, 0b0000000): "or",
+            (7, 0b0000000): "and",
+            (0, 0b0000001): "mul",
+            (1, 0b0000001): "mulh",
+            (2, 0b0000001): "mulhsu",
+            (3, 0b0000001): "mulhu",
+            (4, 0b0000001): "div",
+            (5, 0b0000001): "divu",
+            (6, 0b0000001): "rem",
+            (7, 0b0000001): "remu",
+        }
+        key = (f3, f7)
+        if key not in table:
+            raise DecodeError(f"bad OP word {word:#010x}")
+        return Instruction(table[key], rd=rd, rs1=rs1, rs2=rs2)
+    if op == 0b0111011:
+        table = {
+            (0, 0b0000000): "addw",
+            (0, 0b0100000): "subw",
+            (1, 0b0000000): "sllw",
+            (5, 0b0000000): "srlw",
+            (5, 0b0100000): "sraw",
+            (0, 0b0000001): "mulw",
+            (4, 0b0000001): "divw",
+            (5, 0b0000001): "divuw",
+            (6, 0b0000001): "remw",
+            (7, 0b0000001): "remuw",
+        }
+        key = (f3, f7)
+        if key not in table:
+            raise DecodeError(f"bad OP-32 word {word:#010x}")
+        return Instruction(table[key], rd=rd, rs1=rs1, rs2=rs2)
+    if op == 0b0001111:
+        return Instruction("fence")
+    if op == 0b1110011:
+        if (word >> 20) == 0:
+            return Instruction("ecall")
+        if (word >> 20) == 1:
+            return Instruction("ebreak")
+        raise DecodeError(f"unsupported SYSTEM word {word:#010x}")
+    raise DecodeError(f"unknown opcode {op:#04x} in word {word:#010x}")

@@ -1,0 +1,74 @@
+"""Sparse byte-addressable memory for the RV64 core.
+
+Backed by 4 KiB pages allocated on first touch, so kernels can place
+data structures anywhere in a 52-bit address space without
+materializing gigabytes.  Loads of untouched memory read as zero.
+"""
+
+from __future__ import annotations
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class SparseMemory:
+    """Page-sparse little-endian memory."""
+
+    def __init__(self):
+        self._pages: dict[int, bytearray] = {}
+
+    def _page(self, addr: int) -> bytearray:
+        idx = addr >> PAGE_SHIFT
+        page = self._pages.get(idx)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[idx] = page
+        return page
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Read ``size`` bytes starting at ``addr``."""
+        if addr < 0 or size < 0:
+            raise ValueError("negative address or size")
+        out = bytearray()
+        while size:
+            page = self._page(addr)
+            off = addr & PAGE_MASK
+            take = min(size, PAGE_SIZE - off)
+            out += page[off : off + take]
+            addr += take
+            size -= take
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write ``data`` starting at ``addr``."""
+        if addr < 0:
+            raise ValueError("negative address")
+        pos = 0
+        size = len(data)
+        while pos < size:
+            page = self._page(addr)
+            off = addr & PAGE_MASK
+            take = min(size - pos, PAGE_SIZE - off)
+            page[off : off + take] = data[pos : pos + take]
+            addr += take
+            pos += take
+
+    def read_int(self, addr: int, size: int, *, signed: bool = False) -> int:
+        """Read a little-endian integer."""
+        return int.from_bytes(self.read(addr, size), "little", signed=signed)
+
+    def write_int(self, addr: int, value: int, size: int) -> None:
+        """Write a little-endian integer (truncated to ``size`` bytes)."""
+        value &= (1 << (8 * size)) - 1
+        self.write(addr, value.to_bytes(size, "little"))
+
+    def load_words(self, addr: int, words: list[int]) -> None:
+        """Write 32-bit words (e.g. an assembled program image)."""
+        for i, w in enumerate(words):
+            self.write_int(addr + 4 * i, w, 4)
+
+    @property
+    def touched_pages(self) -> int:
+        """Pages allocated so far (footprint introspection)."""
+        return len(self._pages)

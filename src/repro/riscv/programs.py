@@ -1,0 +1,464 @@
+"""Assembly kernels for the RV64I core.
+
+These are the memory-access kernels used by the examples and the
+end-to-end tests: each bundles assembly source with memory setup and a
+result verifier, so a test can run *real executed code* through the
+core, capture its trace with the memory tracer, and feed the coalescer
+-- the full Spike-analogue path of Section 5.1.
+
+The original kernels stick to RV64I add/shift arithmetic; the ones
+added after the M extension landed (``stream_triad``, ``matmul``,
+``histogram``) use real multiplies.  Either way, what matters here is
+the *memory access pattern*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.riscv.assembler import assemble
+from repro.riscv.cpu import RV64Core
+
+#: Where kernels expect their arrays (set up via registers a0..a3).
+DATA_BASE = 0x10_0000
+TEXT_BASE = 0x1000
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """An assembly kernel with its setup and verification logic."""
+
+    name: str
+    source: str
+    setup: Callable[[RV64Core], None]
+    verify: Callable[[RV64Core], bool]
+
+    def assemble(self) -> list[int]:
+        return assemble(self.source, base_addr=TEXT_BASE)
+
+    def run(self, core: RV64Core | None = None, max_instructions: int = 10_000_000) -> RV64Core:
+        """Assemble, load, set up and run to completion."""
+        core = core or RV64Core()
+        core.load_program(self.assemble(), base_addr=TEXT_BASE)
+        self.setup(core)
+        core.run(max_instructions=max_instructions)
+        return core
+
+
+_EXIT = """
+    li a7, 93
+    ecall
+"""
+
+
+def vector_add(n: int = 256) -> Kernel:
+    """STREAM-style add: ``c[i] = a[i] + b[i]`` over 64-bit elements."""
+    a, b, c = DATA_BASE, DATA_BASE + 8 * n, DATA_BASE + 16 * n
+    source = f"""
+        # a0=a, a1=b, a2=c, a3=n
+        li t0, 0              # i = 0
+    loop:
+        bge t0, a3, done
+        slli t1, t0, 3
+        add t2, a0, t1
+        ld t3, 0(t2)          # a[i]
+        add t2, a1, t1
+        ld t4, 0(t2)          # b[i]
+        add t3, t3, t4
+        add t2, a2, t1
+        sd t3, 0(t2)          # c[i] = a[i] + b[i]
+        addi t0, t0, 1
+        j loop
+    done:
+    {_EXIT}
+    """
+
+    def setup(core: RV64Core) -> None:
+        for i in range(n):
+            core.memory.write_int(a + 8 * i, i * 3, 8)
+            core.memory.write_int(b + 8 * i, i * 5, 8)
+        core.set_reg_abi("a0", a)
+        core.set_reg_abi("a1", b)
+        core.set_reg_abi("a2", c)
+        core.set_reg_abi("a3", n)
+
+    def verify(core: RV64Core) -> bool:
+        return all(
+            core.memory.read_int(c + 8 * i, 8) == i * 8 for i in range(n)
+        )
+
+    return Kernel("vector_add", source, setup, verify)
+
+
+def gather(n: int = 256, *, stride: int = 17) -> Kernel:
+    """Irregular gather: ``out[i] = data[idx[i]]`` with a scrambled index."""
+    idx, data, out = DATA_BASE, DATA_BASE + 8 * n, DATA_BASE + 24 * n
+    source = f"""
+        # a0=idx, a1=data, a2=out, a3=n
+        li t0, 0
+    loop:
+        bge t0, a3, done
+        slli t1, t0, 3
+        add t2, a0, t1
+        ld t3, 0(t2)          # j = idx[i]
+        slli t3, t3, 3
+        add t3, a1, t3
+        ld t4, 0(t3)          # data[j]
+        add t2, a2, t1
+        sd t4, 0(t2)          # out[i] = data[j]
+        addi t0, t0, 1
+        j loop
+    done:
+    {_EXIT}
+    """
+
+    def setup(core: RV64Core) -> None:
+        for i in range(n):
+            core.memory.write_int(idx + 8 * i, (i * stride) % n, 8)
+            core.memory.write_int(data + 8 * i, i + 1000, 8)
+        core.set_reg_abi("a0", idx)
+        core.set_reg_abi("a1", data)
+        core.set_reg_abi("a2", out)
+        core.set_reg_abi("a3", n)
+
+    def verify(core: RV64Core) -> bool:
+        return all(
+            core.memory.read_int(out + 8 * i, 8) == ((i * stride) % n) + 1000
+            for i in range(n)
+        )
+
+    return Kernel("gather", source, setup, verify)
+
+
+def scatter(n: int = 256, *, stride: int = 13) -> Kernel:
+    """Irregular scatter: ``out[idx[i]] = i``."""
+    idx, out = DATA_BASE, DATA_BASE + 8 * n
+    source = f"""
+        # a0=idx, a1=out, a3=n
+        li t0, 0
+    loop:
+        bge t0, a3, done
+        slli t1, t0, 3
+        add t2, a0, t1
+        ld t3, 0(t2)          # j = idx[i]
+        slli t3, t3, 3
+        add t3, a1, t3
+        sd t0, 0(t3)          # out[j] = i
+        addi t0, t0, 1
+        j loop
+    done:
+    {_EXIT}
+    """
+
+    def setup(core: RV64Core) -> None:
+        for i in range(n):
+            core.memory.write_int(idx + 8 * i, (i * stride) % n, 8)
+        core.set_reg_abi("a0", idx)
+        core.set_reg_abi("a1", out)
+        core.set_reg_abi("a3", n)
+
+    def verify(core: RV64Core) -> bool:
+        ok = True
+        for i in range(n):
+            j = (i * stride) % n
+            ok &= core.memory.read_int(out + 8 * j, 8) == i
+        return ok
+
+    return Kernel("scatter", source, setup, verify)
+
+
+def pointer_chase(n: int = 512, *, seed: int = 11) -> Kernel:
+    """Dependent-load linked-list walk (worst case for coalescing)."""
+    nodes = DATA_BASE
+    source = f"""
+        # a0=head, a3=n  -- walk n nodes, sum payloads into a4
+        li t0, 0
+        li a4, 0
+        mv t1, a0
+    loop:
+        bge t0, a3, done
+        ld t2, 8(t1)          # payload
+        add a4, a4, t2
+        ld t1, 0(t1)          # next
+        addi t0, t0, 1
+        j loop
+    done:
+    {_EXIT}
+    """
+
+    import random
+
+    order = list(range(n))
+    random.Random(seed).shuffle(order)
+
+    def setup(core: RV64Core) -> None:
+        # Node i occupies 16 bytes: [next_ptr, payload].
+        for pos in range(n):
+            cur = nodes + 16 * order[pos]
+            nxt = nodes + 16 * order[(pos + 1) % n]
+            core.memory.write_int(cur, nxt, 8)
+            core.memory.write_int(cur + 8, pos + 1, 8)
+        core.set_reg_abi("a0", nodes + 16 * order[0])
+        core.set_reg_abi("a3", n)
+
+    def verify(core: RV64Core) -> bool:
+        return core.get_reg_abi("a4") == n * (n + 1) // 2
+
+    return Kernel("pointer_chase", source, setup, verify)
+
+
+def spmv_csr(rows: int = 64, nnz_per_row: int = 8) -> Kernel:
+    """CSR sparse 'matvec' using adds: ``y[r] = sum(x[col[k]])``.
+
+    (No multiply in RV64I; summing the gathered x entries preserves the
+    CSR access pattern of HPCG/SSCA2-style kernels.)
+    """
+    nnz = rows * nnz_per_row
+    rowptr = DATA_BASE
+    cols = rowptr + 8 * (rows + 1)
+    x = cols + 8 * nnz
+    y = x + 8 * rows * 4
+    source = f"""
+        # a0=rowptr, a1=cols, a2=x, a3=y, a4=rows
+        li t0, 0                  # r = 0
+    row_loop:
+        bge t0, a4, done
+        slli t1, t0, 3
+        add t2, a0, t1
+        ld t3, 0(t2)              # k = rowptr[r]
+        ld t4, 8(t2)              # end = rowptr[r+1]
+        li t5, 0                  # acc = 0
+    nnz_loop:
+        bge t3, t4, row_done
+        slli t6, t3, 3
+        add t6, a1, t6
+        ld t6, 0(t6)              # c = cols[k]
+        slli t6, t6, 3
+        add t6, a2, t6
+        ld t6, 0(t6)              # x[c]
+        add t5, t5, t6
+        addi t3, t3, 1
+        j nnz_loop
+    row_done:
+        add t2, a3, t1
+        sd t5, 0(t2)              # y[r] = acc
+        addi t0, t0, 1
+        j row_loop
+    done:
+    {_EXIT}
+    """
+
+    import random
+
+    rng = random.Random(rows * 7919 + nnz_per_row)
+    col_idx = [
+        sorted(rng.randrange(rows * 4) for _ in range(nnz_per_row))
+        for _ in range(rows)
+    ]
+
+    def setup(core: RV64Core) -> None:
+        k = 0
+        for r in range(rows):
+            core.memory.write_int(rowptr + 8 * r, k, 8)
+            for c in col_idx[r]:
+                core.memory.write_int(cols + 8 * k, c, 8)
+                k += 1
+        core.memory.write_int(rowptr + 8 * rows, k, 8)
+        for c in range(rows * 4):
+            core.memory.write_int(x + 8 * c, c + 1, 8)
+        core.set_reg_abi("a0", rowptr)
+        core.set_reg_abi("a1", cols)
+        core.set_reg_abi("a2", x)
+        core.set_reg_abi("a3", y)
+        core.set_reg_abi("a4", rows)
+
+    def verify(core: RV64Core) -> bool:
+        return all(
+            core.memory.read_int(y + 8 * r, 8)
+            == sum(c + 1 for c in col_idx[r])
+            for r in range(rows)
+        )
+
+    return Kernel("spmv_csr", source, setup, verify)
+
+
+def stream_triad(n: int = 256, *, scalar: int = 3) -> Kernel:
+    """STREAM Triad with a real multiply: ``a[i] = b[i] + s * c[i]``."""
+    a, b, c = DATA_BASE, DATA_BASE + 8 * n, DATA_BASE + 16 * n
+    source = f"""
+        # a0=a, a1=b, a2=c, a3=n, a4=s
+        li t0, 0
+    loop:
+        bge t0, a3, done
+        slli t1, t0, 3
+        add t2, a1, t1
+        ld t3, 0(t2)          # b[i]
+        add t2, a2, t1
+        ld t4, 0(t2)          # c[i]
+        mul t4, t4, a4
+        add t3, t3, t4
+        add t2, a0, t1
+        sd t3, 0(t2)          # a[i] = b[i] + s*c[i]
+        addi t0, t0, 1
+        j loop
+    done:
+    {_EXIT}
+    """
+
+    def setup(core: RV64Core) -> None:
+        for i in range(n):
+            core.memory.write_int(b + 8 * i, i * 7, 8)
+            core.memory.write_int(c + 8 * i, i + 2, 8)
+        core.set_reg_abi("a0", a)
+        core.set_reg_abi("a1", b)
+        core.set_reg_abi("a2", c)
+        core.set_reg_abi("a3", n)
+        core.set_reg_abi("a4", scalar)
+
+    def verify(core: RV64Core) -> bool:
+        return all(
+            core.memory.read_int(a + 8 * i, 8) == i * 7 + scalar * (i + 2)
+            for i in range(n)
+        )
+
+    return Kernel("stream_triad", source, setup, verify)
+
+
+def matmul(n: int = 12) -> Kernel:
+    """Naive n x n integer matrix multiply: ``C = A @ B``.
+
+    Row-major A walks unit-stride, B walks column-strided -- the
+    classic mixed-locality pattern.
+    """
+    a = DATA_BASE
+    b = a + 8 * n * n
+    c = b + 8 * n * n
+    source = f"""
+        # a0=A, a1=B, a2=C, a3=n
+        li t0, 0                  # i
+    i_loop:
+        bge t0, a3, done
+        li t1, 0                  # j
+    j_loop:
+        bge t1, a3, i_next
+        li t2, 0                  # k
+        li t6, 0                  # acc
+    k_loop:
+        bge t2, a3, k_done
+        mul t3, t0, a3
+        add t3, t3, t2
+        slli t3, t3, 3
+        add t3, a0, t3
+        ld t4, 0(t3)              # A[i][k]
+        mul t3, t2, a3
+        add t3, t3, t1
+        slli t3, t3, 3
+        add t3, a1, t3
+        ld t5, 0(t3)              # B[k][j]
+        mul t4, t4, t5
+        add t6, t6, t4
+        addi t2, t2, 1
+        j k_loop
+    k_done:
+        mul t3, t0, a3
+        add t3, t3, t1
+        slli t3, t3, 3
+        add t3, a2, t3
+        sd t6, 0(t3)              # C[i][j]
+        addi t1, t1, 1
+        j j_loop
+    i_next:
+        addi t0, t0, 1
+        j i_loop
+    done:
+    {_EXIT}
+    """
+
+    import random
+
+    rng = random.Random(n * 31337)
+    A = [[rng.randrange(64) for _ in range(n)] for _ in range(n)]
+    B = [[rng.randrange(64) for _ in range(n)] for _ in range(n)]
+
+    def setup(core: RV64Core) -> None:
+        for i in range(n):
+            for j in range(n):
+                core.memory.write_int(a + 8 * (i * n + j), A[i][j], 8)
+                core.memory.write_int(b + 8 * (i * n + j), B[i][j], 8)
+        core.set_reg_abi("a0", a)
+        core.set_reg_abi("a1", b)
+        core.set_reg_abi("a2", c)
+        core.set_reg_abi("a3", n)
+
+    def verify(core: RV64Core) -> bool:
+        for i in range(n):
+            for j in range(n):
+                want = sum(A[i][k] * B[k][j] for k in range(n))
+                if core.memory.read_int(c + 8 * (i * n + j), 8) != want:
+                    return False
+        return True
+
+    return Kernel("matmul", source, setup, verify)
+
+
+def histogram(n: int = 512, *, buckets: int = 64) -> Kernel:
+    """Histogram: ``hist[data[i] % buckets] += 1`` -- read-modify-write
+    scatters into a small hot table (bucket contention pattern)."""
+    data = DATA_BASE
+    hist = data + 8 * n
+    source = f"""
+        # a0=data, a1=hist, a3=n, a4=buckets
+        li t0, 0
+    loop:
+        bge t0, a3, done
+        slli t1, t0, 3
+        add t1, a0, t1
+        ld t2, 0(t1)              # v = data[i]
+        remu t2, t2, a4           # bucket = v % buckets
+        slli t2, t2, 3
+        add t2, a1, t2
+        ld t3, 0(t2)
+        addi t3, t3, 1
+        sd t3, 0(t2)              # hist[bucket]++
+        addi t0, t0, 1
+        j loop
+    done:
+    {_EXIT}
+    """
+
+    import random
+
+    rng = random.Random(n ^ 0xBEEF)
+    values = [rng.randrange(1 << 30) for _ in range(n)]
+
+    def setup(core: RV64Core) -> None:
+        for i, v in enumerate(values):
+            core.memory.write_int(data + 8 * i, v, 8)
+        core.set_reg_abi("a0", data)
+        core.set_reg_abi("a1", hist)
+        core.set_reg_abi("a3", n)
+        core.set_reg_abi("a4", buckets)
+
+    def verify(core: RV64Core) -> bool:
+        want = [0] * buckets
+        for v in values:
+            want[v % buckets] += 1
+        return all(
+            core.memory.read_int(hist + 8 * i, 8) == want[i]
+            for i in range(buckets)
+        )
+
+    return Kernel("histogram", source, setup, verify)
+
+
+ALL_KERNELS: dict[str, Callable[[], Kernel]] = {
+    "vector_add": vector_add,
+    "gather": gather,
+    "scatter": scatter,
+    "pointer_chase": pointer_chase,
+    "spmv_csr": spmv_csr,
+    "stream_triad": stream_triad,
+    "matmul": matmul,
+    "histogram": histogram,
+}

@@ -1,0 +1,27 @@
+"""End-to-end simulation driver and per-figure experiment runners.
+
+:mod:`repro.sim.driver` wires the full stack together -- workload
+generator -> cache hierarchy -> memory coalescer -> HMC device -- and
+derives the runtime model used for the paper's performance results.
+:mod:`repro.sim.experiments` provides one runner per evaluation figure
+(Figures 1-2 and 8-15), each returning plain data the benchmark
+harness renders.
+"""
+
+from repro.sim.driver import (
+    PlatformConfig,
+    SimulationResult,
+    run_benchmark,
+    run_trace_through_coalescer,
+)
+from repro.sim.events import EventDrivenHMC, ReplayRequest, replay_issued_requests
+
+__all__ = [
+    "EventDrivenHMC",
+    "PlatformConfig",
+    "ReplayRequest",
+    "SimulationResult",
+    "replay_issued_requests",
+    "run_benchmark",
+    "run_trace_through_coalescer",
+]

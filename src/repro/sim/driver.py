@@ -1,0 +1,250 @@
+"""End-to-end simulation driver.
+
+Wires the full evaluation stack of Section 5.1 together::
+
+    workload --> cache hierarchy --> memory coalescer --> HMC device
+    (12 cores)   (L1/L2 + shared     (sort + DMC +        (vaults,
+                  LLC, tracer)        CRQ + MSHRs)          links)
+
+The driver owns the unit conversions (coalescer cycles at 3.3 GHz vs
+HMC nanoseconds) and the runtime model:
+
+``runtime = compute_time + memory_makespan (+ pipeline-fill latency)``
+
+where *compute time* covers the non-memory work between accesses
+(``compute_cycles_per_access``), and the *memory makespan* is the wall
+time the HMC device needs to retire the run's request stream, with
+vault-level parallelism and bank conflicts modelled by
+:class:`repro.hmc.device.HMCDevice`.  Runtime improvement between the
+uncoalesced baseline and a coalescing configuration is the paper's
+Figure 15 metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cache.tracer import MemoryTracer, TraceRecord, TracerStats
+from repro.core.coalescer import CoalescerStats, MemoryCoalescer
+from repro.core.config import CoalescerConfig, UNCOALESCED_CONFIG
+from repro.core.request import CoalescedRequest
+from repro.hmc.device import HMCDevice, HMCStats
+from repro.hmc.timing import HMCTimingConfig
+from repro.workloads import Workload, get_workload
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """The simulated platform of Section 5.2.
+
+    12 CPUs at 3.3 GHz, 16 MSHRs in the LLC, an 8 GB HMC with 256 B
+    block addressing.  The cache geometry is scaled to the trace
+    lengths that are practical in a pure-Python simulator (smaller
+    caches, shorter traces -- same miss behaviour per byte of trace).
+    """
+
+    num_threads: int = 12
+    accesses: int = 120_000
+    seed: int = 0
+    clock_ghz: float = 3.3
+    #: CPU cycles consumed per access for the aggregate 12-core stream
+    #: (each core sustaining ~1 access/cycle).
+    cycles_per_access: float = 1.0 / 12.0
+    #: Non-memory work per CPU access for the runtime model (cycles).
+    #: ``None`` uses each workload's own arithmetic intensity.
+    compute_cycles_per_access: float | None = None
+    hierarchy: HierarchyConfig = field(
+        default_factory=lambda: HierarchyConfig(
+            num_cores=12,
+            l1_size=16 * 1024,
+            l1_assoc=4,
+            l2_size=128 * 1024,
+            l2_assoc=8,
+            llc_size=1024 * 1024,
+            llc_assoc=16,
+            llc_fill_latency=400,
+        )
+    )
+    coalescer: CoalescerConfig = field(default_factory=CoalescerConfig)
+    hmc: HMCTimingConfig = field(default_factory=HMCTimingConfig)
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.clock_ghz
+
+    def with_coalescer(self, coalescer: CoalescerConfig) -> "PlatformConfig":
+        """Copy of this platform with a different coalescer config."""
+        return replace(self, coalescer=coalescer)
+
+
+@dataclass
+class SimulationResult:
+    """Everything one end-to-end run produces."""
+
+    benchmark: str
+    platform: PlatformConfig
+    tracer: TracerStats
+    coalescer: CoalescerStats
+    hmc: HMCStats
+    secondary_misses: int
+    trace_cycles: int
+    compute_cycles_per_access: float = 6.0
+
+    # -- paper metrics ---------------------------------------------------------
+
+    @property
+    def coalescing_efficiency(self) -> float:
+        """Figure 8: fraction of LLC requests eliminated."""
+        return self.coalescer.coalescing_efficiency
+
+    @property
+    def bandwidth_efficiency(self) -> float:
+        """Figure 9 / Equation 1: requested / transferred bytes."""
+        return self.hmc.bandwidth_efficiency
+
+    @property
+    def transferred_bytes(self) -> int:
+        return self.hmc.transferred_bytes
+
+    @property
+    def control_bytes(self) -> int:
+        return self.hmc.control_bytes
+
+    @property
+    def compute_ns(self) -> float:
+        cycles = self.tracer.cpu_accesses * self.compute_cycles_per_access
+        return cycles * self.platform.cycle_ns
+
+    @property
+    def memory_ns(self) -> float:
+        """Makespan of the HMC request stream."""
+        return self.hmc.last_complete_ns
+
+    @property
+    def coalescer_overhead_ns(self) -> float:
+        """One-time pipeline-fill cost when the coalescer first engages.
+
+        Steady-state sorting/coalescing latency is hidden inside the
+        HMC access time (the Section 3.1 design goal), so only the
+        initial fill of the sorting pipeline and DMC unit is exposed.
+        """
+        cfg = self.platform.coalescer
+        if not cfg.enable_dmc:
+            return 0.0
+        from repro.core.pipeline import PipelinedSortingNetwork
+
+        pipe = PipelinedSortingNetwork(cfg)
+        fill_cycles = pipe.full_latency_cycles + self.coalescer.dmc.mean_latency_cycles()
+        return cfg.cycles_to_ns(fill_cycles)
+
+    @property
+    def runtime_ns(self) -> float:
+        """The runtime model behind Figure 15."""
+        return self.compute_ns + self.memory_ns + self.coalescer_overhead_ns
+
+    def request_size_distribution(self) -> dict[int, int]:
+        """Histogram of issued HMC request payload sizes."""
+        return dict(sorted(self.hmc.size_histogram.items()))
+
+
+def run_trace_through_coalescer(
+    records: Iterable[TraceRecord],
+    coalescer: MemoryCoalescer,
+    device: HMCDevice,
+    *,
+    cycle_ns: float,
+) -> int:
+    """Feed an LLC trace through a coalescer backed by an HMC device.
+
+    The coalescer asks the device for each issued packet's round trip;
+    the device is driven with real arrival times so vault queueing and
+    bank conflicts shape the latency.  Returns the final trace cycle.
+    """
+    last_cycle = 0
+    for rec in records:
+        coalescer.push(rec.request, rec.cycle)
+        last_cycle = rec.cycle
+    coalescer.flush(last_cycle + 1)
+    return last_cycle
+
+
+def _make_service_time(device: HMCDevice, cycle_ns: float):
+    def service_time(packet: CoalescedRequest, cycle: int) -> int:
+        payload = packet.effective_payload
+        resp = device.service(
+            packet.addr,
+            payload,
+            is_write=packet.is_store,
+            arrive_ns=cycle * cycle_ns,
+            requested_bytes=min(packet.requested_bytes, payload),
+        )
+        return max(1, int(resp.latency_ns / cycle_ns))
+
+    return service_time
+
+
+def run_benchmark(
+    benchmark: str | Workload,
+    platform: PlatformConfig | None = None,
+) -> SimulationResult:
+    """Run one benchmark end to end on the given platform."""
+    platform = platform or PlatformConfig()
+    if isinstance(benchmark, Workload):
+        workload = benchmark
+    else:
+        workload = get_workload(
+            benchmark, num_threads=platform.num_threads, seed=platform.seed
+        )
+
+    hierarchy = CacheHierarchy(platform.hierarchy)
+    tracer = MemoryTracer(hierarchy, cycles_per_access=platform.cycles_per_access)
+    device = HMCDevice(platform.hmc)
+    coalescer = MemoryCoalescer(
+        platform.coalescer,
+        service_time=_make_service_time(device, platform.cycle_ns),
+    )
+
+    last_cycle = run_trace_through_coalescer(
+        tracer.trace(workload.accesses(platform.accesses)),
+        coalescer,
+        device,
+        cycle_ns=platform.cycle_ns,
+    )
+
+    intensity = (
+        platform.compute_cycles_per_access
+        if platform.compute_cycles_per_access is not None
+        else workload.compute_cycles_per_access
+    )
+    return SimulationResult(
+        benchmark=workload.name,
+        platform=platform,
+        tracer=tracer.stats,
+        coalescer=coalescer.stats(),
+        hmc=device.stats,
+        secondary_misses=hierarchy.secondary_misses,
+        trace_cycles=last_cycle,
+        compute_cycles_per_access=intensity,
+    )
+
+
+def runtime_improvement(
+    baseline: SimulationResult, coalesced: SimulationResult
+) -> float:
+    """Figure 15's metric: fractional runtime gain over the baseline."""
+    if baseline.runtime_ns <= 0:
+        return 0.0
+    return (baseline.runtime_ns - coalesced.runtime_ns) / baseline.runtime_ns
+
+
+def run_baseline_and_coalesced(
+    benchmark: str,
+    platform: PlatformConfig | None = None,
+) -> tuple[SimulationResult, SimulationResult]:
+    """Run the uncoalesced baseline and the two-phase coalescer."""
+    platform = platform or PlatformConfig()
+    base = run_benchmark(benchmark, platform.with_coalescer(UNCOALESCED_CONFIG))
+    coal = run_benchmark(benchmark, platform)
+    return base, coal

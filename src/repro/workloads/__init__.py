@@ -1,0 +1,29 @@
+"""Workload trace generators for the paper's 12 benchmarks.
+
+The paper evaluates with "12 benchmarks ... including the
+Scatter/Gather (SG), HPCG, SSCA2, STREAM, Barcelona OpenMP Tasks Suite
+(BOTS) and NAS Parallel Benchmarks" (Section 5.2).  This package
+models each benchmark's *memory access pattern* -- element sizes,
+strides, sparsity, read/write mix and inter-thread structure -- as a
+NumPy-vectorized generator of CPU :class:`repro.core.request.Access`
+streams.  See DESIGN.md for why pattern-level modelling substitutes
+for running the original binaries under Spike.
+
+Use :func:`repro.workloads.registry.get_workload` /
+:data:`repro.workloads.registry.BENCHMARKS` to enumerate them.
+"""
+
+from repro.workloads.base import AccessPhase, Workload, interleave_phases
+from repro.workloads.characterize import StreamProfile, characterize, profile_benchmark
+from repro.workloads.registry import BENCHMARKS, get_workload
+
+__all__ = [
+    "AccessPhase",
+    "BENCHMARKS",
+    "StreamProfile",
+    "Workload",
+    "characterize",
+    "get_workload",
+    "interleave_phases",
+    "profile_benchmark",
+]

@@ -1,0 +1,271 @@
+"""Workload framework: vectorized per-thread phases, interleaving.
+
+A workload describes each simulated thread's accesses as a sequence of
+:class:`AccessPhase` objects -- flat NumPy arrays of (address, size,
+is_store) -- and the framework interleaves the per-thread streams
+round-robin, which is how the shared LLC of the paper's 12-core
+platform sees them.  Interleaving at the access level is exactly the
+aggregation effect Section 3.1 relies on: individually irregular
+per-thread streams combine into coalescable consecutive runs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.request import Access, RequestType
+
+
+@dataclass(slots=True)
+class AccessPhase:
+    """A batch of accesses from one thread, in program order."""
+
+    addrs: np.ndarray  # int64 byte addresses
+    sizes: np.ndarray  # int32 access sizes in bytes
+    stores: np.ndarray  # bool, True for stores
+
+    def __post_init__(self) -> None:
+        n = len(self.addrs)
+        if len(self.sizes) != n or len(self.stores) != n:
+            raise ValueError("phase arrays must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+    @classmethod
+    def build(
+        cls,
+        addrs: np.ndarray,
+        size: int | np.ndarray,
+        stores: bool | np.ndarray = False,
+    ) -> "AccessPhase":
+        """Convenience constructor broadcasting scalar size/stores."""
+        addrs = np.asarray(addrs, dtype=np.int64)
+        n = len(addrs)
+        if np.isscalar(size):
+            sizes = np.full(n, size, dtype=np.int32)
+        else:
+            sizes = np.asarray(size, dtype=np.int32)
+        if isinstance(stores, (bool, np.bool_)):
+            st = np.full(n, bool(stores), dtype=bool)
+        else:
+            st = np.asarray(stores, dtype=bool)
+        return cls(addrs, sizes, st)
+
+
+def interleave_phases(
+    per_thread: list[list[AccessPhase]],
+    *,
+    burst: int = 1,
+    seed: int = 0,
+) -> Iterator[Access]:
+    """Round-robin interleave per-thread phase lists into one stream.
+
+    ``burst`` accesses are drawn from a thread before moving to the
+    next, modelling the issue granularity of out-of-order cores.  The
+    stream ends when every thread is exhausted (threads that finish
+    early simply drop out, like real workers).
+    """
+    if burst <= 0:
+        raise ValueError("burst must be positive")
+
+    # Flatten each thread's phases into single arrays once.
+    flat: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for phases in per_thread:
+        if phases:
+            addrs = np.concatenate([p.addrs for p in phases])
+            sizes = np.concatenate([p.sizes for p in phases])
+            stores = np.concatenate([p.stores for p in phases])
+        else:
+            addrs = np.empty(0, np.int64)
+            sizes = np.empty(0, np.int32)
+            stores = np.empty(0, bool)
+        flat.append((addrs, sizes, stores))
+
+    cursors = [0] * len(flat)
+    remaining = sum(len(a) for a, _, _ in flat)
+    while remaining:
+        for tid, (addrs, sizes, stores) in enumerate(flat):
+            cur = cursors[tid]
+            end = min(cur + burst, len(addrs))
+            for i in range(cur, end):
+                yield Access(
+                    addr=int(addrs[i]),
+                    size=int(sizes[i]),
+                    rtype=RequestType.STORE if stores[i] else RequestType.LOAD,
+                    thread_id=tid,
+                )
+                remaining -= 1
+            cursors[tid] = end
+
+
+def weave(*phases: AccessPhase) -> AccessPhase:
+    """Element-wise interleave same-length phases into one phase.
+
+    ``weave(A, B)`` yields ``A[0], B[0], A[1], B[1], ...`` -- the
+    program order of a loop body touching several arrays per
+    iteration (load a[i]; load b[i]; store c[i]; ...).
+    """
+    if not phases:
+        raise ValueError("need at least one phase")
+    n = len(phases[0])
+    if any(len(p) != n for p in phases):
+        raise ValueError("woven phases must have equal length")
+    k = len(phases)
+    addrs = np.empty(n * k, dtype=np.int64)
+    sizes = np.empty(n * k, dtype=np.int32)
+    stores = np.empty(n * k, dtype=bool)
+    for i, p in enumerate(phases):
+        addrs[i::k] = p.addrs
+        sizes[i::k] = p.sizes
+        stores[i::k] = p.stores
+    return AccessPhase(addrs, sizes, stores)
+
+
+#: Per-thread heap spacing; 12 threads fit in the 8 GB HMC.
+THREAD_REGION = 0x2000_0000  # 512 MiB
+#: Base of the simulated data segment.
+HEAP_BASE = 0x1000_0000
+#: Base of the shared data segment (OpenMP-style shared arrays).
+SHARED_BASE = 0x1_A000_0000
+
+
+def thread_heap(tid: int) -> int:
+    """Base address of thread ``tid``'s private data region."""
+    return HEAP_BASE + tid * THREAD_REGION
+
+
+def shared_heap(offset: int = 0) -> int:
+    """Address within the region all threads share."""
+    return SHARED_BASE + offset
+
+
+def partition_indices(
+    total_elems: int,
+    tid: int,
+    num_threads: int,
+    *,
+    chunk_elems: int = 8,
+) -> np.ndarray:
+    """Element indices thread ``tid`` owns under ``schedule(static, chunk)``.
+
+    Returned in the thread's program order (chunk by chunk).
+    """
+    if chunk_elems <= 0:
+        raise ValueError("chunk_elems must be positive")
+    chunks = -(-total_elems // chunk_elems)
+    pieces = [
+        np.arange(
+            c * chunk_elems,
+            min((c + 1) * chunk_elems, total_elems),
+            dtype=np.int64,
+        )
+        for c in range(tid, chunks, num_threads)
+    ]
+    if not pieces:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(pieces)
+
+
+def cyclic_partition(
+    base: int,
+    total_elems: int,
+    elem: int,
+    tid: int,
+    num_threads: int,
+    *,
+    chunk_elems: int = 8,
+    stores: bool = False,
+) -> AccessPhase:
+    """Thread ``tid``'s slice of an OpenMP ``schedule(static, chunk)``
+    loop over a shared array, in program order.
+
+    Thread ``t`` owns chunks ``t, t + T, t + 2T, ...``.  When all
+    threads progress together (the interleaved stream the LLC sees),
+    the in-flight chunks are *consecutive* -- the aggregation effect of
+    Section 3.1 that makes individually-strided streams coalescable.
+    Chunk sizes that are not a whole number of cache lines leave
+    boundary lines shared between neighbouring threads, producing the
+    same-line secondary misses that conventional MSHR coalescing
+    merges.
+    """
+    idx = partition_indices(total_elems, tid, num_threads, chunk_elems=chunk_elems)
+    return AccessPhase.build(base + idx * elem, elem, stores)
+
+
+class Workload(abc.ABC):
+    """Base class for benchmark access-pattern generators.
+
+    Subclasses implement :meth:`thread_phases`, producing each thread's
+    program-order access arrays; :meth:`accesses` interleaves them.
+    """
+
+    #: Benchmark name as used in the paper's figures.
+    name: str = "workload"
+    #: Suite the benchmark belongs to (for reporting).
+    suite: str = ""
+    #: Dominant element size in bytes (drives Figure 10-style stats).
+    element_size: int = 8
+    #: Arithmetic intensity: non-memory CPU cycles per access, used by
+    #: the driver's runtime model.  Flop-dense solvers (LU, SP, HPCG)
+    #: spend far more cycles computing per byte moved than streaming
+    #: kernels do.
+    compute_cycles_per_access: float = 6.0
+
+    def __init__(self, *, num_threads: int = 12, seed: int = 0):
+        if num_threads <= 0:
+            raise ValueError("num_threads must be positive")
+        self.num_threads = num_threads
+        self.seed = seed
+
+    @abc.abstractmethod
+    def thread_phases(self, tid: int, n: int, rng: np.random.Generator) -> list[AccessPhase]:
+        """Program-order phases of thread ``tid`` issuing ~``n`` accesses."""
+
+    def accesses(self, total_accesses: int, *, burst: int = 1) -> Iterator[Access]:
+        """The interleaved multi-core access stream (~``total_accesses``)."""
+        per_thread = []
+        n_each = max(1, total_accesses // self.num_threads)
+        for tid in range(self.num_threads):
+            rng = np.random.default_rng((self.seed, tid, 0xC0A1E5CE))
+            per_thread.append(self.thread_phases(tid, n_each, rng))
+        return interleave_phases(per_thread, burst=burst, seed=self.seed)
+
+    # -- shared helpers -------------------------------------------------------
+
+    @staticmethod
+    def sequential(base: int, count: int, elem: int, *, stores: bool = False) -> AccessPhase:
+        """A unit-stride scan of ``count`` elements of ``elem`` bytes."""
+        addrs = base + np.arange(count, dtype=np.int64) * elem
+        return AccessPhase.build(addrs, elem, stores)
+
+    @staticmethod
+    def strided(
+        base: int, count: int, elem: int, stride: int, *, stores: bool = False
+    ) -> AccessPhase:
+        """A constant-stride scan (``stride`` in bytes)."""
+        addrs = base + np.arange(count, dtype=np.int64) * stride
+        return AccessPhase.build(addrs, elem, stores)
+
+    @staticmethod
+    def random_in(
+        base: int,
+        region_bytes: int,
+        count: int,
+        elem: int,
+        rng: np.random.Generator,
+        *,
+        stores: bool = False,
+    ) -> AccessPhase:
+        """Uniform random element accesses within a region."""
+        n_elems = max(1, region_bytes // elem)
+        idx = rng.integers(0, n_elems, size=count)
+        addrs = base + idx.astype(np.int64) * elem
+        return AccessPhase.build(addrs, elem, stores)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}(threads={self.num_threads}, seed={self.seed})"

@@ -1,0 +1,134 @@
+"""Access-stream characterization.
+
+Quantifies the properties of a CPU access stream that determine how
+the coalescer will fare on it -- the same properties the paper appeals
+to when explaining each benchmark's results:
+
+* *stride distribution*: unit-stride fractions predict first-phase
+  coalescability;
+* *line-sharing*: lines touched by several threads predict second
+  phase (MSHR) merges;
+* *spatial locality* (distinct lines per access): low values mean the
+  caches absorb the traffic before the coalescer ever sees it;
+* *read/write mix* and access-size histogram (Figure 10's axis).
+
+Used by tests to pin each generator's intended shape, and available to
+users who bring their own workloads.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.request import Access, RequestType
+
+LINE = 64
+
+
+@dataclass
+class StreamProfile:
+    """Summary statistics of one access stream."""
+
+    accesses: int = 0
+    loads: int = 0
+    stores: int = 0
+    fences: int = 0
+    bytes_requested: int = 0
+    distinct_lines: int = 0
+    shared_lines: int = 0
+    #: Fraction of consecutive same-thread same-region access pairs
+    #: with |stride| <= 64 B.  Strides are tracked per (thread, 16 KiB
+    #: region) so loop bodies that weave several arrays -- load a[i],
+    #: load b[i], store c[i] -- still register their per-array
+    #: sequentiality.
+    local_stride_fraction: float = 0.0
+    #: Fraction of same-thread same-region pairs that are exactly
+    #: unit-stride (next address == previous address + previous size).
+    unit_stride_fraction: float = 0.0
+    size_histogram: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def store_fraction(self) -> float:
+        total = self.loads + self.stores
+        return self.stores / total if total else 0.0
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total distinct data touched."""
+        return self.distinct_lines * LINE
+
+    @property
+    def lines_per_access(self) -> float:
+        """Footprint growth rate: new lines per access (1.0 = stream
+        with no reuse, ~0 = cache-resident)."""
+        total = self.loads + self.stores
+        return self.distinct_lines / total if total else 0.0
+
+    @property
+    def sharing_fraction(self) -> float:
+        """Fraction of touched lines accessed by more than one thread."""
+        if not self.distinct_lines:
+            return 0.0
+        return self.shared_lines / self.distinct_lines
+
+
+def characterize(accesses: Iterable[Access]) -> StreamProfile:
+    """One-pass profile of a CPU access stream."""
+    profile = StreamProfile()
+    # (thread, 16 KiB region) -> (last addr, last size)
+    last_by_stream: dict[tuple[int, int], tuple[int, int]] = {}
+    line_owners: dict[int, int] = {}  # line -> owner tid or -1 (shared)
+    sizes: Counter[int] = Counter()
+    pairs = 0
+    local = 0
+    unit = 0
+
+    for access in accesses:
+        profile.accesses += 1
+        if access.is_fence:
+            profile.fences += 1
+            continue
+        if access.is_store:
+            profile.stores += 1
+        else:
+            profile.loads += 1
+        profile.bytes_requested += access.size
+        sizes[access.size] += 1
+
+        line = access.addr // LINE
+        owner = line_owners.get(line)
+        if owner is None:
+            line_owners[line] = access.thread_id
+        elif owner not in (-1, access.thread_id):
+            line_owners[line] = -1
+
+        stream_key = (access.thread_id, access.addr >> 14)
+        prev = last_by_stream.get(stream_key)
+        if prev is not None:
+            prev_addr, prev_size = prev
+            pairs += 1
+            stride = access.addr - prev_addr
+            if abs(stride) <= LINE:
+                local += 1
+            if stride == prev_size:
+                unit += 1
+        last_by_stream[stream_key] = (access.addr, access.size)
+
+    profile.distinct_lines = len(line_owners)
+    profile.shared_lines = sum(1 for o in line_owners.values() if o == -1)
+    profile.local_stride_fraction = local / pairs if pairs else 0.0
+    profile.unit_stride_fraction = unit / pairs if pairs else 0.0
+    profile.size_histogram = dict(sorted(sizes.items()))
+    return profile
+
+
+def profile_benchmark(
+    name: str, *, accesses: int = 10_000, num_threads: int = 12, seed: int = 0
+) -> StreamProfile:
+    """Profile one of the registered benchmarks."""
+    from repro.workloads import get_workload
+
+    workload = get_workload(name, num_threads=num_threads, seed=seed)
+    return characterize(workload.accesses(accesses))

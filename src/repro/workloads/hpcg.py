@@ -1,0 +1,100 @@
+"""HPCG: the High Performance Conjugate Gradient benchmark.
+
+The dominant kernel is a 27-point-stencil CSR SpMV over a shared 3D
+domain, plus vector updates (WAXPBY) and dot products.  The matrix is
+stored AoS-style -- each nonzero is a (value, column) pair loaded as
+one 16 B access -- which is what makes small 16 B loads dominate
+HPCG's request-size distribution (the paper's Figure 10 measures
+40.25 % of coalesced HPCG requests as 16 B loads).
+
+Rows are distributed ``schedule(static, 1)``, so adjacent rows belong
+to different threads.  Consequences the coalescer sees:
+
+* the AoS matrix stream is a consecutive-line train split across
+  threads (first-phase coalescable), but each 144 B row is 2.25 lines,
+  so row-boundary lines are shared across threads (second-phase
+  merges);
+* the stencil gathers of ``x`` overlap heavily between neighbouring
+  rows -- the same ``x`` lines are requested by several cores within
+  the miss window (more second-phase merges);
+* gathers across planes are far apart (weak locality), keeping overall
+  bandwidth efficiency low despite decent coalescing -- the Figure 9
+  observation the paper singles HPCG out for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import (
+    AccessPhase,
+    Workload,
+    partition_indices,
+    shared_heap,
+    weave,
+)
+
+
+class HPCGWorkload(Workload):
+    """27-point stencil CSR SpMV + vector phases over a shared domain."""
+
+    name = "HPCG"
+    suite = "HPCG"
+    element_size = 16
+    compute_cycles_per_access = 16.0
+
+    nx, ny = 32, 32
+    nnz_per_row = 9  # stencil triplets modeled as 16 B AoS pairs
+
+    def thread_phases(self, tid: int, n: int, rng: np.random.Generator) -> list[AccessPhase]:
+        matrix = shared_heap(0)                      # AoS nonzeros, 16 B
+        x = shared_heap(512 * 1024 * 1024)           # input vector
+        y = x + 128 * 1024 * 1024                    # output vector
+
+        total_rows = max(16, (n * self.num_threads) // 19)
+        rows = partition_indices(total_rows, tid, self.num_threads, chunk_elems=1)
+        nr = len(rows)
+        if nr == 0:
+            return []
+
+        # Sequential AoS matrix traffic: 9 nonzero-pair loads per row.
+        mat_addrs = matrix + (
+            np.repeat(rows, self.nnz_per_row) * self.nnz_per_row
+            + np.tile(np.arange(self.nnz_per_row, dtype=np.int64), nr)
+        ) * 16
+        mat_phase = AccessPhase.build(mat_addrs, 16)
+
+        # Gathers of x at the stencil offsets (triplet bases).
+        offsets = np.array(
+            [
+                0,
+                self.nx,
+                -self.nx,
+                self.nx * self.ny,
+                -self.nx * self.ny,
+                self.nx * self.ny + self.nx,
+                self.nx * self.ny - self.nx,
+                -self.nx * self.ny + self.nx,
+                -self.nx * self.ny - self.nx,
+            ],
+            dtype=np.int64,
+        )
+        cols = np.repeat(rows, len(offsets)) + np.tile(offsets, nr)
+        cols = np.clip(cols, 0, total_rows - 1)
+        gather_phase = AccessPhase.build(x + cols * 8, 8)
+
+        spmv = weave(mat_phase, gather_phase)
+        store_phase = AccessPhase.build(y + rows * 8, 8, True)
+
+        # Vector phases (dot product + waxpby over the row range).
+        dot = weave(
+            AccessPhase.build(x + rows * 8, 8),
+            AccessPhase.build(y + rows * 8, 8),
+        )
+        waxpby = weave(
+            AccessPhase.build(x + rows * 8, 8),
+            AccessPhase.build(y + rows * 8, 8),
+            AccessPhase.build(x + rows * 8, 8, True),
+        )
+
+        return [spmv, store_phase, dot, waxpby]

@@ -1,0 +1,271 @@
+"""NAS Parallel Benchmarks: EP, FT, LU, SP, CG and MG access models.
+
+Each class models the memory behaviour of one NPB kernel (Bailey et
+al.) under OpenMP-style static scheduling over shared arrays:
+
+``EP``
+    Embarrassingly parallel random-number statistics: a private,
+    mostly cache-resident gaussian table per thread -- very little LLC
+    traffic, most of it random.  (The paper's EP shows the smallest
+    bandwidth savings.)
+``FT``
+    3D complex FFT: butterfly passes over a shared array of 16 B
+    complex doubles, ``schedule(static, 4)`` so each chunk is exactly
+    one cache line.  Four interleaved unit-stride streams make FT the
+    most coalescable benchmark (75.52 % in the paper).
+``LU``
+    SSOR wavefront sweeps reading 5-component cells (40 B contiguous,
+    so cell boundaries straddle lines shared between threads) and
+    writing residuals back.  Heavy sequential traffic -> the largest
+    bandwidth savings together with SP.
+``SP``
+    Scalar pentadiagonal solver: unit-stride x-sweeps over 5-double
+    cells plus strided y-sweeps.
+``CG``
+    Conjugate gradient with an unstructured sparse matrix: sequential
+    CSR value/column streams driving genuinely random 8 B gathers.
+``MG``
+    Multigrid V-cycles: unit-stride smoothing at the fine level with
+    progressively strided coarse-level sweeps (the stride grows to a
+    full line, so coarse sweeps remain consecutive-line trains).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import (
+    AccessPhase,
+    Workload,
+    partition_indices,
+    shared_heap,
+    thread_heap,
+    weave,
+)
+
+
+class NasEPWorkload(Workload):
+    """EP: cache-resident random-number statistics."""
+
+    name = "EP"
+    suite = "NAS-PB"
+    element_size = 8
+
+    table_bytes = 96 * 1024        # mostly cache-resident
+    spill_bytes = 8 * 1024 * 1024  # rare cold spills
+
+    def thread_phases(self, tid: int, n: int, rng: np.random.Generator) -> list[AccessPhase]:
+        base = thread_heap(tid)
+        table = base
+        spill = base + 1024 * 1024
+
+        hot = self.random_in(table, self.table_bytes, n, 8, rng)
+        # ~6 % of accesses spill to fresh random batches.
+        n_cold = max(1, n // 16)
+        cold = self.random_in(spill, self.spill_bytes, n_cold, 8, rng)
+        k = max(1, len(hot) // len(cold))
+        addrs = hot.addrs.copy()
+        slots = addrs[::k]
+        addrs[::k][: min(len(slots), len(cold))] = cold.addrs[: min(len(slots), len(cold))]
+        return [AccessPhase(addrs, hot.sizes, hot.stores)]
+
+
+class NasFTWorkload(Workload):
+    """FT: 3D complex FFT butterfly passes over a shared grid."""
+
+    name = "FT"
+    suite = "NAS-PB"
+    element_size = 16
+    compute_cycles_per_access = 5.0
+
+    chunk_elems = 4  # 4 x 16 B = one cache line per chunk
+    passes = 4
+
+    def thread_phases(self, tid: int, n: int, rng: np.random.Generator) -> list[AccessPhase]:
+        elem = self.element_size
+        total = max(64, (n * self.num_threads) // (4 * self.passes))
+        half_bytes = total * elem
+
+        phases = []
+        for p in range(self.passes):
+            # In-place butterflies: read and update both halves.  Each
+            # pass streams through a region far larger than the LLC, so
+            # both unit-stride load streams miss.  (The halves are not
+            # line-aligned -- real allocations rarely are -- leaving
+            # some boundary lines shared between threads for the second
+            # phase to merge.)
+            lo = shared_heap(p * 4 * half_bytes)
+            # Heap allocations are 16 B aligned, not line aligned: the
+            # upper half starts 48 B into a line, so its chunk
+            # boundaries straddle lines shared between threads.
+            hi = lo + half_bytes - (half_bytes % 64) + 48
+            idx = partition_indices(
+                total, tid, self.num_threads, chunk_elems=self.chunk_elems
+            )
+            phases.append(
+                weave(
+                    AccessPhase.build(lo + idx * elem, elem),
+                    AccessPhase.build(hi + idx * elem, elem),
+                    AccessPhase.build(lo + idx * elem, elem, True),
+                    AccessPhase.build(hi + idx * elem, elem, True),
+                )
+            )
+        return phases
+
+
+class NasLUWorkload(Workload):
+    """LU: SSOR wavefront sweeps over 5-component cells."""
+
+    name = "LU"
+    suite = "NAS-PB"
+    element_size = 8
+    compute_cycles_per_access = 26.0
+
+    nx = 64
+
+    def thread_phases(self, tid: int, n: int, rng: np.random.Generator) -> list[AccessPhase]:
+        elem = self.element_size
+        cell = 5 * elem  # 40 B of state per grid point
+        total_cells = max(16, (n * self.num_threads) // 11)
+
+        u = shared_heap(0)
+        rsd = shared_heap(256 * 1024 * 1024)
+
+        # schedule(static, 1): 40 B cells straddle line boundaries, so
+        # most lines are shared by two neighbouring threads.
+        cells = partition_indices(total_cells, tid, self.num_threads, chunk_elems=1)
+        nc = len(cells)
+        comp = np.arange(5, dtype=np.int64)
+
+        u_addrs = u + np.repeat(cells, 5) * cell + np.tile(comp, nc) * elem
+        u_phase = AccessPhase.build(u_addrs, elem)
+        nbr = AccessPhase.build(
+            u + np.repeat((cells + self.nx) * cell, 5), elem
+        )
+        rsd_addrs = rsd + np.repeat(cells, 5) * cell + np.tile(comp, nc) * elem
+        rsd_phase = AccessPhase.build(rsd_addrs, elem, True)
+        sweep = weave(u_phase, nbr, rsd_phase)
+
+        # The triangular line solves walk pencils with a stride of nx
+        # cells: every access opens a new line and neighbouring
+        # threads' pencils are planes apart -- uncoalescable traffic
+        # that dilutes the unit-stride sweeps.
+        z_total = max(8, total_cells)
+        z_rows = partition_indices(z_total, tid, self.num_threads, chunk_elems=1)
+        z_idx = (z_rows * self.nx) % max(1, total_cells)
+        u2 = shared_heap(512 * 1024 * 1024)
+        rsd2 = shared_heap(768 * 1024 * 1024)
+        z_phase = weave(
+            AccessPhase.build(u2 + z_idx * cell, elem),
+            AccessPhase.build(rsd2 + z_idx * cell, elem, True),
+        )
+        return [sweep, z_phase]
+
+
+class NasSPWorkload(Workload):
+    """SP: pentadiagonal line sweeps in x and y over shared grids."""
+
+    name = "SP"
+    suite = "NAS-PB"
+    element_size = 8
+    compute_cycles_per_access = 30.0
+
+    nx = 64
+
+    def thread_phases(self, tid: int, n: int, rng: np.random.Generator) -> list[AccessPhase]:
+        elem = self.element_size
+        cell = 5 * elem
+        total_cells = max(16, (n * self.num_threads) // 12)
+
+        lhs = shared_heap(0)
+        rhs = shared_heap(384 * 1024 * 1024)
+
+        cells = partition_indices(total_cells, tid, self.num_threads, chunk_elems=1)
+        nc = len(cells)
+        comp = np.arange(5, dtype=np.int64)
+
+        x_load = AccessPhase.build(
+            lhs + np.repeat(cells, 5) * cell + np.tile(comp, nc) * elem, elem
+        )
+        x_store = AccessPhase.build(
+            rhs + np.repeat(cells, 5) * cell + np.tile(comp, nc) * elem, elem, True
+        )
+        x_sweep = weave(x_load, x_store)
+
+        # y-sweep: stride nx cells; with static,1 scheduling the twelve
+        # threads' concurrent rows still map to scattered lines.
+        y_total = max(8, 2 * total_cells)
+        y_rows = partition_indices(y_total, tid, self.num_threads, chunk_elems=1)
+        y_idx = (y_rows * self.nx) % max(1, total_cells)
+        lhs2 = shared_heap(512 * 1024 * 1024)
+        rhs2 = shared_heap(768 * 1024 * 1024)
+        y_load = AccessPhase.build(lhs2 + y_idx * cell, elem)
+        y_store = AccessPhase.build(rhs2 + y_idx * cell, elem, True)
+        y_sweep = weave(y_load, y_store)
+
+        return [x_sweep, y_sweep]
+
+
+class NasCGWorkload(Workload):
+    """CG: CSR SpMV with unstructured random columns, shared vectors."""
+
+    name = "CG"
+    suite = "NAS-PB"
+    element_size = 8
+
+    nrows = 1 << 16
+    nnz_per_row = 11
+
+    def thread_phases(self, tid: int, n: int, rng: np.random.Generator) -> list[AccessPhase]:
+        vals = shared_heap(0)
+        cols = shared_heap(128 * 1024 * 1024)
+        x = shared_heap(256 * 1024 * 1024)
+        y = shared_heap(384 * 1024 * 1024)
+
+        total_rows = max(12, (n * self.num_threads) // (3 * self.nnz_per_row + 1))
+        rows = partition_indices(total_rows, tid, self.num_threads, chunk_elems=1)
+        nnz_idx = (
+            np.repeat(rows, self.nnz_per_row) * self.nnz_per_row
+            + np.tile(np.arange(self.nnz_per_row, dtype=np.int64), len(rows))
+        )
+
+        val_phase = AccessPhase.build(vals + nnz_idx * 8, 8)
+        col_phase = AccessPhase.build(cols + nnz_idx * 4, 4)
+        gather = AccessPhase.build(
+            x + rng.integers(0, self.nrows, size=len(nnz_idx)).astype(np.int64) * 8, 8
+        )
+        spmv = weave(val_phase, col_phase, gather)
+        stores = AccessPhase.build(y + rows * 8, 8, True)
+        return [spmv, stores]
+
+
+class NasMGWorkload(Workload):
+    """MG: V-cycle multigrid with level-dependent strides."""
+
+    name = "MG"
+    suite = "NAS-PB"
+    element_size = 8
+    compute_cycles_per_access = 10.0
+
+    levels = 4
+
+    def thread_phases(self, tid: int, n: int, rng: np.random.Generator) -> list[AccessPhase]:
+        elem = self.element_size
+        u = shared_heap(0)
+        r = shared_heap(256 * 1024 * 1024)
+
+        phases = []
+        budget = max(64, (n * self.num_threads) // 2)
+        for level in range(self.levels):
+            stride = elem << level  # 8, 16, 32, 64 bytes
+            count = max(16, budget // 3)
+            # Chunks cover exactly one line's worth of strided elements.
+            chunk = max(1, 96 // stride)  # 1.5 lines: boundary sharing
+            idx = partition_indices(count, tid, self.num_threads, chunk_elems=chunk)
+            off = 4 * level * count * 64  # fresh region per level
+            load_u = AccessPhase.build(u + off + idx * stride, elem)
+            load_r = AccessPhase.build(r + off + idx * stride, elem)
+            store_u = AccessPhase.build(u + off + idx * stride, elem, True)
+            phases.append(weave(load_u, load_r, store_u))
+            budget //= 2
+        return phases

@@ -1,0 +1,46 @@
+"""Registry of the paper's 12 benchmarks (Section 5.2)."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.bots import BotsSortWorkload, BotsSparseLUWorkload
+from repro.workloads.hpcg import HPCGWorkload
+from repro.workloads.nas import (
+    NasCGWorkload,
+    NasEPWorkload,
+    NasFTWorkload,
+    NasLUWorkload,
+    NasMGWorkload,
+    NasSPWorkload,
+)
+from repro.workloads.sg import ScatterGatherWorkload
+from repro.workloads.ssca2 import SSCA2Workload
+from repro.workloads.stream import StreamWorkload
+
+#: The 12 benchmarks, in the order the paper's figures list them.
+BENCHMARKS: dict[str, type[Workload]] = {
+    "SG": ScatterGatherWorkload,
+    "HPCG": HPCGWorkload,
+    "SSCA2": SSCA2Workload,
+    "STREAM": StreamWorkload,
+    "Sort": BotsSortWorkload,
+    "SparseLU": BotsSparseLUWorkload,
+    "EP": NasEPWorkload,
+    "FT": NasFTWorkload,
+    "LU": NasLUWorkload,
+    "SP": NasSPWorkload,
+    "CG": NasCGWorkload,
+    "MG": NasMGWorkload,
+}
+
+
+def get_workload(
+    name: str, *, num_threads: int = 12, seed: int = 0
+) -> Workload:
+    """Instantiate a benchmark by its figure name (case-insensitive)."""
+    for key, cls in BENCHMARKS.items():
+        if key.lower() == name.lower():
+            return cls(num_threads=num_threads, seed=seed)
+    raise KeyError(
+        f"unknown benchmark {name!r}; available: {', '.join(BENCHMARKS)}"
+    )

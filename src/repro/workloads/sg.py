@@ -1,0 +1,61 @@
+"""SG: the Scatter/Gather micro-benchmark.
+
+Models the GoblinCore-64 scatter/gather kernels the authors used in
+their earlier work [Wang et al., MEMSYS'16]: a chunk-partitioned
+sequential index-array scan driving random single-element gathers
+from -- and scatters to -- a shared multi-megabyte target array.  The
+index loads are small (4 B) and sequential (coalescable); the data
+accesses are 8 B and effectively random (uncoalescable), so SG sits
+near the bottom of the coalescing-efficiency range, exactly the kind
+of sparse small-request workload Section 5.3.2 discusses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import (
+    AccessPhase,
+    Workload,
+    partition_indices,
+    shared_heap,
+    weave,
+)
+
+
+class ScatterGatherWorkload(Workload):
+    """Index-driven random gather + scatter over shared tables."""
+
+    name = "SG"
+    suite = "SG"
+    element_size = 8
+
+    #: Shared gather/scatter table footprint (dwarfs the LLC).
+    region_bytes = 32 * 1024 * 1024
+    chunk_elems = 16  # index elements per scheduling chunk (4 B each)
+
+    def thread_phases(self, tid: int, n: int, rng: np.random.Generator) -> list[AccessPhase]:
+        idx_array = shared_heap(0)
+        data = shared_heap(64 * 1024 * 1024)
+        out = data + self.region_bytes
+
+        # Each logical iteration: load idx[i] (4 B, sequential),
+        # load data[idx[i]] (8 B, random), store out[idx2[i]] (8 B, random).
+        count_total = max(32, (n * self.num_threads) // 3)
+        idx = partition_indices(
+            count_total, tid, self.num_threads, chunk_elems=self.chunk_elems
+        )
+        idx_loads = AccessPhase.build(idx_array + idx * 4, 4)
+        n_elems = self.region_bytes // 8
+        # The SG suite sweeps gather/scatter strides: half of the index
+        # vectors are small-stride (coalescable), half fully random.
+        stride_elems = 2 ** int(rng.integers(1, 4))  # 2/4/8 elements
+        strided = (idx * stride_elems) % n_elems
+        rand_g = rng.integers(0, n_elems, size=len(idx))
+        rand_s = rng.integers(0, n_elems, size=len(idx))
+        use_strided = rng.random(len(idx)) < 0.5
+        g_idx = np.where(use_strided, strided, rand_g)
+        s_idx = np.where(use_strided, strided, rand_s)
+        gathers = AccessPhase.build(data + g_idx.astype(np.int64) * 8, 8)
+        scatters = AccessPhase.build(out + s_idx.astype(np.int64) * 8, 8, True)
+        return [weave(idx_loads, gathers, scatters)]

@@ -1,0 +1,76 @@
+"""SSCA2: the HPCS Scalable Synthetic Compact Application graph kernel.
+
+SSCA2 (Bader & Madduri) stresses graph analysis over an R-MAT-style
+power-law graph shared by all threads: betweenness-centrality BFS
+sweeps pick a vertex, read its adjacency run from the packed edge
+array, and update visitation/distance state at random vertex indices.
+The memory behaviour is short sequential edge-list runs separated by
+essentially random vertex-state accesses -- poor but non-zero
+locality.  Because the graph is shared, concurrent sweeps do
+occasionally collide on hot vertices, giving the conventional MSHR
+path a little work even here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import AccessPhase, Workload, shared_heap
+
+
+class SSCA2Workload(Workload):
+    """BFS-style traversal over a shared power-law adjacency structure."""
+
+    name = "SSCA2"
+    suite = "SSCA2"
+    element_size = 8
+
+    num_vertices = 1 << 19
+    mean_degree = 16
+    #: Fraction of vertex picks drawn from a small hot set (R-MAT skew).
+    hot_fraction = 0.25
+    hot_vertices = 1 << 10
+
+    def thread_phases(self, tid: int, n: int, rng: np.random.Generator) -> list[AccessPhase]:
+        rowptr = shared_heap(0)                               # 8 B per vertex
+        edges = shared_heap(8 * self.num_vertices)            # packed edges
+        state = edges + 8 * self.num_vertices * self.mean_degree
+
+        addrs: list[np.ndarray] = []
+        sizes: list[np.ndarray] = []
+        stores: list[np.ndarray] = []
+        produced = 0
+        edge_span = self.num_vertices * self.mean_degree
+        while produced < n:
+            # Visit a vertex: power-law skew means some hot vertices
+            # are picked by several threads close together in time.
+            if rng.random() < self.hot_fraction:
+                v = int(rng.integers(0, self.hot_vertices))
+            else:
+                v = int(rng.integers(0, self.num_vertices))
+            degree = int(min(512, rng.pareto(1.2) * self.mean_degree / 2 + 2))
+
+            addrs.append(np.array([rowptr + 8 * v], dtype=np.int64))
+            sizes.append(np.array([8], dtype=np.int32))
+            stores.append(np.array([False]))
+
+            edge_base = edges + 8 * ((v * self.mean_degree) % max(1, edge_span - degree - 1))
+            run = edge_base + np.arange(degree, dtype=np.int64) * 8
+            addrs.append(run)
+            sizes.append(np.full(degree, 8, dtype=np.int32))
+            stores.append(np.zeros(degree, dtype=bool))
+
+            # Touch the visited/dist state of each neighbour (random).
+            nbrs = rng.integers(0, self.num_vertices, size=degree)
+            addrs.append(state + nbrs.astype(np.int64) * 4)
+            sizes.append(np.full(degree, 4, dtype=np.int32))
+            stores.append(rng.random(degree) < 0.5)
+
+            produced += 1 + 2 * degree
+
+        phase = AccessPhase(
+            np.concatenate(addrs),
+            np.concatenate(sizes),
+            np.concatenate(stores),
+        )
+        return [phase]

@@ -1,0 +1,62 @@
+"""STREAM: the classic memory-bandwidth benchmark (McCalpin).
+
+Four kernels -- Copy, Scale, Add, Triad -- each a unit-stride pass
+over large shared double arrays split among the threads with an
+OpenMP ``schedule(static, chunk)`` policy.  Because all threads
+progress through consecutive chunks together, the aggregate LLC miss
+stream is a train of consecutive cache lines: the best case for the
+DMC unit.  STREAM has no data reuse or sharing, so essentially all of
+its coalescing comes from the first phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import (
+    AccessPhase,
+    Workload,
+    partition_indices,
+    shared_heap,
+    weave,
+)
+
+
+class StreamWorkload(Workload):
+    """STREAM Copy/Scale/Add/Triad over shared arrays."""
+
+    name = "STREAM"
+    suite = "STREAM"
+    element_size = 8
+    chunk_elems = 8  # exactly one 64 B line per chunk
+
+    def thread_phases(self, tid: int, n: int, rng: np.random.Generator) -> list[AccessPhase]:
+        elem = self.element_size
+        # Budget ~10 accesses per element across the four kernels.
+        total = max(64, (n * self.num_threads) // 10)
+        array_bytes = total * elem
+
+        idx = partition_indices(total, tid, self.num_threads, chunk_elems=self.chunk_elems)
+
+        # Real STREAM arrays dwarf the LLC, so every pass re-misses;
+        # emulate that by giving each kernel pass fresh array regions.
+        def arrays(kernel: int) -> tuple[int, int, int]:
+            base = shared_heap(kernel * 3 * array_bytes)
+            return base, base + array_bytes, base + 2 * array_bytes
+
+        def loads(base):
+            return AccessPhase.build(base + idx * elem, elem)
+
+        def stores(base):
+            return AccessPhase.build(base + idx * elem, elem, True)
+
+        a0, _, c0 = arrays(0)
+        _, b1, c1 = arrays(1)
+        a2, b2, c2 = arrays(2)
+        a3, b3, c3 = arrays(3)
+        return [
+            weave(loads(a0), stores(c0)),              # Copy:  c[i] = a[i]
+            weave(loads(c1), stores(b1)),              # Scale: b[i] = s*c[i]
+            weave(loads(a2), loads(b2), stores(c2)),   # Add:   c[i] = a[i]+b[i]
+            weave(loads(b3), loads(c3), stores(a3)),   # Triad: a[i] = b[i]+s*c[i]
+        ]

@@ -1,0 +1,79 @@
+"""Tests for the analytic models and report rendering."""
+
+import pytest
+
+from repro.analysis.efficiency import (
+    FIGURE1_SIZES,
+    bandwidth_efficiency_curve,
+    control_overhead_sweep,
+)
+from repro.analysis.report import format_bar_chart, format_table
+
+
+class TestEfficiencyCurve:
+    def test_default_sizes(self):
+        points = bandwidth_efficiency_curve()
+        assert [p.request_bytes for p in points] == list(FIGURE1_SIZES)
+
+    def test_efficiency_and_overhead_complementary(self):
+        for p in bandwidth_efficiency_curve():
+            assert p.efficiency + p.control_overhead == pytest.approx(1.0)
+
+    def test_paper_endpoints(self):
+        points = bandwidth_efficiency_curve()
+        assert points[0].efficiency == pytest.approx(1 / 3)
+        assert points[-1].efficiency == pytest.approx(8 / 9)
+
+    def test_custom_sizes(self):
+        points = bandwidth_efficiency_curve((32, 64))
+        assert len(points) == 2
+
+
+class TestControlSweep:
+    def test_shape(self):
+        points = control_overhead_sweep(totals=(1024, 2048))
+        assert len(points) == 2
+        assert set(points[0].control_bytes_by_size) == {16, 32, 64, 128, 256}
+
+    def test_values(self):
+        (p,) = control_overhead_sweep(totals=(1024,), request_sizes=(16, 256))
+        assert p.control_bytes_by_size[16] == 64 * 32
+        assert p.control_bytes_by_size[256] == 4 * 32
+
+
+class TestFormatTable:
+    def test_basic(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "---" in lines[1] or "-" in lines[1]
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in out
+
+
+class TestFormatBarChart:
+    def test_bars_scale_to_max(self):
+        out = format_bar_chart(["a", "b"], [0.5, 1.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title_and_labels(self):
+        out = format_bar_chart(["long-name"], [0.1], title="Chart")
+        assert out.splitlines()[0] == "Chart"
+        assert "long-name" in out
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            format_bar_chart(["a"], [1.0, 2.0])
+
+    def test_all_zero_values(self):
+        out = format_bar_chart(["a"], [0.0])
+        assert "#" not in out

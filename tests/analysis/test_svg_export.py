@@ -1,0 +1,137 @@
+"""Tests for SVG rendering and figure export/compare."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    compare_runs,
+    figure_to_dict,
+    load_figures,
+    render_figure_svg,
+    save_figure_svgs,
+    save_figures,
+)
+from repro.analysis.svg import (
+    ChartStyle,
+    _nice_ticks,
+    grouped_bar_chart,
+    line_chart,
+)
+from repro.sim.experiments import FigureData, fig1_bandwidth_efficiency
+
+
+def sample_bar_figure():
+    return FigureData(
+        figure="Figure 8",
+        description="test",
+        headers=["benchmark", "a", "b"],
+        rows=[["X", 0.1, 0.2], ["Y", 0.3, 0.4]],
+        summary={"avg_a": 0.2, "paper_avg_a": 0.3},
+    )
+
+
+class TestNiceTicks:
+    def test_zero(self):
+        assert _nice_ticks(0) == [0.0, 1.0]
+
+    @pytest.mark.parametrize("vmax", [0.003, 0.4, 1.0, 7.3, 42, 999, 123456])
+    def test_covers_max(self, vmax):
+        ticks = _nice_ticks(vmax)
+        assert ticks[0] == 0.0
+        assert ticks[-1] >= vmax
+        assert 3 <= len(ticks) <= 9
+        # Ticks strictly increase.
+        assert all(b > a for a, b in zip(ticks, ticks[1:]))
+
+
+class TestBarChart:
+    def test_valid_svg(self):
+        svg = grouped_bar_chart(
+            ["A", "B"], {"s1": [1, 2], "s2": [3, 4]}, title="T"
+        )
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<rect") >= 4 + 2  # bars + legend swatches
+        assert "T" in svg
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["A"], {"s": [1, 2]})
+
+    def test_percent_axis(self):
+        svg = grouped_bar_chart(["A"], {"s": [0.5]}, percent=True)
+        assert "%" in svg
+
+    def test_escapes_content(self):
+        svg = grouped_bar_chart(["<A&B>"], {"s": [1]})
+        assert "<A&B>" not in svg
+        assert "&lt;A&amp;B&gt;" in svg
+
+
+class TestLineChart:
+    def test_valid_svg(self):
+        svg = line_chart([1, 2, 3], {"a": [1, 4, 2]}, title="L")
+        assert "<polyline" in svg
+        assert svg.count("<circle") == 3
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            line_chart([1], {"a": [1]})
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"a": [1]})
+
+
+class TestExport:
+    def test_roundtrip(self, tmp_path):
+        figs = [sample_bar_figure(), fig1_bandwidth_efficiency()]
+        path = save_figures(figs, tmp_path / "run.json")
+        loaded = load_figures(path)
+        assert len(loaded) == 2
+        assert loaded[0]["figure"] == "Figure 8"
+        assert loaded[1]["rows"][0][0] == 16
+
+    def test_figure_to_dict(self):
+        d = figure_to_dict(sample_bar_figure())
+        json.dumps(d)  # must be JSON-serializable
+        assert d["summary"]["avg_a"] == 0.2
+
+    def test_render_bar_form(self):
+        svg = render_figure_svg(sample_bar_figure())
+        assert "<rect" in svg
+
+    def test_render_line_form(self):
+        svg = render_figure_svg(fig1_bandwidth_efficiency())
+        assert "<polyline" in svg
+
+    def test_save_svgs(self, tmp_path):
+        paths = save_figure_svgs([sample_bar_figure()], tmp_path)
+        assert paths[0].name == "figure_8.svg"
+        assert paths[0].read_text().startswith("<svg")
+
+
+class TestCompareRuns:
+    def test_no_diff_within_tolerance(self):
+        a = [figure_to_dict(sample_bar_figure())]
+        assert compare_runs(a, a) == []
+
+    def test_detects_regression(self):
+        a = [figure_to_dict(sample_bar_figure())]
+        b = [figure_to_dict(sample_bar_figure())]
+        b[0]["summary"]["avg_a"] = 0.1
+        diffs = compare_runs(a, b)
+        assert len(diffs) == 1
+        assert "avg_a" in diffs[0]
+
+    def test_paper_constants_ignored(self):
+        a = [figure_to_dict(sample_bar_figure())]
+        b = [figure_to_dict(sample_bar_figure())]
+        b[0]["summary"]["paper_avg_a"] = 99.0
+        assert compare_runs(a, b) == []
+
+    def test_new_figure_reported(self):
+        a = []
+        b = [figure_to_dict(sample_bar_figure())]
+        assert "no baseline" in compare_runs(a, b)[0]

@@ -1,0 +1,204 @@
+"""Tests for the three-level cache hierarchy."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.core.request import Access, RequestType
+
+
+def small_hierarchy(cores=2):
+    return CacheHierarchy(
+        HierarchyConfig(
+            num_cores=cores,
+            l1_size=4 * 1024,
+            l1_assoc=2,
+            l2_size=16 * 1024,
+            l2_assoc=4,
+            llc_size=64 * 1024,
+            llc_assoc=8,
+        )
+    )
+
+
+class TestBasics:
+    def test_cold_access_reaches_memory(self):
+        h = small_hierarchy()
+        events = h.access(Access(addr=0x1000, size=8))
+        assert len(events) == 1
+        req = events[0].request
+        assert req.addr == 0x1000
+        assert req.rtype is RequestType.LOAD
+        assert req.requested_bytes == 8
+        assert not events[0].is_writeback
+
+    def test_warm_access_filtered(self):
+        h = small_hierarchy()
+        h.access(Access(addr=0x1000, size=8))
+        assert h.access(Access(addr=0x1000, size=8)) == []
+        assert h.access(Access(addr=0x1008, size=8)) == []  # same line
+
+    def test_store_miss_tagged_store(self):
+        h = small_hierarchy()
+        events = h.access(Access(addr=0x2000, size=8, rtype=RequestType.STORE))
+        assert events[0].request.rtype is RequestType.STORE
+
+    def test_fence_passes_through(self):
+        h = small_hierarchy()
+        events = h.access(Access(addr=0, size=0, rtype=RequestType.FENCE))
+        assert len(events) == 1
+        assert events[0].request.is_fence
+
+    def test_straddling_access_touches_two_lines(self):
+        h = small_hierarchy()
+        events = h.access(Access(addr=60, size=8))
+        assert [e.request.addr for e in events] == [0, 64]
+        assert [e.request.requested_bytes for e in events] == [4, 4]
+
+    def test_requested_bytes_capped_by_line(self):
+        h = small_hierarchy()
+        events = h.access(Access(addr=0, size=256))
+        assert len(events) == 4
+        assert all(e.request.requested_bytes == 64 for e in events)
+
+    def test_bad_thread_id_rejected(self):
+        h = small_hierarchy(cores=2)
+        with pytest.raises(ValueError):
+            h.access(Access(addr=0, size=4, thread_id=5))
+
+    def test_target_recorded(self):
+        h = small_hierarchy()
+        a = Access(addr=0x3000, size=4)
+        events = h.access(a)
+        assert events[0].request.targets == [a.access_id]
+
+
+class TestPrivateL1SharedLLC:
+    def test_l1s_are_private(self):
+        """The same line misses separately in each core's L1 but only
+        the first miss reaches memory (the LLC is shared)."""
+        h = small_hierarchy(cores=2)
+        first = h.access(Access(addr=0x4000, size=8, thread_id=0))
+        second = h.access(Access(addr=0x4000, size=8, thread_id=1))
+        assert len(first) == 1
+        assert second == []  # L1 miss, but L2/LLC hit: filtered
+
+    def test_shared_llc_aggregates(self):
+        h = small_hierarchy(cores=2)
+        h.access(Access(addr=0x4000, size=8, thread_id=0))
+        before = h.llc.stats.misses
+        h.access(Access(addr=0x4000, size=8, thread_id=1))
+        assert h.llc.stats.misses == before
+
+
+class TestWritebackPath:
+    def test_dirty_llc_eviction_emits_writeback(self):
+        """Stream enough dirty lines through a tiny hierarchy to force
+        dirty LLC victims into the event stream."""
+        h = small_hierarchy()
+        writebacks = []
+        # 3x the LLC capacity of distinct dirty lines.
+        lines = (64 * 1024 // 64) * 3
+        for i in range(lines):
+            for e in h.access(Access(addr=i * 64, size=8, rtype=RequestType.STORE)):
+                if e.is_writeback:
+                    writebacks.append(e.request)
+        assert writebacks, "expected dirty write-backs"
+        assert all(w.rtype is RequestType.STORE for w in writebacks)
+        assert all(w.addr % 64 == 0 for w in writebacks)
+
+    def test_read_only_stream_has_no_writebacks(self):
+        h = small_hierarchy()
+        events = []
+        for i in range(5000):
+            events += h.access(Access(addr=(i * 64) % (1 << 20), size=8))
+        assert not any(e.is_writeback for e in events)
+
+
+class TestMissRates:
+    def test_sequential_scan_miss_rates(self):
+        h = small_hierarchy()
+        for i in range(20_000):
+            h.access(Access(addr=(i * 8), size=8))
+        rates = h.miss_rates()
+        # 8 accesses per 64 B line -> L1 miss rate ~ 1/8.
+        assert rates["l1"] == pytest.approx(0.125, rel=0.1)
+        # Streaming never rehits lower levels: L2/LLC miss every fill.
+        assert rates["l2"] > 0.9
+        assert rates["llc"] > 0.9
+
+    def test_small_working_set_llc_quiet(self):
+        h = small_hierarchy()
+        warm = [Access(addr=(i * 64) % 2048, size=8) for i in range(2000)]
+        events = sum(len(h.access(a)) for a in warm)
+        # 32 distinct lines: everything after the cold misses is a hit.
+        assert events == 32
+
+    def test_total_llc_misses_counter(self):
+        h = small_hierarchy()
+        for i in range(100):
+            h.access(Access(addr=i * 64, size=8))
+        assert h.total_llc_misses() == 100
+
+
+class TestPrefetcher:
+    def test_prefetch_emits_adjacent_line(self):
+        from dataclasses import replace
+
+        h = CacheHierarchy(
+            HierarchyConfig(
+                num_cores=1,
+                l1_size=4 * 1024,
+                l1_assoc=2,
+                l2_size=16 * 1024,
+                l2_assoc=4,
+                llc_size=64 * 1024,
+                llc_assoc=8,
+                llc_prefetch=True,
+            )
+        )
+        events = h.access(Access(addr=0x8000, size=8))
+        kinds = [(e.request.addr, e.is_prefetch) for e in events]
+        assert kinds == [(0x8000, False), (0x8040, True)]
+        # The prefetched line is resident: touching it is now a hit.
+        assert h.access(Access(addr=0x8040, size=8)) == []
+
+    def test_prefetch_requested_bytes_zero(self):
+        h = CacheHierarchy(
+            HierarchyConfig(
+                num_cores=1,
+                l1_size=4 * 1024,
+                l1_assoc=2,
+                l2_size=16 * 1024,
+                l2_assoc=4,
+                llc_size=64 * 1024,
+                llc_assoc=8,
+                llc_prefetch=True,
+            )
+        )
+        events = h.access(Access(addr=0, size=8))
+        pf = [e for e in events if e.is_prefetch]
+        assert pf and pf[0].request.requested_bytes == 0
+
+    def test_no_prefetch_when_next_resident(self):
+        h = CacheHierarchy(
+            HierarchyConfig(
+                num_cores=1,
+                l1_size=4 * 1024,
+                l1_assoc=2,
+                l2_size=16 * 1024,
+                l2_assoc=4,
+                llc_size=64 * 1024,
+                llc_assoc=8,
+                llc_prefetch=True,
+            )
+        )
+        h.access(Access(addr=0x8040, size=8))  # makes 0x8040 resident
+        events = h.access(Access(addr=0x8000, size=8))
+        # Demand miss for 0x8000; 0x8040 already cached -> no prefetch
+        # event for it.
+        assert [e.request.addr for e in events if e.is_prefetch] == []
+
+    def test_prefetch_disabled_by_default(self):
+        h = small_hierarchy()
+        events = h.access(Access(addr=0x8000, size=8))
+        assert not any(e.is_prefetch for e in events)

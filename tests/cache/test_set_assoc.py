@@ -1,0 +1,199 @@
+"""Tests for the set-associative cache model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.set_assoc import (
+    AccessResult,
+    CacheConfig,
+    Replacement,
+    SetAssociativeCache,
+)
+
+
+def small_cache(assoc=2, sets=4, line=64, repl=Replacement.LRU):
+    return SetAssociativeCache(
+        CacheConfig(
+            size_bytes=assoc * sets * line,
+            associativity=assoc,
+            line_size=line,
+            replacement=repl,
+        )
+    )
+
+
+class TestConfig:
+    def test_num_sets(self):
+        cfg = CacheConfig(size_bytes=32 * 1024, associativity=8, line_size=64)
+        assert cfg.num_sets == 64
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0, associativity=1)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, associativity=3, line_size=64)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=64 * 3, associativity=1, line_size=63)
+
+    def test_rejects_non_pow2_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=3 * 64, associativity=1, line_size=64)
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert not c.access_line(0, is_store=False).hit
+        assert c.access_line(0, is_store=False).hit
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_different_sets_do_not_conflict(self):
+        c = small_cache(assoc=1, sets=4)
+        for i in range(4):
+            c.access_line(i * 64, is_store=False)
+        assert c.stats.misses == 4
+        for i in range(4):
+            assert c.access_line(i * 64, is_store=False).hit
+
+    def test_conflict_eviction(self):
+        c = small_cache(assoc=1, sets=4)
+        a, b = 0, 4 * 64  # same set, different tags
+        c.access_line(a, is_store=False)
+        res = c.access_line(b, is_store=False)
+        assert not res.hit
+        assert res.evicted_addr == a
+        assert not c.contains(a)
+        assert c.contains(b)
+
+    def test_clean_eviction_reports_no_writeback(self):
+        c = small_cache(assoc=1, sets=1)
+        c.access_line(0, is_store=False)
+        res = c.access_line(64, is_store=False)
+        assert res.writeback_addr is None
+        assert res.evicted_addr == 0
+
+    def test_dirty_eviction_reports_writeback(self):
+        c = small_cache(assoc=1, sets=1)
+        c.access_line(0, is_store=True)
+        res = c.access_line(64, is_store=False)
+        assert res.writeback_addr == 0
+        assert c.stats.writebacks == 1
+
+    def test_store_hit_marks_dirty(self):
+        c = small_cache()
+        c.access_line(0, is_store=False)
+        c.access_line(0, is_store=True)
+        assert c.is_dirty(0)
+
+    def test_invalidate(self):
+        c = small_cache()
+        c.access_line(0, is_store=True)
+        assert c.invalidate(0) is True
+        assert not c.contains(0)
+        assert c.invalidate(0) is False
+
+    def test_flush_dirty(self):
+        c = small_cache(assoc=4, sets=2)
+        c.access_line(0, is_store=True)
+        c.access_line(64, is_store=False)
+        c.access_line(128, is_store=True)
+        dirty = sorted(c.flush_dirty())
+        assert dirty == [0, 128]
+        # Lines remain resident but clean.
+        assert c.contains(0) and not c.is_dirty(0)
+
+    def test_resident_lines(self):
+        c = small_cache(assoc=2, sets=2)
+        for i in range(3):
+            c.access_line(i * 64, is_store=False)
+        assert c.resident_lines() == 3
+
+
+class TestLRU:
+    def test_lru_victim_is_least_recent(self):
+        c = small_cache(assoc=2, sets=1)
+        c.access_line(0, is_store=False)
+        c.access_line(64, is_store=False)
+        c.access_line(0, is_store=False)  # touch 0 -> 64 is LRU
+        res = c.access_line(128, is_store=False)
+        assert res.evicted_addr == 64
+        assert c.contains(0)
+
+    def test_fifo_ignores_touches(self):
+        c = small_cache(assoc=2, sets=1, repl=Replacement.FIFO)
+        c.access_line(0, is_store=False)
+        c.access_line(64, is_store=False)
+        c.access_line(0, is_store=False)  # touch does not save 0
+        res = c.access_line(128, is_store=False)
+        assert res.evicted_addr == 0
+
+    def test_random_policy_deterministic_with_seed(self):
+        def evictions(seed):
+            c = SetAssociativeCache(
+                CacheConfig(4 * 64, 4, 64, Replacement.RANDOM, seed=seed)
+            )
+            out = []
+            for i in range(32):
+                r = c.access_line(i * 64 * 1, is_store=False)
+                out.append(r.evicted_addr)
+            return out
+
+        assert evictions(1) == evictions(1)
+
+    def test_working_set_within_capacity_never_re_misses(self):
+        c = small_cache(assoc=4, sets=8)
+        lines = [i * 64 for i in range(32)]  # exactly capacity
+        for addr in lines:
+            c.access_line(addr, is_store=False)
+        for addr in lines:
+            assert c.access_line(addr, is_store=False).hit
+
+
+class TestReferenceModel:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 63), st.booleans()),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    def test_matches_dict_reference_lru(self, ops):
+        """Property: the cache agrees with a straightforward per-set
+        LRU reference model on hits, evictions and dirtiness."""
+        assoc, sets, line = 2, 4, 64
+        cache = small_cache(assoc=assoc, sets=sets, line=line)
+        ref: dict[int, list[tuple[int, bool]]] = {s: [] for s in range(sets)}
+
+        for line_no, is_store in ops:
+            addr = line_no * line
+            s = line_no % sets
+            tag = line_no // sets
+            entry = next(((t, d) for t, d in ref[s] if t == tag), None)
+            expect_hit = entry is not None
+            res = cache.access_line(addr, is_store=is_store)
+            assert res.hit == expect_hit
+            if expect_hit:
+                ref[s].remove(entry)
+                ref[s].append((tag, entry[1] or is_store))
+            else:
+                if len(ref[s]) >= assoc:
+                    vt, vd = ref[s].pop(0)
+                    vaddr = (vt * sets + s) * line
+                    if vd:
+                        assert res.writeback_addr == vaddr
+                    else:
+                        assert res.evicted_addr == vaddr
+                ref[s].append((tag, is_store))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32), st.integers(1, 400))
+    def test_occupancy_never_exceeds_capacity(self, seed, n):
+        rng = random.Random(seed)
+        c = small_cache(assoc=2, sets=4)
+        for _ in range(n):
+            c.access_line(rng.randrange(256) * 64, is_store=rng.random() < 0.5)
+        assert c.resident_lines() <= 8

@@ -1,0 +1,171 @@
+"""Tests for trace persistence (save/load/summary)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cache.tracefile import (
+    MAGIC,
+    TraceFormatError,
+    format_record,
+    load_trace,
+    parse_record,
+    save_trace,
+    trace_summary,
+)
+from repro.cache.tracer import MemoryTracer, TraceRecord
+from repro.core.request import Access, MemoryRequest, RequestType
+
+
+def rec(cycle=0, line=0, rtype=RequestType.LOAD, requested=8, **flags):
+    if rtype is RequestType.FENCE:
+        request = MemoryRequest(addr=0, rtype=rtype)
+    else:
+        request = MemoryRequest(addr=line * 64, rtype=rtype, requested_bytes=requested)
+    return TraceRecord(request=request, cycle=cycle, **flags)
+
+
+class TestRecordFormat:
+    def test_roundtrip_simple(self):
+        r = rec(cycle=12, line=5, requested=4)
+        back = parse_record(format_record(r))
+        assert back.cycle == 12
+        assert back.request.addr == 5 * 64
+        assert back.request.requested_bytes == 4
+        assert back.request.rtype is RequestType.LOAD
+
+    def test_roundtrip_flags(self):
+        r = rec(cycle=3, line=1, rtype=RequestType.STORE, is_writeback=True)
+        back = parse_record(format_record(r))
+        assert back.is_writeback and not back.is_secondary
+
+    def test_fence(self):
+        r = rec(cycle=9, rtype=RequestType.FENCE)
+        back = parse_record(format_record(r))
+        assert back.request.is_fence
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "1 L 0x40",  # too few fields
+            "x L 0x40 64 8 -",  # bad cycle
+            "1 Q 0x40 64 8 -",  # bad type
+            "1 L zz 64 8 -",  # bad addr
+            "-1 L 0x40 64 8 -",  # negative cycle
+            "1 L 0x40 64 8 xyz",  # bad flags
+        ],
+    )
+    def test_malformed_lines(self, bad):
+        with pytest.raises(TraceFormatError):
+            parse_record(bad, lineno=7)
+
+    @settings(max_examples=40)
+    @given(
+        st.integers(0, 10**6),
+        st.integers(0, 10**9),
+        st.sampled_from([RequestType.LOAD, RequestType.STORE]),
+        st.integers(1, 64),
+        st.booleans(),
+        st.booleans(),
+    )
+    def test_roundtrip_property(self, cycle, line, rtype, requested, wb, sec):
+        r = rec(
+            cycle=cycle,
+            line=line,
+            rtype=rtype,
+            requested=requested,
+            is_writeback=wb,
+            is_secondary=sec,
+        )
+        back = parse_record(format_record(r))
+        assert (back.cycle, back.request.addr, back.request.rtype) == (
+            cycle,
+            line * 64,
+            rtype,
+        )
+        assert back.request.requested_bytes == requested
+        assert (back.is_writeback, back.is_secondary) == (wb, sec)
+
+
+class TestFileIO:
+    def _records(self, n=20):
+        return [rec(cycle=i * 2, line=i, requested=8) for i in range(n)]
+
+    def test_save_and_load(self, tmp_path):
+        path = save_trace(self._records(), tmp_path / "t.trace")
+        assert path.read_text().startswith(MAGIC)
+        loaded = list(load_trace(path))
+        assert len(loaded) == 20
+        assert [r.cycle for r in loaded] == [i * 2 for i in range(20)]
+
+    def test_bad_header(self, tmp_path):
+        p = tmp_path / "bad.trace"
+        p.write_text("not a trace\n")
+        with pytest.raises(TraceFormatError, match="header"):
+            list(load_trace(p))
+
+    def test_non_monotone_cycles_rejected(self, tmp_path):
+        p = tmp_path / "t.trace"
+        p.write_text(MAGIC + "\n5 L 0x0 64 8 -\n3 L 0x40 64 8 -\n")
+        with pytest.raises(TraceFormatError, match="non-decreasing"):
+            list(load_trace(p))
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        p = tmp_path / "t.trace"
+        p.write_text(MAGIC + "\n# a comment\n\n1 L 0x0 64 8 -  # inline\n")
+        assert len(list(load_trace(p))) == 1
+
+    def test_summary(self, tmp_path):
+        records = [
+            rec(cycle=0, line=0),
+            rec(cycle=1, line=1, rtype=RequestType.STORE, is_writeback=True),
+            rec(cycle=2, rtype=RequestType.FENCE),
+        ]
+        path = save_trace(records, tmp_path / "t.trace")
+        s = trace_summary(path)
+        assert s["loads"] == 1 and s["stores"] == 1 and s["fences"] == 1
+        assert s["writebacks"] == 1
+        assert s["first_cycle"] == 0 and s["last_cycle"] == 2
+
+
+class TestEndToEnd:
+    def test_real_trace_roundtrips_and_replays(self, tmp_path):
+        """Trace a workload, save it, reload it, and feed the replay
+        through a coalescer: identical results to the live stream."""
+        from repro.core.coalescer import MemoryCoalescer
+        from repro.core.config import CoalescerConfig
+        from repro.workloads import get_workload
+
+        def make_tracer():
+            h = CacheHierarchy(
+                HierarchyConfig(
+                    num_cores=4,
+                    l1_size=4 * 1024,
+                    l1_assoc=2,
+                    l2_size=16 * 1024,
+                    l2_assoc=4,
+                    llc_size=64 * 1024,
+                    llc_assoc=8,
+                )
+            )
+            return MemoryTracer(h, cycles_per_access=0.25)
+
+        w = get_workload("STREAM", num_threads=4, seed=3)
+        live = list(make_tracer().trace(w.accesses(3000)))
+        path = save_trace(live, tmp_path / "stream.trace")
+
+        def run(records):
+            co = MemoryCoalescer(CoalescerConfig(), service_time=330)
+            last = 0
+            for r in records:
+                co.push(r.request, r.cycle)
+                last = r.cycle
+            co.flush(last + 1)
+            return co.stats()
+
+        a = run(live)
+        b = run(list(load_trace(path)))
+        assert a.hmc_requests == b.hmc_requests
+        assert a.llc_requests == b.llc_requests
+        assert abs(a.coalescing_efficiency - b.coalescing_efficiency) < 1e-12

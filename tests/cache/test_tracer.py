@@ -1,0 +1,87 @@
+"""Tests for the memory tracer."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cache.tracer import MemoryTracer
+from repro.core.request import Access, RequestType
+
+
+def tiny_tracer(cycles_per_access=1.0):
+    h = CacheHierarchy(
+        HierarchyConfig(
+            num_cores=2,
+            l1_size=4 * 1024,
+            l1_assoc=2,
+            l2_size=16 * 1024,
+            l2_assoc=4,
+            llc_size=64 * 1024,
+            llc_assoc=8,
+        )
+    )
+    return MemoryTracer(h, cycles_per_access=cycles_per_access)
+
+
+class TestTracer:
+    def test_cycles_advance_per_access(self):
+        t = tiny_tracer(cycles_per_access=3)
+        accesses = [Access(addr=i * 4096, size=8) for i in range(4)]
+        records = t.trace_list(accesses)
+        assert [r.cycle for r in records] == [0, 3, 6, 9]
+
+    def test_fractional_pacing_respects_llc_port(self):
+        """Two accesses share a CPU cycle, but the LLC emits at most
+        one request per cycle (the port limit)."""
+        t = tiny_tracer(cycles_per_access=0.5)
+        accesses = [Access(addr=i * 4096, size=8) for i in range(4)]
+        records = t.trace_list(accesses)
+        assert [r.cycle for r in records] == [0, 1, 2, 3]
+
+    def test_fractional_pacing_without_port_limit(self):
+        h = tiny_tracer().hierarchy
+        t = MemoryTracer(h, cycles_per_access=0.5, llc_port_cycles=0)
+        accesses = [Access(addr=(100 + i) * 4096, size=8) for i in range(4)]
+        records = t.trace_list(accesses)
+        assert [r.cycle for r in records] == [0, 0, 1, 1]
+
+    def test_rejects_nonpositive_pacing(self):
+        with pytest.raises(ValueError):
+            MemoryTracer(cycles_per_access=0)
+
+    def test_stats(self):
+        t = tiny_tracer()
+        accesses = [Access(addr=i * 4096, size=16) for i in range(10)]
+        accesses += [Access(addr=0, size=16)]  # warm hit
+        records = t.trace_list(accesses)
+        assert t.stats.cpu_accesses == 11
+        assert t.stats.llc_requests == 10
+        assert len(records) == 10
+        assert t.stats.requested_bytes == 160
+        assert t.stats.miss_fraction == pytest.approx(10 / 11)
+
+    def test_lazy_generator(self):
+        t = tiny_tracer()
+        gen = t.trace(Access(addr=i * 4096, size=8) for i in range(5))
+        first = next(gen)
+        assert first.request.addr == 0
+        assert t.stats.cpu_accesses >= 1
+
+    def test_fence_not_counted_in_llc_stats(self):
+        t = tiny_tracer()
+        records = t.trace_list([Access(addr=0, size=0, rtype=RequestType.FENCE)])
+        assert len(records) == 1
+        assert records[0].request.is_fence
+        assert t.stats.llc_requests == 0
+
+    def test_writebacks_flagged(self):
+        t = tiny_tracer()
+        n_lines = (64 * 1024 // 64) * 3
+        accesses = (
+            Access(addr=i * 64, size=8, rtype=RequestType.STORE)
+            for i in range(n_lines)
+        )
+        records = t.trace_list(accesses)
+        wb = [r for r in records if r.is_writeback]
+        assert wb
+        assert t.stats.writebacks == len(wb)
+        assert all(r.request.rtype is RequestType.STORE for r in wb)

@@ -1,0 +1,131 @@
+"""Tests for the extended-address encoding (Section 3.4, Figure 5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.address import (
+    AddressExtension,
+    CACHE_LINE_SIZE,
+    INVALID_KEY,
+    PHYS_ADDR_BITS,
+    PHYS_ADDR_MASK,
+    TYPE_BIT,
+    VALID_BIT,
+    extend_address,
+    invalid_key,
+    key_address,
+    key_is_store,
+    key_is_valid,
+    line_base,
+    line_index,
+    line_offset,
+    lines_spanned,
+)
+
+addresses = st.integers(min_value=0, max_value=PHYS_ADDR_MASK)
+
+
+class TestBitLayout:
+    def test_constants_match_paper(self):
+        assert PHYS_ADDR_BITS == 52
+        assert TYPE_BIT == 52
+        assert VALID_BIT == 53
+        assert CACHE_LINE_SIZE == 64
+
+    def test_load_key_is_raw_address(self):
+        assert extend_address(0x1234, is_store=False) == 0x1234
+
+    def test_store_key_sets_bit_52(self):
+        key = extend_address(0x1234, is_store=True)
+        assert key == 0x1234 | (1 << 52)
+
+    def test_every_store_key_exceeds_every_load_key(self):
+        max_load = extend_address(PHYS_ADDR_MASK, is_store=False)
+        min_store = extend_address(0, is_store=True)
+        assert min_store > max_load
+
+    def test_invalid_key_exceeds_every_valid_key(self):
+        max_store = extend_address(PHYS_ADDR_MASK, is_store=True)
+        assert invalid_key() > max_store
+
+    def test_invalid_key_value(self):
+        assert invalid_key() == INVALID_KEY
+        assert not key_is_valid(INVALID_KEY)
+
+    def test_address_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            extend_address(1 << 52, is_store=False)
+        with pytest.raises(ValueError):
+            extend_address(-1, is_store=True)
+
+
+class TestKeyRoundTrip:
+    @given(addresses, st.booleans())
+    def test_encode_decode_roundtrip(self, addr, is_store):
+        key = extend_address(addr, is_store=is_store)
+        assert key_address(key) == addr
+        assert key_is_store(key) is is_store
+        assert key_is_valid(key)
+
+    @given(addresses, st.booleans())
+    def test_dataclass_roundtrip(self, addr, is_store):
+        key = extend_address(addr, is_store=is_store)
+        ext = AddressExtension.decode(key)
+        assert ext.address == addr
+        assert ext.is_store is is_store
+        assert ext.is_valid
+        assert ext.encode() == key
+
+    def test_invalid_decode(self):
+        ext = AddressExtension.decode(invalid_key())
+        assert not ext.is_valid
+        assert ext.encode() == invalid_key()
+
+    @given(addresses, st.booleans())
+    def test_type_separation_is_total_order(self, addr, is_store):
+        """Sorting keys must order all loads before all stores."""
+        load = extend_address(addr, is_store=False)
+        store = extend_address(addr, is_store=True)
+        assert load < store
+
+
+class TestLineArithmetic:
+    @given(addresses)
+    def test_line_base_is_aligned(self, addr):
+        base = line_base(addr)
+        assert base % CACHE_LINE_SIZE == 0
+        assert base <= addr < base + CACHE_LINE_SIZE
+
+    @given(addresses)
+    def test_line_decomposition(self, addr):
+        assert line_index(addr) * CACHE_LINE_SIZE + line_offset(addr) == addr
+
+    def test_lines_spanned_single(self):
+        assert lines_spanned(0, 1) == 1
+        assert lines_spanned(63, 1) == 1
+        assert lines_spanned(0, 64) == 1
+
+    def test_lines_spanned_straddles(self):
+        assert lines_spanned(63, 2) == 2
+        assert lines_spanned(60, 8) == 2
+        assert lines_spanned(0, 65) == 2
+        assert lines_spanned(0, 256) == 4
+
+    def test_lines_spanned_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            lines_spanned(0, 0)
+
+    @given(addresses, st.integers(min_value=1, max_value=256))
+    def test_lines_spanned_bounds(self, addr, size):
+        n = lines_spanned(addr, size)
+        assert 1 <= n <= (size // CACHE_LINE_SIZE) + 2
+        # The span covers the access exactly.
+        first = line_index(addr)
+        last = line_index(addr + size - 1)
+        assert n == last - first + 1
+
+    def test_custom_line_size(self):
+        assert line_base(300, line_size=256) == 256
+        assert line_index(300, line_size=256) == 1
+        assert line_offset(300, line_size=256) == 44

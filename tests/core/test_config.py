@@ -1,0 +1,92 @@
+"""Tests for CoalescerConfig validation and derived values."""
+
+import pytest
+
+from repro.core.config import (
+    CoalescerConfig,
+    DMC_ONLY_CONFIG,
+    MSHR_ONLY_CONFIG,
+    PAPER_CONFIG,
+    UNCOALESCED_CONFIG,
+)
+
+
+class TestValidation:
+    def test_defaults_match_paper(self):
+        cfg = CoalescerConfig()
+        assert cfg.sorter_width == 16
+        assert cfg.num_mshrs == 16
+        assert cfg.max_packet_bytes == 256
+        assert cfg.line_size == 64
+        assert cfg.clock_ghz == 3.3
+
+    @pytest.mark.parametrize("bad", [0, 1, 3, 6, 12])
+    def test_sorter_width_power_of_two(self, bad):
+        with pytest.raises(ValueError):
+            CoalescerConfig(sorter_width=bad)
+
+    def test_pipeline_mode_validated(self):
+        with pytest.raises(ValueError):
+            CoalescerConfig(pipeline_stages="bogus")
+
+    def test_num_mshrs_positive(self):
+        with pytest.raises(ValueError):
+            CoalescerConfig(num_mshrs=0)
+
+    def test_packet_must_be_line_multiple(self):
+        with pytest.raises(ValueError):
+            CoalescerConfig(max_packet_bytes=100)
+
+    def test_packet_lines_must_be_legal(self):
+        # 512 B (8 lines) is the future-scaling maximum; beyond is rejected.
+        CoalescerConfig(max_packet_bytes=64 * 8)
+        with pytest.raises(ValueError):
+            CoalescerConfig(max_packet_bytes=64 * 16)
+        with pytest.raises(ValueError):
+            CoalescerConfig(max_packet_bytes=64 * 3)
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            CoalescerConfig(timeout_cycles=-1)
+
+    def test_clock_positive(self):
+        with pytest.raises(ValueError):
+            CoalescerConfig(clock_ghz=0)
+
+
+class TestDerived:
+    def test_crq_depth_defaults_to_mshrs(self):
+        assert CoalescerConfig(num_mshrs=24).effective_crq_depth == 24
+        assert CoalescerConfig(crq_depth=8).effective_crq_depth == 8
+
+    def test_max_packet_lines(self):
+        assert CoalescerConfig(max_packet_bytes=256).max_packet_lines == 4
+        assert CoalescerConfig(max_packet_bytes=128).max_packet_lines == 2
+        assert CoalescerConfig(max_packet_bytes=64).max_packet_lines == 1
+
+    def test_cycle_conversion(self):
+        cfg = CoalescerConfig(clock_ghz=2.0)
+        assert cfg.cycle_ns == pytest.approx(0.5)
+        assert cfg.cycles_to_ns(10) == pytest.approx(5.0)
+
+    def test_paper_timing_example(self):
+        """Section 4.1: 3 tau = 12 cycles is about 3.64 ns at 3.3 GHz."""
+        cfg = CoalescerConfig()
+        assert cfg.cycles_to_ns(12) == pytest.approx(3.64, abs=0.01)
+
+
+class TestPresets:
+    def test_paper_config_enables_both_phases(self):
+        assert PAPER_CONFIG.enable_dmc and PAPER_CONFIG.enable_mshr_coalescing
+
+    def test_mshr_only(self):
+        assert not MSHR_ONLY_CONFIG.enable_dmc
+        assert MSHR_ONLY_CONFIG.enable_mshr_coalescing
+
+    def test_dmc_only(self):
+        assert DMC_ONLY_CONFIG.enable_dmc
+        assert not DMC_ONLY_CONFIG.enable_mshr_coalescing
+
+    def test_uncoalesced(self):
+        assert not UNCOALESCED_CONFIG.enable_dmc
+        assert not UNCOALESCED_CONFIG.enable_mshr_coalescing

@@ -1,0 +1,126 @@
+"""Tests for the coalesced request queue (Sections 3.2.2, 5.3.3)."""
+
+import pytest
+
+from repro.core.crq import CoalescedRequestQueue
+from repro.core.request import CoalescedRequest, RequestType
+
+
+def packet(line=0, num=1, store=False):
+    return CoalescedRequest(
+        addr=line * 64,
+        num_lines=num,
+        rtype=RequestType.STORE if store else RequestType.LOAD,
+    )
+
+
+class TestFIFO:
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CoalescedRequestQueue(0)
+
+    def test_push_pop_order(self):
+        q = CoalescedRequestQueue(4)
+        pkts = [packet(i * 4) for i in range(3)]
+        for i, p in enumerate(pkts):
+            assert q.push(p, cycle=i)
+        assert [q.pop() for _ in range(3)] == pkts
+        assert q.is_empty
+
+    def test_peek_does_not_remove(self):
+        q = CoalescedRequestQueue(2)
+        p = packet()
+        q.push(p, 0)
+        assert q.peek() is p
+        assert len(q) == 1
+
+    def test_peek_empty(self):
+        assert CoalescedRequestQueue(2).peek() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            CoalescedRequestQueue(2).pop()
+
+    def test_backpressure_when_full(self):
+        q = CoalescedRequestQueue(2)
+        assert q.push(packet(0), 0)
+        assert q.push(packet(4), 1)
+        assert q.is_full
+        assert not q.push(packet(8), 2)
+        assert len(q) == 2
+
+    def test_remove_specific(self):
+        q = CoalescedRequestQueue(4)
+        a, b, c = packet(0), packet(4), packet(8)
+        for i, p in enumerate((a, b, c)):
+            q.push(p, i)
+        q.remove(b)
+        assert [q.pop(), q.pop()] == [a, c]
+
+    def test_remove_missing_raises(self):
+        q = CoalescedRequestQueue(4)
+        q.push(packet(0), 0)
+        with pytest.raises(ValueError):
+            q.remove(packet(4))
+
+    def test_replace_preserves_position(self):
+        q = CoalescedRequestQueue(8)
+        a, b, c = packet(0), packet(4, num=2), packet(8)
+        for i, p in enumerate((a, b, c)):
+            q.push(p, i)
+        b1, b2 = packet(4), packet(5)
+        q.replace(b, [b1, b2])
+        assert [q.pop() for _ in range(4)] == [a, b1, b2, c]
+
+    def test_replace_missing_raises(self):
+        q = CoalescedRequestQueue(4)
+        with pytest.raises(ValueError):
+            q.replace(packet(0), [packet(4)])
+
+
+class TestFillAccounting:
+    def test_fill_time_spans_depth_pushes(self):
+        q = CoalescedRequestQueue(3)
+        q.push(packet(0), cycle=10)
+        q.push(packet(4), cycle=14)
+        q.push(packet(8), cycle=22)
+        assert q.stats.fills == 1
+        assert q.stats.total_fill_cycles == 12  # 22 - 10
+
+    def test_fill_windows_ignore_drain(self):
+        """The metric measures packet *production* time: popping while
+        the window accumulates must not reset it."""
+        q = CoalescedRequestQueue(2)
+        q.push(packet(0), cycle=0)
+        q.pop()
+        q.push(packet(4), cycle=100)
+        assert q.stats.fills == 1
+        assert q.stats.total_fill_cycles == 100
+
+    def test_mean_fill(self):
+        q = CoalescedRequestQueue(2)
+        q.push(packet(0), 0)
+        q.push(packet(4), 10)
+        q.pop(), q.pop()
+        q.push(packet(8), 20)
+        q.push(packet(12), 24)
+        assert q.stats.fills == 2
+        assert q.stats.mean_fill_cycles() == pytest.approx(7.0)
+
+    def test_mean_fill_no_fills(self):
+        assert CoalescedRequestQueue(4).stats.mean_fill_cycles() == 0.0
+
+    def test_max_occupancy(self):
+        q = CoalescedRequestQueue(8)
+        for i in range(5):
+            q.push(packet(i * 4), i)
+        q.pop()
+        assert q.stats.max_occupancy == 5
+
+    def test_push_pop_counters(self):
+        q = CoalescedRequestQueue(4)
+        q.push(packet(0), 0)
+        q.push(packet(4), 1)
+        q.pop()
+        assert q.stats.pushes == 2
+        assert q.stats.pops == 1

@@ -1,0 +1,240 @@
+"""Tests for the DMC unit (first-phase coalescing; Sections 3.5, 4.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import CoalescerConfig
+from repro.core.dmc import DMCUnit, split_aligned_runs
+from repro.core.request import MemoryRequest, RequestType
+
+
+def reqs(lines, store=False, requested=8):
+    return [
+        MemoryRequest(
+            addr=ln * 64,
+            rtype=RequestType.STORE if store else RequestType.LOAD,
+            requested_bytes=requested,
+        )
+        for ln in lines
+    ]
+
+
+def coalesce(lines, store=False, config=None):
+    unit = DMCUnit(config or CoalescerConfig())
+    packets, _ = unit.coalesce(reqs(lines, store=store))
+    return unit, packets
+
+
+class TestSplitAlignedRuns:
+    def test_single_line(self):
+        assert split_aligned_runs([5], 4) == [(5, 1)]
+
+    def test_aligned_quad(self):
+        assert split_aligned_runs([8, 9, 10, 11], 4) == [(8, 4)]
+
+    def test_aligned_pair(self):
+        assert split_aligned_runs([2, 3], 4) == [(2, 2)]
+
+    def test_misaligned_run_splits(self):
+        # Lines 1..4: 1 alone, (2,3) pair, 4 alone.
+        assert split_aligned_runs([1, 2, 3, 4], 4) == [(1, 1), (2, 2), (4, 1)]
+
+    def test_long_run_splits_into_quads(self):
+        assert split_aligned_runs(list(range(0, 8)), 4) == [(0, 4), (4, 4)]
+
+    def test_run_of_three_aligned(self):
+        assert split_aligned_runs([4, 5, 6], 4) == [(4, 2), (6, 1)]
+
+    def test_disjoint_runs(self):
+        assert split_aligned_runs([0, 1, 10, 11, 20], 4) == [(0, 2), (10, 2), (20, 1)]
+
+    def test_max_lines_one_forces_singles(self):
+        assert split_aligned_runs([0, 1, 2, 3], 1) == [(0, 1), (1, 1), (2, 1), (3, 1)]
+
+    def test_max_lines_two(self):
+        assert split_aligned_runs([0, 1, 2, 3], 2) == [(0, 2), (2, 2)]
+
+    def test_invalid_max_lines(self):
+        with pytest.raises(ValueError):
+            split_aligned_runs([0], 3)
+
+    @given(
+        st.sets(st.integers(0, 200), min_size=1, max_size=40),
+        st.sampled_from([1, 2, 4]),
+    )
+    def test_chunks_cover_exactly_the_input(self, lines, max_lines):
+        """Property: chunks partition the input lines -- nothing lost,
+        nothing added, no overlap, all aligned, sizes legal."""
+        sorted_lines = sorted(lines)
+        chunks = split_aligned_runs(sorted_lines, max_lines)
+        covered = []
+        for base, num in chunks:
+            assert num in (1, 2, 4) and num <= max_lines
+            assert base % num == 0, "chunks must be naturally aligned"
+            covered.extend(range(base, base + num))
+        assert sorted(covered) == sorted_lines
+
+
+class TestFirstPhaseCoalescing:
+    def test_contiguous_quad_coalesces(self):
+        unit, packets = coalesce([0, 1, 2, 3])
+        assert len(packets) == 1
+        assert packets[0].num_lines == 4
+        assert packets[0].size == 256
+        assert unit.stats.requests_eliminated == 3
+
+    def test_identical_lines_merge(self):
+        """Requests to the same line are 'identical' and always merge."""
+        unit, packets = coalesce([5, 5, 5])
+        assert len(packets) == 1
+        assert packets[0].num_lines == 1
+        assert len(packets[0].constituents) == 3
+
+    def test_sparse_requests_pass_through(self):
+        unit, packets = coalesce([0, 10, 20, 30])
+        assert len(packets) == 4
+        assert all(p.num_lines == 1 for p in packets)
+        assert unit.stats.requests_eliminated == 0
+
+    def test_max_packet_size_respected(self):
+        """A 6-line run must not exceed the 256 B packet."""
+        unit, packets = coalesce(list(range(0, 6)))
+        assert sum(p.num_lines for p in packets) == 6
+        assert all(p.num_lines <= 4 for p in packets)
+        assert len(packets) == 2  # (0-3) + (4-5)
+
+    def test_group_restart_after_max(self):
+        _, packets = coalesce(list(range(0, 8)))
+        assert [(p.base_line, p.num_lines) for p in packets] == [(0, 4), (4, 4)]
+
+    def test_misaligned_run_is_split_aligned(self):
+        _, packets = coalesce([1, 2, 3, 4])
+        assert [(p.base_line, p.num_lines) for p in packets] == [
+            (1, 1),
+            (2, 2),
+            (4, 1),
+        ]
+
+    def test_types_never_mix(self):
+        """Adjacent load and store lines must not coalesce."""
+        unit = DMCUnit(CoalescerConfig())
+        sequence = reqs([0], store=False) + reqs([1], store=True)
+        packets, _ = unit.coalesce(sequence)
+        assert len(packets) == 2
+        assert packets[0].rtype is RequestType.LOAD
+        assert packets[1].rtype is RequestType.STORE
+
+    def test_store_runs_coalesce(self):
+        _, packets = coalesce([4, 5, 6, 7], store=True)
+        assert len(packets) == 1
+        assert packets[0].is_store
+
+    def test_constituents_preserved(self):
+        _, packets = coalesce([0, 1, 1, 2, 3])
+        assert len(packets) == 1
+        assert len(packets[0].constituents) == 5
+        assert packets[0].requested_bytes == 5 * 8
+
+    def test_empty_sequence(self):
+        unit = DMCUnit(CoalescerConfig())
+        packets, done = unit.coalesce([], start_cycle=7)
+        assert packets == []
+        assert done == 7
+
+    def test_max_packet_128_config(self):
+        cfg = CoalescerConfig(max_packet_bytes=128)
+        _, packets = coalesce(list(range(0, 4)), config=cfg)
+        assert [(p.base_line, p.num_lines) for p in packets] == [(0, 2), (2, 2)]
+
+    def test_size_field_encoding(self):
+        _, packets = coalesce([0, 1, 2, 3])
+        assert packets[0].size_field == 0b10
+        _, packets = coalesce([0, 1])
+        assert packets[0].size_field == 0b01
+        _, packets = coalesce([0])
+        assert packets[0].size_field == 0b00
+
+
+class TestDMCTiming:
+    def test_latency_grows_with_merges(self):
+        """Section 5.3.3: coalescable sequences spend longer in the
+        coalescing stage (the FT observation)."""
+        sparse = DMCUnit(CoalescerConfig())
+        sparse.coalesce(reqs([i * 10 for i in range(16)]))
+        dense = DMCUnit(CoalescerConfig())
+        dense.coalesce(reqs(list(range(16))))
+        assert (
+            dense.stats.total_latency_cycles > sparse.stats.total_latency_cycles
+        )
+
+    def test_uncoalescable_latency_is_one_compare_each(self):
+        unit = DMCUnit(CoalescerConfig())
+        _, done = unit.coalesce(reqs([0, 10, 20, 30]), start_cycle=0)
+        assert unit.stats.comparisons == 4
+        assert unit.stats.merges == 0
+        assert done == 4 * 2  # compare_cycles = 2
+
+    def test_mean_latency(self):
+        unit = DMCUnit(CoalescerConfig())
+        unit.coalesce(reqs([0, 1]))
+        unit.coalesce(reqs([10, 20]))
+        assert unit.stats.sequences == 2
+        assert unit.stats.mean_latency_cycles() == pytest.approx(
+            unit.stats.total_latency_cycles / 2
+        )
+
+
+class TestDMCProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 300), st.booleans()),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    def test_byte_coverage_preserved(self, items):
+        """Property: the union of lines covered by the output packets
+        equals the set of requested lines, per type, and every
+        constituent request is preserved exactly once."""
+        sequence = [
+            MemoryRequest(
+                addr=ln * 64,
+                rtype=RequestType.STORE if store else RequestType.LOAD,
+            )
+            for ln, store in items
+        ]
+        # DMC consumes sorted runs (the pipeline guarantees order).
+        sequence.sort(key=lambda r: r.sort_key())
+        unit = DMCUnit(CoalescerConfig())
+        packets, _ = unit.coalesce(sequence)
+
+        for rtype in (RequestType.LOAD, RequestType.STORE):
+            want = {r.line for r in sequence if r.rtype is rtype}
+            got = set()
+            for p in packets:
+                if p.rtype is rtype:
+                    got |= set(p.lines)
+            assert got == want
+
+        ids_in = sorted(r.request_id for r in sequence)
+        ids_out = sorted(
+            r.request_id for p in packets for r in p.constituents
+        )
+        assert ids_in == ids_out
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=16))
+    def test_never_more_packets_than_requests(self, lines):
+        sequence = reqs(sorted(lines))
+        unit = DMCUnit(CoalescerConfig())
+        packets, _ = unit.coalesce(sequence)
+        assert 1 <= len(packets) <= len(sequence)
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=16))
+    def test_packets_aligned_and_legal(self, lines):
+        sequence = reqs(sorted(lines))
+        unit = DMCUnit(CoalescerConfig())
+        packets, _ = unit.coalesce(sequence)
+        for p in packets:
+            assert p.num_lines in (1, 2, 4)
+            assert p.base_line % p.num_lines == 0

@@ -1,0 +1,285 @@
+"""Tests for the dynamic MSHR file (Sections 3.2.3, 3.5; Figure 6)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import CoalescerConfig
+from repro.core.mshr import DynamicMSHRFile, InsertOutcome, MSHREntry
+from repro.core.request import CoalescedRequest, MemoryRequest, RequestType
+
+
+def line_request(line, store=False):
+    return MemoryRequest(
+        addr=line * 64,
+        rtype=RequestType.STORE if store else RequestType.LOAD,
+    )
+
+
+def packet(base_line, num=1, store=False):
+    rtype = RequestType.STORE if store else RequestType.LOAD
+    return CoalescedRequest(
+        addr=base_line * 64,
+        num_lines=num,
+        rtype=rtype,
+        constituents=[line_request(base_line + k, store) for k in range(num)],
+    )
+
+
+SERVICE = 300
+
+
+class TestEntryFields:
+    def test_size_field_encoding(self):
+        """00 = 64 B, 01 = 128 B, 10 = 256 B (Section 3.2.3)."""
+        e = MSHREntry(index=0, num_lines=1)
+        assert e.size_field == 0b00
+        e.num_lines = 2
+        assert e.size_field == 0b01
+        e.num_lines = 4
+        assert e.size_field == 0b10
+
+    def test_t_bit(self):
+        e = MSHREntry(index=0, rtype=RequestType.LOAD)
+        assert e.t_bit == 0
+        e.rtype = RequestType.STORE
+        assert e.t_bit == 1
+
+    def test_subentry_address_equation(self):
+        """Equation 2: subentry.addr = entry.addr + lineID * line_size."""
+        file = DynamicMSHRFile(CoalescerConfig())
+        p = packet(0xA8, num=4)
+        outcome, _, entry = file.offer(p, 0, SERVICE)
+        assert outcome is InsertOutcome.ALLOCATED
+        for sub in entry.subentries:
+            assert sub.address_within(entry, 64) == sub.request.addr
+            assert 0 <= sub.line_id < 4
+
+    def test_line_id_of_out_of_range(self):
+        e = MSHREntry(index=0, addr=0, num_lines=2, valid=True)
+        with pytest.raises(ValueError):
+            e.line_id_of(5, 64)
+
+
+class TestAllocation:
+    def test_allocate_until_full(self):
+        cfg = CoalescerConfig(num_mshrs=4)
+        file = DynamicMSHRFile(cfg)
+        for i in range(4):
+            outcome, _, entry = file.offer(packet(i * 10), i, SERVICE)
+            assert outcome is InsertOutcome.ALLOCATED
+            assert entry is not None
+        outcome, _, entry = file.offer(packet(100), 5, SERVICE)
+        assert outcome is InsertOutcome.FULL
+        assert entry is None
+        assert file.stats.rejected_full == 1
+
+    def test_completion_frees_entries(self):
+        cfg = CoalescerConfig(num_mshrs=2)
+        file = DynamicMSHRFile(cfg)
+        file.offer(packet(0), 0, 100)
+        file.offer(packet(10), 0, 200)
+        assert file.occupancy() == 2
+        done = file.pop_completions(100)
+        assert len(done) == 1
+        assert done[0].addr == 0
+        assert file.occupancy() == 1
+        assert file.free_entries() == 1
+
+    def test_completion_carries_subentries(self):
+        file = DynamicMSHRFile(CoalescerConfig())
+        p = packet(4, num=2)
+        file.offer(p, 0, 50)
+        done = file.pop_completions(50)
+        assert len(done[0].subentries) == 2
+
+    def test_all_idle(self):
+        file = DynamicMSHRFile(CoalescerConfig(num_mshrs=2))
+        assert file.all_idle
+        file.offer(packet(0), 0, 10)
+        assert not file.all_idle
+        file.pop_completions(10)
+        assert file.all_idle
+
+    def test_allocate_direct_bypasses_merging(self):
+        file = DynamicMSHRFile(CoalescerConfig())
+        file.offer(packet(0, num=4), 0, SERVICE)
+        entry = file.allocate_direct(packet(0), 0, SERVICE)
+        # Even though line 0 is outstanding, direct allocation makes a
+        # second entry (bypass path never merges).
+        assert entry is not None
+        assert file.occupancy() == 2
+
+
+class TestCaseA:
+    """Full-subset merges (Figure 6, case A)."""
+
+    def test_subset_request_merges_entirely(self):
+        file = DynamicMSHRFile(CoalescerConfig())
+        big = packet(0xA8, num=4)  # blocks 0xA8..0xAB, 256 B
+        file.offer(big, 0, SERVICE)
+        small = packet(0xA8, num=2)  # blocks 0xA8..0xA9, 128 B
+        outcome, rest, entry = file.offer(small, 1, SERVICE)
+        assert outcome is InsertOutcome.MERGED
+        assert rest == [] and entry is None
+        assert file.occupancy() == 1
+        assert file.stats.merged_full == 1
+
+    def test_merged_subentries_carry_line_ids(self):
+        """The paper's case A: request 1 (128 B @ 0xA8) merges into
+        MSHR 1 (256 B @ 0xA8) as subentries with line IDs 00 and 01."""
+        file = DynamicMSHRFile(CoalescerConfig())
+        _, _, entry = file.offer(packet(0xA8, num=4), 0, SERVICE)
+        file.offer(packet(0xA8, num=2), 1, SERVICE)
+        merged_ids = sorted(s.line_id for s in entry.subentries[4:])
+        assert merged_ids == [0, 1]
+
+    def test_identical_request_merges(self):
+        file = DynamicMSHRFile(CoalescerConfig())
+        file.offer(packet(7), 0, SERVICE)
+        outcome, _, _ = file.offer(packet(7), 1, SERVICE)
+        assert outcome is InsertOutcome.MERGED
+
+    def test_types_do_not_merge(self):
+        """The T bit participates in the comparison: a store to an
+        outstanding load line allocates its own entry."""
+        file = DynamicMSHRFile(CoalescerConfig())
+        file.offer(packet(7, store=False), 0, SERVICE)
+        outcome, _, _ = file.offer(packet(7, store=True), 1, SERVICE)
+        assert outcome is InsertOutcome.ALLOCATED
+        assert file.occupancy() == 2
+
+
+class TestCaseB:
+    """Partial-overlap splits (Figure 6, case B)."""
+
+    def test_partial_overlap_splits(self):
+        """Request covering 0xA8..0xA9 against an entry holding only
+        0xA8: the overlap merges, 0xA9 is re-packed as a remainder."""
+        file = DynamicMSHRFile(CoalescerConfig())
+        file.offer(packet(0xA8, num=1), 0, SERVICE)
+        req2 = packet(0xA8, num=2)
+        outcome, rest, _ = file.offer(req2, 1, SERVICE)
+        assert outcome is InsertOutcome.PARTIAL
+        assert len(rest) == 1
+        assert rest[0].base_line == 0xA9
+        assert rest[0].num_lines == 1
+        assert file.stats.merged_partial == 1
+
+    def test_remainder_constituents_follow_their_lines(self):
+        file = DynamicMSHRFile(CoalescerConfig())
+        file.offer(packet(0, num=1), 0, SERVICE)
+        req = packet(0, num=4)
+        outcome, rest, _ = file.offer(req, 1, SERVICE)
+        assert outcome is InsertOutcome.PARTIAL
+        rest_lines = sorted(ln for p in rest for ln in p.lines)
+        assert rest_lines == [1, 2, 3]
+        rest_req_lines = sorted(r.line for p in rest for r in p.constituents)
+        assert rest_req_lines == [1, 2, 3]
+
+    def test_overlap_with_multiple_entries(self):
+        """A 256 B request overlapping two separate entries merges into
+        both and only the uncovered lines remain."""
+        file = DynamicMSHRFile(CoalescerConfig())
+        file.offer(packet(0, num=1), 0, SERVICE)
+        file.offer(packet(3, num=1), 0, SERVICE)
+        outcome, rest, _ = file.offer(packet(0, num=4), 1, SERVICE)
+        assert outcome is InsertOutcome.PARTIAL
+        rest_lines = sorted(ln for p in rest for ln in p.lines)
+        assert rest_lines == [1, 2]
+
+    def test_remainder_is_aligned(self):
+        file = DynamicMSHRFile(CoalescerConfig())
+        file.offer(packet(1, num=1), 0, SERVICE)
+        outcome, rest, _ = file.offer(packet(0, num=4), 1, SERVICE)
+        assert outcome is InsertOutcome.PARTIAL
+        for p in rest:
+            assert p.base_line % p.num_lines == 0
+
+
+class TestEliminationAccounting:
+    def test_full_merge_counts_one_elimination(self):
+        file = DynamicMSHRFile(CoalescerConfig())
+        file.offer(packet(0, num=4), 0, SERVICE)
+        file.offer(packet(0, num=2), 1, SERVICE)
+        assert file.stats.requests_eliminated == 1
+
+    def test_partial_merge_nets_out_remainders(self):
+        file = DynamicMSHRFile(CoalescerConfig())
+        file.offer(packet(0, num=1), 0, SERVICE)
+        _, rest, _ = file.offer(packet(0, num=2), 1, SERVICE)
+        # One request eliminated, one remainder re-issued: net zero.
+        assert file.stats.requests_eliminated == 1 - len(rest)
+
+
+class TestCoalescingDisabled:
+    def test_no_merging_when_disabled(self):
+        cfg = CoalescerConfig(enable_mshr_coalescing=False)
+        file = DynamicMSHRFile(cfg)
+        file.offer(packet(0), 0, SERVICE)
+        outcome, _, _ = file.offer(packet(0), 1, SERVICE)
+        assert outcome is InsertOutcome.ALLOCATED
+        assert file.occupancy() == 2
+
+
+class TestMSHRProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 60),
+                st.sampled_from([1, 2, 4]),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_no_line_outstanding_twice_per_type(self, specs):
+        """Property: after any offer sequence, no cache line is covered
+        by two valid entries of the same type (the whole point of
+        second-phase coalescing)."""
+        file = DynamicMSHRFile(CoalescerConfig(num_mshrs=64))
+        for base, num, store in specs:
+            base -= base % num  # natural alignment
+            pending = [packet(base, num, store)]
+            while pending:
+                p = pending.pop()
+                outcome, rest, _ = file.offer(p, 0, SERVICE)
+                if outcome is InsertOutcome.PARTIAL:
+                    pending.extend(rest)
+                elif outcome is InsertOutcome.FULL:
+                    break
+        for rtype in (RequestType.LOAD, RequestType.STORE):
+            seen = set()
+            for e in file.entries:
+                if e.valid and e.rtype is rtype:
+                    lines = {e.base_line(64) + k for k in range(e.num_lines)}
+                    assert not (lines & seen)
+                    seen |= lines
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 60), st.sampled_from([1, 2, 4])),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_every_request_line_eventually_covered(self, specs):
+        """Property: every offered line is covered by some valid entry
+        (possibly via merging) once all offers succeed."""
+        file = DynamicMSHRFile(CoalescerConfig(num_mshrs=128))
+        wanted = set()
+        for base, num in specs:
+            base -= base % num
+            wanted |= set(range(base, base + num))
+            pending = [packet(base, num)]
+            while pending:
+                p = pending.pop()
+                outcome, rest, _ = file.offer(p, 0, SERVICE)
+                assert outcome is not InsertOutcome.FULL
+                pending.extend(rest)
+        covered = set()
+        for e in file.entries:
+            if e.valid:
+                covered |= {e.base_line(64) + k for k in range(e.num_lines)}
+        assert wanted <= covered

@@ -1,0 +1,209 @@
+"""Tests for the pipelined request sorting network (Sections 3.3-3.4, 4.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import CoalescerConfig
+from repro.core.pipeline import PipelinedSortingNetwork, balanced_step_groups
+from repro.core.request import MemoryRequest, RequestType
+
+
+def make_request(line: int, store: bool = False) -> MemoryRequest:
+    return MemoryRequest(
+        addr=line * 64,
+        rtype=RequestType.STORE if store else RequestType.LOAD,
+    )
+
+
+def fence() -> MemoryRequest:
+    return MemoryRequest(addr=0, rtype=RequestType.FENCE)
+
+
+class TestStageGrouping:
+    def test_paper_grouping_2_2_3_3(self):
+        """Figure 7: the 4-stage pipeline holds steps 1-2/3-4/5-7/8-10."""
+        assert balanced_step_groups(10, 4) == [2, 2, 3, 3]
+
+    def test_step_mode_is_one_step_per_stage(self):
+        pipe = PipelinedSortingNetwork(CoalescerConfig(pipeline_stages="step"))
+        assert pipe.num_pipeline_stages == 10
+        assert pipe.stage_steps == [1] * 10
+
+    def test_merge_mode_matches_paper(self):
+        pipe = PipelinedSortingNetwork(CoalescerConfig(pipeline_stages="merge"))
+        assert pipe.num_pipeline_stages == 4
+        assert pipe.stage_steps == [2, 2, 3, 3]
+
+    def test_initiation_interval(self):
+        """Section 4.1: an ordered sequence every 3 tau; tau = 4 cycles."""
+        pipe = PipelinedSortingNetwork(CoalescerConfig())
+        assert pipe.step_cycles == 4
+        assert pipe.initiation_interval_cycles == 3 * 4
+
+    def test_full_latency(self):
+        """Total pipeline transit is 10 tau regardless of grouping."""
+        merge = PipelinedSortingNetwork(CoalescerConfig(pipeline_stages="merge"))
+        step = PipelinedSortingNetwork(CoalescerConfig(pipeline_stages="step"))
+        assert merge.full_latency_cycles == step.full_latency_cycles == 10 * 4
+
+    def test_request_buffers(self):
+        """Section 4.1: 64 buffers for 4 stages, 160 for 10 stages."""
+        merge = PipelinedSortingNetwork(CoalescerConfig(pipeline_stages="merge"))
+        step = PipelinedSortingNetwork(CoalescerConfig(pipeline_stages="step"))
+        assert merge.request_buffers() == 64
+        assert step.request_buffers() == 160
+
+    def test_comparator_reuse_savings(self):
+        """The merge-grouped pipeline needs far fewer comparators than
+        the 63 of the fully unrolled network."""
+        merge = PipelinedSortingNetwork(CoalescerConfig(pipeline_stages="merge"))
+        assert merge.comparators() < 63
+        assert merge.comparators() >= 16  # at least one widest step
+
+    def test_balanced_groups_rejects_zero(self):
+        with pytest.raises(ValueError):
+            balanced_step_groups(10, 0)
+
+
+class TestFlushBehaviour:
+    def test_full_buffer_flushes(self):
+        pipe = PipelinedSortingNetwork(CoalescerConfig())
+        out = []
+        for i in range(16):
+            out += pipe.push(make_request(i), cycle=i)
+        assert len(out) == 1
+        seq = out[0]
+        assert seq.flush_reason == "full"
+        assert len(seq.requests) == 16
+        assert seq.padding == 0
+        assert pipe.pending() == 0
+
+    def test_timeout_flush(self):
+        cfg = CoalescerConfig(timeout_cycles=20)
+        pipe = PipelinedSortingNetwork(cfg)
+        assert pipe.push(make_request(1), cycle=0) == []
+        assert pipe.push(make_request(2), cycle=5) == []
+        out = pipe.push(make_request(3), cycle=25)
+        assert len(out) == 1
+        assert out[0].flush_reason == "timeout"
+        assert len(out[0].requests) == 2
+        assert out[0].padding == 14
+        # The triggering request starts a new buffer.
+        assert pipe.pending() == 1
+
+    def test_drain_flush(self):
+        pipe = PipelinedSortingNetwork(CoalescerConfig())
+        pipe.push(make_request(7), cycle=0)
+        out = pipe.drain(cycle=100)
+        assert len(out) == 1
+        assert out[0].flush_reason == "drain"
+        assert [r.line for r in out[0].requests] == [7]
+        assert pipe.drain(cycle=101) == []
+
+    def test_sorted_output_order(self):
+        pipe = PipelinedSortingNetwork(CoalescerConfig())
+        lines = [9, 3, 12, 1, 15, 0, 7, 4, 11, 2, 14, 5, 10, 6, 13, 8]
+        out = []
+        for i, ln in enumerate(lines):
+            out += pipe.push(make_request(ln), cycle=i)
+        assert [r.line for r in out[0].requests] == sorted(lines)
+
+    def test_loads_sort_before_stores(self):
+        """The Type bit (52) separates loads and stores automatically."""
+        pipe = PipelinedSortingNetwork(CoalescerConfig())
+        out = []
+        for i in range(16):
+            out += pipe.push(make_request(100 - i, store=(i % 2 == 0)), cycle=i)
+        seq = out[0]
+        types = [r.is_store for r in seq.requests]
+        assert types == sorted(types)  # all False then all True
+        loads = [r.line for r in seq.requests if not r.is_store]
+        stores = [r.line for r in seq.requests if r.is_store]
+        assert loads == sorted(loads)
+        assert stores == sorted(stores)
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=16))
+    def test_padding_never_loses_requests(self, lines):
+        """Property: every pushed request appears exactly once in the
+        flushed sorted sequence (the Valid bit logic of Section 3.4)."""
+        pipe = PipelinedSortingNetwork(CoalescerConfig(timeout_cycles=10**9))
+        out = []
+        for i, ln in enumerate(lines):
+            out += pipe.push(make_request(ln), cycle=i)
+        out += pipe.drain(cycle=10**6)
+        got = sorted(r.line for seq in out for r in seq.requests)
+        assert got == sorted(lines)
+
+
+class TestFenceHandling:
+    def test_fence_flushes_pending_and_takes_slot(self):
+        pipe = PipelinedSortingNetwork(CoalescerConfig())
+        pipe.push(make_request(4), cycle=0)
+        pipe.push(make_request(2), cycle=1)
+        out = pipe.push(fence(), cycle=2)
+        assert len(out) == 2
+        drained, slot = out
+        assert drained.flush_reason == "fence"
+        assert [r.line for r in drained.requests] == [2, 4]
+        assert slot.is_fence
+        assert slot.requests == []
+        # The fence slot launches after the drained batch.
+        assert slot.launch_cycle >= drained.launch_cycle + pipe.initiation_interval_cycles
+
+    def test_fence_on_empty_buffer(self):
+        pipe = PipelinedSortingNetwork(CoalescerConfig())
+        out = pipe.push(fence(), cycle=0)
+        assert len(out) == 1
+        assert out[0].is_fence
+
+    def test_requests_after_fence_launch_later(self):
+        pipe = PipelinedSortingNetwork(CoalescerConfig())
+        slot = pipe.push(fence(), cycle=0)[0]
+        out = []
+        for i in range(16):
+            out += pipe.push(make_request(i), cycle=1 + i)
+        assert out[0].launch_cycle >= slot.launch_cycle + pipe.initiation_interval_cycles
+
+
+class TestTimingModel:
+    def test_back_to_back_sequences_respect_interval(self):
+        pipe = PipelinedSortingNetwork(CoalescerConfig())
+        seqs = []
+        for i in range(48):
+            seqs += pipe.push(make_request(i % 16), cycle=0)
+        assert len(seqs) == 3
+        launches = [s.launch_cycle for s in seqs]
+        interval = pipe.initiation_interval_cycles
+        assert launches[1] - launches[0] >= interval
+        assert launches[2] - launches[1] >= interval
+
+    def test_stage_select_reduces_latency(self):
+        cfg = CoalescerConfig(stage_select_enabled=True, timeout_cycles=5)
+        pipe = PipelinedSortingNetwork(cfg)
+        pipe.push(make_request(3), cycle=0)
+        pipe.push(make_request(1), cycle=1)
+        seq = pipe.drain(cycle=50)[0]
+        # 2 requests need only merge stage 1 -> only the first pipeline
+        # stage (2 steps) runs.
+        assert seq.stages_used == 1
+        assert seq.latency_cycles == 2 * pipe.step_cycles
+
+    def test_stage_select_disabled_runs_all_stages(self):
+        cfg = CoalescerConfig(stage_select_enabled=False)
+        pipe = PipelinedSortingNetwork(cfg)
+        pipe.push(make_request(3), cycle=0)
+        seq = pipe.drain(cycle=50)[0]
+        assert seq.stages_used == 4
+        assert seq.latency_cycles == pipe.full_latency_cycles
+
+    def test_stats_accumulate(self):
+        pipe = PipelinedSortingNetwork(CoalescerConfig())
+        for i in range(32):
+            pipe.push(make_request(i % 16), cycle=i)
+        s = pipe.stats
+        assert s.sequences == 2
+        assert s.flushes_full == 2
+        assert s.requests_sorted == 32
+        assert s.comparator_ops == 2 * 63
+        assert s.mean_sort_latency_cycles() > 0

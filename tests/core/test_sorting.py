@@ -1,0 +1,219 @@
+"""Tests for the Batcher odd-even mergesort network (Section 3.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sorting import (
+    OddEvenMergesortNetwork,
+    flatten_steps,
+    odd_even_merge_sort_schedule,
+)
+
+
+class TestScheduleStructure:
+    def test_rejects_non_power_of_two(self):
+        for bad in (0, 1, 3, 6, 12, 17):
+            with pytest.raises(ValueError):
+                odd_even_merge_sort_schedule(bad)
+
+    @pytest.mark.parametrize("n,stages,steps", [(2, 1, 1), (4, 2, 3), (8, 3, 6), (16, 4, 10), (32, 5, 15)])
+    def test_stage_and_step_counts(self, n, stages, steps):
+        """Depth is (log^2 n + log n) / 2 steps across log n stages."""
+        sched = odd_even_merge_sort_schedule(n)
+        assert len(sched) == stages
+        assert len(flatten_steps(sched)) == steps
+
+    def test_paper_16_input_network(self):
+        """The n=16 network of Figure 4: 4 stages, 10 steps, 63 comparators."""
+        net = OddEvenMergesortNetwork(16)
+        assert net.num_stages == 4
+        assert net.num_steps == 10
+        assert net.num_comparators == 63
+        assert net.shape().steps_per_stage == (1, 2, 3, 4)
+
+    def test_stage_s_has_s_steps(self):
+        net = OddEvenMergesortNetwork(64)
+        assert [len(stage) for stage in net.stages] == [1, 2, 3, 4, 5, 6]
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32, 64])
+    def test_steps_are_parallel_time_slots(self, n):
+        """No wire is touched twice within a step (validate() checks)."""
+        OddEvenMergesortNetwork(n).validate()
+
+    def test_first_stage_sorts_adjacent_pairs(self):
+        net = OddEvenMergesortNetwork(16)
+        assert net.stages[0][0] == [(2 * i, 2 * i + 1) for i in range(8)]
+
+
+class TestSortingCorrectness:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_sorts_reverse_sequence(self, n):
+        net = OddEvenMergesortNetwork(n)
+        assert net.apply(list(range(n, 0, -1))) == list(range(1, n + 1))
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**54), min_size=16, max_size=16))
+    def test_sorts_any_16_keys(self, keys):
+        net = OddEvenMergesortNetwork(16)
+        assert net.apply(keys) == sorted(keys)
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=8, max_size=8))
+    def test_sorts_any_8_keys(self, keys):
+        net = OddEvenMergesortNetwork(8)
+        assert net.apply(keys) == sorted(keys)
+
+    @settings(max_examples=25)
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=32, max_size=32))
+    def test_sorts_with_many_duplicates(self, keys):
+        net = OddEvenMergesortNetwork(32)
+        assert net.apply(keys) == sorted(keys)
+
+    def test_zero_one_principle_exhaustive_n8(self):
+        """A comparator network sorts all inputs iff it sorts all 0/1
+        inputs (Knuth's 0-1 principle) -- check all 256 for n=8."""
+        net = OddEvenMergesortNetwork(8)
+        for bits in range(256):
+            vec = [(bits >> i) & 1 for i in range(8)]
+            assert net.apply(vec) == sorted(vec)
+
+    def test_wrong_width_rejected(self):
+        net = OddEvenMergesortNetwork(16)
+        with pytest.raises(ValueError):
+            net.apply([1] * 8)
+        with pytest.raises(ValueError):
+            net.apply([1] * 32)
+
+
+class TestStageSelect:
+    """The stage-select optimization (Section 3.3)."""
+
+    def test_required_stages_thresholds(self):
+        net = OddEvenMergesortNetwork(16)
+        assert net.required_stages(0) == 0
+        assert net.required_stages(1) == 0
+        assert net.required_stages(2) == 1
+        assert net.required_stages(3) == 2
+        assert net.required_stages(4) == 2
+        assert net.required_stages(5) == 3
+        assert net.required_stages(8) == 3
+        assert net.required_stages(9) == 4
+        assert net.required_stages(16) == 4
+
+    def test_required_stages_bounds(self):
+        net = OddEvenMergesortNetwork(16)
+        with pytest.raises(ValueError):
+            net.required_stages(17)
+        with pytest.raises(ValueError):
+            net.required_stages(-1)
+
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.data(),
+    )
+    def test_prefix_stages_sort_padded_sequences(self, count, data):
+        """With count valid keys followed by maximal padding, running
+        only required_stages(count) stages fully sorts the sequence."""
+        net = OddEvenMergesortNetwork(16)
+        pad = 2**54 - 1
+        keys = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=pad - 1),
+                min_size=count,
+                max_size=count,
+            )
+        )
+        padded = keys + [pad] * (16 - count)
+        stages = net.required_stages(count)
+        result = net.apply_prefix_stages(padded, stages)
+        assert result == sorted(padded)
+
+    def test_prefix_zero_stages_is_identity(self):
+        net = OddEvenMergesortNetwork(16)
+        keys = list(range(16, 0, -1))
+        assert net.apply_prefix_stages(keys, 0) == keys
+
+    def test_count_operations_monotone(self):
+        net = OddEvenMergesortNetwork(16)
+        ops = [net.count_operations(s) for s in range(5)]
+        assert ops[0] == 0
+        assert ops == sorted(ops)
+        assert ops[4] == 63
+
+
+class TestApplyItems:
+    def test_sorts_items_by_key(self):
+        net = OddEvenMergesortNetwork(4)
+        items = ["dd", "c", "bbb", "a"]
+        out = net.apply_items(items, key=len)
+        assert out == ["c", "a", "dd", "bbb"] or [len(x) for x in out] == [1, 1, 2, 3]
+
+    def test_stability_for_equal_keys(self):
+        """Compare-exchange fires only on strict >, so equal-key items
+        keep their relative order."""
+        net = OddEvenMergesortNetwork(8)
+        items = [(1, i) for i in range(8)]
+        out = net.apply_items(items, key=lambda t: t[0])
+        assert out == items
+
+    @given(st.lists(st.integers(0, 100), min_size=16, max_size=16))
+    def test_items_match_key_sort(self, keys):
+        net = OddEvenMergesortNetwork(16)
+        items = list(enumerate(keys))
+        out = net.apply_items(items, key=lambda t: t[1])
+        assert [k for _, k in out] == sorted(keys)
+        # It is a permutation of the input items.
+        assert sorted(out) == sorted(items)
+
+
+class TestBitonicNetwork:
+    """The Section 3.3 comparison network."""
+
+    def test_comparator_counts_exceed_odd_even(self):
+        """The paper's selection criterion: odd-even mergesort needs
+        the fewest comparators (63 vs 80 at n = 16)."""
+        from repro.core.sorting import BitonicSortNetwork
+
+        for n in (4, 8, 16, 32):
+            bitonic = BitonicSortNetwork(n)
+            odd_even = OddEvenMergesortNetwork(n)
+            assert bitonic.num_comparators > odd_even.num_comparators, n
+        assert BitonicSortNetwork(16).num_comparators == 80
+        assert OddEvenMergesortNetwork(16).num_comparators == 63
+
+    def test_same_depth_as_odd_even(self):
+        from repro.core.sorting import BitonicSortNetwork
+
+        for n in (4, 16, 32):
+            assert (
+                BitonicSortNetwork(n).num_steps
+                == OddEvenMergesortNetwork(n).num_steps
+            ), n
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_steps_are_parallel(self, n):
+        from repro.core.sorting import BitonicSortNetwork
+
+        BitonicSortNetwork(n).validate()
+
+    @given(st.lists(st.integers(0, 2**54), min_size=16, max_size=16))
+    def test_sorts_any_16_keys(self, keys):
+        from repro.core.sorting import BitonicSortNetwork
+
+        assert BitonicSortNetwork(16).apply(keys) == sorted(keys)
+
+    def test_zero_one_principle_exhaustive_n8(self):
+        from repro.core.sorting import BitonicSortNetwork
+
+        net = BitonicSortNetwork(8)
+        for bits in range(256):
+            vec = [(bits >> i) & 1 for i in range(8)]
+            assert net.apply(vec) == sorted(vec)
+
+    def test_no_stage_select(self):
+        """Bitonic merge stages need bitonic inputs, so stage select
+        cannot skip anything."""
+        from repro.core.sorting import BitonicSortNetwork
+
+        net = BitonicSortNetwork(16)
+        assert net.required_stages(2) == net.num_stages
+        assert net.required_stages(1) == 0

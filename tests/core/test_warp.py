@@ -1,0 +1,76 @@
+"""Tests for the GPU-style warp coalescer baseline."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.request import MemoryRequest, RequestType
+from repro.core.warp import WarpCoalescer
+
+
+def load(line):
+    return MemoryRequest(addr=line * 64, rtype=RequestType.LOAD)
+
+
+def store(line):
+    return MemoryRequest(addr=line * 64, rtype=RequestType.STORE)
+
+
+class TestWarpCoalescer:
+    def test_duplicates_merge(self):
+        wc = WarpCoalescer(warp_size=4)
+        out = wc.run([load(5), load(5), load(5), load(5)])
+        assert len(out) == 1
+        assert len(out[0].constituents) == 4
+        assert wc.stats.coalescing_efficiency == 0.75
+
+    def test_distinct_lines_never_merge(self):
+        """The GPU model cannot build multi-line packets -- even for
+        perfectly contiguous lines."""
+        wc = WarpCoalescer(warp_size=4)
+        out = wc.run([load(0), load(1), load(2), load(3)])
+        assert len(out) == 4
+        assert all(p.num_lines == 1 for p in out)
+        assert wc.stats.coalescing_efficiency == 0.0
+
+    def test_types_kept_apart(self):
+        wc = WarpCoalescer(warp_size=4)
+        out = wc.run([load(7), store(7), load(7), store(7)])
+        assert len(out) == 2
+        types = {p.rtype for p in out}
+        assert types == {RequestType.LOAD, RequestType.STORE}
+
+    def test_warp_window_boundary(self):
+        """Duplicates split across warps do not merge (window-local)."""
+        wc = WarpCoalescer(warp_size=2)
+        out = wc.run([load(1), load(2), load(1), load(2)])
+        assert len(out) == 4
+
+    def test_fence_flushes(self):
+        wc = WarpCoalescer(warp_size=8)
+        wc.push(load(1))
+        fence = MemoryRequest(addr=0, rtype=RequestType.FENCE)
+        out = wc.push(fence)
+        assert len(out) == 1
+
+    def test_flush_empty(self):
+        assert WarpCoalescer().flush() == []
+
+    def test_bad_warp_size(self):
+        with pytest.raises(ValueError):
+            WarpCoalescer(warp_size=0)
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=100))
+    def test_conservation_property(self, lines):
+        """Every input request ends up in exactly one output packet."""
+        reqs = [load(ln) for ln in lines]
+        wc = WarpCoalescer(warp_size=16)
+        out = wc.run(list(reqs))
+        got = sorted(r.request_id for p in out for r in p.constituents)
+        assert got == sorted(r.request_id for r in reqs)
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=100))
+    def test_output_never_exceeds_line(self, lines):
+        wc = WarpCoalescer(warp_size=16)
+        out = wc.run([load(ln) for ln in lines])
+        assert all(p.size == 64 for p in out)

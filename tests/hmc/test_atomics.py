@@ -1,0 +1,82 @@
+"""Tests for HMC 2.1 atomic requests."""
+
+import pytest
+
+from repro.hmc.atomics import (
+    ATOMIC_ALU_NS,
+    AtomicOp,
+    atomic_traffic,
+    rmw_traffic_without_atomics,
+)
+from repro.hmc.device import HMCDevice
+
+
+class TestTrafficModel:
+    def test_plain_atomic_moves_48_bytes(self):
+        t = atomic_traffic(AtomicOp.ADD16)
+        assert t.payload_bytes == 16
+        assert t.control_bytes == 32
+        assert t.transferred_bytes == 48
+
+    def test_returning_atomic_moves_64_bytes(self):
+        t = atomic_traffic(AtomicOp.CAS16)
+        assert t.transferred_bytes == 64
+
+    def test_returns_data_classification(self):
+        assert AtomicOp.CAS16.returns_data
+        assert AtomicOp.SWAP16.returns_data
+        assert not AtomicOp.ADD16.returns_data
+        assert not AtomicOp.DUAL_ADD8.returns_data
+
+    def test_atomic_beats_cpu_rmw_by_4x(self):
+        """One 48 B atomic vs a 192 B load+writeback pair."""
+        assert rmw_traffic_without_atomics() == 192
+        ratio = rmw_traffic_without_atomics() / atomic_traffic(AtomicOp.ADD16).transferred_bytes
+        assert ratio == pytest.approx(4.0)
+
+
+class TestDeviceAtomics:
+    def test_basic_atomic(self):
+        dev = HMCDevice()
+        resp = dev.service_atomic(0x1000, AtomicOp.ADD16, arrive_ns=0.0)
+        assert resp.is_write
+        assert resp.latency_ns > ATOMIC_ALU_NS
+        assert dev.stats.requests == 1
+        assert dev.stats.transferred_bytes == 48
+
+    def test_cas_accounts_return_flit(self):
+        dev = HMCDevice()
+        dev.service_atomic(0, AtomicOp.CAS16)
+        assert dev.stats.transferred_bytes == 64
+
+    def test_atomics_hit_open_rows(self):
+        dev = HMCDevice()
+        dev.service_atomic(0, AtomicOp.ADD16)
+        resp = dev.service_atomic(16, AtomicOp.ADD16, arrive_ns=200.0)
+        assert resp.row_hit
+
+    def test_out_of_range_rejected(self):
+        dev = HMCDevice()
+        with pytest.raises(ValueError):
+            dev.service_atomic(8 * 1024**3, AtomicOp.ADD16)
+
+    def test_mixed_with_reads(self):
+        dev = HMCDevice()
+        dev.service(0, 64)
+        dev.service_atomic(256, AtomicOp.INC8)
+        assert dev.stats.requests == 2
+        assert dev.stats.reads == 1
+        assert dev.stats.writes == 1
+
+    def test_atomic_latency_cheaper_than_rmw_pair(self):
+        """A single atomic completes faster than a dependent
+        load-then-writeback to the same line."""
+        atomic_dev = HMCDevice()
+        a = atomic_dev.service_atomic(0, AtomicOp.ADD16, arrive_ns=0.0)
+
+        rmw_dev = HMCDevice()
+        load = rmw_dev.service(0, 64, arrive_ns=0.0)
+        store = rmw_dev.service(
+            0, 64, is_write=True, arrive_ns=load.complete_ns
+        )
+        assert a.complete_ns < store.complete_ns

@@ -1,0 +1,157 @@
+"""Tests for the HMC device front-end."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hmc.device import HMCDevice
+from repro.hmc.timing import HMCTimingConfig
+
+
+class TestService:
+    def test_basic_read(self):
+        dev = HMCDevice()
+        resp = dev.service(0, 64, arrive_ns=0.0)
+        assert resp.latency_ns > 0
+        assert not resp.is_write
+        assert resp.vault == 0
+
+    def test_latency_in_plausible_range(self):
+        """The paper assumes HMC accesses take on the order of 100 ns."""
+        dev = HMCDevice()
+        resp = dev.service(4096, 64, arrive_ns=0.0)
+        assert 30.0 <= resp.latency_ns <= 300.0
+
+    def test_rejects_oversized_request(self):
+        dev = HMCDevice()
+        with pytest.raises(ValueError):
+            dev.service(0, 512)
+
+    def test_rejects_block_straddle(self):
+        dev = HMCDevice()
+        with pytest.raises(ValueError):
+            dev.service(192, 128)  # crosses the 256 B boundary at 256
+
+    def test_rejects_out_of_range(self):
+        dev = HMCDevice(HMCTimingConfig())
+        with pytest.raises(ValueError):
+            dev.service(8 * 1024**3, 64)
+
+    def test_contiguous_blocks_hit_different_vaults(self):
+        dev = HMCDevice()
+        r1 = dev.service(0, 256)
+        r2 = dev.service(256, 256)
+        assert r1.vault != r2.vault
+
+    def test_parallel_vaults_overlap(self):
+        """Requests to different vaults do not queue behind each other."""
+        dev = HMCDevice()
+        r1 = dev.service(0, 256, arrive_ns=0.0)
+        r2 = dev.service(256, 256, arrive_ns=0.0)
+        serial = HMCDevice()
+        s1 = serial.service(0, 256, arrive_ns=0.0)
+        s2 = serial.service(0, 256, arrive_ns=0.0)
+        assert r2.complete_ns < s2.complete_ns
+
+    def test_same_bank_conflict_queues(self):
+        dev = HMCDevice()
+        r1 = dev.service(0, 64, arrive_ns=0.0)
+        r2 = dev.service(0, 64, arrive_ns=0.0)
+        assert r2.complete_ns > r1.complete_ns
+
+
+class TestRowBehaviour:
+    def test_sequential_same_block_rows_hit(self):
+        dev = HMCDevice()
+        dev.service(0, 64)
+        r = dev.service(64, 64)
+        assert r.row_hit
+
+    def test_one_big_read_fewer_activations_than_16_small(self):
+        """Section 2.2.1: 16 small reads of a block re-touch the bank
+        16 times; one 256 B read touches it once."""
+        small = HMCDevice()
+        for i in range(16):
+            small.service(i * 16, 16)
+        big = HMCDevice()
+        big.service(0, 256)
+        small_act = sum(b.activations for v in small.vaults for b in v.banks)
+        big_act = sum(b.activations for v in big.vaults for b in v.banks)
+        assert big_act == 1
+        assert small.stats.requests == 16
+        # All 16 hit the same open row after the first activation.
+        assert small_act == 1
+        # But the small version still pays 16 transactions of latency.
+        assert small.stats.total_latency_ns > big.stats.total_latency_ns
+
+
+class TestStats:
+    def test_traffic_accounting(self):
+        dev = HMCDevice()
+        dev.service(0, 64, requested_bytes=8)
+        dev.service(256, 64, requested_bytes=64)
+        s = dev.stats
+        assert s.requests == 2
+        assert s.payload_bytes == 128
+        assert s.requested_bytes == 72
+        assert s.control_bytes == 64
+        assert s.transferred_bytes == 192
+
+    def test_bandwidth_efficiency_matches_eq1(self):
+        dev = HMCDevice()
+        dev.service(0, 64, requested_bytes=8)
+        assert dev.stats.bandwidth_efficiency == pytest.approx(8 / 96)
+        assert dev.stats.payload_efficiency == pytest.approx(64 / 96)
+
+    def test_size_histogram(self):
+        dev = HMCDevice()
+        for size in (64, 64, 128, 256):
+            dev.service(0, size)
+        assert dev.stats.size_histogram == {64: 2, 128: 1, 256: 1}
+
+    def test_reads_vs_writes(self):
+        dev = HMCDevice()
+        dev.service(0, 64, is_write=False)
+        dev.service(256, 64, is_write=True)
+        assert dev.stats.reads == 1
+        assert dev.stats.writes == 1
+
+    def test_control_bytes_saved(self):
+        dev = HMCDevice()
+        dev.service(0, 256)
+        assert dev.control_bytes_saved_vs(16) == 15 * 32
+
+    def test_mean_latency(self):
+        dev = HMCDevice()
+        for i in range(4):
+            dev.service(i * 256, 64)
+        assert dev.stats.mean_latency_ns > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 2**20),
+                st.sampled_from([16, 32, 64, 128, 256]),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_conservation_property(self, reqs):
+        """Property: transferred = payload + 32 B per request, always;
+        completion times are monotone per vault."""
+        dev = HMCDevice()
+        t = 0.0
+        for block, size, w in reqs:
+            addr = block * 256
+            dev.service(addr, size, is_write=w, arrive_ns=t)
+            t += 1.0
+        s = dev.stats
+        assert s.transferred_bytes == s.payload_bytes + 32 * s.requests
+        assert s.requests == len(reqs)
+        for v in dev.vaults:
+            assert v.stats.requests == sum(
+                1 for b, _, _ in reqs if dev.config.vault_of(b * 256) == v.index
+            )

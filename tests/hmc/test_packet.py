@@ -1,0 +1,123 @@
+"""Tests for HMC packet framing and Equation 1 arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hmc.packet import (
+    FLIT_BYTES,
+    REQUEST_CONTROL_BYTES,
+    bandwidth_efficiency,
+    control_bytes_for_total,
+    control_overhead_fraction,
+    packet_flits,
+    payload_flits,
+    total_flits,
+    transferred_bytes,
+)
+
+sizes = st.sampled_from([16, 32, 48, 64, 80, 96, 112, 128, 256])
+
+
+class TestFraming:
+    def test_flit_is_16_bytes(self):
+        assert FLIT_BYTES == 16
+        assert REQUEST_CONTROL_BYTES == 32
+
+    def test_256B_read_is_18_flits(self):
+        """Section 2.2.3: a 256 B request is 18 FLITs."""
+        assert total_flits(256, is_write=False) == 18
+
+    def test_read_payload_in_response(self):
+        req, resp = packet_flits(64, is_write=False)
+        assert req == 1
+        assert resp == 5
+
+    def test_write_payload_in_request(self):
+        req, resp = packet_flits(64, is_write=True)
+        assert req == 5
+        assert resp == 1
+
+    @given(sizes, st.booleans())
+    def test_read_write_symmetric_total(self, size, is_write):
+        assert total_flits(size, is_write=is_write) == size // 16 + 2
+
+    def test_rejects_non_flit_multiple(self):
+        with pytest.raises(ValueError):
+            payload_flits(10)
+        with pytest.raises(ValueError):
+            packet_flits(0, is_write=False)
+
+
+class TestEquation1:
+    """Figure 1's exact values."""
+
+    @pytest.mark.parametrize(
+        "size,eff",
+        [(16, 1 / 3), (32, 0.5), (64, 2 / 3), (128, 0.8), (256, 8 / 9)],
+    )
+    def test_bandwidth_efficiency_curve(self, size, eff):
+        assert bandwidth_efficiency(size) == pytest.approx(eff)
+
+    @pytest.mark.parametrize(
+        "size,ovh",
+        [(16, 2 / 3), (32, 0.5), (64, 1 / 3), (128, 0.2), (256, 1 / 9)],
+    )
+    def test_control_overhead_curve(self, size, ovh):
+        assert control_overhead_fraction(size) == pytest.approx(ovh)
+
+    @given(sizes)
+    def test_efficiency_plus_overhead_is_one(self, size):
+        assert bandwidth_efficiency(size) + control_overhead_fraction(size) == pytest.approx(1.0)
+
+    def test_paper_example_16x16B_vs_256B(self):
+        """Section 2.2.2: 16x16 B loads move 768 B (512 B control);
+        one 256 B load moves 288 B (32 B control): 2.67x efficiency."""
+        uncoalesced_moved = 16 * transferred_bytes(16)
+        assert uncoalesced_moved == 768
+        assert 16 * REQUEST_CONTROL_BYTES == 512
+        coalesced_moved = transferred_bytes(256)
+        assert coalesced_moved == 288
+        ratio = bandwidth_efficiency(256) / bandwidth_efficiency(16)
+        assert ratio == pytest.approx(8 / 3, rel=1e-6)  # ~2.67x
+
+    def test_small_payload_in_64B_line(self):
+        """An 8 B request serviced by a 64 B line fill moves 96 B."""
+        assert bandwidth_efficiency(8, 64) == pytest.approx(8 / 96)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            bandwidth_efficiency(-1, 64)
+        with pytest.raises(ValueError):
+            bandwidth_efficiency(16, 0)
+
+    @given(sizes)
+    def test_efficiency_monotone_in_size(self, size):
+        if size > 16:
+            assert bandwidth_efficiency(size) > bandwidth_efficiency(16)
+
+
+class TestControlSweep:
+    """Figure 2's control-traffic model."""
+
+    def test_exact_fit(self):
+        assert control_bytes_for_total(1024, 256) == 4 * 32
+        assert control_bytes_for_total(1024, 16) == 64 * 32
+
+    def test_partial_request_pays_full_control(self):
+        assert control_bytes_for_total(100, 64) == 2 * 32
+
+    def test_zero_data(self):
+        assert control_bytes_for_total(0, 64) == 0
+
+    @given(st.integers(1, 10**7), sizes)
+    def test_smaller_requests_never_cheaper(self, total, size):
+        assert control_bytes_for_total(total, 16) >= control_bytes_for_total(total, size)
+
+    @given(st.integers(0, 10**7))
+    def test_large_packets_16x_cheaper_asymptotically(self, total):
+        small = control_bytes_for_total(total, 16)
+        big = control_bytes_for_total(total, 256)
+        assert small >= big
+        if total % 256 == 0:
+            assert small == 16 * big

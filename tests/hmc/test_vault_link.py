@@ -1,0 +1,175 @@
+"""Tests for the vault/bank and link models."""
+
+import pytest
+
+from repro.hmc.link import HMCLink
+from repro.hmc.timing import HMCTimingConfig
+from repro.hmc.vault import Bank, Vault
+
+CFG = HMCTimingConfig()
+
+
+class TestAddressMapping:
+    def test_blocks_interleave_across_vaults(self):
+        seen = {CFG.vault_of(i * 256) for i in range(CFG.num_vaults)}
+        assert seen == set(range(32))
+
+    def test_same_block_same_vault(self):
+        assert CFG.vault_of(0) == CFG.vault_of(255)
+        assert CFG.vault_of(0) != CFG.vault_of(256)
+
+    def test_bank_mapping_wraps(self):
+        stride = 256 * CFG.num_vaults
+        banks = {CFG.bank_of(i * stride) for i in range(CFG.banks_per_vault)}
+        assert banks == set(range(16))
+
+    def test_row_changes_after_row_bytes_worth_of_blocks(self):
+        stride = 256 * CFG.num_vaults * CFG.banks_per_vault
+        blocks_per_row = CFG.row_bytes // 256
+        assert CFG.row_of(0) == CFG.row_of((blocks_per_row - 1) * stride)
+        assert CFG.row_of(0) != CFG.row_of(blocks_per_row * stride)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HMCTimingConfig(num_vaults=3)
+        with pytest.raises(ValueError):
+            HMCTimingConfig(block_bytes=100)
+        with pytest.raises(ValueError):
+            HMCTimingConfig(link_bandwidth_gbps=0)
+
+
+class TestBank:
+    def test_first_access_misses(self):
+        b = Bank()
+        assert b.access(5) is False
+        assert b.activations == 1
+
+    def test_open_row_hits(self):
+        b = Bank()
+        b.access(5)
+        assert b.access(5) is True
+        assert b.activations == 1
+
+    def test_conflict_reopens(self):
+        b = Bank()
+        b.access(5)
+        assert b.access(6) is False
+        assert b.access(5) is False
+        assert b.activations == 3
+
+
+class TestVault:
+    def test_row_hit_faster_than_miss(self):
+        v = Vault(0, CFG)
+        t_miss, hit1 = v.service(0, 64, 0.0)
+        v2 = Vault(0, CFG)
+        v2.service(0, 64, 0.0)
+        t_hit, hit2 = v2.service(0, 64, t_miss)
+        assert not hit1 and hit2
+        assert (t_hit - t_miss) < t_miss
+
+    def test_fifo_queueing(self):
+        v = Vault(0, CFG)
+        done1, _ = v.service(0, 256, 0.0)
+        done2, _ = v.service(0, 256, 0.0)
+        assert done2 > done1
+        assert v.stats.queued_ns > 0
+
+    def test_idle_vault_starts_immediately(self):
+        v = Vault(0, CFG)
+        done, _ = v.service(0, 64, 100.0)
+        assert done == pytest.approx(100.0 + CFG.row_miss_ns() + CFG.vault_transfer_ns(64))
+
+    def test_larger_payload_takes_longer(self):
+        v1, v2 = Vault(0, CFG), Vault(0, CFG)
+        d1, _ = v1.service(0, 64, 0.0)
+        d2, _ = v2.service(0, 256, 0.0)
+        assert d2 > d1
+
+    def test_rejects_empty_payload(self):
+        with pytest.raises(ValueError):
+            Vault(0, CFG).service(0, 0, 0.0)
+
+    def test_stats_accumulate(self):
+        v = Vault(0, CFG)
+        for i in range(10):
+            v.service(i * 256 * 32 * 16 * 64, 64, 0.0)  # force row misses
+        assert v.stats.requests == 10
+        assert v.stats.row_hit_rate < 1.0
+        assert v.stats.busy_ns > 0
+
+
+class TestLink:
+    def test_transfer_accounts_control(self):
+        link = HMCLink(CFG)
+        link.transfer(64, 0.0, is_write=False)
+        assert link.stats.payload_bytes == 64
+        assert link.stats.control_bytes == 32
+        assert link.stats.transferred_bytes == 96
+
+    def test_serialization_delay(self):
+        link = HMCLink(CFG)
+        t = link.transfer(256, 0.0, is_write=True)
+        # A 256 B write needs 17 request FLITs before the vault starts.
+        assert t == pytest.approx(CFG.link_transfer_ns(17))
+
+    def test_back_to_back_serialize(self):
+        link = HMCLink(CFG)
+        link.transfer(256, 0.0, is_write=False)
+        t2 = link.transfer(256, 0.0, is_write=False)
+        assert t2 > CFG.link_transfer_ns(1)
+
+    def test_control_fraction(self):
+        link = HMCLink(CFG)
+        for _ in range(4):
+            link.transfer(16, 0.0, is_write=False)
+        assert link.stats.control_fraction == pytest.approx(2 / 3)
+
+    def test_utilization_bounds(self):
+        link = HMCLink(CFG)
+        link.transfer(64, 0.0, is_write=False)
+        assert 0.0 < link.utilization(1000.0) <= 1.0
+        assert link.utilization(0.0) == 0.0
+
+
+class TestPagePolicy:
+    def test_closed_page_never_hits(self):
+        from repro.hmc.timing import HMCTimingConfig
+        cfg = HMCTimingConfig(page_policy="closed")
+        v = Vault(0, cfg)
+        v.service(0, 64, 0.0)
+        _, hit = v.service(0, 64, 1000.0)
+        assert not hit
+
+    def test_closed_page_cheaper_than_conflict(self):
+        """Closed page pays activate+CAS, open-page conflict pays
+        precharge+activate+CAS."""
+        from repro.hmc.timing import HMCTimingConfig
+        cfg = HMCTimingConfig(page_policy="closed")
+        assert cfg.closed_access_ns() < cfg.row_miss_ns()
+        assert cfg.closed_access_ns() > cfg.row_hit_ns()
+
+    def test_bad_policy_rejected(self):
+        from repro.hmc.timing import HMCTimingConfig
+        with pytest.raises(ValueError):
+            HMCTimingConfig(page_policy="adaptive")
+
+    def test_random_traffic_prefers_closed_page(self):
+        """Row-conflict-heavy traffic completes sooner under the
+        closed-page policy."""
+        import random
+        from repro.hmc.timing import HMCTimingConfig
+
+        rng = random.Random(9)
+        # Same-bank, alternating rows: worst case for open page.
+        stride = 256 * 32 * 16  # same vault 0, same bank 0, next row region
+        addrs = [rng.randrange(2) * stride * 64 for _ in range(50)]
+
+        def makespan(policy):
+            v = Vault(0, HMCTimingConfig(page_policy=policy))
+            done = 0.0
+            for a in addrs:
+                done, _ = v.service(a, 64, 0.0)
+            return done
+
+        assert makespan("closed") < makespan("open")

@@ -1,0 +1,143 @@
+"""Cross-module integration tests: the full Section 5.1 path."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cache.tracer import MemoryTracer
+from repro.core.coalescer import MemoryCoalescer
+from repro.core.config import CoalescerConfig, UNCOALESCED_CONFIG
+from repro.core.request import RequestType
+from repro.hmc.device import HMCDevice
+from repro.riscv.cpu import RV64Core
+from repro.riscv.programs import ALL_KERNELS
+from repro.sim.driver import PlatformConfig, run_benchmark
+from repro.workloads import get_workload
+
+
+def small_hierarchy():
+    return CacheHierarchy(
+        HierarchyConfig(
+            num_cores=12,
+            l1_size=8 * 1024,
+            l1_assoc=2,
+            l2_size=32 * 1024,
+            l2_assoc=4,
+            llc_size=256 * 1024,
+            llc_assoc=8,
+            llc_fill_latency=400,
+        )
+    )
+
+
+class TestConservation:
+    """No request may be lost or duplicated anywhere in the stack."""
+
+    @pytest.mark.parametrize("name", ["STREAM", "SG", "FT"])
+    def test_every_miss_serviced_exactly_once(self, name):
+        w = get_workload(name, num_threads=12, seed=5)
+        tracer = MemoryTracer(small_hierarchy(), cycles_per_access=1 / 12)
+        co = MemoryCoalescer(CoalescerConfig(), service_time=330)
+        pushed = []
+        for rec in tracer.trace(w.accesses(8_000)):
+            pushed.append(rec.request.request_id)
+            co.push(rec.request, rec.cycle)
+        co.flush(tracer.cycle + 1)
+        serviced = sorted(s.request.request_id for s in co.serviced)
+        assert serviced == sorted(pushed)
+
+    def test_issued_bytes_cover_missed_lines(self):
+        """The union of issued packet lines equals the missed lines,
+        per request type -- nothing dropped, nothing invented."""
+        w = get_workload("STREAM", num_threads=12, seed=5)
+        tracer = MemoryTracer(small_hierarchy(), cycles_per_access=1 / 12)
+        co = MemoryCoalescer(CoalescerConfig(), service_time=330)
+        missed = {RequestType.LOAD: set(), RequestType.STORE: set()}
+        for rec in tracer.trace(w.accesses(8_000)):
+            missed[rec.request.rtype].add(rec.request.line)
+            co.push(rec.request, rec.cycle)
+        co.flush(tracer.cycle + 1)
+        issued = {RequestType.LOAD: set(), RequestType.STORE: set()}
+        for rec in co.issued:
+            issued[rec.request.rtype] |= set(rec.request.lines)
+        for rtype in missed:
+            assert missed[rtype] <= issued[rtype]
+
+    def test_hmc_accounting_consistent(self):
+        r = run_benchmark("Sort", PlatformConfig(accesses=5_000))
+        s = r.hmc
+        assert s.transferred_bytes == s.payload_bytes + 32 * s.requests
+        assert s.requests == s.reads + s.writes
+        assert sum(s.size_histogram.values()) == s.requests
+
+
+class TestRiscvToCoalescer:
+    """Real executed RV64I code -> memory tracer -> coalescer -> HMC:
+    the complete analogue of the paper's Spike set-up."""
+
+    @pytest.mark.parametrize("kernel", ["vector_add", "gather", "spmv_csr"])
+    def test_kernel_trace_coalesces(self, kernel):
+        accesses = []
+        k = ALL_KERNELS[kernel]()
+        core = RV64Core(trace_hook=accesses.append)
+        k.run(core)
+        assert k.verify(core)
+
+        tracer = MemoryTracer(small_hierarchy(), cycles_per_access=1.0)
+        device = HMCDevice()
+        co = MemoryCoalescer(
+            CoalescerConfig(),
+            service_time=lambda pkt, cyc: max(
+                1,
+                int(
+                    device.service(
+                        pkt.addr,
+                        pkt.size,
+                        is_write=pkt.is_store,
+                        arrive_ns=cyc * 0.303,
+                        requested_bytes=min(pkt.requested_bytes, pkt.size),
+                    ).latency_ns
+                    / 0.303
+                ),
+            ),
+        )
+        n = 0
+        for rec in tracer.trace(iter(accesses)):
+            co.push(rec.request, rec.cycle)
+            n += 1
+        co.flush(tracer.cycle + 1)
+        stats = co.stats()
+        assert stats.llc_requests == n - sum(
+            1 for a in accesses if a.rtype is RequestType.FENCE
+        ) or stats.llc_requests <= n
+        assert device.stats.requests == stats.hmc_requests
+        assert len(co.serviced) == stats.llc_requests
+
+    def test_single_core_sequential_kernel_coalesces(self):
+        """vector_add streams three arrays: even a single hart's LLC
+        misses form coalescable consecutive-line runs."""
+        accesses = []
+        k = ALL_KERNELS["vector_add"]()
+        core = RV64Core(trace_hook=accesses.append)
+        k.run(core)
+
+        tracer = MemoryTracer(small_hierarchy(), cycles_per_access=1.0)
+        co = MemoryCoalescer(CoalescerConfig(timeout_cycles=200), service_time=3000)
+        for rec in tracer.trace(iter(accesses)):
+            co.push(rec.request, rec.cycle)
+        co.flush(tracer.cycle + 1)
+        assert co.stats().coalescing_efficiency > 0.2
+
+
+class TestBaselineComparison:
+    def test_coalescer_never_issues_more_than_baseline(self):
+        for name in ("STREAM", "SG"):
+            plat = PlatformConfig(accesses=5_000)
+            coal = run_benchmark(name, plat)
+            base = run_benchmark(name, plat.with_coalescer(UNCOALESCED_CONFIG))
+            assert coal.hmc.requests <= base.hmc.requests
+
+    def test_bank_activations_drop_with_coalescing(self):
+        plat = PlatformConfig(accesses=5_000)
+        coal = run_benchmark("STREAM", plat)
+        base = run_benchmark("STREAM", plat.with_coalescer(UNCOALESCED_CONFIG))
+        assert coal.hmc.row_misses <= base.hmc.row_misses

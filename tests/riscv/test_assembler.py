@@ -1,0 +1,214 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.riscv.assembler import (
+    AssemblerError,
+    assemble,
+    parse_immediate,
+    parse_register,
+)
+from repro.riscv.cpu import RV64Core
+from repro.riscv.isa import decode
+
+
+def run_source(source, setup=None, max_instructions=1_000_000):
+    core = RV64Core()
+    core.load_program(assemble(source, base_addr=0x1000), base_addr=0x1000)
+    if setup:
+        setup(core)
+    core.run(max_instructions=max_instructions)
+    return core
+
+
+EXIT = "\nli a7, 93\necall\n"
+
+
+class TestParsing:
+    def test_abi_register_names(self):
+        assert parse_register("zero") == 0
+        assert parse_register("ra") == 1
+        assert parse_register("sp") == 2
+        assert parse_register("a0") == 10
+        assert parse_register("t6") == 31
+        assert parse_register("fp") == parse_register("s0") == 8
+
+    def test_numeric_registers(self):
+        assert parse_register("x0") == 0
+        assert parse_register("x31") == 31
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            parse_register("x32")
+        with pytest.raises(AssemblerError):
+            parse_register("q7")
+
+    def test_immediates(self):
+        assert parse_immediate("42") == 42
+        assert parse_immediate("-8") == -8
+        assert parse_immediate("0x10") == 16
+        assert parse_immediate("0b101") == 5
+
+    def test_comments_stripped(self):
+        words = assemble("addi x1, x0, 5  # comment\n; whole line comment\n")
+        assert len(words) == 1
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate x1, x2")
+
+    def test_error_reports_line(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble("nop\nbogus x1\n")
+
+
+class TestLabels:
+    def test_forward_and_backward(self):
+        source = """
+        start:
+            addi x1, x0, 0
+            j skip
+            addi x1, x0, 99
+        skip:
+            beq x0, x0, start
+        """
+        words = assemble(source, base_addr=0)
+        # Instruction 1 is `jal x0, skip`: skip is at word 3 (offset +8).
+        jal = decode(words[1])
+        assert jal.mnemonic == "jal" and jal.imm == 8
+        beq = decode(words[3])
+        assert beq.mnemonic == "beq" and beq.imm == -12
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("a:\nnop\na:\nnop\n")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError, match="undefined"):
+            assemble("j nowhere\n")
+
+    def test_label_with_instruction_on_same_line(self):
+        words = assemble("loop: j loop\n", base_addr=0)
+        assert decode(words[0]).imm == 0
+
+
+class TestPseudoInstructions:
+    def test_nop(self):
+        core = run_source("nop" + EXIT)
+        assert core.stats.instructions >= 3
+
+    def test_mv(self):
+        core = run_source("li t0, 77\nmv t1, t0" + EXIT)
+        assert core.get_reg_abi("t1") == 77
+
+    @pytest.mark.parametrize(
+        "value",
+        [0, 1, -1, 2047, -2048, 2048, 0x7FFFFFFF, -0x80000000,
+         0x123456789AB, -0x123456789AB, 0x7FFFFFFFFFFFFFFF, -0x8000000000000000],
+    )
+    def test_li_exact(self, value):
+        core = run_source(f"li t2, {value}" + EXIT)
+        got = core.get_reg_abi("t2")
+        assert got == value & ((1 << 64) - 1)
+
+    @given(st.integers(-(1 << 63), (1 << 63) - 1))
+    def test_li_property(self, value):
+        core = run_source(f"li a5, {value}" + EXIT)
+        assert core.get_reg_abi("a5") == value & ((1 << 64) - 1)
+
+    def test_branch_pseudos(self):
+        source = """
+            li t0, 5
+            li t1, 9
+            li a0, 0
+            bgt t1, t0, yes     # 9 > 5: taken
+            li a0, 111
+        yes:
+            ble t1, t0, no      # 9 <= 5: not taken
+            addi a0, a0, 1
+        no:
+        """ + EXIT
+        core = run_source(source)
+        assert core.get_reg_abi("a0") == 1
+
+    def test_beqz_bnez(self):
+        source = """
+            li a0, 0
+            li t0, 0
+            beqz t0, one
+            li a0, 99
+        one:
+            li t1, 3
+            bnez t1, two
+            li a0, 98
+        two:
+            addi a0, a0, 7
+        """ + EXIT
+        core = run_source(source)
+        assert core.get_reg_abi("a0") == 7
+
+    def test_not_neg_seqz_snez(self):
+        source = """
+            li t0, 5
+            not t1, t0
+            neg t2, t0
+            seqz t3, zero
+            snez t4, t0
+        """ + EXIT
+        core = run_source(source)
+        M = (1 << 64) - 1
+        assert core.get_reg_abi("t1") == (~5) & M
+        assert core.get_reg_abi("t2") == (-5) & M
+        assert core.get_reg_abi("t3") == 1
+        assert core.get_reg_abi("t4") == 1
+
+    def test_call_ret(self):
+        source = """
+            li a0, 0
+            call fn
+            addi a0, a0, 1
+            j end
+        fn:
+            addi a0, a0, 10
+            ret
+        end:
+        """ + EXIT
+        core = run_source(source)
+        assert core.get_reg_abi("a0") == 11
+
+
+class TestMemoryOperands:
+    def test_load_store_offsets(self):
+        source = """
+            li t0, 0x2000
+            li t1, 0x1122334455667788
+            sd t1, 8(t0)
+            ld t2, 8(t0)
+            lw t3, 8(t0)
+            lbu t4, 8(t0)
+        """ + EXIT
+        core = run_source(source)
+        assert core.get_reg_abi("t2") == 0x1122334455667788
+        assert core.get_reg_abi("t3") == 0x55667788
+        assert core.get_reg_abi("t4") == 0x88
+
+    def test_negative_offset(self):
+        source = """
+            li t0, 0x2010
+            li t1, 42
+            sd t1, -16(t0)
+            ld t2, -16(t0)
+        """ + EXIT
+        core = run_source(source)
+        assert core.get_reg_abi("t2") == 42
+
+    def test_bare_parens_default_zero_offset(self):
+        words = assemble("ld t0, (t1)\n")
+        inst = decode(words[0])
+        assert inst.imm == 0
+
+    def test_malformed_mem_operand(self):
+        with pytest.raises(AssemblerError):
+            assemble("ld t0, t1\n")

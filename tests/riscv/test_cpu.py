@@ -1,0 +1,231 @@
+"""Tests for the RV64I core semantics, memory and trace hook."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.request import RequestType
+from repro.riscv.assembler import assemble
+from repro.riscv.cpu import MASK64, RV64Core, TrapError
+from repro.riscv.memory import SparseMemory
+from repro.riscv.programs import ALL_KERNELS
+
+EXIT = "\nli a7, 93\necall\n"
+
+
+def run_source(source, trace_hook=None):
+    core = RV64Core(trace_hook=trace_hook)
+    core.load_program(assemble(source, base_addr=0x1000), base_addr=0x1000)
+    core.run()
+    return core
+
+
+i64 = st.integers(-(1 << 63), (1 << 63) - 1)
+
+
+class TestMemory:
+    def test_zero_fill(self):
+        m = SparseMemory()
+        assert m.read(12345, 8) == b"\x00" * 8
+
+    def test_write_read_roundtrip(self):
+        m = SparseMemory()
+        m.write(100, b"hello")
+        assert m.read(100, 5) == b"hello"
+
+    def test_cross_page_access(self):
+        m = SparseMemory()
+        data = bytes(range(16))
+        m.write(4096 - 8, data)
+        assert m.read(4096 - 8, 16) == data
+        assert m.touched_pages == 2
+
+    def test_int_roundtrip(self):
+        m = SparseMemory()
+        m.write_int(0, -1, 8)
+        assert m.read_int(0, 8) == MASK64
+        assert m.read_int(0, 8, signed=True) == -1
+
+    def test_negative_address_rejected(self):
+        m = SparseMemory()
+        with pytest.raises(ValueError):
+            m.read(-1, 4)
+        with pytest.raises(ValueError):
+            m.write(-1, b"x")
+
+    @given(st.integers(0, 1 << 40), st.binary(min_size=1, max_size=100))
+    def test_write_read_property(self, addr, data):
+        m = SparseMemory()
+        m.write(addr, data)
+        assert m.read(addr, len(data)) == data
+
+
+class TestArithmeticSemantics:
+    @given(i64, i64)
+    @settings(max_examples=30, deadline=None)
+    def test_add_matches_python(self, a, b):
+        core = RV64Core()
+        core.load_program(assemble("add a2, a0, a1" + EXIT))
+        core.set_reg_abi("a0", a & MASK64)
+        core.set_reg_abi("a1", b & MASK64)
+        core.run()
+        assert core.get_reg_abi("a2") == (a + b) & MASK64
+
+    @given(i64, i64)
+    @settings(max_examples=30, deadline=None)
+    def test_sub_sltu_slt(self, a, b):
+        core = RV64Core()
+        core.load_program(
+            assemble("sub a2, a0, a1\nsltu a3, a0, a1\nslt a4, a0, a1" + EXIT)
+        )
+        core.set_reg_abi("a0", a & MASK64)
+        core.set_reg_abi("a1", b & MASK64)
+        core.run()
+        assert core.get_reg_abi("a2") == (a - b) & MASK64
+        assert core.get_reg_abi("a3") == int((a & MASK64) < (b & MASK64))
+
+        def sgn(x):
+            x &= MASK64
+            return x - (1 << 64) if x >> 63 else x
+
+        assert core.get_reg_abi("a4") == int(sgn(a) < sgn(b))
+
+    @given(i64, st.integers(0, 63))
+    @settings(max_examples=30, deadline=None)
+    def test_shifts_match_python(self, a, sh):
+        core = RV64Core()
+        core.load_program(
+            assemble(f"slli a2, a0, {sh}\nsrli a3, a0, {sh}\nsrai a4, a0, {sh}" + EXIT)
+        )
+        core.set_reg_abi("a0", a & MASK64)
+        core.run()
+        ua = a & MASK64
+        sa = ua - (1 << 64) if ua >> 63 else ua
+        assert core.get_reg_abi("a2") == (ua << sh) & MASK64
+        assert core.get_reg_abi("a3") == ua >> sh
+        assert core.get_reg_abi("a4") == (sa >> sh) & MASK64
+
+    @given(st.integers(-(1 << 31), (1 << 31) - 1), st.integers(-(1 << 31), (1 << 31) - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_addw_wraps_to_32(self, a, b):
+        core = RV64Core()
+        core.load_program(assemble("addw a2, a0, a1" + EXIT))
+        core.set_reg_abi("a0", a & MASK64)
+        core.set_reg_abi("a1", b & MASK64)
+        core.run()
+        want = (a + b) & 0xFFFFFFFF
+        if want >> 31:
+            want -= 1 << 32
+        assert core.get_reg_abi("a2") == want & MASK64
+
+    def test_x0_is_hardwired_zero(self):
+        core = run_source("addi x0, x0, 5\nadd a0, x0, x0" + EXIT)
+        assert core.get_reg_abi("a0") == 0
+
+
+class TestControlFlow:
+    def test_loop_sums(self):
+        source = """
+            li t0, 0      # i
+            li a0, 0      # sum
+            li t1, 100
+        loop:
+            bge t0, t1, done
+            add a0, a0, t0
+            addi t0, t0, 1
+            j loop
+        done:
+        """ + EXIT
+        core = run_source(source)
+        assert core.get_reg_abi("a0") == sum(range(100))
+
+    def test_jalr_link(self):
+        core = run_source("auipc t0, 0\njalr t1, t0, 12\nnop" + EXIT)
+        # jalr stores return address (pc+4).
+        assert core.get_reg_abi("t1") == 0x1000 + 8
+
+    def test_exit_code(self):
+        core = run_source("li a0, 42" + EXIT)
+        assert core.exit_code == 42
+
+    def test_ebreak_halts(self):
+        core = run_source("ebreak")
+        assert core.halted
+
+    def test_unknown_syscall_traps(self):
+        with pytest.raises(TrapError, match="syscall"):
+            run_source("li a7, 222\necall")
+
+    def test_instruction_limit(self):
+        core = RV64Core()
+        core.load_program(assemble("loop: j loop"))
+        with pytest.raises(TrapError, match="limit"):
+            core.run(max_instructions=100)
+
+    def test_zero_word_traps(self):
+        core = RV64Core()
+        core.pc = 0x5000
+        with pytest.raises(TrapError, match="illegal zero"):
+            core.step()
+
+    def test_misaligned_pc_traps(self):
+        core = RV64Core()
+        core.pc = 0x1002
+        with pytest.raises(TrapError, match="misaligned"):
+            core.step()
+
+
+class TestTraceHook:
+    def test_loads_and_stores_traced(self):
+        accesses = []
+        source = """
+            li t0, 0x3000
+            li t1, 7
+            sd t1, 0(t0)
+            ld t2, 0(t0)
+            lw t3, 4(t0)
+        """ + EXIT
+        run_source(source, trace_hook=accesses.append)
+        kinds = [(a.rtype, a.addr, a.size) for a in accesses]
+        assert kinds == [
+            (RequestType.STORE, 0x3000, 8),
+            (RequestType.LOAD, 0x3000, 8),
+            (RequestType.LOAD, 0x3004, 4),
+        ]
+
+    def test_fence_traced(self):
+        accesses = []
+        run_source("fence" + EXIT, trace_hook=accesses.append)
+        assert accesses[0].rtype is RequestType.FENCE
+
+    def test_hart_id_propagates(self):
+        accesses = []
+        core = RV64Core(trace_hook=accesses.append, hart_id=3)
+        core.load_program(assemble("li t0, 0x3000\nld t1, 0(t0)" + EXIT))
+        core.run()
+        assert accesses[0].thread_id == 3
+
+    def test_trace_count_matches_stats(self):
+        accesses = []
+        k = ALL_KERNELS["gather"]()
+        from repro.riscv.cpu import RV64Core as Core
+
+        core = Core(trace_hook=accesses.append)
+        k.run(core)
+        mem_accesses = [a for a in accesses if a.rtype is not RequestType.FENCE]
+        assert len(mem_accesses) == core.stats.loads + core.stats.stores
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+    def test_kernel_verifies(self, name):
+        k = ALL_KERNELS[name]()
+        core = k.run()
+        assert k.verify(core), name
+        assert core.halted
+
+    def test_pointer_chase_is_dependent_loads(self):
+        k = ALL_KERNELS["pointer_chase"]()
+        core = k.run()
+        assert core.stats.loads > 1000
+        assert core.stats.stores == 0

@@ -1,0 +1,94 @@
+"""Tests for the disassembler, including full round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.riscv.assembler import assemble
+from repro.riscv.disasm import (
+    ABI_NAMES,
+    disassemble,
+    disassemble_word,
+    format_instruction,
+    reg_name,
+)
+from repro.riscv.isa import Instruction, encode
+from repro.riscv.programs import ALL_KERNELS
+
+regs = st.integers(0, 31)
+
+
+class TestRegNames:
+    def test_all_32_unique(self):
+        assert len(set(ABI_NAMES)) == 32
+
+    def test_known_names(self):
+        assert reg_name(0) == "zero"
+        assert reg_name(1) == "ra"
+        assert reg_name(10) == "a0"
+        assert reg_name(31) == "t6"
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            reg_name(32)
+
+
+class TestFormatting:
+    def test_r_type(self):
+        assert format_instruction(Instruction("add", rd=10, rs1=11, rs2=12)) == "add a0, a1, a2"
+
+    def test_load(self):
+        assert format_instruction(Instruction("ld", rd=5, rs1=2, imm=-8)) == "ld t0, -8(sp)"
+
+    def test_store(self):
+        assert format_instruction(Instruction("sd", rs1=2, rs2=5, imm=16)) == "sd t0, 16(sp)"
+
+    def test_branch(self):
+        assert format_instruction(Instruction("beq", rs1=10, rs2=0, imm=8)) == "beq a0, zero, 8"
+
+    def test_system(self):
+        assert format_instruction(Instruction("ecall")) == "ecall"
+        assert format_instruction(Instruction("fence")) == "fence"
+
+    def test_unknown_word_becomes_data(self):
+        out = disassemble([0xFFFFFFFF])
+        assert out[0].startswith(".word")
+
+    def test_with_addresses(self):
+        out = disassemble([0x00000013], base_addr=0x1000, with_addresses=True)
+        assert out[0].startswith("0x001000:")
+
+
+class TestRoundTrip:
+    @given(regs, regs, regs)
+    @settings(max_examples=40)
+    def test_r_type_roundtrip(self, rd, rs1, rs2):
+        for m in ("add", "sub", "mul", "divu", "sraw", "remw"):
+            word = encode(Instruction(m, rd=rd, rs1=rs1, rs2=rs2))
+            text = disassemble_word(word)
+            assert assemble(text) == [word]
+
+    @given(regs, regs, st.integers(-2048, 2047))
+    @settings(max_examples=40)
+    def test_load_store_roundtrip(self, r1, r2, imm):
+        for m in ("ld", "lw", "lbu", "sb", "sd"):
+            if m.startswith("l"):
+                inst = Instruction(m, rd=r1, rs1=r2, imm=imm)
+            else:
+                inst = Instruction(m, rs1=r2, rs2=r1, imm=imm)
+            word = encode(inst)
+            assert assemble(disassemble_word(word)) == [word]
+
+    @given(regs, regs, st.integers(-1024, 1023))
+    @settings(max_examples=40)
+    def test_branch_roundtrip(self, rs1, rs2, half):
+        word = encode(Instruction("bne", rs1=rs1, rs2=rs2, imm=half * 2))
+        assert assemble(disassemble_word(word)) == [word]
+
+    def test_whole_kernel_roundtrip(self):
+        """Disassembling an entire assembled kernel and re-assembling
+        yields the identical image."""
+        for name, factory in ALL_KERNELS.items():
+            words = factory().assemble()
+            text = "\n".join(disassemble(words))
+            assert assemble(text) == words, name

@@ -1,0 +1,180 @@
+"""Tests for RV64I encode/decode."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.riscv.isa import (
+    BRANCHES,
+    DecodeError,
+    Instruction,
+    LOADS,
+    SPECS,
+    STORES,
+    decode,
+    encode,
+    sign_extend,
+)
+
+regs = st.integers(0, 31)
+imm12 = st.integers(-2048, 2047)
+
+
+class TestSignExtend:
+    def test_positive(self):
+        assert sign_extend(0x7FF, 12) == 2047
+
+    def test_negative(self):
+        assert sign_extend(0x800, 12) == -2048
+        assert sign_extend(0xFFF, 12) == -1
+
+    @given(st.integers(-2048, 2047))
+    def test_roundtrip_12(self, v):
+        assert sign_extend(v & 0xFFF, 12) == v
+
+
+class TestKnownEncodings:
+    """Golden encodings cross-checked against the RISC-V spec."""
+
+    def test_addi(self):
+        # addi x1, x2, 3 -> 0x00310093
+        assert encode(Instruction("addi", rd=1, rs1=2, imm=3)) == 0x00310093
+
+    def test_add(self):
+        # add x5, x6, x7 -> 0x007302B3
+        assert encode(Instruction("add", rd=5, rs1=6, rs2=7)) == 0x007302B3
+
+    def test_sub(self):
+        # sub x5, x6, x7 -> 0x407302B3
+        assert encode(Instruction("sub", rd=5, rs1=6, rs2=7)) == 0x407302B3
+
+    def test_ld(self):
+        # ld x10, 8(x11) -> 0x0085B503
+        assert encode(Instruction("ld", rd=10, rs1=11, imm=8)) == 0x0085B503
+
+    def test_sd(self):
+        # sd x10, 8(x11) -> 0x00A5B423
+        assert encode(Instruction("sd", rs1=11, rs2=10, imm=8)) == 0x00A5B423
+
+    def test_beq(self):
+        # beq x1, x2, +16 -> 0x00208863
+        assert encode(Instruction("beq", rs1=1, rs2=2, imm=16)) == 0x00208863
+
+    def test_jal(self):
+        # jal x1, +2048 -> 0x001000EF  (imm[20|10:1|11|19:12])
+        assert encode(Instruction("jal", rd=1, imm=2048)) == 0x001000EF
+
+    def test_lui(self):
+        # lui x5, 0x12345 -> 0x123452B7
+        assert encode(Instruction("lui", rd=5, imm=0x12345)) == 0x123452B7
+
+    def test_ecall_ebreak(self):
+        assert encode(Instruction("ecall")) == 0x00000073
+        assert encode(Instruction("ebreak")) == 0x00100073
+
+    def test_nop_is_addi_zero(self):
+        assert encode(Instruction("addi", rd=0, rs1=0, imm=0)) == 0x00000013
+
+
+class TestRoundTrip:
+    @given(regs, regs, regs)
+    def test_r_type(self, rd, rs1, rs2):
+        for m in ("add", "sub", "xor", "sltu", "sraw", "sllw"):
+            inst = Instruction(m, rd=rd, rs1=rs1, rs2=rs2)
+            assert decode(encode(inst)) == inst
+
+    @given(regs, regs, imm12)
+    def test_i_type(self, rd, rs1, imm):
+        for m in ("addi", "andi", "ori", "slti", "ld", "lw", "lbu"):
+            inst = Instruction(m, rd=rd, rs1=rs1, imm=imm)
+            assert decode(encode(inst)) == inst
+
+    @given(regs, regs, imm12)
+    def test_s_type(self, rs1, rs2, imm):
+        for m in ("sb", "sh", "sw", "sd"):
+            inst = Instruction(m, rs1=rs1, rs2=rs2, imm=imm)
+            assert decode(encode(inst)) == inst
+
+    @given(regs, regs, st.integers(-2048, 2047))
+    def test_b_type(self, rs1, rs2, half_imm):
+        imm = half_imm * 2  # branch offsets are even
+        for m in BRANCHES:
+            inst = Instruction(m, rs1=rs1, rs2=rs2, imm=imm)
+            assert decode(encode(inst)) == inst
+
+    @given(regs, st.integers(0, (1 << 20) - 1))
+    def test_u_type(self, rd, imm):
+        for m in ("lui", "auipc"):
+            inst = Instruction(m, rd=rd, imm=imm)
+            assert decode(encode(inst)) == inst
+
+    @given(regs, st.integers(-(1 << 19), (1 << 19) - 1))
+    def test_j_type(self, rd, half_imm):
+        inst = Instruction("jal", rd=rd, imm=half_imm * 2)
+        assert decode(encode(inst)) == inst
+
+    @given(regs, regs, st.integers(0, 63))
+    def test_rv64_shifts(self, rd, rs1, shamt):
+        for m in ("slli", "srli", "srai"):
+            inst = Instruction(m, rd=rd, rs1=rs1, imm=shamt)
+            assert decode(encode(inst)) == inst
+
+    @given(regs, regs, st.integers(0, 31))
+    def test_word_shifts(self, rd, rs1, shamt):
+        for m in ("slliw", "srliw", "sraiw"):
+            inst = Instruction(m, rd=rd, rs1=rs1, imm=shamt)
+            assert decode(encode(inst)) == inst
+
+    def test_every_mnemonic_roundtrips(self):
+        for m, spec in SPECS.items():
+            inst = Instruction(
+                m,
+                rd=1 if spec.fmt in "RIUJ" and m not in ("ecall", "ebreak", "fence") else 0,
+                rs1=2 if spec.fmt in "RISB" and m not in ("ecall", "ebreak", "fence") else 0,
+                rs2=3 if spec.fmt in "RSB" else 0,
+                imm=4 if spec.fmt in "ISBUJ" and m not in ("ecall", "ebreak", "fence") else 0,
+            )
+            assert decode(encode(inst)) == inst, m
+
+
+class TestDecodeErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(DecodeError):
+            decode(0x0000007F)
+
+    def test_bad_store_funct3(self):
+        # opcode 0100011 with funct3=7 is invalid.
+        with pytest.raises(DecodeError):
+            decode((7 << 12) | 0b0100011)
+
+    def test_bad_op_funct7(self):
+        with pytest.raises(DecodeError):
+            decode((0b1111111 << 25) | 0b0110011)
+
+    def test_encode_rejects_bad_register(self):
+        with pytest.raises(ValueError):
+            encode(Instruction("add", rd=32))
+
+    def test_encode_rejects_overflowing_imm(self):
+        with pytest.raises(ValueError):
+            encode(Instruction("addi", rd=1, rs1=1, imm=5000))
+
+    def test_encode_rejects_odd_branch_offset(self):
+        with pytest.raises(ValueError):
+            encode(Instruction("beq", rs1=1, rs2=2, imm=3))
+
+
+class TestClassification:
+    def test_loads(self):
+        assert Instruction("ld", rd=1, rs1=2).is_load
+        assert Instruction("ld", rd=1, rs1=2).memory_size == 8
+        assert Instruction("lbu", rd=1, rs1=2).memory_size == 1
+
+    def test_stores(self):
+        assert Instruction("sw", rs1=1, rs2=2).is_store
+        assert Instruction("sw", rs1=1, rs2=2).memory_size == 4
+
+    def test_branches(self):
+        assert Instruction("bne", rs1=1, rs2=2).is_branch
+        assert not Instruction("add").is_branch
+        assert Instruction("add").memory_size == 0

@@ -1,0 +1,165 @@
+"""Tests for the RV64M multiply/divide extension."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.riscv.assembler import assemble
+from repro.riscv.cpu import MASK64, RV64Core
+from repro.riscv.isa import Instruction, decode, encode
+
+EXIT = "\nli a7, 93\necall\n"
+
+i64 = st.integers(-(1 << 63), (1 << 63) - 1)
+i32 = st.integers(-(1 << 31), (1 << 31) - 1)
+
+
+def run_binop(mnemonic, a, b):
+    core = RV64Core()
+    core.load_program(assemble(f"{mnemonic} a2, a0, a1" + EXIT))
+    core.set_reg_abi("a0", a & MASK64)
+    core.set_reg_abi("a1", b & MASK64)
+    core.run()
+    return core.get_reg_abi("a2")
+
+
+def sgn64(x):
+    x &= MASK64
+    return x - (1 << 64) if x >> 63 else x
+
+
+class TestEncodings:
+    def test_mul_golden(self):
+        # mul x5, x6, x7 -> funct7=0000001
+        assert encode(Instruction("mul", rd=5, rs1=6, rs2=7)) == 0x027302B3
+
+    @pytest.mark.parametrize(
+        "m",
+        ["mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu",
+         "mulw", "divw", "divuw", "remw", "remuw"],
+    )
+    def test_roundtrip(self, m):
+        inst = Instruction(m, rd=1, rs1=2, rs2=3)
+        assert decode(encode(inst)) == inst
+
+
+class TestMultiply:
+    @given(i64, i64)
+    @settings(max_examples=30, deadline=None)
+    def test_mul_low(self, a, b):
+        assert run_binop("mul", a, b) == (a * b) & MASK64
+
+    @given(i64, i64)
+    @settings(max_examples=30, deadline=None)
+    def test_mulh_signed_high(self, a, b):
+        assert run_binop("mulh", a, b) == ((sgn64(a) * sgn64(b)) >> 64) & MASK64
+
+    @given(i64, i64)
+    @settings(max_examples=30, deadline=None)
+    def test_mulhu_unsigned_high(self, a, b):
+        ua, ub = a & MASK64, b & MASK64
+        assert run_binop("mulhu", a, b) == ((ua * ub) >> 64) & MASK64
+
+    @given(i64, i64)
+    @settings(max_examples=30, deadline=None)
+    def test_mulhsu_mixed(self, a, b):
+        assert run_binop("mulhsu", a, b) == ((sgn64(a) * (b & MASK64)) >> 64) & MASK64
+
+    @given(i32, i32)
+    @settings(max_examples=20, deadline=None)
+    def test_mulw(self, a, b):
+        want = (a * b) & 0xFFFFFFFF
+        if want >> 31:
+            want -= 1 << 32
+        assert run_binop("mulw", a, b) == want & MASK64
+
+
+class TestDivide:
+    @given(i64, i64.filter(lambda x: x != 0))
+    @settings(max_examples=30, deadline=None)
+    def test_div_truncates_toward_zero(self, a, b):
+        got = run_binop("div", a, b)
+        sa, sb = sgn64(a), sgn64(b)
+        want = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            want = -want
+        assert got == want & MASK64
+
+    @given(i64, i64.filter(lambda x: x != 0))
+    @settings(max_examples=30, deadline=None)
+    def test_rem_sign_follows_dividend(self, a, b):
+        got = run_binop("rem", a, b)
+        sa, sb = sgn64(a), sgn64(b)
+        want = abs(sa) % abs(sb)
+        if sa < 0:
+            want = -want
+        assert got == want & MASK64
+
+    @given(i64, i64.filter(lambda x: x != 0))
+    @settings(max_examples=20, deadline=None)
+    def test_div_rem_identity(self, a, b):
+        q = sgn64(run_binop("div", a, b))
+        r = sgn64(run_binop("rem", a, b))
+        assert q * sgn64(b) + r == sgn64(a)
+
+    def test_div_by_zero_returns_all_ones(self):
+        """The spec defines x/0 = -1 (no trap)."""
+        assert run_binop("div", 42, 0) == MASK64
+        assert run_binop("divu", 42, 0) == MASK64
+
+    def test_rem_by_zero_returns_dividend(self):
+        assert run_binop("rem", 42, 0) == 42
+        assert run_binop("remu", 42, 0) == 42
+
+    def test_signed_overflow_wraps(self):
+        """INT64_MIN / -1 overflows to INT64_MIN; remainder is 0."""
+        int_min = -(1 << 63)
+        assert run_binop("div", int_min, -1) == int_min & MASK64
+        assert run_binop("rem", int_min, -1) == 0
+
+    @given(i32, i32.filter(lambda x: x != 0))
+    @settings(max_examples=20, deadline=None)
+    def test_divw(self, a, b):
+        got = run_binop("divw", a, b)
+        want = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            want = -want
+        assert got == want & MASK64
+
+    def test_divuw_by_zero(self):
+        # 32-bit all-ones, sign-extended.
+        assert run_binop("divuw", 7, 0) == MASK64
+
+
+class TestMulKernel:
+    def test_dot_product_program(self):
+        """A real dot product now that mul exists."""
+        source = """
+            # a0=x, a1=y, a3=n -> a4 = sum(x[i]*y[i])
+            li t0, 0
+            li a4, 0
+        loop:
+            bge t0, a3, done
+            slli t1, t0, 3
+            add t2, a0, t1
+            ld t3, 0(t2)
+            add t2, a1, t1
+            ld t4, 0(t2)
+            mul t3, t3, t4
+            add a4, a4, t3
+            addi t0, t0, 1
+            j loop
+        done:
+        """ + EXIT
+        core = RV64Core()
+        core.load_program(assemble(source, base_addr=0x1000), base_addr=0x1000)
+        n = 50
+        for i in range(n):
+            core.memory.write_int(0x10000 + 8 * i, i + 1, 8)
+            core.memory.write_int(0x20000 + 8 * i, 2 * i + 1, 8)
+        core.set_reg_abi("a0", 0x10000)
+        core.set_reg_abi("a1", 0x20000)
+        core.set_reg_abi("a3", n)
+        core.run()
+        want = sum((i + 1) * (2 * i + 1) for i in range(n))
+        assert core.get_reg_abi("a4") == want

@@ -1,0 +1,49 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "STREAM"])
+        args.accesses == 24_000
+        assert args.benchmark == "STREAM"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("SG", "HPCG", "STREAM", "FT", "SparseLU"):
+            assert name in out
+
+    def test_run_small(self, capsys):
+        assert main(["run", "STREAM", "--accesses", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "coalescing efficiency" in out
+        assert "runtime improvement" in out
+
+    def test_disasm(self, capsys):
+        assert main(["disasm", "vector_add"]) == 0
+        out = capsys.readouterr().out
+        assert "ld" in out and "sd" in out
+        assert "ecall" in out
+
+    def test_disasm_unknown_kernel(self, capsys):
+        assert main(["disasm", "nope"]) == 2
+        assert "unknown kernel" in capsys.readouterr().err
+
+    def test_trace_write_and_summary(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.trace")
+        assert main(["trace", "SG", trace_file, "--accesses", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "LLC requests" in out
+        assert main(["trace", "--summary", "ignored", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "loads" in out and "stores" in out

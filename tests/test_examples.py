@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "STREAM", "3000")
+        assert "runtime improvement" in out
+        assert "coalescing efficiency" in out
+
+    def test_riscv_trace_coalescing(self):
+        out = run_example("riscv_trace_coalescing.py", "vector_add")
+        assert "coalescing efficiency" in out
+        assert "HMC requests issued" in out
+
+    def test_phase_comparison(self):
+        out = run_example("phase_comparison.py", "1500")
+        assert "combined" in out
+        assert "paper" in out
+
+    def test_hpcg_request_sizes(self):
+        out = run_example("hpcg_request_sizes.py", "HPCG", "2000")
+        assert "16 B load share" in out
+
+    def test_timeout_tuning(self):
+        out = run_example("timeout_tuning.py", "1500")
+        assert "timeout" in out.lower()
+
+    def test_trace_workflow(self):
+        out = run_example("trace_workflow.py", "SG", "2000")
+        assert "captured" in out
+        assert "adaptive granularity" in out

@@ -1,0 +1,168 @@
+"""Tests for the workload framework primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.request import RequestType
+from repro.workloads.base import (
+    AccessPhase,
+    HEAP_BASE,
+    SHARED_BASE,
+    Workload,
+    cyclic_partition,
+    interleave_phases,
+    partition_indices,
+    shared_heap,
+    thread_heap,
+    weave,
+)
+
+
+class TestAccessPhase:
+    def test_build_broadcasts_scalars(self):
+        p = AccessPhase.build(np.array([0, 64, 128]), 8, True)
+        assert list(p.sizes) == [8, 8, 8]
+        assert list(p.stores) == [True, True, True]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            AccessPhase(
+                np.zeros(3, np.int64), np.zeros(2, np.int32), np.zeros(3, bool)
+            )
+
+    def test_len(self):
+        assert len(AccessPhase.build(np.arange(5), 4)) == 5
+
+
+class TestWeave:
+    def test_elementwise_interleave(self):
+        a = AccessPhase.build(np.array([0, 1, 2]), 8)
+        b = AccessPhase.build(np.array([10, 11, 12]), 4, True)
+        w = weave(a, b)
+        assert list(w.addrs) == [0, 10, 1, 11, 2, 12]
+        assert list(w.sizes) == [8, 4, 8, 4, 8, 4]
+        assert list(w.stores) == [False, True] * 3
+
+    def test_unequal_lengths_rejected(self):
+        a = AccessPhase.build(np.array([0]), 8)
+        b = AccessPhase.build(np.array([0, 1]), 8)
+        with pytest.raises(ValueError):
+            weave(a, b)
+
+    def test_empty_args_rejected(self):
+        with pytest.raises(ValueError):
+            weave()
+
+
+class TestPartitionIndices:
+    def test_chunks_round_robin(self):
+        # 2 threads, chunk 2, total 8: t0 gets [0,1,4,5], t1 [2,3,6,7].
+        assert list(partition_indices(8, 0, 2, chunk_elems=2)) == [0, 1, 4, 5]
+        assert list(partition_indices(8, 1, 2, chunk_elems=2)) == [2, 3, 6, 7]
+
+    def test_ragged_tail(self):
+        assert list(partition_indices(5, 1, 2, chunk_elems=2)) == [2, 3]
+        assert list(partition_indices(5, 0, 2, chunk_elems=2)) == [0, 1, 4]
+
+    def test_thread_without_work(self):
+        assert len(partition_indices(2, 3, 8, chunk_elems=2)) == 0
+
+    def test_bad_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            partition_indices(8, 0, 2, chunk_elems=0)
+
+    @given(
+        st.integers(1, 500),
+        st.integers(1, 12),
+        st.integers(1, 16),
+    )
+    def test_partition_is_exact_cover(self, total, threads, chunk):
+        """Property: the per-thread partitions tile [0, total) exactly."""
+        seen = np.concatenate(
+            [
+                partition_indices(total, t, threads, chunk_elems=chunk)
+                for t in range(threads)
+            ]
+        )
+        assert sorted(seen.tolist()) == list(range(total))
+
+    def test_cyclic_partition_addresses(self):
+        p = cyclic_partition(1000, 8, 8, 0, 2, chunk_elems=2)
+        assert list(p.addrs[:2]) == [1000, 1008]
+
+
+class TestInterleave:
+    def _phase(self, start, n):
+        return AccessPhase.build(np.arange(start, start + n, dtype=np.int64), 8)
+
+    def test_round_robin_burst_1(self):
+        out = list(
+            interleave_phases([[self._phase(0, 3)], [self._phase(100, 3)]])
+        )
+        assert [a.addr for a in out] == [0, 100, 1, 101, 2, 102]
+        assert [a.thread_id for a in out] == [0, 1, 0, 1, 0, 1]
+
+    def test_burst_2(self):
+        out = list(
+            interleave_phases(
+                [[self._phase(0, 4)], [self._phase(100, 4)]], burst=2
+            )
+        )
+        assert [a.addr for a in out] == [0, 1, 100, 101, 2, 3, 102, 103]
+
+    def test_uneven_threads_drain(self):
+        out = list(
+            interleave_phases([[self._phase(0, 5)], [self._phase(100, 1)]])
+        )
+        assert len(out) == 6
+        assert [a.addr for a in out[-3:]] == [2, 3, 4]
+
+    def test_empty_thread(self):
+        out = list(interleave_phases([[self._phase(0, 2)], []]))
+        assert len(out) == 2
+
+    def test_bad_burst(self):
+        with pytest.raises(ValueError):
+            list(interleave_phases([[]], burst=0))
+
+
+class TestHeapLayout:
+    def test_thread_heaps_disjoint(self):
+        spans = [(thread_heap(t), thread_heap(t) + 0x2000_0000) for t in range(12)]
+        for i in range(11):
+            assert spans[i][1] <= spans[i + 1][0]
+
+    def test_shared_region_above_thread_heaps(self):
+        assert shared_heap(0) >= thread_heap(11) + 0x2000_0000
+
+    def test_all_within_8gb_hmc(self):
+        assert thread_heap(11) + 0x2000_0000 <= 8 * 1024**3
+        assert SHARED_BASE < 8 * 1024**3
+        assert HEAP_BASE > 0
+
+
+class TestWorkloadBase:
+    def test_rejects_bad_threads(self):
+        class Dummy(Workload):
+            def thread_phases(self, tid, n, rng):
+                return []
+
+        with pytest.raises(ValueError):
+            Dummy(num_threads=0)
+
+    def test_helpers(self):
+        class Dummy(Workload):
+            def thread_phases(self, tid, n, rng):
+                return []
+
+        w = Dummy(num_threads=2)
+        seq = w.sequential(0, 4, 8)
+        assert list(seq.addrs) == [0, 8, 16, 24]
+        stri = w.strided(0, 3, 8, 64)
+        assert list(stri.addrs) == [0, 64, 128]
+        rng = np.random.default_rng(0)
+        rnd = w.random_in(0, 1024, 10, 8, rng)
+        assert len(rnd) == 10
+        assert all(0 <= a < 1024 for a in rnd.addrs)

@@ -1,0 +1,134 @@
+"""Tests for the 12 benchmark generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.request import RequestType
+from repro.workloads import BENCHMARKS, get_workload
+
+HMC_CAPACITY = 8 * 1024**3
+
+PAPER_BENCHMARKS = {
+    "SG", "HPCG", "SSCA2", "STREAM", "Sort", "SparseLU",
+    "EP", "FT", "LU", "SP", "CG", "MG",
+}
+
+
+class TestRegistry:
+    def test_twelve_benchmarks(self):
+        """Section 5.2: the paper evaluates 12 benchmarks."""
+        assert len(BENCHMARKS) == 12
+        assert set(BENCHMARKS) == PAPER_BENCHMARKS
+
+    def test_lookup_case_insensitive(self):
+        assert get_workload("hpcg").name == "HPCG"
+        assert get_workload("STREAM").name == "STREAM"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("doom")
+
+    def test_suites_assigned(self):
+        for name in BENCHMARKS:
+            w = get_workload(name)
+            assert w.suite, name
+            assert w.element_size in (4, 8, 16), name
+
+    def test_hpcg_element_is_16B(self):
+        """Figure 10: HPCG's dominant request size is 16 B."""
+        assert get_workload("HPCG").element_size == 16
+
+    def test_ft_element_is_complex(self):
+        assert get_workload("FT").element_size == 16
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+class TestEveryBenchmark:
+    def test_generates_accesses(self, name):
+        w = get_workload(name, num_threads=4, seed=7)
+        accesses = list(w.accesses(4000))
+        assert len(accesses) > 1000
+
+    def test_addresses_fit_hmc(self, name):
+        w = get_workload(name, num_threads=4, seed=7)
+        for a in w.accesses(2000):
+            assert 0 <= a.addr < HMC_CAPACITY, name
+            assert 1 <= a.size <= 64
+
+    def test_deterministic_per_seed(self, name):
+        def snapshot(seed):
+            w = get_workload(name, num_threads=4, seed=seed)
+            return [(a.addr, a.size, a.rtype) for a in w.accesses(1500)]
+
+        assert snapshot(3) == snapshot(3)
+
+    def test_thread_ids_valid(self, name):
+        w = get_workload(name, num_threads=4, seed=7)
+        tids = {a.thread_id for a in w.accesses(2000)}
+        assert tids <= {0, 1, 2, 3}
+        assert len(tids) >= 2  # work is actually distributed
+
+    def test_has_loads(self, name):
+        w = get_workload(name, num_threads=4, seed=7)
+        types = {a.rtype for a in w.accesses(2000)}
+        assert RequestType.LOAD in types
+
+
+class TestPatternShapes:
+    """Spot-check the pattern each generator is meant to produce."""
+
+    def test_stream_has_stores(self):
+        w = get_workload("STREAM", num_threads=4, seed=1)
+        accs = list(w.accesses(4000))
+        frac = sum(a.is_store for a in accs) / len(accs)
+        assert 0.3 < frac < 0.5  # copy/scale 1:1, add/triad 2:1
+
+    def test_ep_is_read_dominated_and_compact(self):
+        w = get_workload("EP", num_threads=4, seed=1)
+        accs = list(w.accesses(4000))
+        assert sum(a.is_store for a in accs) == 0
+        # Most accesses land in the small per-thread tables.
+        spans = {}
+        for a in accs:
+            spans.setdefault(a.thread_id, set()).add(a.addr // 4096)
+        for pages in spans.values():
+            assert len(pages) < 600
+
+    def test_sg_mixes_random_and_sequential(self):
+        w = get_workload("SG", num_threads=4, seed=1)
+        accs = list(w.accesses(6000))
+        sizes = {a.size for a in accs}
+        assert sizes == {4, 8}  # 4 B indices, 8 B data
+
+    def test_ssca2_power_law_runs(self):
+        w = get_workload("SSCA2", num_threads=2, seed=1)
+        accs = list(w.accesses(6000))
+        assert any(a.size == 4 for a in accs)  # state updates
+        assert any(a.is_store for a in accs)
+
+    def test_shared_arrays_are_actually_shared(self):
+        """Multiple threads must touch the same shared lines (the
+        sharing that feeds second-phase coalescing)."""
+        w = get_workload("SparseLU", num_threads=4, seed=1)
+        owners: dict[int, set[int]] = {}
+        for a in w.accesses(8000):
+            owners.setdefault(a.addr // 64, set()).add(a.thread_id)
+        shared_lines = sum(1 for s in owners.values() if len(s) > 1)
+        assert shared_lines > 50
+
+    def test_stream_lockstep_produces_consecutive_lines(self):
+        """Section 3.1: the aggregated stream contains runs of
+        consecutive cache lines even though each thread is strided."""
+        w = get_workload("STREAM", num_threads=4, seed=1)
+        lines = [a.addr // 64 for a in w.accesses(4000)]
+        window = lines[:64]
+        uniq = sorted(set(window))
+        runs = sum(
+            1 for i in range(1, len(uniq)) if uniq[i] == uniq[i - 1] + 1
+        )
+        assert runs > len(uniq) // 3
+
+    def test_hpcg_has_16B_matrix_loads(self):
+        w = get_workload("HPCG", num_threads=4, seed=1)
+        accs = list(w.accesses(4000))
+        assert any(a.size == 16 for a in accs)

@@ -1,0 +1,118 @@
+"""Tests for access-stream characterization, pinning each benchmark's
+intended shape (the shapes the paper's per-benchmark results rely on)."""
+
+import pytest
+
+from repro.core.request import Access, RequestType
+from repro.workloads.characterize import characterize, profile_benchmark
+
+
+class TestCharacterize:
+    def test_empty(self):
+        p = characterize([])
+        assert p.accesses == 0
+        assert p.lines_per_access == 0.0
+        assert p.sharing_fraction == 0.0
+
+    def test_sequential_stream(self):
+        accs = [Access(addr=i * 8, size=8) for i in range(64)]
+        p = characterize(accs)
+        assert p.unit_stride_fraction == 1.0
+        assert p.local_stride_fraction == 1.0
+        assert p.distinct_lines == 8
+        assert p.store_fraction == 0.0
+
+    def test_random_stream(self):
+        import random
+
+        rng = random.Random(1)
+        accs = [Access(addr=rng.randrange(1 << 24) * 64, size=8) for i in range(200)]
+        p = characterize(accs)
+        assert p.unit_stride_fraction < 0.05
+        assert p.lines_per_access > 0.9
+
+    def test_sharing_detection(self):
+        accs = [
+            Access(addr=0, size=8, thread_id=0),
+            Access(addr=8, size=8, thread_id=1),  # same line, other thread
+            Access(addr=64, size=8, thread_id=0),
+        ]
+        p = characterize(accs)
+        assert p.distinct_lines == 2
+        assert p.shared_lines == 1
+        assert p.sharing_fraction == pytest.approx(0.5)
+
+    def test_per_thread_strides(self):
+        """Strides are tracked per thread: interleaving two sequential
+        threads must not destroy the unit-stride signal."""
+        accs = []
+        for i in range(32):
+            accs.append(Access(addr=i * 8, size=8, thread_id=0))
+            accs.append(Access(addr=1 << 22 | (i * 8), size=8, thread_id=1))
+        p = characterize(accs)
+        assert p.unit_stride_fraction > 0.95
+
+    def test_woven_arrays_keep_stride_signal(self):
+        """A loop body touching two arrays (different regions) still
+        registers per-array sequentiality."""
+        accs = []
+        for i in range(32):
+            accs.append(Access(addr=i * 8, size=8))
+            accs.append(Access(addr=(1 << 23) + i * 8, size=8))
+        p = characterize(accs)
+        assert p.unit_stride_fraction > 0.9
+
+    def test_fences_counted_separately(self):
+        accs = [
+            Access(addr=0, size=8),
+            Access(addr=0, size=0, rtype=RequestType.FENCE),
+        ]
+        p = characterize(accs)
+        assert p.fences == 1
+        assert p.loads == 1
+
+    def test_size_histogram(self):
+        accs = [Access(addr=0, size=4), Access(addr=64, size=16)]
+        p = characterize(accs)
+        assert p.size_histogram == {4: 1, 16: 1}
+
+
+class TestBenchmarkShapes:
+    """Pin the stream properties that drive each paper result."""
+
+    def test_stream_is_unit_stride(self):
+        # Realistic scale so the three arrays live in separate stride
+        # regions (tiny traces put them a few hundred bytes apart).
+        p = profile_benchmark("STREAM", accesses=24_000, num_threads=12)
+        assert p.unit_stride_fraction > 0.4  # woven multi-array loop body
+        assert p.local_stride_fraction > 0.4
+
+    def test_sg_is_sparse(self):
+        p = profile_benchmark("SG", accesses=6000, num_threads=4)
+        # Random gathers/scatters dominate the footprint.
+        assert p.lines_per_access > 0.4
+        assert p.lines_per_access > 3 * profile_benchmark(
+            "STREAM", accesses=6000, num_threads=4
+        ).lines_per_access
+
+    def test_ep_is_cache_resident(self):
+        p = profile_benchmark("EP", accesses=6000, num_threads=4)
+        assert p.footprint_bytes < 1024 * 1024  # small hot tables
+
+    def test_hpcg_uses_16B_elements(self):
+        p = profile_benchmark("HPCG", accesses=6000, num_threads=4)
+        assert 16 in p.size_histogram
+        assert p.size_histogram[16] > 0.2 * (p.loads + p.stores)
+
+    def test_sparselu_shares_pivot_blocks(self):
+        p = profile_benchmark("SparseLU", accesses=8000, num_threads=4)
+        assert p.sharing_fraction > 0.15
+
+    def test_ssca2_mixes_runs_and_random(self):
+        p = profile_benchmark("SSCA2", accesses=6000, num_threads=4)
+        assert 0.05 < p.unit_stride_fraction < 0.9
+
+    def test_store_fractions_sane(self):
+        for name in ("STREAM", "FT", "SG", "LU"):
+            p = profile_benchmark(name, accesses=4000, num_threads=4)
+            assert 0.0 < p.store_fraction < 0.6, name
