@@ -15,9 +15,37 @@ from repro.sim.experiments import EvaluationSuite
 BENCH_ACCESSES = 8_000
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--metrics-out",
+        default=None,
+        help="write every simulated run's metrics registry to this "
+        "JSON-lines file (one {'kind': 'run', ...} header per run)",
+    )
+
+
 @pytest.fixture(scope="session")
-def suite() -> EvaluationSuite:
-    return EvaluationSuite(PlatformConfig(accesses=BENCH_ACCESSES))
+def suite(request) -> EvaluationSuite:
+    instance = EvaluationSuite(PlatformConfig(accesses=BENCH_ACCESSES))
+    yield instance
+    out = request.config.getoption("--metrics-out")
+    if out:
+        from repro.obs.export import write_json_lines
+
+        first = True
+        for (benchmark, config), result in sorted(instance._cache.items()):
+            if result.metrics is None:
+                continue
+            write_json_lines(
+                result.metrics,
+                out,
+                include_timeline=False,
+                header={"benchmark": benchmark, "config": config},
+                append=not first,
+            )
+            first = False
+        if not first:
+            print(f"\nwrote metrics registries to {out}")
 
 
 @pytest.fixture(scope="session")

@@ -49,6 +49,22 @@ def main() -> None:
     )
     print("issued packet sizes:", coalesced.request_size_distribution())
 
+    # Each result carries the run's full metrics registry (every stage
+    # counter/gauge/histogram -- the `python -m repro stats` surface;
+    # the catalogue is docs/metrics.md).
+    flat = coalesced.metrics.as_flat_dict()
+    print()
+    print(f"{flat.get('sorter_sequences_total{reason=full}', 0):.0f} full / "
+          f"{flat.get('sorter_sequences_total{reason=timeout}', 0):.0f} "
+          f"timed-out sorter launches, "
+          f"{flat['dmc_merges_total']:.0f} DMC merges, "
+          f"{flat.get('mshr_outcomes_total{case=merged_full}', 0):.0f} "
+          "case-A MSHR merges")
+    print(f"transfer saved vs baseline: "
+          f"{coalesced.transfer_bytes_saved_vs(baseline) / 1024:.0f} KB "
+          f"({coalesced.control_bytes_saved_vs(baseline) / 1024:.0f} KB "
+          "of it control overhead)")
+
 
 if __name__ == "__main__":
     main()

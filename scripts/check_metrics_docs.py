@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Verify docs/metrics.md against the live metrics registry.
+
+Runs a small end-to-end simulation, collects every metric name the
+registry actually registers, and cross-checks the reference tables in
+``docs/metrics.md``:
+
+* every metric documented must exist in the registry;
+* every registry metric must be documented.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_metrics_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC = REPO / "docs" / "metrics.md"
+
+#: First backticked cell of a markdown table row, e.g. ``| `crq_depth` |``.
+ROW_RE = re.compile(r"^\|\s*`([a-z][a-z0-9_]*)`\s*\|")
+
+
+def documented_metrics(text: str) -> set[str]:
+    names = set()
+    for line in text.splitlines():
+        m = ROW_RE.match(line)
+        # Metric names always contain an underscore; timeline-stage
+        # rows (`sorter`, `crq`, ...) don't and are skipped.
+        if m and "_" in m.group(1):
+            names.add(m.group(1))
+    return names
+
+
+def registry_metrics() -> set[str]:
+    from repro.sim.driver import PlatformConfig, run_benchmark
+
+    result = run_benchmark("STREAM", PlatformConfig(accesses=2_000))
+    assert result.metrics is not None
+    return set(result.metrics.names())
+
+
+def main() -> int:
+    doc = documented_metrics(DOC.read_text())
+    if not doc:
+        print(f"error: no metric tables found in {DOC}", file=sys.stderr)
+        return 2
+    live = registry_metrics()
+
+    missing = sorted(doc - live)
+    undocumented = sorted(live - doc)
+    if missing:
+        print("documented but not in the registry:", file=sys.stderr)
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
+    if undocumented:
+        print("in the registry but not documented:", file=sys.stderr)
+        for name in undocumented:
+            print(f"  {name}", file=sys.stderr)
+    if missing or undocumented:
+        return 1
+    print(f"ok: {len(doc)} metrics documented and registered")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

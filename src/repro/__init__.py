@@ -12,6 +12,8 @@ full evaluation stack around it:
   traces;
 * :mod:`repro.workloads` -- the paper's 12 benchmark access patterns;
 * :mod:`repro.sim` -- the end-to-end driver and per-figure experiments;
+* :mod:`repro.obs` -- the per-run metrics registry, stage timeline,
+  exporters and wall-clock profiler (see docs/metrics.md);
 * :mod:`repro.analysis` -- analytic models and report rendering.
 
 Quickstart
@@ -24,6 +26,7 @@ True
 
 from repro.core import CoalescerConfig, MemoryCoalescer
 from repro.hmc import HMCDevice, HMCTimingConfig
+from repro.obs import MetricsRegistry, PhaseProfiler
 from repro.sim import PlatformConfig, SimulationResult, run_benchmark
 from repro.workloads import BENCHMARKS, get_workload
 
@@ -35,6 +38,8 @@ __all__ = [
     "HMCDevice",
     "HMCTimingConfig",
     "MemoryCoalescer",
+    "MetricsRegistry",
+    "PhaseProfiler",
     "PlatformConfig",
     "SimulationResult",
     "get_workload",

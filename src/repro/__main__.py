@@ -15,6 +15,13 @@ Commands
 ``trace BENCHMARK FILE``
     Capture a benchmark's LLC trace to a file (or summarize an
     existing trace with ``--summary``).
+``stats BENCHMARK``
+    Run one benchmark and dump its full metrics registry -- every
+    stage counter, gauge and histogram -- as a table or, with
+    ``--json``, as self-describing JSON lines.
+``profile BENCHMARK``
+    Run one benchmark under a wall-clock profiler and print where the
+    simulator itself spends time (trace generation vs coalescing).
 """
 
 from __future__ import annotations
@@ -159,6 +166,53 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    from repro.obs.export import (
+        format_registry_table,
+        registry_to_json_lines,
+        write_json_lines,
+    )
+    from repro.sim.driver import PlatformConfig, run_benchmark
+
+    platform = PlatformConfig(accesses=args.accesses, seed=args.seed)
+    result = run_benchmark(args.benchmark, platform)
+    registry = result.metrics
+    assert registry is not None
+    if args.out:
+        path = write_json_lines(
+            registry,
+            args.out,
+            include_timeline=not args.no_timeline,
+            header={"benchmark": result.benchmark, "accesses": args.accesses},
+        )
+        print(f"wrote {path}")
+        return 0
+    if args.json:
+        for line in registry_to_json_lines(
+            registry, include_timeline=not args.no_timeline
+        ):
+            print(line)
+        return 0
+    print(format_registry_table(registry, title=f"{result.benchmark} metrics"))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs import PhaseProfiler
+    from repro.sim.driver import PlatformConfig, run_benchmark
+
+    platform = PlatformConfig(accesses=args.accesses, seed=args.seed)
+    profiler = PhaseProfiler()
+    result = run_benchmark(args.benchmark, platform, profiler=profiler)
+    print(profiler.format_table(title=f"{result.benchmark} simulator profile"))
+    print(
+        f"total {profiler.total() * 1e3:.1f} ms for "
+        f"{result.tracer.cpu_accesses} accesses "
+        f"({result.coalescer.llc_requests} LLC requests)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -193,6 +247,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--summary", action="store_true", help="summarize FILE instead of writing it"
     )
     trace.set_defaults(fn=_cmd_trace)
+
+    stats = sub.add_parser(
+        "stats", help="dump one run's full metrics registry"
+    )
+    stats.add_argument("benchmark")
+    stats.add_argument("--accesses", type=int, default=12_000)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument(
+        "--json", action="store_true", help="emit JSON lines instead of a table"
+    )
+    stats.add_argument("--out", help="write JSON lines to this file")
+    stats.add_argument(
+        "--no-timeline",
+        action="store_true",
+        help="omit stage-timeline events from the JSON export",
+    )
+    stats.set_defaults(fn=_cmd_stats)
+
+    profile = sub.add_parser(
+        "profile", help="wall-clock profile of the simulator itself"
+    )
+    profile.add_argument("benchmark")
+    profile.add_argument("--accesses", type=int, default=12_000)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.set_defaults(fn=_cmd_profile)
 
     return parser
 

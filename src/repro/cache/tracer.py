@@ -15,6 +15,7 @@ from typing import Iterable, Iterator
 
 from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.core.request import Access, MemoryRequest
+from repro.obs import MetricsRegistry
 
 
 @dataclass(slots=True)
@@ -68,6 +69,7 @@ class MemoryTracer:
         hierarchy: CacheHierarchy | None = None,
         cycles_per_access: float = 1.0,
         llc_port_cycles: float = 1.0,
+        registry: MetricsRegistry | None = None,
     ):
         if cycles_per_access <= 0:
             raise ValueError("cycles_per_access must be positive")
@@ -79,6 +81,19 @@ class MemoryTracer:
         self.stats = TracerStats()
         self._clock = 0.0
         self._next_port_free = 0.0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._m_cpu = self.registry.counter(
+            "tracer_cpu_accesses_total", help="CPU accesses entering the hierarchy"
+        )
+        self._m_llc = self.registry.counter(
+            "tracer_llc_requests_total",
+            help="LLC-level requests emitted to the coalescer, by kind",
+        )
+        self._m_requested_bytes = self.registry.counter(
+            "tracer_requested_bytes_total",
+            help="Bytes the surviving LLC requests actually asked for",
+            unit="bytes",
+        )
 
     @property
     def cycle(self) -> int:
@@ -93,6 +108,7 @@ class MemoryTracer:
         """
         for access in accesses:
             self.stats.cpu_accesses += 1
+            self._m_cpu.inc()
             for event in self.hierarchy.access(access, cycle=int(self._clock)):
                 emit = self._clock
                 if self.llc_port_cycles and not event.request.is_fence:
@@ -108,10 +124,20 @@ class MemoryTracer:
                 if not event.request.is_fence:
                     self.stats.llc_requests += 1
                     self.stats.requested_bytes += event.request.requested_bytes
+                    self._m_requested_bytes.inc(event.request.requested_bytes)
                     if event.is_writeback:
                         self.stats.writebacks += 1
                     if event.is_prefetch:
                         self.stats.prefetches += 1
+                    if event.is_writeback:
+                        kind = "writeback"
+                    elif event.is_prefetch:
+                        kind = "prefetch"
+                    elif event.is_secondary:
+                        kind = "secondary_miss"
+                    else:
+                        kind = "miss"
+                    self._m_llc.inc(kind=kind)
                 yield record
             self._clock += self.cycles_per_access
 

@@ -32,6 +32,7 @@ from repro.core.dmc import DMCStats, DMCUnit
 from repro.core.mshr import DynamicMSHRFile, InsertOutcome, MSHRStats
 from repro.core.pipeline import PipelinedSortingNetwork, SortPipelineStats
 from repro.core.request import CoalescedRequest, MemoryRequest
+from repro.obs import MetricsRegistry
 
 
 #: Default HMC round-trip used when no device model is attached;
@@ -115,8 +116,10 @@ class MemoryCoalescer:
         self,
         config: CoalescerConfig | None = None,
         service_time: Callable[..., int] | int = DEFAULT_SERVICE_CYCLES,
+        registry: MetricsRegistry | None = None,
     ):
         self.config = config or CoalescerConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
         if callable(service_time):
             import inspect
 
@@ -137,15 +140,29 @@ class MemoryCoalescer:
             fixed = int(service_time)
             self._service_time = lambda _req, _cycle: fixed
 
-        self.pipeline = PipelinedSortingNetwork(self.config)
-        self.dmc = DMCUnit(self.config)
-        self.crq = CoalescedRequestQueue(self.config.effective_crq_depth)
-        self.mshrs = DynamicMSHRFile(self.config)
+        self.pipeline = PipelinedSortingNetwork(self.config, self.registry)
+        self.dmc = DMCUnit(self.config, self.registry)
+        self.crq = CoalescedRequestQueue(
+            self.config.effective_crq_depth, self.registry
+        )
+        self.mshrs = DynamicMSHRFile(self.config, self.registry)
 
         self.issued: list[IssuedRequest] = []
         self.serviced: list[ServicedRequest] = []
         self._llc_requests = 0
         self._bypassed = 0
+        self._m_llc_requests = self.registry.counter(
+            "coalescer_llc_requests_total",
+            help="LLC miss/write-back requests entering the coalescer",
+        )
+        self._m_bypasses = self.registry.counter(
+            "coalescer_bypass_total",
+            help="Raw requests that skipped the coalescer (stage-select bypass)",
+        )
+        self._m_issued = self.registry.counter(
+            "coalescer_hmc_requests_total",
+            help="Packets actually issued to the HMC, by path",
+        )
 
     # -- public API -----------------------------------------------------------
 
@@ -163,6 +180,7 @@ class MemoryCoalescer:
             return
 
         self._llc_requests += 1
+        self._m_llc_requests.inc()
 
         if self._can_bypass(cycle):
             self._bypass(request, cycle)
@@ -260,6 +278,8 @@ class MemoryCoalescer:
         if entry is None:  # pragma: no cover - all_idle guarantees a slot
             raise RuntimeError("bypass allocation failed with idle MSHRs")
         self._bypassed += 1
+        self._m_bypasses.inc()
+        self.registry.timeline.record(cycle, "coalescer", "bypass")
         self._record_issue(packet, cycle, entry.complete_cycle, entry.index, True)
 
     def _handle_sequence(self, seq) -> None:
@@ -369,18 +389,18 @@ class MemoryCoalescer:
                 overlaps.append((entry, common))
         if not overlaps:
             return InsertOutcome.FULL, []
-        file.stats.offered += 1
+        file.record_offer()
         covered: set[int] = set()
         for entry, common in overlaps:
             file._merge_lines(entry, request, common)
             covered |= common
         remainder = sorted(req_lines - covered)
         if not remainder:
-            file.stats.merged_full += 1
+            file.record_outcome("merged_full")
             return InsertOutcome.MERGED, []
-        file.stats.merged_partial += 1
+        file.record_outcome("merged_partial")
         rest = file._repack(request, remainder)
-        file.stats.remainder_packets += len(rest)
+        file.record_remainders(len(rest))
         return InsertOutcome.PARTIAL, rest
 
     def _complete_up_to(self, cycle: int) -> None:
@@ -407,3 +427,4 @@ class MemoryCoalescer:
                 bypassed=bypassed,
             )
         )
+        self._m_issued.inc(path="bypass" if bypassed else "coalesced")

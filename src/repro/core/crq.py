@@ -20,6 +20,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.core.request import CoalescedRequest
+from repro.obs import MetricsRegistry
 
 
 @dataclass(slots=True)
@@ -51,13 +52,38 @@ class _Slot:
 class CoalescedRequestQueue:
     """Bounded FIFO of coalesced requests with fill-time accounting."""
 
-    def __init__(self, depth: int):
+    def __init__(self, depth: int, registry: MetricsRegistry | None = None):
         if depth <= 0:
             raise ValueError("CRQ depth must be positive")
         self.depth = depth
         self._slots: deque[_Slot] = deque()
         self._fill_window: list[int] = []
         self.stats = CRQStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._m_pushes = self.registry.counter(
+            "crq_pushes_total", help="Packets admitted into the CRQ"
+        )
+        self._m_pops = self.registry.counter(
+            "crq_pops_total", help="Packets drained from the CRQ into MSHRs"
+        )
+        self._m_fills = self.registry.counter(
+            "crq_fills_total", help="Times the CRQ produced a full queue's worth"
+        )
+        self._m_depth = self.registry.histogram(
+            "crq_depth",
+            buckets=(1, 2, 4, 8, 16, 32),
+            help="Queue depth observed after each admission (depth over time)",
+            unit="slots",
+        )
+        self._m_fill_cycles = self.registry.histogram(
+            "crq_fill_cycles",
+            buckets=(8, 16, 32, 64, 128, 256, 512),
+            help="Cycles to produce one CRQ's worth of packets (Figure 13)",
+            unit="cycles",
+        )
+        self._m_max_occupancy = self.registry.gauge(
+            "crq_max_occupancy", help="High-water mark of queue depth", unit="slots"
+        )
 
     def __len__(self) -> int:
         return len(self._slots)
@@ -90,15 +116,20 @@ class CoalescedRequestQueue:
         self._slots.append(_Slot(request, cycle))
         self.stats.pushes += 1
         self.stats.max_occupancy = max(self.stats.max_occupancy, len(self._slots))
+        self._m_pushes.inc()
+        self._m_depth.observe(len(self._slots))
+        self._m_max_occupancy.set_max(len(self._slots))
         self._fill_window.append(
             produced_cycle if produced_cycle is not None else cycle
         )
         if len(self._fill_window) >= self.depth:
+            fill_cycles = max(0, self._fill_window[-1] - self._fill_window[0])
             self.stats.fills += 1
-            self.stats.total_fill_cycles += max(
-                0, self._fill_window[-1] - self._fill_window[0]
-            )
+            self.stats.total_fill_cycles += fill_cycles
             self._fill_window.clear()
+            self._m_fills.inc()
+            self._m_fill_cycles.observe(fill_cycles)
+            self.registry.timeline.record(cycle, "crq", "fill", fill_cycles)
         return True
 
     def push_fence(self, cycle: int) -> None:
@@ -133,6 +164,7 @@ class CoalescedRequestQueue:
             raise IndexError("pop from empty CRQ")
         slot = self._slots.popleft()
         self.stats.pops += 1
+        self._m_pops.inc()
         return slot.request
 
     def iter_requests(self):
@@ -151,6 +183,7 @@ class CoalescedRequestQueue:
             if slot.request is request:
                 self._slots.remove(slot)
                 self.stats.pops += 1
+                self._m_pops.inc()
                 return
         raise ValueError("request not present in CRQ")
 

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 from repro.core.config import CoalescerConfig
 from repro.core.request import CoalescedRequest, MemoryRequest
+from repro.obs import MetricsRegistry
 
 
 @dataclass(slots=True)
@@ -96,9 +97,45 @@ def split_aligned_runs(lines: list[int], max_lines: int) -> list[tuple[int, int]
 class DMCUnit:
     """First-phase coalescer turning sorted request runs into packets."""
 
-    def __init__(self, config: CoalescerConfig):
+    def __init__(
+        self, config: CoalescerConfig, registry: MetricsRegistry | None = None
+    ):
         self.config = config
         self.stats = DMCStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._m_sequences = self.registry.counter(
+            "dmc_sequences_total", help="Sorted sequences coalesced"
+        )
+        self._m_requests_in = self.registry.counter(
+            "dmc_requests_in_total", help="Requests entering first-phase coalescing"
+        )
+        self._m_packets_out = self.registry.counter(
+            "dmc_packets_out_total", help="Coalesced packets emitted into the CRQ"
+        )
+        self._m_comparisons = self.registry.counter(
+            "dmc_comparisons_total",
+            help="Simultaneous base-vs-rest comparisons (one per group)",
+        )
+        self._m_merges = self.registry.counter(
+            "dmc_merges_total", help="Requests absorbed into a coalescing group"
+        )
+        self._m_latency = self.registry.counter(
+            "dmc_latency_cycles_total",
+            help="Cycles spent in first-phase coalescing",
+            unit="cycles",
+        )
+        self._m_packet_lines = self.registry.histogram(
+            "dmc_packet_lines",
+            buckets=(1, 2, 4, 8),
+            help="Emitted packet size in cache lines (Figure 10 input)",
+            unit="lines",
+        )
+        self._m_merge_distance = self.registry.histogram(
+            "dmc_merge_distance_lines",
+            buckets=(0, 1, 2, 4, 8),
+            help="Line distance between an absorbed request and its group base",
+            unit="lines",
+        )
 
     def coalesce(
         self, requests: list[MemoryRequest], start_cycle: int = 0
@@ -121,6 +158,8 @@ class DMCUnit:
         """
         self.stats.sequences += 1
         self.stats.requests_in += len(requests)
+        self._m_sequences.inc()
+        self._m_requests_in.inc(len(requests))
 
         packets: list[CoalescedRequest] = []
         latency = 0
@@ -139,6 +178,7 @@ class DMCUnit:
             # One simultaneous comparison of the base against the rest.
             latency += self.config.compare_cycles
             self.stats.comparisons += 1
+            self._m_comparisons.inc()
             j = i + 1
             while j < n:
                 nxt = requests[j]
@@ -161,6 +201,8 @@ class DMCUnit:
                 group_lines.add(nxt.line)
                 latency += self.config.compare_cycles  # merge operation
                 self.stats.merges += 1
+                self._m_merges.inc()
+                self._m_merge_distance.observe(nxt.line - base_req.line)
                 j += 1
 
             if len(group) > 1:
@@ -175,7 +217,10 @@ class DMCUnit:
         for pkt in packets:
             self.stats.packets_out += 1
             self.stats.packets_by_lines[pkt.num_lines] += 1
+            self._m_packets_out.inc()
+            self._m_packet_lines.observe(pkt.num_lines)
         self.stats.total_latency_cycles += latency
+        self._m_latency.inc(latency)
         return packets, start_cycle + latency
 
     def _emit(

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from repro.core.config import CoalescerConfig
 from repro.core.dmc import split_aligned_runs
 from repro.core.request import CoalescedRequest, MemoryRequest, RequestType
+from repro.obs import MetricsRegistry
 
 
 class InsertOutcome(enum.Enum):
@@ -135,10 +136,74 @@ class MSHRStats:
 class DynamicMSHRFile:
     """The file of dynamic MSHR entries with second-phase coalescing."""
 
-    def __init__(self, config: CoalescerConfig):
+    def __init__(
+        self, config: CoalescerConfig, registry: MetricsRegistry | None = None
+    ):
         self.config = config
         self.entries = [MSHREntry(index=i) for i in range(config.num_mshrs)]
         self.stats = MSHRStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._m_offers = self.registry.counter(
+            "mshr_offers_total", help="Requests offered to the MSHR file"
+        )
+        self._m_outcomes = self.registry.counter(
+            "mshr_outcomes_total",
+            help="Offer outcomes: case A (merged_full), case B (merged_partial), "
+            "case C (allocated), or rejected_full",
+        )
+        self._m_subentries = self.registry.counter(
+            "mshr_subentries_total", help="Targets attached as subentries"
+        )
+        self._m_remainders = self.registry.counter(
+            "mshr_remainder_packets_total",
+            help="Re-packed packets produced by case-B splits",
+        )
+        self._m_completions = self.registry.counter(
+            "mshr_completions_total", help="Entries freed by HMC responses"
+        )
+        self._m_occupancy = self.registry.histogram(
+            "mshr_occupancy",
+            buckets=(0, 2, 4, 8, 16, 32),
+            help="Valid entries at each offer (subentry pressure context)",
+            unit="entries",
+        )
+        self._m_entry_subentries = self.registry.histogram(
+            "mshr_entry_subentries",
+            buckets=(1, 2, 4, 8, 16, 32),
+            help="Subentries per entry at completion (subentry pressure)",
+            unit="subentries",
+        )
+
+    # -- shared stat recording (also used by the coalescer's merge-only
+    # pass, which manipulates entries without going through offer()) ---------
+
+    def record_offer(self) -> None:
+        self.stats.offered += 1
+        self._m_offers.inc()
+        self._m_occupancy.observe(self.occupancy())
+
+    def record_outcome(self, case: str) -> None:
+        """Count one offer outcome: merged_full (case A), merged_partial
+        (case B), allocated (case C) or rejected_full."""
+        if case == "merged_full":
+            self.stats.merged_full += 1
+        elif case == "merged_partial":
+            self.stats.merged_partial += 1
+        elif case == "allocated":
+            self.stats.allocated += 1
+        elif case == "rejected_full":
+            self.stats.rejected_full += 1
+        else:
+            raise ValueError(f"unknown MSHR outcome {case!r}")
+        self._m_outcomes.inc(case=case)
+
+    def record_remainders(self, count: int) -> None:
+        self.stats.remainder_packets += count
+        self._m_remainders.inc(count)
+
+    def record_subentries(self, count: int) -> None:
+        self.stats.subentries_added += count
+        self._m_subentries.inc(count)
 
     # -- occupancy ---------------------------------------------------------
 
@@ -182,6 +247,8 @@ class DynamicMSHRFile:
                     )
                 )
                 entry.valid = False
+                self._m_completions.inc()
+                self._m_entry_subentries.observe(len(entry.subentries))
                 entry.subentries = []
                 self.stats.completions += 1
         return done
@@ -205,7 +272,7 @@ class DynamicMSHRFile:
         :attr:`InsertOutcome.ALLOCATED` ``entry`` is the fresh entry
         whose HMC request the caller must issue.
         """
-        self.stats.offered += 1
+        self.record_offer()
         line_size = self.config.line_size
         req_lines = set(request.lines)
 
@@ -229,16 +296,16 @@ class DynamicMSHRFile:
                     covered |= common
                 remainder = sorted(req_lines - covered)
                 if not remainder:
-                    self.stats.merged_full += 1
+                    self.record_outcome("merged_full")
                     return InsertOutcome.MERGED, [], None
-                self.stats.merged_partial += 1
+                self.record_outcome("merged_partial")
                 rest = self._repack(request, remainder)
-                self.stats.remainder_packets += len(rest)
+                self.record_remainders(len(rest))
                 return InsertOutcome.PARTIAL, rest, None
 
         entry = self._allocate(request, cycle, service_cycles)
         if entry is None:
-            self.stats.rejected_full += 1
+            self.record_outcome("rejected_full")
             return InsertOutcome.FULL, [], None
         return InsertOutcome.ALLOCATED, [], entry
 
@@ -246,10 +313,10 @@ class DynamicMSHRFile:
         self, request: CoalescedRequest, cycle: int, service_cycles
     ) -> MSHREntry | None:
         """Allocate without attempting any merge (bypass path)."""
-        self.stats.offered += 1
+        self.record_offer()
         entry = self._allocate(request, cycle, service_cycles)
         if entry is None:
-            self.stats.rejected_full += 1
+            self.record_outcome("rejected_full")
         return entry
 
     # -- internals ----------------------------------------------------------
@@ -267,7 +334,7 @@ class DynamicMSHRFile:
                         request=req,
                     )
                 )
-                self.stats.subentries_added += 1
+                self.record_subentries(1)
 
     def _repack(
         self, request: CoalescedRequest, lines: list[int]
@@ -313,7 +380,7 @@ class DynamicMSHRFile:
                 ]
                 entry.issue_cycle = cycle
                 entry.complete_cycle = cycle + service_cycles
-                self.stats.allocated += 1
-                self.stats.subentries_added += len(entry.subentries)
+                self.record_outcome("allocated")
+                self.record_subentries(len(entry.subentries))
                 return entry
         return None

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from repro.core.config import CoalescerConfig
 from repro.core.request import MemoryRequest
 from repro.core.sorting import OddEvenMergesortNetwork
+from repro.obs import MetricsRegistry
 
 
 @dataclass(slots=True)
@@ -116,10 +117,54 @@ def balanced_step_groups(num_steps: int, num_groups: int) -> list[int]:
 class PipelinedSortingNetwork:
     """Trace-driven model of the pipelined request sorting network."""
 
-    def __init__(self, config: CoalescerConfig):
+    def __init__(
+        self, config: CoalescerConfig, registry: MetricsRegistry | None = None
+    ):
         self.config = config
         self.network = OddEvenMergesortNetwork(config.sorter_width)
         self.stats = SortPipelineStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._m_sequences = self.registry.counter(
+            "sorter_sequences_total",
+            help="Sorted sequences launched, by flush reason",
+        )
+        self._m_requests = self.registry.counter(
+            "sorter_requests_total", help="Valid requests entering the sorter"
+        )
+        self._m_padding = self.registry.counter(
+            "sorter_padding_slots_total",
+            help="Invalid padding slots appended to short sequences",
+        )
+        self._m_fences = self.registry.counter(
+            "sorter_fence_slots_total",
+            help="Pipeline slots monopolized by memory fences",
+        )
+        self._m_comparator_ops = self.registry.counter(
+            "sorter_comparator_ops_total",
+            help="Comparator operations evaluated across all sequences",
+        )
+        self._m_stages_skipped = self.registry.counter(
+            "sorter_stages_skipped_total",
+            help="Merge stages skipped by stage select (Section 3.3)",
+        )
+        self._m_occupancy = self.registry.histogram(
+            "sorter_occupancy",
+            buckets=(1, 2, 4, 8, 16, 32),
+            help="Valid requests per launched sequence (buffer occupancy)",
+            unit="requests",
+        )
+        self._m_wait = self.registry.histogram(
+            "sorter_wait_cycles",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+            help="Front-buffer wait before launch (timeout effect)",
+            unit="cycles",
+        )
+        self._m_sort_latency = self.registry.histogram(
+            "sorter_sort_latency_cycles",
+            buckets=(4, 8, 16, 32, 64, 128),
+            help="In-network latency per sorted sequence",
+            unit="cycles",
+        )
 
         # Step time tau: one compare plus one exchange (Section 4.1:
         # "2 clock cycles per operation (totally 4 cycles)").
@@ -283,6 +328,16 @@ class PipelinedSortingNetwork:
         self.stats.total_wait_latency_cycles += max(0, launch - first_cycle)
         setattr(self.stats, f"flushes_{reason}", getattr(self.stats, f"flushes_{reason}") + 1)
 
+        self._m_sequences.inc(reason=reason)
+        self._m_requests.inc(count)
+        self._m_padding.inc(padding)
+        self._m_comparator_ops.inc(self.network.count_operations(stages_used))
+        self._m_stages_skipped.inc(self.network.num_stages - stages_used)
+        self._m_occupancy.observe(count)
+        self._m_wait.observe(max(0, launch - first_cycle))
+        self._m_sort_latency.observe(complete - launch)
+        self.registry.timeline.record(launch, "sorter", reason, count)
+
         return SortedSequence(
             requests=sorted_requests,
             launch_cycle=launch,
@@ -299,6 +354,8 @@ class PipelinedSortingNetwork:
         self._stage1_free_cycle = launch + self.initiation_interval_cycles
         complete = launch + self.full_latency_cycles
         self.stats.fence_slots += 1
+        self._m_fences.inc()
+        self.registry.timeline.record(launch, "sorter", "fence_slot")
         return SortedSequence(
             requests=[],
             launch_cycle=launch,

@@ -16,6 +16,7 @@ from repro.hmc.link import HMCLink
 from repro.hmc.packet import REQUEST_CONTROL_BYTES, transferred_bytes
 from repro.hmc.timing import HMCTimingConfig
 from repro.hmc.vault import Vault
+from repro.obs import MetricsRegistry
 
 
 @dataclass(slots=True)
@@ -84,11 +85,85 @@ class HMCStats:
 class HMCDevice:
     """An 8 GB HMC 2.1 cube with 256 B block addressing (Section 5.2)."""
 
-    def __init__(self, config: HMCTimingConfig | None = None):
+    def __init__(
+        self,
+        config: HMCTimingConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
         self.config = config or HMCTimingConfig()
-        self.link = HMCLink(self.config)
-        self.vaults = [Vault(i, self.config) for i in range(self.config.num_vaults)]
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.link = HMCLink(self.config, self.registry)
+        self.vaults = [
+            Vault(i, self.config, self.registry)
+            for i in range(self.config.num_vaults)
+        ]
         self.stats = HMCStats()
+        self._m_requests = self.registry.counter(
+            "hmc_requests_total", help="HMC transactions served, by operation"
+        )
+        self._m_payload = self.registry.counter(
+            "hmc_payload_bytes_total", help="Packet payload bytes", unit="bytes"
+        )
+        self._m_requested = self.registry.counter(
+            "hmc_requested_bytes_total",
+            help="Bytes the application actually asked for (Equation 1 numerator)",
+            unit="bytes",
+        )
+        self._m_control = self.registry.counter(
+            "hmc_control_bytes_total",
+            help="Control bytes across all transactions",
+            unit="bytes",
+        )
+        self._m_rows = self.registry.counter(
+            "hmc_row_accesses_total", help="Row-buffer outcomes across all banks"
+        )
+        self._m_packet_bytes = self.registry.histogram(
+            "hmc_packet_bytes",
+            buckets=(16, 32, 64, 128, 256, 512),
+            help="Issued packet payload size distribution (Figure 10)",
+            unit="bytes",
+        )
+
+    def _account(
+        self,
+        *,
+        op: str,
+        payload: int,
+        requested: int,
+        control: int,
+        row_hit: bool,
+        latency_ns: float,
+        complete_ns: float,
+        packet_bytes: int | None = None,
+    ) -> None:
+        """Accumulate one transaction into stats and registry.
+
+        ``packet_bytes`` sizes the distribution bucket when it differs
+        from the accounted payload (the atomic path's operand FLIT).
+        """
+        if packet_bytes is None:
+            packet_bytes = payload
+        s = self.stats
+        s.requests += 1
+        if op == "write":
+            s.writes += 1
+        else:
+            s.reads += 1
+        s.payload_bytes += payload
+        s.requested_bytes += requested
+        s.control_bytes += control
+        s.row_hits += int(row_hit)
+        s.row_misses += int(not row_hit)
+        s.total_latency_ns += latency_ns
+        s.last_complete_ns = max(s.last_complete_ns, complete_ns)
+        s.size_histogram[packet_bytes] = s.size_histogram.get(packet_bytes, 0) + 1
+
+        self._m_requests.inc(op=op)
+        self._m_payload.inc(payload)
+        self._m_requested.inc(requested)
+        self._m_control.inc(control)
+        self._m_rows.inc(outcome="hit" if row_hit else "miss")
+        self._m_packet_bytes.observe(packet_bytes)
 
     def service(
         self,
@@ -130,20 +205,15 @@ class HMCDevice:
         complete = done + self.config.t_serdes_ns / 2
 
         req = requested_bytes if requested_bytes is not None else data_bytes
-        s = self.stats
-        s.requests += 1
-        if is_write:
-            s.writes += 1
-        else:
-            s.reads += 1
-        s.payload_bytes += data_bytes
-        s.requested_bytes += req
-        s.control_bytes += REQUEST_CONTROL_BYTES
-        s.row_hits += int(row_hit)
-        s.row_misses += int(not row_hit)
-        s.total_latency_ns += complete - arrive_ns
-        s.last_complete_ns = max(s.last_complete_ns, complete)
-        s.size_histogram[data_bytes] = s.size_histogram.get(data_bytes, 0) + 1
+        self._account(
+            op="write" if is_write else "read",
+            payload=data_bytes,
+            requested=req,
+            control=REQUEST_CONTROL_BYTES,
+            row_hit=row_hit,
+            latency_ns=complete - arrive_ns,
+            complete_ns=complete,
+        )
 
         return HMCResponse(
             addr=addr,
@@ -179,10 +249,12 @@ class HMCDevice:
         flits = 2 + (2 if op.returns_data else 1)
         start = max(arrive_ns, self.link.free_at_ns)
         self.link.free_at_ns = start + self.config.link_transfer_ns(flits)
-        self.link.stats.transactions += 1
-        self.link.stats.flits += flits
-        self.link.stats.payload_bytes += traffic.payload_bytes
-        self.link.stats.control_bytes += traffic.control_bytes - 16
+        self.link.account(
+            transactions=1,
+            flits=flits,
+            payload_bytes=traffic.payload_bytes,
+            control_bytes=traffic.control_bytes - 16,
+        )
         at_vault = (
             start
             + self.config.link_transfer_ns(2)
@@ -191,17 +263,16 @@ class HMCDevice:
         done, row_hit = self.vaults[vault_index].service(addr, 16, at_vault)
         complete = done + ATOMIC_ALU_NS + self.config.t_serdes_ns / 2
 
-        s = self.stats
-        s.requests += 1
-        s.writes += 1
-        s.payload_bytes += traffic.payload_bytes
-        s.requested_bytes += 16
-        s.control_bytes += traffic.control_bytes
-        s.row_hits += int(row_hit)
-        s.row_misses += int(not row_hit)
-        s.total_latency_ns += complete - arrive_ns
-        s.last_complete_ns = max(s.last_complete_ns, complete)
-        s.size_histogram[16] = s.size_histogram.get(16, 0) + 1
+        self._account(
+            op="write",
+            payload=traffic.payload_bytes,
+            requested=16,
+            control=traffic.control_bytes,
+            row_hit=row_hit,
+            latency_ns=complete - arrive_ns,
+            complete_ns=complete,
+            packet_bytes=16,
+        )
 
         return HMCResponse(
             addr=addr,

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.hmc.packet import REQUEST_CONTROL_BYTES, packet_flits
 from repro.hmc.timing import HMCTimingConfig
+from repro.obs import MetricsRegistry
 
 
 @dataclass(slots=True)
@@ -39,10 +40,57 @@ class LinkStats:
 class HMCLink:
     """Aggregate serializing front-end of the cube's links."""
 
-    def __init__(self, config: HMCTimingConfig):
+    def __init__(
+        self, config: HMCTimingConfig, registry: MetricsRegistry | None = None
+    ):
         self.config = config
         self.free_at_ns = 0.0
         self.stats = LinkStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._m_transactions = self.registry.counter(
+            "link_transactions_total", help="Transactions serialized on the links"
+        )
+        self._m_flits = self.registry.counter(
+            "link_flits_total", help="16 B FLITs moved in both directions"
+        )
+        self._m_bytes = self.registry.counter(
+            "link_bytes_total",
+            help="Bytes crossing the links, split payload vs control",
+            unit="bytes",
+        )
+        self._m_busy = self.registry.counter(
+            "link_busy_ns_total", help="Time the links spent moving FLITs", unit="ns"
+        )
+
+    def account(
+        self,
+        *,
+        transactions: int = 0,
+        flits: int = 0,
+        payload_bytes: int = 0,
+        control_bytes: int = 0,
+        busy_ns: float = 0.0,
+    ) -> None:
+        """Record link traffic in both the legacy stats and the registry.
+
+        The device's atomic path shapes its own FLIT schedule, so this
+        is the one shared accounting entry point.
+        """
+        self.stats.transactions += transactions
+        self.stats.flits += flits
+        self.stats.payload_bytes += payload_bytes
+        self.stats.control_bytes += control_bytes
+        self.stats.busy_ns += busy_ns
+        if transactions:
+            self._m_transactions.inc(transactions)
+        if flits:
+            self._m_flits.inc(flits)
+        if payload_bytes:
+            self._m_bytes.inc(payload_bytes, kind="payload")
+        if control_bytes:
+            self._m_bytes.inc(control_bytes, kind="control")
+        if busy_ns:
+            self._m_busy.inc(busy_ns)
 
     def transfer(
         self, data_bytes: int, arrive_ns: float, *, is_write: bool
@@ -61,11 +109,13 @@ class HMCLink:
         total_time = self.config.link_transfer_ns(flits)
         self.free_at_ns = start + total_time
 
-        self.stats.transactions += 1
-        self.stats.flits += flits
-        self.stats.payload_bytes += data_bytes
-        self.stats.control_bytes += REQUEST_CONTROL_BYTES
-        self.stats.busy_ns += total_time
+        self.account(
+            transactions=1,
+            flits=flits,
+            payload_bytes=data_bytes,
+            control_bytes=REQUEST_CONTROL_BYTES,
+            busy_ns=total_time,
+        )
         return start + req_time
 
     def utilization(self, elapsed_ns: float) -> float:

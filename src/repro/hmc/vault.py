@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hmc.timing import HMCTimingConfig
+from repro.obs import MetricsRegistry
 
 
 @dataclass(slots=True)
@@ -55,12 +56,35 @@ class VaultStats:
 class Vault:
     """One vault: FIFO controller over ``banks_per_vault`` banks."""
 
-    def __init__(self, index: int, config: HMCTimingConfig):
+    def __init__(
+        self,
+        index: int,
+        config: HMCTimingConfig,
+        registry: MetricsRegistry | None = None,
+    ):
         self.index = index
         self.config = config
         self.banks = [Bank() for _ in range(config.banks_per_vault)]
         self.free_at_ns = 0.0
         self.stats = VaultStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._label = str(index)
+        self._m_requests = self.registry.counter(
+            "vault_requests_total", help="Requests served, per vault"
+        )
+        self._m_conflicts = self.registry.counter(
+            "vault_bank_conflicts_total",
+            help="Row-buffer misses (precharge/activate stalls), per vault",
+        )
+        self._m_busy = self.registry.counter(
+            "vault_busy_ns_total", help="DRAM + TSV service time, per vault", unit="ns"
+        )
+        self._m_queue_wait = self.registry.histogram(
+            "vault_queue_wait_ns",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+            help="Per-request wait behind earlier requests (queue depth proxy)",
+            unit="ns",
+        )
 
     def service(
         self, addr: int, data_bytes: int, arrive_ns: float
@@ -98,6 +122,10 @@ class Vault:
             self.stats.row_hits += 1
         else:
             self.stats.row_misses += 1
+            self._m_conflicts.inc(vault=self._label)
+        self._m_requests.inc(vault=self._label)
+        self._m_busy.inc(dram + xfer, vault=self._label)
+        self._m_queue_wait.observe(start - arrive_ns, vault=self._label)
         return complete, hit
 
     @property

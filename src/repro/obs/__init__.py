@@ -1,0 +1,23 @@
+"""repro.obs: the observability layer.
+
+One :class:`MetricsRegistry` per simulation run collects every stage's
+counters, gauges and histograms plus a cycle-stamped
+:class:`StageTimeline`; :mod:`repro.obs.export` turns the registry
+into JSON-lines, a flat dict or a terminal table, and
+:class:`PhaseProfiler` measures the simulator's own wall-clock per
+phase.  See ``docs/metrics.md`` for the full metric catalogue.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import PhaseProfiler
+from repro.obs.timeline import StageTimeline, TimelineEvent
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "StageTimeline",
+    "TimelineEvent",
+]

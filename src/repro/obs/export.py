@@ -1,0 +1,184 @@
+"""Registry exporters: JSON-lines, flat dict, human table.
+
+Three consumers, three shapes:
+
+* **archival / CI diffing** -- :func:`registry_to_json_lines` emits one
+  self-describing JSON object per line (counter/gauge samples,
+  histograms with buckets, timeline events) and
+  :func:`registry_from_json_lines` round-trips it back into a
+  :class:`~repro.obs.metrics.MetricsRegistry`;
+* **benchmark assertions** -- ``registry.as_flat_dict()`` (in
+  :mod:`repro.obs.metrics`) flattens everything to name -> number;
+* **terminals** -- :func:`format_registry_table` renders the registry
+  through the same :func:`repro.analysis.report.format_table` the
+  figure harness uses.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.report import format_table
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def registry_to_json_lines(
+    registry: MetricsRegistry, *, include_timeline: bool = True
+) -> Iterator[str]:
+    """Yield one JSON document per metric sample (and timeline event)."""
+    for metric in registry.metrics():
+        common = {"name": metric.name, "kind": metric.kind}
+        if metric.unit:
+            common["unit"] = metric.unit
+        if metric.help:
+            common["help"] = metric.help
+        if isinstance(metric, Histogram):
+            for labels, series in metric.samples():
+                yield json.dumps(
+                    {
+                        **common,
+                        "labels": labels,
+                        "buckets": list(metric.buckets),
+                        "counts": list(series.counts),
+                        "sum": series.sum,
+                        "count": series.count,
+                        "min": series.min,
+                        "max": series.max,
+                    },
+                    sort_keys=True,
+                )
+        else:
+            for labels, value in metric.samples():
+                yield json.dumps(
+                    {**common, "labels": labels, "value": value}, sort_keys=True
+                )
+    if include_timeline:
+        for ev in registry.timeline.events:
+            yield json.dumps({"kind": "timeline", **ev.as_dict()}, sort_keys=True)
+
+
+def write_json_lines(
+    registry: MetricsRegistry,
+    path: str | Path,
+    *,
+    include_timeline: bool = True,
+    header: dict | None = None,
+    append: bool = False,
+) -> Path:
+    """Write the registry to ``path`` as JSON-lines.
+
+    ``header`` (e.g. ``{"benchmark": "HPCG", "config": "combined"}``)
+    becomes a leading ``{"kind": "run", ...}`` line so multiple runs
+    can share one file; ``append`` adds to an existing file.
+    """
+    path = Path(path)
+    lines = []
+    if header is not None:
+        lines.append(json.dumps({"kind": "run", **header}, sort_keys=True))
+    lines.extend(registry_to_json_lines(registry, include_timeline=include_timeline))
+    text = "\n".join(lines) + "\n"
+    if append and path.exists():
+        with path.open("a") as fh:
+            fh.write(text)
+    else:
+        path.write_text(text)
+    return path
+
+
+def registry_from_json_lines(lines: Iterable[str] | str) -> MetricsRegistry:
+    """Rebuild a registry from :func:`registry_to_json_lines` output.
+
+    ``{"kind": "run", ...}`` header lines and blank lines are skipped,
+    so a multi-run file folds into one merged registry.
+    """
+    if isinstance(lines, str):
+        lines = lines.splitlines()
+    registry = MetricsRegistry()
+    for raw in lines:
+        raw = raw.strip()
+        if not raw:
+            continue
+        doc = json.loads(raw)
+        kind = doc.get("kind")
+        if kind == "run":
+            continue
+        if kind == "timeline":
+            registry.timeline.record(
+                doc["cycle"], doc["stage"], doc["event"], doc.get("value")
+            )
+            continue
+        name = doc["name"]
+        labels = doc.get("labels", {})
+        unit = doc.get("unit", "")
+        help_ = doc.get("help", "")
+        if kind == "counter":
+            registry.counter(name, help=help_, unit=unit).inc(doc["value"], **labels)
+        elif kind == "gauge":
+            registry.gauge(name, help=help_, unit=unit).set(doc["value"], **labels)
+        elif kind == "histogram":
+            hist = registry.histogram(
+                name, buckets=doc["buckets"], help=help_, unit=unit
+            )
+            series = hist._get(labels)
+            for i, c in enumerate(doc["counts"]):
+                series.counts[i] += c
+            series.sum += doc["sum"]
+            series.count += doc["count"]
+            for attr in ("min", "max"):
+                val = doc.get(attr)
+                if val is None:
+                    continue
+                cur = getattr(series, attr)
+                if cur is None:
+                    setattr(series, attr, val)
+                else:
+                    setattr(series, attr, min(cur, val) if attr == "min" else max(cur, val))
+        else:
+            raise ValueError(f"unknown metric kind {kind!r}")
+    return registry
+
+
+def format_registry_table(
+    registry: MetricsRegistry, *, title: str | None = None
+) -> str:
+    """Human-readable table of every metric sample.
+
+    Histograms are summarized as count/mean/max; the full buckets are
+    only in the JSON-lines export.
+    """
+    rows: list[list[object]] = []
+    for metric in registry.metrics():
+        if isinstance(metric, Histogram):
+            for labels, series in metric.samples():
+                mean = series.sum / series.count if series.count else 0.0
+                rows.append(
+                    [
+                        metric.name,
+                        _labels_str(labels),
+                        metric.kind,
+                        metric.unit,
+                        f"n={series.count} mean={mean:.4g} max={series.max if series.max is not None else 0:.4g}",
+                    ]
+                )
+        elif isinstance(metric, (Counter, Gauge)):
+            for labels, value in metric.samples():
+                rows.append(
+                    [
+                        metric.name,
+                        _labels_str(labels),
+                        metric.kind,
+                        metric.unit,
+                        f"{value:.6g}",
+                    ]
+                )
+    return format_table(
+        ["metric", "labels", "kind", "unit", "value"], rows, title=title
+    )
+
+
+def _labels_str(labels: dict[str, str]) -> str:
+    if not labels:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))

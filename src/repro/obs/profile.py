@@ -1,0 +1,93 @@
+"""Wall-clock phase profiler (``python -m repro profile``).
+
+The simulated timing model measures the *modelled* hardware; this
+profiler measures the *simulator itself* -- where Python wall-clock
+time goes -- so performance PRs can ship before/after evidence.
+
+The driver's stages overlap (the tracer is a generator feeding the
+coalescer), so the profiler supports both block timing
+(:meth:`PhaseProfiler.phase`) and fine-grained accumulation
+(:meth:`PhaseProfiler.add`), which the driver uses to attribute each
+generator step and each coalescer push to its own phase.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterable, Iterator, TypeVar
+
+from repro.analysis.report import format_table
+
+T = TypeVar("T")
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock seconds per named simulation phase."""
+
+    def __init__(self) -> None:
+        self._elapsed: dict[str, float] = {}
+        self._calls: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time one block under ``name`` (re-entrant across calls)."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Accumulate ``seconds`` (and call count) into a phase."""
+        self._elapsed[name] = self._elapsed.get(name, 0.0) + seconds
+        self._calls[name] = self._calls.get(name, 0) + calls
+
+    def wrap_iter(self, name: str, items: Iterable[T]) -> Iterator[T]:
+        """Attribute the production cost of each item to ``name``.
+
+        Used for generator pipelines: only the time spent *inside* the
+        wrapped iterator counts, not the consumer's processing time.
+        """
+        it = iter(items)
+        while True:
+            start = time.perf_counter()
+            try:
+                item = next(it)
+            except StopIteration:
+                self.add(name, time.perf_counter() - start, calls=0)
+                return
+            self.add(name, time.perf_counter() - start)
+            yield item
+
+    # -- reads ---------------------------------------------------------------
+
+    def elapsed(self, name: str) -> float:
+        return self._elapsed.get(name, 0.0)
+
+    def calls(self, name: str) -> int:
+        return self._calls.get(name, 0)
+
+    def total(self) -> float:
+        return sum(self._elapsed.values())
+
+    def phases(self) -> list[str]:
+        """Phase names, most expensive first."""
+        return sorted(self._elapsed, key=self._elapsed.get, reverse=True)
+
+    def as_rows(self) -> list[list[object]]:
+        total = self.total() or 1.0
+        return [
+            [
+                name,
+                f"{self._elapsed[name] * 1e3:.1f}",
+                self._calls[name],
+                f"{self._elapsed[name] / total:.1%}",
+            ]
+            for name in self.phases()
+        ]
+
+    def format_table(self, *, title: str | None = None) -> str:
+        return format_table(
+            ["phase", "wall_ms", "calls", "share"], self.as_rows(), title=title
+        )

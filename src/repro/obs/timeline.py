@@ -1,0 +1,83 @@
+"""Cycle-stamped stage event recorder.
+
+Aggregate counters answer "how much"; the timeline answers "when".
+Each pipeline stage records sparse, cycle-stamped events -- a sorter
+launch, a CRQ fill, a coalescer bypass -- so a run can be replayed
+stage by stage without keeping the full request stream.
+
+The recorder is bounded: past ``max_events`` it drops new events and
+counts them, so multi-hundred-thousand-access runs cannot blow up
+memory.  Dropped events never affect the aggregate metrics, which are
+counted independently in :mod:`repro.obs.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Default event capacity per run; generous for the bundled traces.
+DEFAULT_MAX_EVENTS = 65_536
+
+
+@dataclass(slots=True)
+class TimelineEvent:
+    """One stage event at a known cycle."""
+
+    cycle: float
+    stage: str
+    event: str
+    value: float | None = None
+
+    def as_dict(self) -> dict:
+        d = {"cycle": self.cycle, "stage": self.stage, "event": self.event}
+        if self.value is not None:
+            d["value"] = self.value
+        return d
+
+
+class StageTimeline:
+    """Bounded, append-only list of cycle-stamped stage events."""
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS):
+        if max_events < 0:
+            raise ValueError("max_events must be non-negative")
+        self.max_events = max_events
+        self.events: list[TimelineEvent] = []
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def record(
+        self, cycle: float, stage: str, event: str, value: float | None = None
+    ) -> None:
+        """Append one event (dropped silently past capacity)."""
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TimelineEvent(cycle, stage, event, value))
+
+    def iter_events(
+        self, stage: str | None = None, event: str | None = None
+    ) -> Iterator[TimelineEvent]:
+        """Events filtered by stage and/or event name, in record order."""
+        for ev in self.events:
+            if stage is not None and ev.stage != stage:
+                continue
+            if event is not None and ev.event != event:
+                continue
+            yield ev
+
+    def stages(self) -> list[str]:
+        """Stage names seen, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for ev in self.events:
+            seen.setdefault(ev.stage, None)
+        return list(seen)
+
+    def merge(self, other: "StageTimeline") -> None:
+        """Concatenate another timeline's events (respecting capacity)."""
+        for ev in other.events:
+            self.record(ev.cycle, ev.stage, ev.event, ev.value)
+        self.dropped += other.dropped

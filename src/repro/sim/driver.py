@@ -31,7 +31,9 @@ from repro.core.coalescer import CoalescerStats, MemoryCoalescer
 from repro.core.config import CoalescerConfig, UNCOALESCED_CONFIG
 from repro.core.request import CoalescedRequest
 from repro.hmc.device import HMCDevice, HMCStats
+from repro.hmc.packet import REQUEST_CONTROL_BYTES
 from repro.hmc.timing import HMCTimingConfig
+from repro.obs import MetricsRegistry, PhaseProfiler
 from repro.workloads import Workload, get_workload
 
 
@@ -91,6 +93,9 @@ class SimulationResult:
     secondary_misses: int
     trace_cycles: int
     compute_cycles_per_access: float = 6.0
+    #: Per-run metrics registry (all stage counters/histograms + the
+    #: stage timeline); ``None`` only for hand-built results in tests.
+    metrics: MetricsRegistry | None = None
 
     # -- paper metrics ---------------------------------------------------------
 
@@ -148,6 +153,63 @@ class SimulationResult:
         """Histogram of issued HMC request payload sizes."""
         return dict(sorted(self.hmc.size_histogram.items()))
 
+    # -- derived comparisons (used by figures, CLI and benchmarks) -------------
+
+    def runtime_improvement_over(self, baseline: "SimulationResult") -> float:
+        """Figure 15's metric relative to ``baseline``."""
+        return runtime_improvement(baseline, self)
+
+    def requests_saved_vs(self, baseline: "SimulationResult") -> int:
+        """HMC transactions this run avoided relative to ``baseline``."""
+        return baseline.hmc.requests - self.hmc.requests
+
+    def control_bytes_saved_vs(self, baseline: "SimulationResult") -> int:
+        """Control bytes saved by issuing fewer transactions (Figure 11)."""
+        return self.requests_saved_vs(baseline) * REQUEST_CONTROL_BYTES
+
+    def transfer_bytes_saved_vs(self, baseline: "SimulationResult") -> int:
+        """Total link bytes saved relative to ``baseline`` (Figure 11)."""
+        return baseline.transferred_bytes - self.transferred_bytes
+
+    def publish_derived_metrics(self) -> None:
+        """Export the paper-level derived metrics as registry gauges.
+
+        Called by the driver once per run so every consumer (CLI
+        ``stats``, benchmark ``--metrics-out`` dumps, JSON archives)
+        reads the same arithmetic instead of recomputing it locally.
+        """
+        if self.metrics is None:
+            return
+        g = self.metrics.gauge
+        g(
+            "sim_coalescing_efficiency",
+            help="Fraction of LLC requests eliminated (Figure 8)",
+        ).set(self.coalescing_efficiency)
+        g(
+            "sim_bandwidth_efficiency",
+            help="Requested / transferred bytes (Equation 1, Figure 9)",
+        ).set(self.bandwidth_efficiency)
+        g("sim_compute_ns", unit="ns", help="Modelled compute time").set(
+            self.compute_ns
+        )
+        g("sim_memory_ns", unit="ns", help="HMC request-stream makespan").set(
+            self.memory_ns
+        )
+        g(
+            "sim_coalescer_overhead_ns",
+            unit="ns",
+            help="One-time pipeline-fill overhead",
+        ).set(self.coalescer_overhead_ns)
+        g("sim_runtime_ns", unit="ns", help="Modelled runtime (Figure 15)").set(
+            self.runtime_ns
+        )
+        g("sim_trace_cycles", unit="cycles", help="Final trace cycle").set(
+            self.trace_cycles
+        )
+        g("sim_secondary_misses", help="In-flight secondary LLC misses").set(
+            self.secondary_misses
+        )
+
 
 def run_trace_through_coalescer(
     records: Iterable[TraceRecord],
@@ -155,14 +217,29 @@ def run_trace_through_coalescer(
     device: HMCDevice,
     *,
     cycle_ns: float,
+    profiler: PhaseProfiler | None = None,
 ) -> int:
     """Feed an LLC trace through a coalescer backed by an HMC device.
 
     The coalescer asks the device for each issued packet's round trip;
     the device is driven with real arrival times so vault queueing and
     bank conflicts shape the latency.  Returns the final trace cycle.
+
+    With a ``profiler``, the wall-clock cost of producing each record
+    (workload generation + cache filtering) is charged to the
+    ``trace`` phase and each coalescer push (sorter + DMC + CRQ +
+    MSHRs + HMC service) to the ``coalesce`` phase.
     """
     last_cycle = 0
+    if profiler is not None:
+        records = profiler.wrap_iter("trace", records)
+        for rec in records:
+            with profiler.phase("coalesce"):
+                coalescer.push(rec.request, rec.cycle)
+            last_cycle = rec.cycle
+        with profiler.phase("flush"):
+            coalescer.flush(last_cycle + 1)
+        return last_cycle
     for rec in records:
         coalescer.push(rec.request, rec.cycle)
         last_cycle = rec.cycle
@@ -188,8 +265,15 @@ def _make_service_time(device: HMCDevice, cycle_ns: float):
 def run_benchmark(
     benchmark: str | Workload,
     platform: PlatformConfig | None = None,
+    *,
+    profiler: PhaseProfiler | None = None,
 ) -> SimulationResult:
-    """Run one benchmark end to end on the given platform."""
+    """Run one benchmark end to end on the given platform.
+
+    Every stage shares one :class:`~repro.obs.MetricsRegistry`, returned
+    on the result's ``metrics`` field.  An optional ``profiler``
+    collects wall-clock per phase (the ``repro profile`` command).
+    """
     platform = platform or PlatformConfig()
     if isinstance(benchmark, Workload):
         workload = benchmark
@@ -198,12 +282,18 @@ def run_benchmark(
             benchmark, num_threads=platform.num_threads, seed=platform.seed
         )
 
+    registry = MetricsRegistry()
     hierarchy = CacheHierarchy(platform.hierarchy)
-    tracer = MemoryTracer(hierarchy, cycles_per_access=platform.cycles_per_access)
-    device = HMCDevice(platform.hmc)
+    tracer = MemoryTracer(
+        hierarchy,
+        cycles_per_access=platform.cycles_per_access,
+        registry=registry,
+    )
+    device = HMCDevice(platform.hmc, registry)
     coalescer = MemoryCoalescer(
         platform.coalescer,
         service_time=_make_service_time(device, platform.cycle_ns),
+        registry=registry,
     )
 
     last_cycle = run_trace_through_coalescer(
@@ -211,6 +301,7 @@ def run_benchmark(
         coalescer,
         device,
         cycle_ns=platform.cycle_ns,
+        profiler=profiler,
     )
 
     intensity = (
@@ -218,7 +309,7 @@ def run_benchmark(
         if platform.compute_cycles_per_access is not None
         else workload.compute_cycles_per_access
     )
-    return SimulationResult(
+    result = SimulationResult(
         benchmark=workload.name,
         platform=platform,
         tracer=tracer.stats,
@@ -227,7 +318,10 @@ def run_benchmark(
         secondary_misses=hierarchy.secondary_misses,
         trace_cycles=last_cycle,
         compute_cycles_per_access=intensity,
+        metrics=registry,
     )
+    result.publish_derived_metrics()
+    return result
 
 
 def runtime_improvement(

@@ -22,12 +22,11 @@ from repro.core.config import (
     MSHR_ONLY_CONFIG,
     UNCOALESCED_CONFIG,
 )
-from repro.hmc.packet import FLIT_BYTES, REQUEST_CONTROL_BYTES
+from repro.hmc.packet import FLIT_BYTES
 from repro.sim.driver import (
     PlatformConfig,
     SimulationResult,
     run_benchmark,
-    runtime_improvement,
 )
 from repro.workloads import BENCHMARKS
 
@@ -188,10 +187,8 @@ class EvaluationSuite:
         for name in self.benchmarks:
             base = self.run(name, "uncoalesced")
             coal = self.run(name, "combined")
-            saved_control = (
-                base.hmc.requests - coal.hmc.requests
-            ) * REQUEST_CONTROL_BYTES
-            saved_transfer = base.transferred_bytes - coal.transferred_bytes
+            saved_control = coal.control_bytes_saved_vs(base)
+            saved_transfer = coal.transfer_bytes_saved_vs(base)
             total_saved += saved_transfer
             rows.append(
                 [
@@ -264,7 +261,7 @@ class EvaluationSuite:
         for name in self.benchmarks:
             base = self.run(name, "uncoalesced")
             coal = self.run(name, "combined")
-            imp = runtime_improvement(base, coal)
+            imp = coal.runtime_improvement_over(base)
             total += imp
             rows.append([name, imp])
         return FigureData(

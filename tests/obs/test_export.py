@@ -1,0 +1,151 @@
+"""Tests for the registry exporters (JSON-lines, table, profiler)."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, PhaseProfiler
+from repro.obs.export import (
+    format_registry_table,
+    registry_from_json_lines,
+    registry_to_json_lines,
+    write_json_lines,
+)
+
+
+def make_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("c_total", help="a counter", unit="bytes").inc(3, kind="read")
+    reg.counter("c_total").inc(1, kind="write")
+    reg.gauge("g").set(2.5)
+    h = reg.histogram("h", buckets=(1, 2, 4), unit="cycles")
+    for v in (1, 3, 9):
+        h.observe(v)
+    reg.timeline.record(10, "sorter", "full", 16)
+    return reg
+
+
+class TestJsonLines:
+    def test_every_line_is_valid_json(self):
+        for line in registry_to_json_lines(make_registry()):
+            doc = json.loads(line)
+            assert "kind" in doc
+
+    def test_round_trip_preserves_values(self):
+        original = make_registry()
+        lines = list(registry_to_json_lines(original))
+        rebuilt = registry_from_json_lines(lines)
+
+        assert rebuilt.counter("c_total").value(kind="read") == 3
+        assert rebuilt.counter("c_total").value(kind="write") == 1
+        assert rebuilt.get("c_total").unit == "bytes"
+        assert rebuilt.gauge("g").value() == 2.5
+        h = rebuilt.get("h")
+        assert h.buckets == (1.0, 2.0, 4.0)
+        assert h.count() == 3
+        assert h.bucket_counts() == [1, 0, 1, 1]
+        (_, series), = h.samples()
+        assert series.min == 1
+        assert series.max == 9
+        assert len(rebuilt.timeline) == 1
+        assert rebuilt.timeline.events[0].value == 16
+
+    def test_round_trip_flat_dicts_match(self):
+        original = make_registry()
+        rebuilt = registry_from_json_lines(registry_to_json_lines(original))
+        assert rebuilt.as_flat_dict() == original.as_flat_dict()
+
+    def test_include_timeline_false(self):
+        lines = list(
+            registry_to_json_lines(make_registry(), include_timeline=False)
+        )
+        assert all(json.loads(l)["kind"] != "timeline" for l in lines)
+
+    def test_run_headers_and_blanks_are_skipped(self):
+        text = "\n".join(
+            ['{"kind": "run", "benchmark": "HPCG"}', ""]
+            + list(registry_to_json_lines(make_registry()))
+        )
+        rebuilt = registry_from_json_lines(text)
+        assert rebuilt.counter("c_total").total() == 4
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            registry_from_json_lines(['{"kind": "bogus", "name": "x"}'])
+
+    def test_multi_run_file_merges(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        write_json_lines(
+            make_registry(), path, header={"benchmark": "A"}
+        )
+        write_json_lines(
+            make_registry(), path, header={"benchmark": "B"}, append=True
+        )
+        text = path.read_text()
+        headers = [
+            json.loads(l)
+            for l in text.splitlines()
+            if json.loads(l).get("kind") == "run"
+        ]
+        assert [h["benchmark"] for h in headers] == ["A", "B"]
+        merged = registry_from_json_lines(text)
+        # Two identical runs folded together: counters doubled.
+        assert merged.counter("c_total").total() == 8
+        assert merged.get("h").count() == 6
+
+    def test_empty_registry_round_trips(self):
+        rebuilt = registry_from_json_lines(
+            registry_to_json_lines(MetricsRegistry())
+        )
+        assert len(rebuilt) == 0
+
+
+class TestTable:
+    def test_table_mentions_every_metric(self):
+        table = format_registry_table(make_registry(), title="run")
+        assert "run" in table
+        assert "c_total" in table
+        assert "kind=read" in table
+        assert "h" in table
+        assert "n=3" in table
+
+    def test_empty_registry_renders(self):
+        assert format_registry_table(MetricsRegistry()) != ""
+
+
+class TestPhaseProfiler:
+    def test_phase_context_accumulates(self):
+        prof = PhaseProfiler()
+        with prof.phase("a"):
+            pass
+        with prof.phase("a"):
+            pass
+        assert prof.calls("a") == 2
+        assert prof.elapsed("a") >= 0.0
+        assert prof.total() == pytest.approx(prof.elapsed("a"))
+
+    def test_add_direct(self):
+        prof = PhaseProfiler()
+        prof.add("x", 0.25, calls=3)
+        prof.add("x", 0.75)
+        assert prof.elapsed("x") == 1.0
+        assert prof.calls("x") == 4
+
+    def test_wrap_iter_counts_items(self):
+        prof = PhaseProfiler()
+        assert list(prof.wrap_iter("gen", iter(range(5)))) == list(range(5))
+        assert prof.calls("gen") == 5
+
+    def test_phases_sorted_by_cost(self):
+        prof = PhaseProfiler()
+        prof.add("cheap", 0.1)
+        prof.add("dear", 0.9)
+        assert prof.phases() == ["dear", "cheap"]
+
+    def test_format_table(self):
+        prof = PhaseProfiler()
+        prof.add("only", 0.5)
+        table = prof.format_table(title="profile")
+        assert "profile" in table
+        assert "only" in table
+        assert "100.0%" in table

@@ -47,3 +47,66 @@ class TestCommands:
         assert main(["trace", "--summary", "ignored", trace_file]) == 0
         out = capsys.readouterr().out
         assert "loads" in out and "stores" in out
+
+    def test_stats_table(self, capsys):
+        assert main(["stats", "STREAM", "--accesses", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "STREAM metrics" in out
+        for name in (
+            "sorter_sequences_total",
+            "dmc_merges_total",
+            "crq_pushes_total",
+            "mshr_offers_total",
+            "vault_requests_total",
+        ):
+            assert name in out
+
+    def test_stats_json_lines_are_valid(self, capsys):
+        import json
+
+        assert main(["stats", "STREAM", "--accesses", "2000", "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        docs = [json.loads(line) for line in lines]
+        names = {d["name"] for d in docs if "name" in d}
+        # One doc per stage family, as the acceptance criterion requires.
+        for required in (
+            "sorter_sequences_total",
+            "dmc_packet_lines",
+            "crq_depth",
+            "mshr_outcomes_total",
+            "vault_requests_total",
+            "hmc_requests_total",
+        ):
+            assert required in names
+        assert any(d.get("kind") == "timeline" for d in docs)
+
+    def test_stats_no_timeline(self, capsys):
+        import json
+
+        assert (
+            main(
+                ["stats", "STREAM", "--accesses", "2000", "--json", "--no-timeline"]
+            )
+            == 0
+        )
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert all(json.loads(l).get("kind") != "timeline" for l in lines)
+
+    def test_stats_out_file_round_trips(self, tmp_path, capsys):
+        from repro.obs.export import registry_from_json_lines
+
+        out_file = tmp_path / "m.jsonl"
+        assert (
+            main(["stats", "STREAM", "--accesses", "2000", "--out", str(out_file)])
+            == 0
+        )
+        assert "wrote" in capsys.readouterr().out
+        reg = registry_from_json_lines(out_file.read_text())
+        assert reg.counter("tracer_cpu_accesses_total").total() > 0
+
+    def test_profile(self, capsys):
+        assert main(["profile", "STREAM", "--accesses", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "simulator profile" in out
+        assert "trace" in out and "coalesce" in out
+        assert "total" in out
