@@ -55,7 +55,7 @@ def test_ablation_big_cachelines(benchmark, platform):
         out = {}
         for name in BENCHMARKS:
             straw = run_big_line_strawman(name, platform.accesses)
-            coal = run_benchmark(name, platform)
+            coal = run_benchmark(name, platform=platform)
             out[name] = (straw, coal)
         return out
 

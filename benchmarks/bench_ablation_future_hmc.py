@@ -30,7 +30,7 @@ def test_ablation_future_hmc(benchmark, platform):
 
     def run():
         return {
-            name: (run_benchmark(name, current), run_benchmark(name, future))
+            name: (run_benchmark(name, platform=current), run_benchmark(name, platform=future))
             for name in BENCHMARKS
         }
 

@@ -22,9 +22,9 @@ def test_ablation_memory_scheduler(benchmark, platform):
         out = {}
         for name in BENCHMARKS:
             base_sim = run_benchmark(
-                name, platform.with_coalescer(UNCOALESCED_CONFIG)
+                name, platform=platform.with_coalescer(UNCOALESCED_CONFIG)
             )
-            coal_sim = run_benchmark(name, platform)
+            coal_sim = run_benchmark(name, platform=platform)
             out[name] = {
                 "base_fifo": replay_issued_requests(base_sim),
                 "base_frfcfs": replay_issued_requests(base_sim, scheduler="frfcfs"),

@@ -21,7 +21,7 @@ def test_ablation_mshr_count(benchmark, platform):
         out = {}
         for n in SWEEP:
             cfg = CoalescerConfig(num_mshrs=n)
-            out[n] = run_benchmark("FT", platform.with_coalescer(cfg))
+            out[n] = run_benchmark("FT", platform=platform.with_coalescer(cfg))
         return out
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -24,13 +24,13 @@ def test_ablation_page_policy(benchmark, platform):
         out = {}
         for name in BENCHMARKS:
             out[name] = {
-                "open": run_benchmark(name, platform),
-                "closed": run_benchmark(name, closed),
+                "open": run_benchmark(name, platform=platform),
+                "closed": run_benchmark(name, platform=closed),
                 "open_nocoal": run_benchmark(
-                    name, platform.with_coalescer(UNCOALESCED_CONFIG)
+                    name, platform=platform.with_coalescer(UNCOALESCED_CONFIG)
                 ),
                 "closed_nocoal": run_benchmark(
-                    name, closed.with_coalescer(UNCOALESCED_CONFIG)
+                    name, platform=closed.with_coalescer(UNCOALESCED_CONFIG)
                 ),
             }
         return out

@@ -23,8 +23,8 @@ def test_ablation_pipeline_depth(benchmark, platform):
 
     def run():
         return {
-            "merge": run_benchmark("STREAM", platform.with_coalescer(merge_cfg)),
-            "step": run_benchmark("STREAM", platform.with_coalescer(step_cfg)),
+            "merge": run_benchmark("STREAM", platform=platform.with_coalescer(merge_cfg)),
+            "step": run_benchmark("STREAM", platform=platform.with_coalescer(step_cfg)),
         }
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -25,10 +25,10 @@ def test_ablation_prefetcher(benchmark, platform):
         out = {}
         for name in BENCHMARKS:
             out[name] = {
-                "base": run_benchmark(name, platform),
-                "pf_coal": run_benchmark(name, pf_platform),
+                "base": run_benchmark(name, platform=platform),
+                "pf_coal": run_benchmark(name, platform=pf_platform),
                 "pf_nocoal": run_benchmark(
-                    name, pf_platform.with_coalescer(UNCOALESCED_CONFIG)
+                    name, platform=pf_platform.with_coalescer(UNCOALESCED_CONFIG)
                 ),
             }
         return out

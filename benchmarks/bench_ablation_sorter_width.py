@@ -19,7 +19,7 @@ def test_ablation_sorter_width(benchmark, platform):
         out = {}
         for w in WIDTHS:
             cfg = CoalescerConfig(sorter_width=w)
-            out[w] = run_benchmark("STREAM", platform.with_coalescer(cfg))
+            out[w] = run_benchmark("STREAM", platform=platform.with_coalescer(cfg))
         return out
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

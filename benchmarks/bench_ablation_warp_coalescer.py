@@ -47,7 +47,7 @@ def test_ablation_warp_coalescer(benchmark, platform):
     def run():
         out = {}
         for name in BENCHMARKS:
-            out[name] = (run_warp_baseline(name, platform), run_benchmark(name, platform))
+            out[name] = (run_warp_baseline(name, platform), run_benchmark(name, platform=platform))
         return out
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

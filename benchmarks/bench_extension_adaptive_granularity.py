@@ -24,8 +24,8 @@ def test_extension_adaptive_granularity(benchmark, platform):
     def run():
         return {
             name: (
-                run_benchmark(name, platform),
-                run_benchmark(name, platform.with_coalescer(adaptive_cfg)),
+                run_benchmark(name, platform=platform),
+                run_benchmark(name, platform=platform.with_coalescer(adaptive_cfg)),
             )
             for name in BENCHMARKS
         }

@@ -18,9 +18,9 @@ def test_fidelity_event_replay(benchmark, platform):
     def run():
         out = {}
         for name in BENCHMARKS:
-            coal_sim = run_benchmark(name, platform)
+            coal_sim = run_benchmark(name, platform=platform)
             base_sim = run_benchmark(
-                name, platform.with_coalescer(UNCOALESCED_CONFIG)
+                name, platform=platform.with_coalescer(UNCOALESCED_CONFIG)
             )
             out[name] = {
                 "coal_fast": coal_sim.memory_ns,

@@ -33,7 +33,7 @@ def suite(request) -> EvaluationSuite:
         from repro.obs.export import write_json_lines
 
         first = True
-        for (benchmark, config), result in sorted(instance._cache.items()):
+        for benchmark, config, result in instance.cached_runs():
             if result.metrics is None:
                 continue
             write_json_lines(

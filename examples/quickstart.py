@@ -25,9 +25,9 @@ def main() -> None:
     platform = PlatformConfig(accesses=accesses)
     print(f"Running {benchmark} ({accesses} CPU accesses, 12 cores)...")
 
-    coalesced = run_benchmark(benchmark, platform)
+    coalesced = run_benchmark(benchmark, platform=platform)
     baseline = run_benchmark(
-        benchmark, platform.with_coalescer(UNCOALESCED_CONFIG)
+        benchmark, platform=platform.with_coalescer(UNCOALESCED_CONFIG)
     )
 
     rows = [

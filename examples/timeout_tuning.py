@@ -35,7 +35,7 @@ def main() -> None:
     effs = []
     for timeout in (8, 12, 16, 20, 24, 28):
         cfg = CoalescerConfig(timeout_cycles=timeout)
-        r = run_benchmark("STREAM", platform.with_coalescer(cfg))
+        r = run_benchmark("STREAM", platform=platform.with_coalescer(cfg))
         effs.append((timeout, r.coalescing_efficiency))
     print(
         format_table(

@@ -40,7 +40,7 @@ def documented_metrics(text: str) -> set[str]:
 def registry_metrics() -> set[str]:
     from repro.sim.driver import PlatformConfig, run_benchmark
 
-    result = run_benchmark("STREAM", PlatformConfig(accesses=2_000))
+    result = run_benchmark("STREAM", platform=PlatformConfig(accesses=2_000))
     assert result.metrics is not None
     return set(result.metrics.names())
 

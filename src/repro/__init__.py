@@ -16,33 +16,53 @@ full evaluation stack around it:
   exporters and wall-clock profiler (see docs/metrics.md);
 * :mod:`repro.analysis` -- analytic models and report rendering.
 
+The supported entry point is :mod:`repro.api` (re-exported here):
+:class:`Session` caches runs by config digest and routes sweeps and
+figures through the parallel sweep engine.
+
 Quickstart
 ----------
->>> from repro import run_benchmark, PlatformConfig
->>> result = run_benchmark("STREAM", PlatformConfig(accesses=12_000))
+>>> from repro import Session
+>>> result = Session(accesses=12_000).run("STREAM")
 >>> 0.0 <= result.coalescing_efficiency <= 1.0
 True
 """
 
+from repro.api import Session
 from repro.core import CoalescerConfig, MemoryCoalescer
 from repro.hmc import HMCDevice, HMCTimingConfig
 from repro.obs import MetricsRegistry, PhaseProfiler
-from repro.sim import PlatformConfig, SimulationResult, run_benchmark
+from repro.sim import (
+    FailedRun,
+    PlatformConfig,
+    RunKey,
+    SimulationResult,
+    SweepResult,
+    SweepSpec,
+    run_benchmark,
+    run_sweep,
+)
 from repro.workloads import BENCHMARKS, get_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BENCHMARKS",
     "CoalescerConfig",
+    "FailedRun",
     "HMCDevice",
     "HMCTimingConfig",
     "MemoryCoalescer",
     "MetricsRegistry",
     "PhaseProfiler",
     "PlatformConfig",
+    "RunKey",
+    "Session",
     "SimulationResult",
+    "SweepResult",
+    "SweepSpec",
     "get_workload",
     "run_benchmark",
+    "run_sweep",
     "__version__",
 ]

@@ -22,6 +22,13 @@ Commands
 ``profile BENCHMARK``
     Run one benchmark under a wall-clock profiler and print where the
     simulator itself spends time (trace generation vs coalescing).
+``sweep``
+    Run the benchmark x config evaluation grid through the parallel
+    sweep engine: ``--jobs N`` worker processes, per-run checkpoints
+    in ``--out DIR``, ``--resume`` to skip already-checkpointed runs,
+    ``--filter``/``--timeout`` to scope and bound the shards, and
+    ``--summarize DIR`` to report a checkpoint directory without
+    running anything.
 """
 
 from __future__ import annotations
@@ -54,8 +61,8 @@ def _cmd_run(args) -> int:
     from repro.sim.driver import PlatformConfig, run_benchmark, runtime_improvement
 
     platform = PlatformConfig(accesses=args.accesses, seed=args.seed)
-    coal = run_benchmark(args.benchmark, platform)
-    base = run_benchmark(args.benchmark, platform.with_coalescer(UNCOALESCED_CONFIG))
+    coal = run_benchmark(args.benchmark, platform=platform)
+    base = run_benchmark(args.benchmark, platform=platform, coalescer=UNCOALESCED_CONFIG)
     rows = [
         ["LLC requests", base.coalescer.llc_requests, coal.coalescer.llc_requests],
         ["HMC requests", base.hmc.requests, coal.hmc.requests],
@@ -94,7 +101,9 @@ def _cmd_figures(args) -> int:
                 else f"  {key}: {value}"
             )
 
-    suite = EvaluationSuite(PlatformConfig(accesses=args.accesses))
+    suite = EvaluationSuite(PlatformConfig(accesses=args.accesses), jobs=args.jobs)
+    if args.jobs > 1:
+        suite.prefetch()
     figures = [
         fig1_bandwidth_efficiency(),
         fig2_control_overhead(),
@@ -106,7 +115,8 @@ def _cmd_figures(args) -> int:
         suite.fig13_crq_fill_time(),
         suite.fig15_performance(),
         fig14_timeout_sweep(
-            platform=PlatformConfig(accesses=max(3000, args.accesses // 3))
+            platform=PlatformConfig(accesses=max(3000, args.accesses // 3)),
+            jobs=args.jobs,
         ),
     ]
     for data in figures:
@@ -175,7 +185,7 @@ def _cmd_stats(args) -> int:
     from repro.sim.driver import PlatformConfig, run_benchmark
 
     platform = PlatformConfig(accesses=args.accesses, seed=args.seed)
-    result = run_benchmark(args.benchmark, platform)
+    result = run_benchmark(args.benchmark, platform=platform)
     registry = result.metrics
     assert registry is not None
     if args.out:
@@ -203,7 +213,7 @@ def _cmd_profile(args) -> int:
 
     platform = PlatformConfig(accesses=args.accesses, seed=args.seed)
     profiler = PhaseProfiler()
-    result = run_benchmark(args.benchmark, platform, profiler=profiler)
+    result = run_benchmark(args.benchmark, platform=platform, profiler=profiler)
     print(profiler.format_table(title=f"{result.benchmark} simulator profile"))
     print(
         f"total {profiler.total() * 1e3:.1f} ms for "
@@ -211,6 +221,70 @@ def _cmd_profile(args) -> int:
         f"({result.coalescer.llc_requests} LLC requests)"
     )
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis.sweep_report import format_sweep_summary, load_sweep_dir
+    from repro.sim.driver import PlatformConfig
+    from repro.sim.sweep import FIGURE_CONFIGS, SweepSpec, run_sweep
+
+    if args.summarize:
+        runs = load_sweep_dir(args.summarize)
+        if not runs:
+            print(f"no checkpoints under {args.summarize}", file=sys.stderr)
+            return 2
+        print(format_sweep_summary(runs, title=f"sweep: {args.summarize}"))
+        print(f"{len(runs)} checkpointed runs")
+        return 0
+
+    platform = PlatformConfig(accesses=args.accesses, seed=args.seed)
+    benchmarks = tuple(args.benchmarks.split(",")) if args.benchmarks else None
+    configs = dict(FIGURE_CONFIGS)
+    if args.configs:
+        names = args.configs.split(",")
+        unknown = [n for n in names if n not in configs]
+        if unknown:
+            print(
+                f"unknown config(s) {', '.join(unknown)}; "
+                f"options: {', '.join(configs)}",
+                file=sys.stderr,
+            )
+            return 2
+        configs = {n: configs[n] for n in names}
+    spec = SweepSpec(
+        platform=platform,
+        benchmarks=benchmarks or (),
+        configs=configs,
+    )
+    progress = None if args.quiet else print
+    sweep = run_sweep(
+        spec,
+        jobs=args.jobs,
+        out_dir=args.out,
+        resume=args.resume,
+        timeout=args.timeout,
+        retries=args.retries,
+        filter=args.filter,
+        progress=progress,
+    )
+    runs = list(sweep.results.items())
+    if runs:
+        print()
+        print(format_sweep_summary(runs, title="sweep results"))
+    print(
+        f"\n{sweep.completed} run, {sweep.skipped} resumed, "
+        f"{len(sweep.failures)} failed "
+        f"({len(sweep.registry.names())} merged metrics)"
+    )
+    if sweep.out_dir is not None:
+        print(f"checkpoints in {sweep.out_dir}")
+    for failure in sweep.failures:
+        print(
+            f"FAILED {failure.key.label} after {failure.attempts} attempt(s): "
+            f"{failure.error}",
+            file=sys.stderr,
+        )
+    return 1 if sweep.failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -230,9 +304,62 @@ def build_parser() -> argparse.ArgumentParser:
 
     figures = sub.add_parser("figures", help="regenerate every paper figure")
     figures.add_argument("--accesses", type=int, default=12_000)
+    figures.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the simulation grid (default 1)",
+    )
     figures.add_argument("--json", help="archive figure data to this JSON file")
     figures.add_argument("--svg-dir", help="render each figure as SVG into this directory")
     figures.set_defaults(fn=_cmd_figures)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run the benchmark x config grid in parallel with checkpoints",
+    )
+    sweep.add_argument("--jobs", type=int, default=1, help="worker processes")
+    sweep.add_argument("--out", help="checkpoint directory (one file per run)")
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip runs already checkpointed in --out",
+    )
+    sweep.add_argument(
+        "--filter",
+        help="only run keys whose benchmark/config label contains this substring",
+    )
+    sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-run wall-clock limit in seconds",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts per run after a crash or timeout (default 1)",
+    )
+    sweep.add_argument(
+        "--benchmarks", help="comma-separated benchmark subset (default: all 12)"
+    )
+    sweep.add_argument(
+        "--configs",
+        help="comma-separated config subset "
+        "(uncoalesced,mshr_only,dmc_only,combined)",
+    )
+    sweep.add_argument("--accesses", type=int, default=12_000)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress lines"
+    )
+    sweep.add_argument(
+        "--summarize",
+        metavar="DIR",
+        help="summarize an existing checkpoint directory and exit",
+    )
+    sweep.set_defaults(fn=_cmd_sweep)
 
     disasm = sub.add_parser("disasm", help="disassemble a bundled RV64IM kernel")
     disasm.add_argument("kernel")

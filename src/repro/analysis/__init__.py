@@ -14,6 +14,12 @@ from repro.analysis.export import (
 )
 from repro.analysis.report import format_bar_chart, format_table
 from repro.analysis.svg import grouped_bar_chart, line_chart
+from repro.analysis.sweep_report import (
+    format_sweep_summary,
+    load_sweep_dir,
+    merged_sweep_registry,
+    sweep_summary_rows,
+)
 
 __all__ = [
     "bandwidth_efficiency_curve",
@@ -21,11 +27,15 @@ __all__ = [
     "control_overhead_sweep",
     "figure_to_dict",
     "format_bar_chart",
+    "format_sweep_summary",
     "format_table",
     "grouped_bar_chart",
     "line_chart",
     "load_figures",
+    "load_sweep_dir",
+    "merged_sweep_registry",
     "render_figure_svg",
     "save_figure_svgs",
     "save_figures",
+    "sweep_summary_rows",
 ]

@@ -1,0 +1,80 @@
+"""Read checkpointed sweep results back into reports.
+
+A finished (or interrupted) ``python -m repro sweep --out DIR`` leaves
+one JSON-lines checkpoint per completed run in ``DIR``.  This module
+loads such a directory without re-running anything -- the
+``repro sweep --summarize DIR`` command, notebooks and post-hoc
+analysis all go through here.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.obs.metrics import MetricsRegistry
+
+
+def load_sweep_dir(path: str | Path):
+    """Load every checkpoint in a sweep directory.
+
+    Returns ``[(RunKey, SimulationResult), ...]`` sorted by
+    (benchmark, config) so reports are stable across filesystems.
+    Failure sidecars (``*.failed.json``) and unreadable files are
+    skipped -- an interrupted sweep still summarizes cleanly.
+    """
+    from repro.sim.shard import CHECKPOINT_SUFFIX, read_checkpoint
+    from repro.sim.sweep import RunKey
+
+    runs = []
+    for file in sorted(Path(path).glob(f"*{CHECKPOINT_SUFFIX}")):
+        try:
+            header, result = read_checkpoint(file)
+        except (ValueError, KeyError, TypeError):
+            continue
+        key = RunKey(header["benchmark"], header["config"], header["digest"])
+        runs.append((key, result))
+    runs.sort(key=lambda kr: (kr[0].benchmark, kr[0].config))
+    return runs
+
+
+def sweep_summary_rows(runs) -> tuple[list[str], list[list[object]]]:
+    """Headline-metric table of a loaded sweep: one row per run."""
+    headers = [
+        "benchmark",
+        "config",
+        "llc_requests",
+        "hmc_requests",
+        "coal_eff",
+        "bw_eff",
+        "runtime_us",
+    ]
+    rows = []
+    for key, result in runs:
+        rows.append(
+            [
+                key.benchmark,
+                key.config,
+                result.coalescer.llc_requests,
+                result.hmc.requests,
+                f"{result.coalescing_efficiency:.4f}",
+                f"{result.bandwidth_efficiency:.4f}",
+                f"{result.runtime_ns / 1e3:.1f}",
+            ]
+        )
+    return headers, rows
+
+
+def format_sweep_summary(runs, *, title: str | None = None) -> str:
+    """Render :func:`sweep_summary_rows` as a table."""
+    headers, rows = sweep_summary_rows(runs)
+    return format_table(headers, rows, title=title)
+
+
+def merged_sweep_registry(runs) -> MetricsRegistry:
+    """Fold every loaded run's registry into one (in sorted run order)."""
+    merged = MetricsRegistry()
+    for _, result in runs:
+        if result.metrics is not None:
+            merged.merge(result.metrics)
+    return merged

@@ -1,0 +1,208 @@
+"""The stable public surface of the reproduction.
+
+Import from here (or from :mod:`repro` directly, which re-exports this
+module) instead of reaching into ``repro.sim.driver`` internals::
+
+    from repro import Session
+
+    s = Session(accesses=24_000)
+    coal = s.run("HPCG")                         # cached per config digest
+    base = s.baseline("HPCG")                    # uncoalesced reference
+    sweep = s.sweep(jobs=4)                      # full figure grid, parallel
+    figures = s.figures(jobs=4)                  # every paper figure
+
+A :class:`Session` owns one base :class:`~repro.sim.driver.PlatformConfig`
+plus a results cache keyed by the *content digest* of the effective
+platform, so structurally equal configurations -- however constructed --
+run exactly once.  ``sweep()`` and ``figures()`` route through the
+parallel sweep engine (:mod:`repro.sim.sweep`) and feed its results
+back into the same cache; with a ``checkpoint_dir`` the cache persists
+across processes and interrupted sweeps resume for free.
+
+Everything here is a thin, stable veneer: the underlying modules keep
+evolving, but ``Session.run`` / ``Session.sweep`` / ``Session.figures``
+and the re-exported config/result types are the supported API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+from typing import Mapping
+
+from repro.core.config import CoalescerConfig, UNCOALESCED_CONFIG
+from repro.sim.driver import (
+    PlatformConfig,
+    SimulationResult,
+    runtime_improvement,
+)
+from repro.sim.experiments import EvaluationSuite, FigureData
+from repro.sim.sweep import (
+    FIGURE_CONFIGS,
+    Progress,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+)
+
+__all__ = [
+    "CoalescerConfig",
+    "FigureData",
+    "PlatformConfig",
+    "Session",
+    "SimulationResult",
+    "SweepResult",
+    "SweepSpec",
+]
+
+
+class Session:
+    """One configured evaluation context with a shared results cache.
+
+    Parameters
+    ----------
+    platform:
+        Base platform; defaults to the paper's Section 5.2 machine.
+    accesses / seed:
+        Conveniences that override the corresponding platform fields
+        without constructing a :class:`PlatformConfig` by hand.
+    jobs:
+        Default worker-process count for :meth:`sweep`,
+        :meth:`figures` and :meth:`prefetch`.
+    checkpoint_dir:
+        Directory for the sweep engine's per-run checkpoint files.
+        When set, completed runs persist across Sessions and
+        interrupted sweeps resume automatically.
+    """
+
+    def __init__(
+        self,
+        platform: PlatformConfig | None = None,
+        *,
+        accesses: int | None = None,
+        seed: int | None = None,
+        jobs: int = 1,
+        checkpoint_dir: str | Path | None = None,
+    ):
+        base = platform or PlatformConfig()
+        if accesses is not None:
+            base = replace(base, accesses=accesses)
+        if seed is not None:
+            base = replace(base, seed=seed)
+        self.platform = base
+        self.jobs = jobs
+        self.checkpoint_dir = str(checkpoint_dir) if checkpoint_dir else None
+        self._suite = EvaluationSuite(
+            base,
+            jobs=jobs,
+            checkpoint_dir=self.checkpoint_dir,
+        )
+
+    # -- single runs ---------------------------------------------------------
+
+    def run(
+        self, benchmark: str, *, coalescer: CoalescerConfig | None = None
+    ) -> SimulationResult:
+        """Run (or fetch) one benchmark.
+
+        ``coalescer`` overrides the session platform's coalescer
+        config; omitted, the platform's own (paper default: the
+        combined two-phase coalescer) is used.  Results are cached by
+        config digest, so repeated and structurally equal calls are
+        free.
+        """
+        cfg = coalescer if coalescer is not None else self.platform.coalescer
+        return self._suite.run(benchmark, cfg)
+
+    def baseline(self, benchmark: str) -> SimulationResult:
+        """The uncoalesced reference run of one benchmark."""
+        return self.run(benchmark, coalescer=UNCOALESCED_CONFIG)
+
+    def improvement(self, benchmark: str) -> float:
+        """Figure 15's runtime-improvement metric for one benchmark."""
+        return runtime_improvement(self.baseline(benchmark), self.run(benchmark))
+
+    # -- sweeps --------------------------------------------------------------
+
+    def sweep(
+        self,
+        spec: SweepSpec | None = None,
+        *,
+        benchmarks: tuple[str, ...] | None = None,
+        configs: Mapping[str, CoalescerConfig | PlatformConfig] | None = None,
+        jobs: int | None = None,
+        out_dir: str | Path | None = None,
+        resume: bool = False,
+        timeout: float | None = None,
+        retries: int = 1,
+        filter: str | None = None,
+        progress: Progress | None = None,
+    ) -> SweepResult:
+        """Run a parameter sweep and fold it into the session cache.
+
+        Either pass a full :class:`SweepSpec`, or let the session
+        build one from ``benchmarks`` x ``configs`` (defaults: all 12
+        benchmarks x the paper's four figure configs) on its own
+        platform.  See :func:`repro.sim.sweep.run_sweep` for the
+        execution knobs.
+        """
+        if spec is None:
+            spec = SweepSpec(
+                platform=self.platform,
+                benchmarks=tuple(benchmarks) if benchmarks else (),
+                configs=dict(configs) if configs is not None else dict(FIGURE_CONFIGS),
+            )
+        sweep = run_sweep(
+            spec,
+            jobs=self.jobs if jobs is None else jobs,
+            out_dir=out_dir or self.checkpoint_dir,
+            # The session's own checkpoint dir is a cache: always resume
+            # from it.  An explicit out_dir honours the resume flag.
+            resume=resume or (out_dir is None and self.checkpoint_dir is not None),
+            timeout=timeout,
+            retries=retries,
+            filter=filter,
+            progress=progress,
+        )
+        for key, result in sweep.results.items():
+            self._suite.adopt(key.benchmark, key.config, result)
+        return sweep
+
+    def prefetch(self, *, jobs: int | None = None) -> SweepResult:
+        """Pre-run the full figure grid across worker processes."""
+        return self._suite.prefetch(jobs=jobs)
+
+    # -- figures -------------------------------------------------------------
+
+    def figures(self, *, jobs: int | None = None) -> list[FigureData]:
+        """Reproduce every paper figure (Figures 1-2 and 8-15).
+
+        With ``jobs > 1`` the underlying simulation grid is prefetched
+        through the sweep engine first, so the figure runners become
+        pure cache lookups.
+        """
+        from repro.sim.experiments import (
+            fig1_bandwidth_efficiency,
+            fig2_control_overhead,
+            fig14_timeout_sweep,
+        )
+
+        jobs = self.jobs if jobs is None else jobs
+        if jobs > 1:
+            self._suite.prefetch(jobs=jobs)
+        suite = self._suite
+        fig14_platform = replace(
+            self.platform, accesses=max(3000, self.platform.accesses // 3)
+        )
+        return [
+            fig1_bandwidth_efficiency(),
+            fig2_control_overhead(),
+            suite.fig8_coalescing_efficiency(),
+            suite.fig9_bandwidth_efficiency(),
+            suite.fig10_request_distribution("HPCG"),
+            suite.fig11_bandwidth_saving(),
+            suite.fig12_dmc_latency(),
+            suite.fig13_crq_fill_time(),
+            suite.fig15_performance(),
+            fig14_timeout_sweep(platform=fig14_platform, jobs=jobs),
+        ]

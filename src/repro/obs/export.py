@@ -59,6 +59,31 @@ def registry_to_json_lines(
             yield json.dumps({"kind": "timeline", **ev.as_dict()}, sort_keys=True)
 
 
+def registry_to_payload(
+    registry: MetricsRegistry, *, include_timeline: bool = True
+) -> list[dict]:
+    """The registry as a list of plain JSON-able documents.
+
+    This is the IPC shape: sweep workers serialize their per-run
+    registry with it (inside checkpoint files), and the parent rebuilds
+    and merges the shards with :func:`registry_from_payload`.  It is
+    exactly the parsed form of :func:`registry_to_json_lines`.
+    """
+    return [
+        json.loads(line)
+        for line in registry_to_json_lines(
+            registry, include_timeline=include_timeline
+        )
+    ]
+
+
+def registry_from_payload(docs: Iterable[dict]) -> MetricsRegistry:
+    """Inverse of :func:`registry_to_payload`."""
+    return registry_from_json_lines(
+        json.dumps(doc, sort_keys=True) for doc in docs
+    )
+
+
 def write_json_lines(
     registry: MetricsRegistry,
     path: str | Path,

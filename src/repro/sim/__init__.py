@@ -1,11 +1,13 @@
-"""End-to-end simulation driver and per-figure experiment runners.
+"""End-to-end simulation driver, sweep engine and experiment runners.
 
 :mod:`repro.sim.driver` wires the full stack together -- workload
 generator -> cache hierarchy -> memory coalescer -> HMC device -- and
 derives the runtime model used for the paper's performance results.
-:mod:`repro.sim.experiments` provides one runner per evaluation figure
-(Figures 1-2 and 8-15), each returning plain data the benchmark
-harness renders.
+:mod:`repro.sim.sweep` shards grids of such runs across worker
+processes with per-run checkpointing (:mod:`repro.sim.shard` holds the
+worker side and the checkpoint format).  :mod:`repro.sim.experiments`
+provides one runner per evaluation figure (Figures 1-2 and 8-15),
+each returning plain data the benchmark harness renders.
 """
 
 from repro.sim.driver import (
@@ -15,13 +17,29 @@ from repro.sim.driver import (
     run_trace_through_coalescer,
 )
 from repro.sim.events import EventDrivenHMC, ReplayRequest, replay_issued_requests
+from repro.sim.sweep import (
+    FIGURE_CONFIGS,
+    FailedRun,
+    RunKey,
+    SweepResult,
+    SweepSpec,
+    config_digest,
+    run_sweep,
+)
 
 __all__ = [
     "EventDrivenHMC",
+    "FIGURE_CONFIGS",
+    "FailedRun",
     "PlatformConfig",
     "ReplayRequest",
+    "RunKey",
     "SimulationResult",
+    "SweepResult",
+    "SweepSpec",
+    "config_digest",
     "replay_issued_requests",
     "run_benchmark",
+    "run_sweep",
     "run_trace_through_coalescer",
 ]

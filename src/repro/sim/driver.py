@@ -22,6 +22,7 @@ Figure 15 metric.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Iterable
 
@@ -211,12 +212,29 @@ class SimulationResult:
         )
 
 
+#: Functions that already emitted their positional-argument warning
+#: (each deprecation warns once per process, not once per call site).
+_DEPRECATION_WARNED: set[str] = set()
+
+
+def _warn_positional(func: str, params: str) -> None:
+    if func in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(func)
+    warnings.warn(
+        f"deprecated positional {params} argument(s) to {func}(); "
+        f"pass {params} by keyword (see repro.api for the stable surface)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def run_trace_through_coalescer(
     records: Iterable[TraceRecord],
-    coalescer: MemoryCoalescer,
-    device: HMCDevice,
-    *,
-    cycle_ns: float,
+    *_deprecated_positional,
+    coalescer: MemoryCoalescer | None = None,
+    device: HMCDevice | None = None,
+    cycle_ns: float | None = None,
     profiler: PhaseProfiler | None = None,
 ) -> int:
     """Feed an LLC trace through a coalescer backed by an HMC device.
@@ -225,11 +243,33 @@ def run_trace_through_coalescer(
     the device is driven with real arrival times so vault queueing and
     bank conflicts shape the latency.  Returns the final trace cycle.
 
+    ``coalescer``, ``device`` and ``cycle_ns`` are keyword-only;
+    ``device`` is accepted for symmetry with the stack diagram (the
+    coalescer's service-time hook already closes over it).  The old
+    positional ``(records, coalescer, device)`` shape still works but
+    raises a one-time :class:`DeprecationWarning`.
+
     With a ``profiler``, the wall-clock cost of producing each record
     (workload generation + cache filtering) is charged to the
     ``trace`` phase and each coalescer push (sorter + DMC + CRQ +
     MSHRs + HMC service) to the ``coalesce`` phase.
     """
+    if _deprecated_positional:
+        if len(_deprecated_positional) > 2 or coalescer is not None:
+            raise TypeError(
+                "run_trace_through_coalescer() takes at most records, "
+                "coalescer and device positionally"
+            )
+        _warn_positional("run_trace_through_coalescer", "coalescer/device")
+        coalescer = _deprecated_positional[0]
+        if len(_deprecated_positional) == 2:
+            if device is not None:
+                raise TypeError("device given positionally and by keyword")
+            device = _deprecated_positional[1]
+    if coalescer is None:
+        raise TypeError("run_trace_through_coalescer() requires coalescer=")
+    if cycle_ns is None:
+        raise TypeError("run_trace_through_coalescer() requires cycle_ns=")
     last_cycle = 0
     if profiler is not None:
         records = profiler.wrap_iter("trace", records)
@@ -264,17 +304,36 @@ def _make_service_time(device: HMCDevice, cycle_ns: float):
 
 def run_benchmark(
     benchmark: str | Workload,
+    *_deprecated_positional,
     platform: PlatformConfig | None = None,
-    *,
+    coalescer: CoalescerConfig | None = None,
     profiler: PhaseProfiler | None = None,
 ) -> SimulationResult:
     """Run one benchmark end to end on the given platform.
+
+    All configuration is keyword-only: ``platform`` selects the full
+    platform, and ``coalescer`` (if given) overrides its coalescer
+    config -- ``run_benchmark("FT", coalescer=UNCOALESCED_CONFIG)`` is
+    the baseline idiom.  The old positional ``(benchmark, platform)``
+    shape still works but raises a one-time
+    :class:`DeprecationWarning`; prefer :class:`repro.api.Session` for
+    cached, sweep-aware runs.
 
     Every stage shares one :class:`~repro.obs.MetricsRegistry`, returned
     on the result's ``metrics`` field.  An optional ``profiler``
     collects wall-clock per phase (the ``repro profile`` command).
     """
+    if _deprecated_positional:
+        if len(_deprecated_positional) > 1 or platform is not None:
+            raise TypeError(
+                "run_benchmark() takes at most benchmark and platform "
+                "positionally"
+            )
+        _warn_positional("run_benchmark", "platform")
+        platform = _deprecated_positional[0]
     platform = platform or PlatformConfig()
+    if coalescer is not None:
+        platform = platform.with_coalescer(coalescer)
     if isinstance(benchmark, Workload):
         workload = benchmark
     else:
@@ -290,7 +349,7 @@ def run_benchmark(
         registry=registry,
     )
     device = HMCDevice(platform.hmc, registry)
-    coalescer = MemoryCoalescer(
+    engine = MemoryCoalescer(
         platform.coalescer,
         service_time=_make_service_time(device, platform.cycle_ns),
         registry=registry,
@@ -298,8 +357,8 @@ def run_benchmark(
 
     last_cycle = run_trace_through_coalescer(
         tracer.trace(workload.accesses(platform.accesses)),
-        coalescer,
-        device,
+        coalescer=engine,
+        device=device,
         cycle_ns=platform.cycle_ns,
         profiler=profiler,
     )
@@ -313,7 +372,7 @@ def run_benchmark(
         benchmark=workload.name,
         platform=platform,
         tracer=tracer.stats,
-        coalescer=coalescer.stats(),
+        coalescer=engine.stats(),
         hmc=device.stats,
         secondary_misses=hierarchy.secondary_misses,
         trace_cycles=last_cycle,
@@ -335,10 +394,19 @@ def runtime_improvement(
 
 def run_baseline_and_coalesced(
     benchmark: str,
+    *_deprecated_positional,
     platform: PlatformConfig | None = None,
 ) -> tuple[SimulationResult, SimulationResult]:
     """Run the uncoalesced baseline and the two-phase coalescer."""
+    if _deprecated_positional:
+        if len(_deprecated_positional) > 1 or platform is not None:
+            raise TypeError(
+                "run_baseline_and_coalesced() takes at most benchmark and "
+                "platform positionally"
+            )
+        _warn_positional("run_baseline_and_coalesced", "platform")
+        platform = _deprecated_positional[0]
     platform = platform or PlatformConfig()
-    base = run_benchmark(benchmark, platform.with_coalescer(UNCOALESCED_CONFIG))
-    coal = run_benchmark(benchmark, platform)
+    base = run_benchmark(benchmark, platform=platform, coalescer=UNCOALESCED_CONFIG)
+    coal = run_benchmark(benchmark, platform=platform)
     return base, coal

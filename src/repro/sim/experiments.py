@@ -16,17 +16,19 @@ from repro.analysis.efficiency import (
     bandwidth_efficiency_curve,
     control_overhead_sweep,
 )
-from repro.core.config import (
-    CoalescerConfig,
-    DMC_ONLY_CONFIG,
-    MSHR_ONLY_CONFIG,
-    UNCOALESCED_CONFIG,
-)
+from repro.core.config import CoalescerConfig
 from repro.hmc.packet import FLIT_BYTES
 from repro.sim.driver import (
     PlatformConfig,
     SimulationResult,
     run_benchmark,
+)
+from repro.sim.sweep import (
+    FIGURE_CONFIGS,
+    SweepResult,
+    SweepSpec,
+    config_digest,
+    run_sweep,
 )
 from repro.workloads import BENCHMARKS
 
@@ -46,31 +48,88 @@ class FigureData:
 
 
 class EvaluationSuite:
-    """Shared, cached runner for the trace-driven figures (8-15)."""
+    """Shared, cached runner for the trace-driven figures (8-15).
 
-    CONFIGS: dict[str, CoalescerConfig] = {
-        "uncoalesced": UNCOALESCED_CONFIG,
-        "mshr_only": MSHR_ONLY_CONFIG,
-        "dmc_only": DMC_ONLY_CONFIG,
-        "combined": CoalescerConfig(),
-    }
+    The cache is keyed by the *content digest* of the full platform
+    configuration, so two structurally equal configs -- however they
+    were constructed or named -- share one cache (and checkpoint)
+    entry.  :meth:`prefetch` populates the cache through the parallel
+    sweep engine; with a ``checkpoint_dir`` the sweep's per-run files
+    double as a persistent cross-process cache.
+    """
+
+    CONFIGS: dict[str, CoalescerConfig] = FIGURE_CONFIGS
 
     def __init__(
         self,
         platform: PlatformConfig | None = None,
         benchmarks: tuple[str, ...] = BENCHMARK_ORDER,
+        *,
+        jobs: int = 1,
+        checkpoint_dir: str | None = None,
     ):
         self.platform = platform or PlatformConfig(accesses=24_000)
         self.benchmarks = benchmarks
+        self.jobs = jobs
+        self.checkpoint_dir = checkpoint_dir
         self._cache: dict[tuple[str, str], SimulationResult] = {}
+        self._config_names: dict[str, str] = {}
 
-    def run(self, benchmark: str, config: str) -> SimulationResult:
-        """Run (or fetch) one benchmark under one coalescer config."""
-        key = (benchmark, config)
+    def _platform_for(self, config: str | CoalescerConfig) -> PlatformConfig:
+        cfg = self.CONFIGS[config] if isinstance(config, str) else config
+        return self.platform.with_coalescer(cfg)
+
+    def run(
+        self, benchmark: str, config: str | CoalescerConfig
+    ) -> SimulationResult:
+        """Run (or fetch) one benchmark under one coalescer config.
+
+        ``config`` is a name from :data:`CONFIGS` or any
+        :class:`CoalescerConfig`; structurally equal configs hit the
+        same cache entry either way.
+        """
+        platform = self._platform_for(config)
+        digest = config_digest(platform)
+        if isinstance(config, str):
+            self._config_names.setdefault(digest, config)
+        key = (benchmark, digest)
         if key not in self._cache:
-            platform = self.platform.with_coalescer(self.CONFIGS[config])
-            self._cache[key] = run_benchmark(benchmark, platform)
+            self._cache[key] = run_benchmark(benchmark, platform=platform)
         return self._cache[key]
+
+    def adopt(self, benchmark: str, config_name: str, result: SimulationResult) -> None:
+        """Seed the cache with an externally produced result."""
+        digest = config_digest(result.platform)
+        self._config_names.setdefault(digest, config_name)
+        self._cache[(benchmark, digest)] = result
+
+    def prefetch(self, *, jobs: int | None = None) -> SweepResult:
+        """Fill the whole figure grid through the sweep engine.
+
+        Runs ``benchmarks x CONFIGS`` across ``jobs`` worker processes
+        (default: the suite's ``jobs``), resuming from
+        ``checkpoint_dir`` when one is configured, and seeds the cache
+        so every figure runner afterwards is a pure lookup.
+        """
+        spec = SweepSpec(
+            platform=self.platform,
+            benchmarks=tuple(self.benchmarks),
+            configs=dict(self.CONFIGS),
+        )
+        sweep = run_sweep(
+            spec,
+            jobs=self.jobs if jobs is None else jobs,
+            out_dir=self.checkpoint_dir,
+            resume=self.checkpoint_dir is not None,
+        )
+        for key, result in sweep.results.items():
+            self.adopt(key.benchmark, key.config, result)
+        return sweep
+
+    def cached_runs(self):
+        """Yield ``(benchmark, config_name, result)`` in sorted order."""
+        for (benchmark, digest), result in sorted(self._cache.items()):
+            yield benchmark, self._config_names.get(digest, digest[:10]), result
 
     # -- Figure 8 -------------------------------------------------------------
 
@@ -306,8 +365,8 @@ def _issued_of(sim: SimulationResult):
     )
     run_trace_through_coalescer(
         tracer.trace(workload.accesses(platform.accesses)),
-        coalescer,
-        device,
+        coalescer=coalescer,
+        device=device,
         cycle_ns=platform.cycle_ns,
     )
     return coalescer.issued
@@ -360,6 +419,8 @@ def fig14_timeout_sweep(
     timeouts: tuple[int, ...] = (8, 12, 16, 20, 24, 28),
     platform: PlatformConfig | None = None,
     benchmarks: tuple[str, ...] = BENCHMARK_ORDER,
+    *,
+    jobs: int = 1,
 ) -> FigureData:
     """Figure 14: mean coalescer latency vs sorting-buffer timeout.
 
@@ -370,14 +431,24 @@ def fig14_timeout_sweep(
     climbs with it -- sits at the low end of the sweep; past the fill
     time the curves plateau.  The sweep is widened to 8-28 cycles so
     both regimes are visible.
+
+    The ``benchmarks x timeouts`` grid runs through the sweep engine,
+    so ``jobs > 1`` shards it across worker processes.
     """
     platform = platform or PlatformConfig(accesses=12_000)
+    spec = SweepSpec(
+        platform=platform,
+        benchmarks=tuple(benchmarks),
+        configs={
+            f"T{t}": CoalescerConfig(timeout_cycles=t) for t in timeouts
+        },
+    )
+    sweep = run_sweep(spec, jobs=jobs)
     rows = []
     for name in benchmarks:
         row: list[object] = [name]
         for t in timeouts:
-            cfg = CoalescerConfig(timeout_cycles=t)
-            result = run_benchmark(name, platform.with_coalescer(cfg))
+            result = sweep.get(name, f"T{t}")
             row.append(result.coalescer.mean_coalescer_latency_ns)
         rows.append(row)
     n = len(benchmarks)

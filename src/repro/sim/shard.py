@@ -1,0 +1,252 @@
+"""Worker-side execution and checkpoint serialization for sweeps.
+
+One sweep shard is one ``(benchmark, coalescer-config)`` simulation
+executed in a worker process.  This module owns everything that has to
+cross the process boundary or survive an interrupted sweep:
+
+* lossless JSON conversion of :class:`~repro.sim.driver.PlatformConfig`
+  and :class:`~repro.sim.driver.SimulationResult` (all stage stats plus
+  the per-run :class:`~repro.obs.metrics.MetricsRegistry`);
+* the checkpoint file format -- JSON lines, one file per completed run:
+  a ``{"kind": "sweep-run", ...}`` header, a ``{"kind": "result", ...}``
+  payload, then the registry's own self-describing metric lines (the
+  same shape ``repro stats --json`` emits);
+* :func:`worker_main`, the process entry point, which writes either the
+  checkpoint (success) or a ``*.failed.json`` sidecar (structured
+  failure) so the parent never has to unpickle exceptions.
+
+Checkpoints are written atomically (temp file + ``os.replace``) and
+deterministically (``sort_keys`` everywhere), so the same run produces
+byte-identical files no matter which worker -- or how many -- ran it.
+The scheduler that shards runs across workers lives in
+:mod:`repro.sim.sweep`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import traceback
+from dataclasses import fields
+from pathlib import Path
+from typing import Any
+
+from repro.cache.hierarchy import HierarchyConfig
+from repro.cache.tracer import TracerStats
+from repro.core.config import CoalescerConfig
+from repro.core.coalescer import CoalescerStats
+from repro.core.crq import CRQStats
+from repro.core.dmc import DMCStats
+from repro.core.mshr import MSHRStats
+from repro.core.pipeline import SortPipelineStats
+from repro.hmc.device import HMCStats
+from repro.hmc.timing import HMCTimingConfig
+from repro.obs.export import registry_from_payload, registry_to_json_lines
+
+#: Checkpoint format version, bumped on incompatible layout changes.
+CHECKPOINT_VERSION = 1
+
+#: File suffix of one completed run's checkpoint.
+CHECKPOINT_SUFFIX = ".jsonl"
+
+#: Sidecar suffix recording a worker's structured failure.
+FAILED_SUFFIX = ".failed.json"
+
+
+def _scalar_fields(obj) -> dict[str, Any]:
+    """Flat ``{field: value}`` view of a dataclass of scalars/dicts."""
+    return {f.name: getattr(obj, f.name) for f in fields(obj)}
+
+
+def _int_keyed(d: dict) -> dict[int, int]:
+    """JSON stringifies int dict keys; convert them back."""
+    return {int(k): v for k, v in d.items()}
+
+
+# -- platform ----------------------------------------------------------------
+
+
+def platform_to_dict(platform) -> dict:
+    """Lossless JSON-able view of a :class:`PlatformConfig`."""
+    d = _scalar_fields(platform)
+    d["hierarchy"] = _scalar_fields(platform.hierarchy)
+    d["coalescer"] = _scalar_fields(platform.coalescer)
+    d["hmc"] = _scalar_fields(platform.hmc)
+    return d
+
+
+def platform_from_dict(d: dict):
+    """Inverse of :func:`platform_to_dict`."""
+    from repro.sim.driver import PlatformConfig
+
+    d = dict(d)
+    d["hierarchy"] = HierarchyConfig(**d["hierarchy"])
+    d["coalescer"] = CoalescerConfig(**d["coalescer"])
+    d["hmc"] = HMCTimingConfig(**d["hmc"])
+    return PlatformConfig(**d)
+
+
+# -- results -----------------------------------------------------------------
+
+
+def result_to_dict(result) -> dict:
+    """JSON-able view of a :class:`SimulationResult` (minus registry).
+
+    The metrics registry is serialized separately (it has its own
+    line-oriented format) so checkpoint files stay streamable.
+    """
+    coal = result.coalescer
+    return {
+        "benchmark": result.benchmark,
+        "platform": platform_to_dict(result.platform),
+        "tracer": _scalar_fields(result.tracer),
+        "coalescer": {
+            "llc_requests": coal.llc_requests,
+            "hmc_requests": coal.hmc_requests,
+            "bypassed_requests": coal.bypassed_requests,
+            "pipeline": _scalar_fields(coal.pipeline),
+            "dmc": _scalar_fields(coal.dmc),
+            "crq": _scalar_fields(coal.crq),
+            "mshr": _scalar_fields(coal.mshr),
+        },
+        "hmc": _scalar_fields(result.hmc),
+        "secondary_misses": result.secondary_misses,
+        "trace_cycles": result.trace_cycles,
+        "compute_cycles_per_access": result.compute_cycles_per_access,
+    }
+
+
+def result_from_dict(d: dict, metrics=None):
+    """Inverse of :func:`result_to_dict`."""
+    from repro.sim.driver import SimulationResult
+
+    platform = platform_from_dict(d["platform"])
+    coal = d["coalescer"]
+    dmc = dict(coal["dmc"])
+    dmc["packets_by_lines"] = _int_keyed(dmc["packets_by_lines"])
+    hmc = dict(d["hmc"])
+    hmc["size_histogram"] = _int_keyed(hmc["size_histogram"])
+    return SimulationResult(
+        benchmark=d["benchmark"],
+        platform=platform,
+        tracer=TracerStats(**d["tracer"]),
+        coalescer=CoalescerStats(
+            llc_requests=coal["llc_requests"],
+            hmc_requests=coal["hmc_requests"],
+            bypassed_requests=coal["bypassed_requests"],
+            pipeline=SortPipelineStats(**coal["pipeline"]),
+            dmc=DMCStats(**dmc),
+            crq=CRQStats(**coal["crq"]),
+            mshr=MSHRStats(**coal["mshr"]),
+            config=platform.coalescer,
+        ),
+        hmc=HMCStats(**hmc),
+        secondary_misses=d["secondary_misses"],
+        trace_cycles=d["trace_cycles"],
+        compute_cycles_per_access=d["compute_cycles_per_access"],
+        metrics=metrics,
+    )
+
+
+# -- checkpoint files --------------------------------------------------------
+
+
+def write_checkpoint(path: str | Path, header: dict, result) -> Path:
+    """Atomically write one completed run's checkpoint file.
+
+    ``header`` identifies the run (benchmark, config name, digest); the
+    file is self-contained -- :func:`read_checkpoint` needs nothing but
+    the path.
+    """
+    path = Path(path)
+    lines = [
+        json.dumps(
+            {"kind": "sweep-run", "version": CHECKPOINT_VERSION, **header},
+            sort_keys=True,
+        ),
+        json.dumps({"kind": "result", **result_to_dict(result)}, sort_keys=True),
+    ]
+    if result.metrics is not None:
+        lines.extend(registry_to_json_lines(result.metrics))
+    tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+    tmp.write_text("\n".join(lines) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def read_checkpoint(path: str | Path):
+    """Load a checkpoint back into ``(header, SimulationResult)``.
+
+    Raises ``ValueError`` on truncated or unrecognizable files so the
+    scheduler can treat them as missing and re-run the key.
+    """
+    path = Path(path)
+    header: dict | None = None
+    result_doc: dict | None = None
+    metric_docs: list[dict] = []
+    for raw in path.read_text().splitlines():
+        raw = raw.strip()
+        if not raw:
+            continue
+        doc = json.loads(raw)
+        kind = doc.get("kind")
+        if kind == "sweep-run":
+            header = doc
+        elif kind == "result":
+            result_doc = doc
+        else:
+            metric_docs.append(doc)
+    if header is None or result_doc is None:
+        raise ValueError(f"checkpoint {path} is missing its header or result")
+    if header.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint {path} has version {header.get('version')!r}, "
+            f"expected {CHECKPOINT_VERSION}"
+        )
+    registry = registry_from_payload(metric_docs) if metric_docs else None
+    return header, result_from_dict(result_doc, metrics=registry)
+
+
+# -- worker entry point ------------------------------------------------------
+
+
+def execute_run(payload: dict, checkpoint_path: str | Path):
+    """Run one shard and checkpoint it; returns the live result.
+
+    ``payload`` is the scheduler's run description::
+
+        {"benchmark": ..., "config": ..., "digest": ...,
+         "platform": platform_to_dict(...)}
+    """
+    from repro.sim.driver import run_benchmark
+
+    platform = platform_from_dict(payload["platform"])
+    result = run_benchmark(payload["benchmark"], platform=platform)
+    header = {k: payload[k] for k in ("benchmark", "config", "digest")}
+    write_checkpoint(checkpoint_path, header, result)
+    return result
+
+
+def worker_main(payload: dict, checkpoint_path: str, fail_path: str) -> None:
+    """Process entry point: run one shard, report failure structurally.
+
+    On any exception the worker writes a JSON sidecar with the error
+    and traceback, then exits non-zero; the parent turns that into a
+    :class:`repro.sim.sweep.FailedRun` instead of losing the sweep.
+    """
+    try:
+        execute_run(payload, checkpoint_path)
+    except BaseException as exc:  # noqa: BLE001 - boundary of the process
+        record = {
+            "kind": "failed",
+            "benchmark": payload.get("benchmark"),
+            "config": payload.get("config"),
+            "digest": payload.get("digest"),
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+        try:
+            Path(fail_path).write_text(json.dumps(record, sort_keys=True) + "\n")
+        finally:
+            sys.exit(1)

@@ -1,0 +1,454 @@
+"""Parallel parameter-sweep engine with checkpoint/resume.
+
+The paper's evaluation (Figures 8-15) is a grid of
+``benchmark x coalescer-config`` simulations; sensitivity studies
+multiply that grid by queue depths, timeouts, packet sizes and so on.
+This module turns such a grid into a declarative :class:`SweepSpec`,
+expands it into a deterministic list of :class:`RunKey`\\ s, shards the
+runs across worker processes, and folds the shards back together:
+
+* every completed run is checkpointed to its own JSON-lines file (see
+  :mod:`repro.sim.shard`), so an interrupted sweep resumes by skipping
+  already-checkpointed keys (``resume=True``);
+* workers are sandboxed: a per-run ``timeout`` kills stuck shards, a
+  crash or exception is retried up to ``retries`` times and then
+  recorded as a structured :class:`FailedRun` -- one bad run never
+  aborts the sweep;
+* each worker's :class:`~repro.obs.metrics.MetricsRegistry` rides home
+  inside its checkpoint and is merged -- in deterministic expansion
+  order, independent of completion order -- into the sweep-level
+  registry on :class:`SweepResult`.
+
+``python -m repro sweep`` is the CLI face of this module;
+:class:`repro.sim.experiments.EvaluationSuite` and
+:class:`repro.api.Session` sit on top of it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import re
+import tempfile
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.core.config import (
+    CoalescerConfig,
+    DMC_ONLY_CONFIG,
+    MSHR_ONLY_CONFIG,
+    UNCOALESCED_CONFIG,
+)
+from repro.obs import MetricsRegistry
+from repro.sim.driver import PlatformConfig, SimulationResult
+from repro.sim.shard import (
+    CHECKPOINT_SUFFIX,
+    FAILED_SUFFIX,
+    execute_run,
+    platform_to_dict,
+    read_checkpoint,
+    worker_main,
+)
+from repro.workloads import BENCHMARKS
+
+#: The named coalescer configurations of the paper's figure grid
+#: (Figures 8-15).  ``EvaluationSuite.CONFIGS`` aliases this mapping.
+FIGURE_CONFIGS: dict[str, CoalescerConfig] = {
+    "uncoalesced": UNCOALESCED_CONFIG,
+    "mshr_only": MSHR_ONLY_CONFIG,
+    "dmc_only": DMC_ONLY_CONFIG,
+    "combined": CoalescerConfig(),
+}
+
+Progress = Callable[[str], None]
+
+
+def config_digest(platform: PlatformConfig) -> str:
+    """Stable content hash of a full platform configuration.
+
+    Two structurally equal configs digest identically no matter how
+    they were constructed, so cache and checkpoint keys based on the
+    digest dedupe equivalent runs.
+    """
+    blob = json.dumps(platform_to_dict(platform), sort_keys=True)
+    return hashlib.sha1(blob.encode()).hexdigest()
+
+
+def _safe(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", name)
+
+
+@dataclass(frozen=True, order=True)
+class RunKey:
+    """Deterministic identity of one sweep shard."""
+
+    benchmark: str
+    config: str
+    digest: str
+
+    @property
+    def label(self) -> str:
+        """Human form used by ``--filter`` and progress lines."""
+        return f"{self.benchmark}/{self.config}"
+
+    @property
+    def stem(self) -> str:
+        """Checkpoint filename stem (safe, collision-resistant)."""
+        return f"{_safe(self.benchmark)}__{_safe(self.config)}__{self.digest[:10]}"
+
+
+@dataclass
+class FailedRun:
+    """A shard that exhausted its retries, with full forensics."""
+
+    key: RunKey
+    error: str
+    traceback: str = ""
+    attempts: int = 1
+
+
+@dataclass
+class SweepSpec:
+    """Declarative description of a sweep grid.
+
+    ``configs`` maps a name to either a :class:`CoalescerConfig`
+    (applied over the base ``platform``) or a full
+    :class:`PlatformConfig` override (for sweeps that vary cache
+    geometry, HMC timing, trace length, ...).  Expansion order is
+    benchmarks (outer) x configs (inner), in declaration order.
+    """
+
+    platform: PlatformConfig = field(default_factory=PlatformConfig)
+    benchmarks: tuple[str, ...] = ()
+    configs: Mapping[str, CoalescerConfig | PlatformConfig] = field(
+        default_factory=lambda: dict(FIGURE_CONFIGS)
+    )
+
+    def __post_init__(self) -> None:
+        if not self.benchmarks:
+            self.benchmarks = tuple(BENCHMARKS)
+
+    @classmethod
+    def figure_grid(
+        cls,
+        platform: PlatformConfig | None = None,
+        benchmarks: tuple[str, ...] | None = None,
+    ) -> "SweepSpec":
+        """The paper's full evaluation grid (12 benchmarks x 4 configs)."""
+        return cls(
+            platform=platform or PlatformConfig(accesses=24_000),
+            benchmarks=tuple(benchmarks or BENCHMARKS),
+            configs=dict(FIGURE_CONFIGS),
+        )
+
+    def platform_for(self, config: str) -> PlatformConfig:
+        """The full platform one named config resolves to."""
+        cfg = self.configs[config]
+        if isinstance(cfg, PlatformConfig):
+            return cfg
+        return self.platform.with_coalescer(cfg)
+
+    def expand(
+        self, *, filter: str | None = None
+    ) -> list[tuple[RunKey, PlatformConfig]]:
+        """The deterministic run list; ``filter`` is a substring match
+        against each key's ``benchmark/config`` label."""
+        out = []
+        for benchmark in self.benchmarks:
+            for name in self.configs:
+                platform = self.platform_for(name)
+                key = RunKey(benchmark, name, config_digest(platform))
+                if filter is not None and filter not in key.label:
+                    continue
+                out.append((key, platform))
+        return out
+
+
+@dataclass
+class SweepResult:
+    """Everything a finished sweep produced.
+
+    ``results`` is ordered by spec expansion order regardless of the
+    order shards completed in, so downstream consumers (figures,
+    parity checks, reports) are jobs-count-invariant.
+    """
+
+    spec: SweepSpec
+    keys: list[RunKey]
+    results: dict[RunKey, SimulationResult]
+    failures: list[FailedRun]
+    registry: MetricsRegistry
+    completed: int
+    skipped: int
+    out_dir: Path | None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def get(self, benchmark: str, config: str) -> SimulationResult:
+        """Look one run up by its human key."""
+        for key, result in self.results.items():
+            if key.benchmark == benchmark and key.config == config:
+                return result
+        raise KeyError(f"{benchmark}/{config} not in sweep results")
+
+
+@dataclass
+class _Pending:
+    key: RunKey
+    platform: PlatformConfig
+    checkpoint: Path
+    attempts: int = 0
+
+    @property
+    def fail_path(self) -> Path:
+        return self.checkpoint.with_name(self.key.stem + FAILED_SUFFIX)
+
+    def payload(self) -> dict:
+        return {
+            "benchmark": self.key.benchmark,
+            "config": self.key.config,
+            "digest": self.key.digest,
+            "platform": platform_to_dict(self.platform),
+        }
+
+
+@dataclass
+class _Running:
+    proc: multiprocessing.Process
+    item: _Pending
+    deadline: float | None
+
+
+def _say(progress: Progress | None, msg: str) -> None:
+    if progress is not None:
+        progress(msg)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int = 1,
+    out_dir: str | Path | None = None,
+    resume: bool = False,
+    timeout: float | None = None,
+    retries: int = 1,
+    filter: str | None = None,
+    progress: Progress | None = None,
+) -> SweepResult:
+    """Execute a sweep spec and return the merged :class:`SweepResult`.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (with no ``timeout``) runs shards
+        inline in this process -- but still through the identical
+        checkpoint serialization, so per-run files are byte-identical
+        to a parallel sweep's.
+    out_dir:
+        Checkpoint directory (created if missing).  ``None`` uses a
+        temporary directory discarded when the sweep finishes.
+    resume:
+        Skip keys whose checkpoint already exists and loads cleanly;
+        corrupt or truncated checkpoints are deleted and re-run.
+    timeout:
+        Per-run wall-clock limit in seconds; a shard past its deadline
+        is terminated and counts as a failed attempt.
+    retries:
+        Extra attempts per key after a crash/exception/timeout before
+        it is recorded as a :class:`FailedRun`.
+    filter:
+        Substring filter on ``benchmark/config`` labels.
+    progress:
+        Callback for one-line progress messages (e.g. ``print``).
+    """
+    expanded = spec.expand(filter=filter)
+    tmp_dir: tempfile.TemporaryDirectory | None = None
+    if out_dir is None:
+        tmp_dir = tempfile.TemporaryDirectory(prefix="repro-sweep-")
+        out_path = Path(tmp_dir.name)
+    else:
+        out_path = Path(out_dir)
+        out_path.mkdir(parents=True, exist_ok=True)
+
+    results: dict[RunKey, SimulationResult] = {}
+    failures: list[FailedRun] = []
+    pending: list[_Pending] = []
+    skipped = 0
+    try:
+        for key, platform in expanded:
+            ck = out_path / (key.stem + CHECKPOINT_SUFFIX)
+            if resume and ck.exists():
+                try:
+                    _, result = read_checkpoint(ck)
+                except (ValueError, json.JSONDecodeError, KeyError, TypeError):
+                    ck.unlink()
+                else:
+                    results[key] = result
+                    skipped += 1
+                    _say(progress, f"skip {key.label} (checkpointed)")
+                    continue
+            pending.append(_Pending(key, platform, ck))
+
+        total = len(pending)
+        if pending:
+            if jobs <= 1 and timeout is None:
+                _run_inline(pending, total, results, failures, retries, progress)
+            else:
+                _run_parallel(
+                    pending, total, results, failures, jobs, timeout, retries, progress
+                )
+    finally:
+        if tmp_dir is not None:
+            tmp_dir.cleanup()
+
+    ordered = {key: results[key] for key, _ in expanded if key in results}
+    key_order = {key: i for i, (key, _) in enumerate(expanded)}
+    failures.sort(key=lambda f: key_order.get(f.key, len(key_order)))
+
+    registry = MetricsRegistry()
+    for result in ordered.values():
+        if result.metrics is not None:
+            registry.merge(result.metrics)
+
+    return SweepResult(
+        spec=spec,
+        keys=[key for key, _ in expanded],
+        results=ordered,
+        failures=failures,
+        registry=registry,
+        completed=len(ordered) - skipped,
+        skipped=skipped,
+        out_dir=None if tmp_dir is not None else out_path,
+    )
+
+
+def _run_inline(
+    pending: list[_Pending],
+    total: int,
+    results: dict[RunKey, SimulationResult],
+    failures: list[FailedRun],
+    retries: int,
+    progress: Progress | None,
+) -> None:
+    """Single-process execution path (identical checkpoint writes)."""
+    import traceback as tb_mod
+
+    done = 0
+    for item in pending:
+        while True:
+            item.attempts += 1
+            try:
+                results[item.key] = execute_run(item.payload(), item.checkpoint)
+            except Exception as exc:  # noqa: BLE001 - shard sandbox
+                if item.attempts <= retries:
+                    _say(progress, f"retry {item.key.label} ({exc})")
+                    continue
+                failures.append(
+                    FailedRun(
+                        item.key,
+                        f"{type(exc).__name__}: {exc}",
+                        tb_mod.format_exc(),
+                        item.attempts,
+                    )
+                )
+                _say(progress, f"FAIL {item.key.label}: {exc}")
+            else:
+                done += 1
+                _say(progress, f"[{done}/{total}] {item.key.label} done")
+            break
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _run_parallel(
+    pending: list[_Pending],
+    total: int,
+    results: dict[RunKey, SimulationResult],
+    failures: list[FailedRun],
+    jobs: int,
+    timeout: float | None,
+    retries: int,
+    progress: Progress | None,
+) -> None:
+    """Shard ``pending`` across up to ``jobs`` worker processes."""
+    ctx = _mp_context()
+    queue: deque[_Pending] = deque(pending)
+    running: dict[object, _Running] = {}
+    done = 0
+
+    def finish(item: _Pending, *, exitcode: int | None, timed_out: bool) -> None:
+        nonlocal done
+        item.attempts += 1
+        if not timed_out and item.checkpoint.exists():
+            try:
+                _, result = read_checkpoint(item.checkpoint)
+            except (ValueError, json.JSONDecodeError, KeyError, TypeError):
+                item.checkpoint.unlink()
+            else:
+                results[item.key] = result
+                done += 1
+                _say(progress, f"[{done}/{total}] {item.key.label} done")
+                return
+        if timed_out:
+            error, tb = f"timed out after {timeout}s", ""
+        elif item.fail_path.exists():
+            record = json.loads(item.fail_path.read_text())
+            error, tb = record.get("error", "unknown error"), record.get(
+                "traceback", ""
+            )
+        else:
+            error, tb = f"worker crashed (exit code {exitcode})", ""
+        if item.attempts <= retries:
+            _say(progress, f"retry {item.key.label} ({error})")
+            queue.append(item)
+        else:
+            failures.append(FailedRun(item.key, error, tb, item.attempts))
+            _say(progress, f"FAIL {item.key.label}: {error}")
+
+    try:
+        while queue or running:
+            while queue and len(running) < max(1, jobs):
+                item = queue.popleft()
+                if item.fail_path.exists():
+                    item.fail_path.unlink()
+                proc = ctx.Process(
+                    target=worker_main,
+                    args=(item.payload(), str(item.checkpoint), str(item.fail_path)),
+                )
+                proc.start()
+                deadline = time.monotonic() + timeout if timeout else None
+                running[proc.sentinel] = _Running(proc, item, deadline)
+
+            wait_for = None
+            deadlines = [
+                r.deadline for r in running.values() if r.deadline is not None
+            ]
+            if deadlines:
+                wait_for = max(0.0, min(deadlines) - time.monotonic())
+            ready = set(mp_connection.wait(list(running), timeout=wait_for))
+            now = time.monotonic()
+            for sentinel in list(running):
+                r = running[sentinel]
+                if sentinel in ready:
+                    r.proc.join()
+                    del running[sentinel]
+                    finish(r.item, exitcode=r.proc.exitcode, timed_out=False)
+                elif r.deadline is not None and now >= r.deadline:
+                    r.proc.terminate()
+                    r.proc.join()
+                    del running[sentinel]
+                    finish(r.item, exitcode=r.proc.exitcode, timed_out=True)
+    finally:
+        for r in running.values():
+            r.proc.terminate()
+            r.proc.join()

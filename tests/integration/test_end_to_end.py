@@ -63,7 +63,7 @@ class TestConservation:
             assert missed[rtype] <= issued[rtype]
 
     def test_hmc_accounting_consistent(self):
-        r = run_benchmark("Sort", PlatformConfig(accesses=5_000))
+        r = run_benchmark("Sort", platform=PlatformConfig(accesses=5_000))
         s = r.hmc
         assert s.transferred_bytes == s.payload_bytes + 32 * s.requests
         assert s.requests == s.reads + s.writes
@@ -132,12 +132,12 @@ class TestBaselineComparison:
     def test_coalescer_never_issues_more_than_baseline(self):
         for name in ("STREAM", "SG"):
             plat = PlatformConfig(accesses=5_000)
-            coal = run_benchmark(name, plat)
-            base = run_benchmark(name, plat.with_coalescer(UNCOALESCED_CONFIG))
+            coal = run_benchmark(name, platform=plat)
+            base = run_benchmark(name, platform=plat.with_coalescer(UNCOALESCED_CONFIG))
             assert coal.hmc.requests <= base.hmc.requests
 
     def test_bank_activations_drop_with_coalescing(self):
         plat = PlatformConfig(accesses=5_000)
-        coal = run_benchmark("STREAM", plat)
-        base = run_benchmark("STREAM", plat.with_coalescer(UNCOALESCED_CONFIG))
+        coal = run_benchmark("STREAM", platform=plat)
+        base = run_benchmark("STREAM", platform=plat.with_coalescer(UNCOALESCED_CONFIG))
         assert coal.hmc.row_misses <= base.hmc.row_misses

@@ -37,7 +37,7 @@ class TestPlatformConfig:
 
 class TestRunBenchmark:
     def test_stream_end_to_end(self):
-        r = run_benchmark("STREAM", SMALL)
+        r = run_benchmark("STREAM", platform=SMALL)
         assert r.benchmark == "STREAM"
         assert r.tracer.cpu_accesses > 5000
         assert r.coalescer.llc_requests > 0
@@ -46,39 +46,39 @@ class TestRunBenchmark:
 
     def test_issued_equals_hmc_requests(self):
         """Every packet the coalescer issues hits the device once."""
-        r = run_benchmark("STREAM", SMALL)
+        r = run_benchmark("STREAM", platform=SMALL)
         assert r.coalescer.hmc_requests == r.hmc.requests
 
     def test_workload_instance_accepted(self):
         from repro.workloads import get_workload
 
         w = get_workload("EP", num_threads=12, seed=3)
-        r = run_benchmark(w, SMALL)
+        r = run_benchmark(w, platform=SMALL)
         assert r.benchmark == "EP"
 
     def test_runtime_components_positive(self):
-        r = run_benchmark("FT", SMALL)
+        r = run_benchmark("FT", platform=SMALL)
         assert r.compute_ns > 0
         assert r.memory_ns > 0
         assert r.runtime_ns >= r.compute_ns + r.memory_ns
 
     def test_uncoalesced_has_no_pipeline_overhead(self):
-        r = run_benchmark("FT", SMALL.with_coalescer(UNCOALESCED_CONFIG))
+        r = run_benchmark("FT", platform=SMALL.with_coalescer(UNCOALESCED_CONFIG))
         assert r.coalescer_overhead_ns == 0.0
 
     def test_intensity_comes_from_workload(self):
-        r = run_benchmark("LU", SMALL)
+        r = run_benchmark("LU", platform=SMALL)
         assert r.compute_cycles_per_access == 26.0
 
     def test_intensity_override(self):
         from dataclasses import replace
 
         plat = replace(SMALL, compute_cycles_per_access=3.0)
-        r = run_benchmark("LU", plat)
+        r = run_benchmark("LU", platform=plat)
         assert r.compute_cycles_per_access == 3.0
 
     def test_request_size_distribution(self):
-        r = run_benchmark("STREAM", SMALL)
+        r = run_benchmark("STREAM", platform=SMALL)
         dist = r.request_size_distribution()
         assert set(dist) <= {64, 128, 256}
         assert sum(dist.values()) == r.hmc.requests
@@ -89,43 +89,43 @@ class TestPhaseOrdering:
     """The paper's headline ordering must hold end to end."""
 
     def test_two_phase_beats_each_single_phase_on_stream(self):
-        full = run_benchmark("STREAM", SMALL).coalescing_efficiency
+        full = run_benchmark("STREAM", platform=SMALL).coalescing_efficiency
         dmc = run_benchmark(
-            "STREAM", SMALL.with_coalescer(DMC_ONLY_CONFIG)
+            "STREAM", platform=SMALL.with_coalescer(DMC_ONLY_CONFIG)
         ).coalescing_efficiency
         mshr = run_benchmark(
-            "STREAM", SMALL.with_coalescer(MSHR_ONLY_CONFIG)
+            "STREAM", platform=SMALL.with_coalescer(MSHR_ONLY_CONFIG)
         ).coalescing_efficiency
         assert full >= dmc >= mshr
         assert full > 0.4
 
     def test_uncoalesced_efficiency_is_zero(self):
-        r = run_benchmark("STREAM", SMALL.with_coalescer(UNCOALESCED_CONFIG))
+        r = run_benchmark("STREAM", platform=SMALL.with_coalescer(UNCOALESCED_CONFIG))
         assert r.coalescing_efficiency == 0.0
 
     def test_coalescing_reduces_transferred_bytes(self):
-        base, coal = run_baseline_and_coalesced("STREAM", SMALL)
+        base, coal = run_baseline_and_coalesced("STREAM", platform=SMALL)
         assert coal.transferred_bytes < base.transferred_bytes
         assert coal.control_bytes < base.control_bytes
 
     def test_bandwidth_efficiency_improves(self):
-        base, coal = run_baseline_and_coalesced("FT", SMALL)
+        base, coal = run_baseline_and_coalesced("FT", platform=SMALL)
         assert coal.bandwidth_efficiency > base.bandwidth_efficiency
 
     def test_runtime_improves_on_coalescable_workload(self):
-        base, coal = run_baseline_and_coalesced("FT", SMALL)
+        base, coal = run_baseline_and_coalesced("FT", platform=SMALL)
         assert runtime_improvement(base, coal) > 0.1
 
     def test_ep_improvement_negligible(self):
         """EP is compute-bound with an uncoalescable footprint."""
-        base, coal = run_baseline_and_coalesced("EP", SMALL)
+        base, coal = run_baseline_and_coalesced("EP", platform=SMALL)
         assert abs(runtime_improvement(base, coal)) < 0.05
 
 
 class TestDeterminism:
     def test_same_seed_same_result(self):
-        a = run_benchmark("SG", SMALL)
-        b = run_benchmark("SG", SMALL)
+        a = run_benchmark("SG", platform=SMALL)
+        b = run_benchmark("SG", platform=SMALL)
         assert a.hmc.requests == b.hmc.requests
         assert a.coalescer.llc_requests == b.coalescer.llc_requests
         assert a.hmc.transferred_bytes == b.hmc.transferred_bytes
@@ -141,7 +141,7 @@ class TestSeedRobustness:
         effs = []
         for seed in (0, 7, 99):
             plat = replace(SMALL, seed=seed)
-            effs.append(run_benchmark(name, plat).coalescing_efficiency)
+            effs.append(run_benchmark(name, platform=plat).coalescing_efficiency)
         spread = max(effs) - min(effs)
         assert spread < 0.12, effs
 
@@ -150,5 +150,5 @@ class TestSeedRobustness:
 
         for seed in (1, 42):
             plat = replace(SMALL, seed=seed)
-            base, coal = run_baseline_and_coalesced("FT", plat)
+            base, coal = run_baseline_and_coalesced("FT", platform=plat)
             assert runtime_improvement(base, coal) > 0.05

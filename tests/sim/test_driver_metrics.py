@@ -20,7 +20,7 @@ SMALL = PlatformConfig(accesses=6_000)
 
 @pytest.fixture(scope="module")
 def result():
-    return run_benchmark("HPCG", SMALL)
+    return run_benchmark("HPCG", platform=SMALL)
 
 
 @pytest.fixture(scope="module")
@@ -194,7 +194,7 @@ class TestProfiler:
     def test_run_benchmark_with_profiler(self):
         profiler = PhaseProfiler()
         result = run_benchmark(
-            "STREAM", PlatformConfig(accesses=2_000), profiler=profiler
+            "STREAM", platform=PlatformConfig(accesses=2_000), profiler=profiler
         )
         # Workloads round the access budget down to whole chunks.
         assert 0 < result.tracer.cpu_accesses <= 2_000
@@ -209,9 +209,9 @@ class TestDerivedComparisons:
         from repro.hmc.packet import REQUEST_CONTROL_BYTES
 
         platform = PlatformConfig(accesses=4_000)
-        coal = run_benchmark("STREAM", platform)
+        coal = run_benchmark("STREAM", platform=platform)
         base = run_benchmark(
-            "STREAM", platform.with_coalescer(UNCOALESCED_CONFIG)
+            "STREAM", platform=platform.with_coalescer(UNCOALESCED_CONFIG)
         )
         saved_requests = coal.requests_saved_vs(base)
         assert saved_requests == base.hmc.requests - coal.hmc.requests

@@ -111,7 +111,7 @@ class TestCrossValidation:
     @pytest.mark.parametrize("name", ["STREAM", "SG"])
     def test_replay_agrees_on_counts_and_bounds(self, name):
         plat = PlatformConfig(accesses=5_000)
-        sim = run_benchmark(name, plat)
+        sim = run_benchmark(name, platform=plat)
         replay = replay_issued_requests(sim)
 
         assert len(replay.completions_ns) == sim.hmc.requests
@@ -126,9 +126,9 @@ class TestCrossValidation:
         from repro.core.config import UNCOALESCED_CONFIG
 
         plat = PlatformConfig(accesses=5_000)
-        coal = replay_issued_requests(run_benchmark("STREAM", plat))
+        coal = replay_issued_requests(run_benchmark("STREAM", platform=plat))
         base = replay_issued_requests(
-            run_benchmark("STREAM", plat.with_coalescer(UNCOALESCED_CONFIG))
+            run_benchmark("STREAM", platform=plat.with_coalescer(UNCOALESCED_CONFIG))
         )
         assert coal.makespan_ns < base.makespan_ns
         assert len(coal.completions_ns) < len(base.completions_ns)
@@ -184,8 +184,8 @@ class TestFRFCFS:
         from repro.core.config import UNCOALESCED_CONFIG
 
         plat = PlatformConfig(accesses=4_000)
-        base_sim = run_benchmark("STREAM", plat.with_coalescer(UNCOALESCED_CONFIG))
-        coal_sim = run_benchmark("STREAM", plat)
+        base_sim = run_benchmark("STREAM", platform=plat.with_coalescer(UNCOALESCED_CONFIG))
+        coal_sim = run_benchmark("STREAM", platform=plat)
         base_fr = replay_issued_requests(base_sim, scheduler="frfcfs")
         coal_fifo = replay_issued_requests(coal_sim)
         # Even with FR-FCFS, the uncoalesced system cannot catch the

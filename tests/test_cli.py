@@ -110,3 +110,61 @@ class TestCommands:
         assert "simulator profile" in out
         assert "trace" in out and "coalesce" in out
         assert "total" in out
+
+
+class TestSweepCommand:
+    ARGS = [
+        "sweep",
+        "--accesses",
+        "1500",
+        "--benchmarks",
+        "STREAM,SG",
+        "--configs",
+        "uncoalesced,combined",
+        "--quiet",
+    ]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs == 1
+        assert args.accesses == 12_000
+        assert not args.resume
+
+    def test_sweep_writes_checkpoints(self, tmp_path, capsys):
+        out_dir = tmp_path / "sweep"
+        assert main(self.ARGS + ["--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "4 run, 0 resumed, 0 failed" in out
+        assert len(list(out_dir.glob("*.jsonl"))) == 4
+
+    def test_sweep_resume_skips_completed(self, tmp_path, capsys):
+        out_dir = tmp_path / "sweep"
+        assert main(self.ARGS + ["--out", str(out_dir)]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["--out", str(out_dir), "--resume"]) == 0
+        assert "0 run, 4 resumed, 0 failed" in capsys.readouterr().out
+
+    def test_sweep_filter(self, tmp_path, capsys):
+        out_dir = tmp_path / "sweep"
+        assert main(self.ARGS + ["--out", str(out_dir), "--filter", "SG/"]) == 0
+        assert "2 run" in capsys.readouterr().out
+
+    def test_sweep_unknown_config_rejected(self, capsys):
+        assert main(["sweep", "--configs", "bogus"]) == 2
+        assert "unknown config" in capsys.readouterr().err
+
+    def test_sweep_summarize(self, tmp_path, capsys):
+        out_dir = tmp_path / "sweep"
+        assert main(self.ARGS + ["--out", str(out_dir)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--summarize", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "STREAM" in out and "uncoalesced" in out
+
+    def test_sweep_summarize_empty_dir(self, tmp_path, capsys):
+        assert main(["sweep", "--summarize", str(tmp_path)]) == 2
+        assert "no checkpoints" in capsys.readouterr().err
+
+    def test_figures_jobs_flag_parses(self):
+        args = build_parser().parse_args(["figures", "--jobs", "3"])
+        assert args.jobs == 3
