@@ -1,0 +1,55 @@
+"""Perf-smoke microbenchmarks: simulator throughput sanity.
+
+Run explicitly (not part of tier-1; ``benchmarks/`` is outside the
+default ``testpaths``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf/ -q
+
+Each check runs a smoke-suite case once and asserts the measurement
+machinery holds together end to end; the actual regression gate is
+``python -m repro perf`` against ``benchmarks/perf/baseline.json``
+(CI's perf-smoke job).  Keeping these as pytest benches gives local
+developers a one-command wall-time readout per case via ``-s``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import SMOKE_SUITE, result_digest
+from repro.perf.harness import run_case
+
+
+@pytest.mark.parametrize("case", SMOKE_SUITE, ids=lambda c: c.name)
+def test_smoke_case_runs_and_measures(case, capsys):
+    measured = run_case(case, repeats=1)
+    assert measured.llc_requests > 0
+    assert measured.wall_seconds > 0
+    assert len(measured.digest) == 64
+    with capsys.disabled():
+        print(
+            f"\n  {case.name}: {measured.wall_seconds * 1e3:.1f} ms, "
+            f"{measured.requests_per_second:,.0f} simulated req/s"
+        )
+
+
+def test_smoke_digests_match_checked_in_baseline():
+    """The checked-in baseline's digests must stay reproducible.
+
+    This is the bit-exactness gate in microbench form: if a change
+    alters simulation behaviour, the digest stored in
+    ``benchmarks/perf/baseline.json`` diverges and this test fails
+    before the CI perf job even compares throughput.
+    """
+    import json
+    from pathlib import Path
+
+    baseline_path = (
+        Path(__file__).resolve().parent / "baseline.json"
+    )
+    baseline = json.loads(baseline_path.read_text())
+    case = SMOKE_SUITE[0]
+    measured = run_case(case, repeats=1)
+    assert (
+        measured.digest == baseline["cases"][case.name]["digest"]
+    ), f"{case.name}: simulation behaviour diverged from baseline"

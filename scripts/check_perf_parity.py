@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Verify the optimized hot paths are bit-identical to the reference.
+
+The indexed :class:`repro.core.mshr.DynamicMSHRFile` replaced the
+original linear-scan implementation, which is retained verbatim as
+:class:`repro.core.mshr_reference.ReferenceMSHRFile`.  This script
+runs each parity case twice end to end — once with the fast path
+(default factory) and once with the reference swapped in through the
+coalescer's ``DEFAULT_MSHR_FACTORY`` hook — and asserts the
+:func:`repro.perf.digest.result_digest` of both runs is identical.
+
+The digest covers the full result serialization plus the flattened
+metrics registry, so equality means the same ``SimulationResult``
+(issued requests, MSHR indices, cycle counts, figure metrics) and the
+same metric values, bit for bit.
+
+Exit status 0 on parity, 1 on any divergence.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_perf_parity.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro.core.coalescer as coalescer_module
+from repro.core.mshr import DynamicMSHRFile
+from repro.core.mshr_reference import ReferenceMSHRFile
+from repro.perf.digest import result_digest
+from repro.sim.driver import PlatformConfig, run_benchmark
+from repro.sim.sweep import FIGURE_CONFIGS
+
+ACCESSES = 3_000
+#: (benchmark, figure config) cells covering every coalescer mode:
+#: SG keeps the MSHR file saturated (merge-while-full paths), STREAM
+#: exercises the DMC-dominant path, MG the uncoalesced baseline, and
+#: FT the conventional MSHR-only mode.
+CASES = (
+    ("SG", "combined"),
+    ("SG", "mshr_only"),
+    ("STREAM", "dmc_only"),
+    ("MG", "uncoalesced"),
+    ("FT", "mshr_only"),
+)
+
+
+def run_digest(benchmark: str, config_name: str, factory) -> str:
+    coalescer_module.DEFAULT_MSHR_FACTORY = factory
+    try:
+        result = run_benchmark(
+            benchmark,
+            platform=PlatformConfig(accesses=ACCESSES),
+            coalescer=FIGURE_CONFIGS[config_name],
+        )
+    finally:
+        coalescer_module.DEFAULT_MSHR_FACTORY = DynamicMSHRFile
+    return result_digest(result)
+
+
+def main() -> int:
+    problems: list[str] = []
+    for benchmark, config_name in CASES:
+        fast = run_digest(benchmark, config_name, DynamicMSHRFile)
+        reference = run_digest(benchmark, config_name, ReferenceMSHRFile)
+        label = f"{benchmark}/{config_name}"
+        if fast != reference:
+            problems.append(
+                f"{label}: digest mismatch: fast={fast} reference={reference}"
+            )
+        else:
+            print(f"  {label}: {fast[:16]}... OK")
+
+    if problems:
+        print("perf parity check FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+
+    print(
+        f"perf parity OK: {len(CASES)} benchmark/config cells produce "
+        "bit-identical digests with the indexed and reference MSHR files"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,12 @@ Commands
     ``--filter``/``--timeout`` to scope and bound the shards, and
     ``--summarize DIR`` to report a checkpoint directory without
     running anything.
+``perf``
+    Measure the simulator's own speed: run the perf case suite
+    (best-of-``--repeats`` wall time, simulated requests/second and a
+    result digest per case), write ``BENCH_perf.json``, and compare
+    against the checked-in baseline, failing on throughput regressions
+    beyond ``--threshold`` or on any digest mismatch.
 """
 
 from __future__ import annotations
@@ -287,6 +293,82 @@ def _cmd_sweep(args) -> int:
     return 1 if sweep.failures else 0
 
 
+def _cmd_perf(args) -> int:
+    import os
+
+    from repro.analysis.report import format_table
+    from repro.perf import (
+        compare_reports,
+        get_suite,
+        load_report,
+        run_suite,
+        save_report,
+    )
+
+    try:
+        cases = get_suite(args.suite)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    report = run_suite(
+        cases,
+        repeats=args.repeats,
+        suite_name=args.suite,
+        progress=None if args.quiet else print,
+    )
+    out = save_report(report, args.out)
+    print(f"wrote {out}")
+    if args.update_baseline:
+        path = save_report(report, args.baseline)
+        print(f"updated baseline {path}")
+        return 0
+    if args.no_compare:
+        return 0
+    if not os.path.exists(args.baseline):
+        print(
+            f"no baseline at {args.baseline}; run with --update-baseline "
+            "to create one",
+            file=sys.stderr,
+        )
+        return 0
+
+    baseline = load_report(args.baseline)
+    comparisons = compare_reports(
+        report, baseline, threshold=args.threshold
+    )
+    rows = []
+    failed = False
+    for c in comparisons:
+        if c.digest_match is None:
+            parity = "n/a"
+        elif c.digest_match:
+            parity = "ok"
+        else:
+            parity = "MISMATCH"
+            failed = True
+        verdict = "REGRESSED" if c.regressed else "ok"
+        failed = failed or c.regressed
+        rows.append(
+            [
+                c.name,
+                f"{c.baseline_wall * 1e3:.1f}",
+                f"{c.current_wall * 1e3:.1f}",
+                f"{c.ratio:.2f}x",
+                parity,
+                verdict,
+            ]
+        )
+    print(
+        format_table(
+            ["case", "base_ms", "now_ms", "norm_tput", "digest", "verdict"],
+            rows,
+            title=f"perf vs {args.baseline} (threshold {args.threshold:.0%})",
+        )
+    )
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -399,6 +481,52 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--accesses", type=int, default=12_000)
     profile.add_argument("--seed", type=int, default=0)
     profile.set_defaults(fn=_cmd_profile)
+
+    perf = sub.add_parser(
+        "perf", help="measure simulator speed vs the checked-in baseline"
+    )
+    perf.add_argument(
+        "--suite",
+        default="smoke",
+        help="case suite to run: smoke (CI) or full (default: smoke)",
+    )
+    perf.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="runs per case; the fastest is reported (default 3)",
+    )
+    perf.add_argument(
+        "--out",
+        default="BENCH_perf.json",
+        help="report path (default: BENCH_perf.json at the repo root)",
+    )
+    perf.add_argument(
+        "--baseline",
+        default="benchmarks/perf/baseline.json",
+        help="checked-in baseline report to compare against",
+    )
+    perf.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fail when normalized throughput drops more than this "
+        "fraction (default 0.25)",
+    )
+    perf.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run instead of comparing",
+    )
+    perf.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="only measure and write the report",
+    )
+    perf.add_argument(
+        "--quiet", action="store_true", help="suppress per-case progress lines"
+    )
+    perf.set_defaults(fn=_cmd_perf)
 
     return parser
 

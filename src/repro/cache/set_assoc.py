@@ -101,16 +101,23 @@ class SetAssociativeCache:
             {} for _ in range(config.num_sets)
         ]
         self._rng = random.Random(config.seed)
+        # line_size and num_sets are validated powers of two, so the
+        # per-access address split reduces to shifts and a mask.
+        self._line_shift = config.line_size.bit_length() - 1
+        self._set_shift = config.num_sets.bit_length() - 1
+        self._set_mask = config.num_sets - 1
+        self._assoc = config.associativity
+        self._is_lru = config.replacement is Replacement.LRU
 
     # -- address mapping ----------------------------------------------------
 
     def _locate(self, line_addr: int) -> tuple[int, int]:
         """Map a line-aligned address to (set index, tag)."""
-        line_no = line_addr // self.config.line_size
-        return line_no % self.config.num_sets, line_no // self.config.num_sets
+        line_no = line_addr >> self._line_shift
+        return line_no & self._set_mask, line_no >> self._set_shift
 
     def _line_addr(self, set_index: int, tag: int) -> int:
-        return (tag * self.config.num_sets + set_index) * self.config.line_size
+        return ((tag << self._set_shift) | set_index) << self._line_shift
 
     # -- operations ----------------------------------------------------------
 
@@ -120,12 +127,14 @@ class SetAssociativeCache:
         Returns the hit/miss outcome plus any eviction this allocation
         caused.
         """
-        set_index, tag = self._locate(line_addr)
+        line_no = line_addr >> self._line_shift
+        set_index = line_no & self._set_mask
+        tag = line_no >> self._set_shift
         ways = self._sets[set_index]
 
         if tag in ways:
             self.stats.hits += 1
-            if self.config.replacement is Replacement.LRU:
+            if self._is_lru:
                 dirty = ways.pop(tag) or is_store
                 ways[tag] = dirty  # move to MRU position
             else:
@@ -135,7 +144,7 @@ class SetAssociativeCache:
 
         self.stats.misses += 1
         result = AccessResult(hit=False)
-        if len(ways) >= self.config.associativity:
+        if len(ways) >= self._assoc:
             victim_tag = self._pick_victim(ways)
             victim_dirty = ways.pop(victim_tag)
             victim_addr = self._line_addr(set_index, victim_tag)

@@ -15,7 +15,7 @@ from typing import Iterable, Iterator
 
 from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.core.request import Access, MemoryRequest
-from repro.obs import MetricsRegistry
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 
 @dataclass(slots=True)
@@ -81,7 +81,7 @@ class MemoryTracer:
         self.stats = TracerStats()
         self._clock = 0.0
         self._next_port_free = 0.0
-        self.registry = registry if registry is not None else MetricsRegistry()
+        self.registry = registry if registry is not None else NULL_REGISTRY
         self._m_cpu = self.registry.counter(
             "tracer_cpu_accesses_total", help="CPU accesses entering the hierarchy"
         )

@@ -32,12 +32,17 @@ from repro.core.dmc import DMCStats, DMCUnit
 from repro.core.mshr import DynamicMSHRFile, InsertOutcome, MSHRStats
 from repro.core.pipeline import PipelinedSortingNetwork, SortPipelineStats
 from repro.core.request import CoalescedRequest, MemoryRequest
-from repro.obs import MetricsRegistry
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 
 #: Default HMC round-trip used when no device model is attached;
 #: roughly 100 ns at the paper's 3.3 GHz clock.
 DEFAULT_SERVICE_CYCLES = 330
+
+#: Constructor used for the coalescer's MSHR file.  Tests and the
+#: parity harness swap in :class:`repro.core.mshr_reference.ReferenceMSHRFile`
+#: to run the retained linear-scan implementation side by side.
+DEFAULT_MSHR_FACTORY = DynamicMSHRFile
 
 
 @dataclass(slots=True)
@@ -117,9 +122,10 @@ class MemoryCoalescer:
         config: CoalescerConfig | None = None,
         service_time: Callable[..., int] | int = DEFAULT_SERVICE_CYCLES,
         registry: MetricsRegistry | None = None,
+        mshr_factory: Callable[..., DynamicMSHRFile] | None = None,
     ):
         self.config = config or CoalescerConfig()
-        self.registry = registry if registry is not None else MetricsRegistry()
+        self.registry = registry if registry is not None else NULL_REGISTRY
         if callable(service_time):
             import inspect
 
@@ -145,7 +151,8 @@ class MemoryCoalescer:
         self.crq = CoalescedRequestQueue(
             self.config.effective_crq_depth, self.registry
         )
-        self.mshrs = DynamicMSHRFile(self.config, self.registry)
+        factory = mshr_factory if mshr_factory is not None else DEFAULT_MSHR_FACTORY
+        self.mshrs = factory(self.config, self.registry)
 
         self.issued: list[IssuedRequest] = []
         self.serviced: list[ServicedRequest] = []
@@ -214,10 +221,7 @@ class MemoryCoalescer:
         # Keep advancing time until everything retires.
         guard = 0
         while len(self.crq) or self.mshrs.occupancy():
-            horizon = max(
-                [e.complete_cycle for e in self.mshrs.entries if e.valid],
-                default=cycle,
-            )
+            horizon = self.mshrs.latest_completion(cycle)
             cycle = max(cycle + 1, horizon)
             self._complete_up_to(cycle)
             self._drain_crq(cycle)
@@ -294,10 +298,7 @@ class MemoryCoalescer:
         while not self.crq.push(packet, cycle, produced_cycle=packet.issue_cycle):
             # Back-pressure: advance time to the earliest MSHR
             # completion so a CRQ slot can drain.
-            horizon = min(
-                (e.complete_cycle for e in self.mshrs.entries if e.valid),
-                default=cycle + 1,
-            )
+            horizon = self.mshrs.earliest_completion(cycle + 1)
             cycle = max(cycle + 1, horizon)
             self._complete_up_to(cycle)
             self._drain_crq(cycle)
@@ -310,6 +311,10 @@ class MemoryCoalescer:
         few bytes, carry the smallest sufficient FLIT multiple.
         """
         if not self.config.adaptive_granularity or packet.num_lines != 1:
+            return
+        if packet.payload_bytes is not None:
+            # Already sized on a previous CRQ-head visit; the inputs
+            # (constituents, line size) cannot have changed since.
             return
         wanted = min(packet.requested_bytes, self.config.line_size)
         if wanted <= 0:
@@ -376,32 +381,7 @@ class MemoryCoalescer:
         self, request: CoalescedRequest
     ) -> tuple[InsertOutcome, list[CoalescedRequest]]:
         """Second-phase merge attempt that never allocates an entry."""
-        file = self.mshrs
-        req_lines = set(request.lines)
-        overlaps = []
-        for entry in file.entries:
-            if not entry.valid or entry.rtype is not request.rtype:
-                continue
-            base = entry.base_line(self.config.line_size)
-            entry_lines = {base + k for k in range(entry.num_lines)}
-            common = req_lines & entry_lines
-            if common:
-                overlaps.append((entry, common))
-        if not overlaps:
-            return InsertOutcome.FULL, []
-        file.record_offer()
-        covered: set[int] = set()
-        for entry, common in overlaps:
-            file._merge_lines(entry, request, common)
-            covered |= common
-        remainder = sorted(req_lines - covered)
-        if not remainder:
-            file.record_outcome("merged_full")
-            return InsertOutcome.MERGED, []
-        file.record_outcome("merged_partial")
-        rest = file._repack(request, remainder)
-        file.record_remainders(len(rest))
-        return InsertOutcome.PARTIAL, rest
+        return self.mshrs.merge_only(request)
 
     def _complete_up_to(self, cycle: int) -> None:
         for entry in self.mshrs.pop_completions(cycle):

@@ -20,7 +20,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.core.request import CoalescedRequest
-from repro.obs import MetricsRegistry
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 
 @dataclass(slots=True)
@@ -59,7 +59,7 @@ class CoalescedRequestQueue:
         self._slots: deque[_Slot] = deque()
         self._fill_window: list[int] = []
         self.stats = CRQStats()
-        self.registry = registry if registry is not None else MetricsRegistry()
+        self.registry = registry if registry is not None else NULL_REGISTRY
         self._m_pushes = self.registry.counter(
             "crq_pushes_total", help="Packets admitted into the CRQ"
         )

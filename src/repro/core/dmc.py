@@ -35,7 +35,7 @@ from dataclasses import dataclass
 
 from repro.core.config import CoalescerConfig
 from repro.core.request import CoalescedRequest, MemoryRequest
-from repro.obs import MetricsRegistry
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 
 @dataclass(slots=True)
@@ -102,7 +102,7 @@ class DMCUnit:
     ):
         self.config = config
         self.stats = DMCStats()
-        self.registry = registry if registry is not None else MetricsRegistry()
+        self.registry = registry if registry is not None else NULL_REGISTRY
         self._m_sequences = self.registry.counter(
             "dmc_sequences_total", help="Sorted sequences coalesced"
         )

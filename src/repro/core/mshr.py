@@ -27,12 +27,13 @@ already has):
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass, field
 
 from repro.core.config import CoalescerConfig
 from repro.core.dmc import split_aligned_runs
 from repro.core.request import CoalescedRequest, MemoryRequest, RequestType
-from repro.obs import MetricsRegistry
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 
 class InsertOutcome(enum.Enum):
@@ -134,7 +135,23 @@ class MSHRStats:
 
 
 class DynamicMSHRFile:
-    """The file of dynamic MSHR entries with second-phase coalescing."""
+    """The file of dynamic MSHR entries with second-phase coalescing.
+
+    The hardware compares an offered request against *all* valid
+    entries simultaneously; the software model keeps that O(1)-ish by
+    maintaining a ``(type bit, cache line) -> entries`` hash index
+    updated on allocate/retire, so an offer costs one dict lookup per
+    request line instead of a scan that rebuilds every entry's line
+    set.  Occupancy is tracked with incremental counters and a min-heap
+    free list (preserving the hardware's lowest-index-first allocation
+    order), and completion scans are skipped entirely until the
+    earliest outstanding ``complete_cycle`` is reached.
+
+    :class:`repro.core.mshr_reference.ReferenceMSHRFile` retains the
+    original linear-scan implementation; the differential tests and
+    ``scripts/check_perf_parity.py`` assert both produce bit-identical
+    outcomes, stats and metrics.
+    """
 
     def __init__(
         self, config: CoalescerConfig, registry: MetricsRegistry | None = None
@@ -142,7 +159,21 @@ class DynamicMSHRFile:
         self.config = config
         self.entries = [MSHREntry(index=i) for i in range(config.num_mshrs)]
         self.stats = MSHRStats()
-        self.registry = registry if registry is not None else MetricsRegistry()
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self._line_size = config.line_size
+        #: Invalid entry indices; a min-heap so allocation picks the
+        #: lowest-index free entry, exactly like the original scan.
+        self._free_heap: list[int] = list(range(config.num_mshrs))
+        self._valid_count = 0
+        #: min/max ``complete_cycle`` over valid entries (meaningless
+        #: while ``_valid_count`` is 0); refreshed on retire.
+        self._next_complete = 0
+        self._last_complete = 0
+        #: ``(t_bit_value, absolute line) -> valid entries covering it``.
+        #: A list, not a single entry: ``allocate_direct`` (bypass) and
+        #: coalescing-disabled files may legitimately hold several
+        #: same-type entries covering one line.
+        self._line_index: dict[tuple[int, int], list[MSHREntry]] = {}
         self._m_offers = self.registry.counter(
             "mshr_offers_total", help="Requests offered to the MSHR file"
         )
@@ -209,19 +240,27 @@ class DynamicMSHRFile:
 
     def free_entries(self) -> int:
         """Number of invalid (available) entries."""
-        return sum(1 for e in self.entries if not e.valid)
+        return len(self._free_heap)
 
     @property
     def has_free_entry(self) -> bool:
-        return any(not e.valid for e in self.entries)
+        return bool(self._free_heap)
 
     @property
     def all_idle(self) -> bool:
         """True when no entry is in use (bypass condition, Section 4.2)."""
-        return all(not e.valid for e in self.entries)
+        return not self._valid_count
 
     def occupancy(self) -> int:
-        return sum(1 for e in self.entries if e.valid)
+        return self._valid_count
+
+    def earliest_completion(self, default: int) -> int:
+        """Smallest ``complete_cycle`` among valid entries (O(1))."""
+        return self._next_complete if self._valid_count else default
+
+    def latest_completion(self, default: int) -> int:
+        """Largest ``complete_cycle`` among valid entries (O(1))."""
+        return self._last_complete if self._valid_count else default
 
     # -- completion ----------------------------------------------------------
 
@@ -229,8 +268,11 @@ class DynamicMSHRFile:
         """Free every entry whose HMC response has arrived by ``cycle``.
 
         Returns snapshots of the freed entries so callers can notify
-        the waiting targets recorded in the subentries.
+        the waiting targets recorded in the subentries.  Exits without
+        scanning while the file is idle or nothing has completed yet.
         """
+        if not self._valid_count or cycle < self._next_complete:
+            return []
         done: list[MSHREntry] = []
         for entry in self.entries:
             if entry.valid and entry.complete_cycle <= cycle:
@@ -246,12 +288,46 @@ class DynamicMSHRFile:
                         complete_cycle=entry.complete_cycle,
                     )
                 )
-                entry.valid = False
+                self._retire(entry)
                 self._m_completions.inc()
                 self._m_entry_subentries.observe(len(entry.subentries))
                 entry.subentries = []
                 self.stats.completions += 1
+        if done:
+            self._refresh_completion_bounds()
         return done
+
+    def _retire(self, entry: MSHREntry) -> None:
+        """Invalidate an entry and unwind the fast-path bookkeeping."""
+        entry.valid = False
+        self._valid_count -= 1
+        heapq.heappush(self._free_heap, entry.index)
+        index = self._line_index
+        t = int(entry.rtype)
+        base = entry.addr // self._line_size
+        for line in range(base, base + entry.num_lines):
+            bucket = index.get((t, line))
+            if bucket is not None:
+                try:
+                    bucket.remove(entry)
+                except ValueError:
+                    pass
+                if not bucket:
+                    del index[(t, line)]
+
+    def _refresh_completion_bounds(self) -> None:
+        """Recompute min/max ``complete_cycle`` after retirements."""
+        lo = hi = None
+        for entry in self.entries:
+            if entry.valid:
+                cc = entry.complete_cycle
+                if lo is None or cc < lo:
+                    lo = cc
+                if hi is None or cc > hi:
+                    hi = cc
+        if lo is not None:
+            self._next_complete = lo
+            self._last_complete = hi
 
     # -- second-phase coalescing ----------------------------------------------
 
@@ -273,28 +349,18 @@ class DynamicMSHRFile:
         whose HMC request the caller must issue.
         """
         self.record_offer()
-        line_size = self.config.line_size
-        req_lines = set(request.lines)
 
-        if self.config.enable_mshr_coalescing:
+        if self.config.enable_mshr_coalescing and self._valid_count:
             # Simultaneous compare against all valid entries of the
-            # same type (the T bit participates in the comparison).
-            overlaps: list[tuple[MSHREntry, set[int]]] = []
-            for entry in self.entries:
-                if not entry.valid or entry.rtype is not request.rtype:
-                    continue
-                entry_base = entry.base_line(line_size)
-                entry_lines = {entry_base + k for k in range(entry.num_lines)}
-                common = req_lines & entry_lines
-                if common:
-                    overlaps.append((entry, common))
-
+            # same type (the T bit participates in the comparison);
+            # modelled as one hash lookup per request line.
+            overlaps = self._find_overlaps(request)
             if overlaps:
                 covered: set[int] = set()
                 for entry, common in overlaps:
                     self._merge_lines(entry, request, common)
                     covered |= common
-                remainder = sorted(req_lines - covered)
+                remainder = sorted(set(request.lines) - covered)
                 if not remainder:
                     self.record_outcome("merged_full")
                     return InsertOutcome.MERGED, [], None
@@ -308,6 +374,62 @@ class DynamicMSHRFile:
             self.record_outcome("rejected_full")
             return InsertOutcome.FULL, [], None
         return InsertOutcome.ALLOCATED, [], entry
+
+    def merge_only(
+        self, request: CoalescedRequest
+    ) -> tuple[InsertOutcome, list[CoalescedRequest]]:
+        """Second-phase merge attempt that never allocates an entry.
+
+        Used by the coalescer's merge-while-full pass to re-check CRQ
+        residents against entries allocated after them.  Returns
+        ``(FULL, [])`` when nothing overlaps (the request keeps
+        waiting), ``(MERGED, [])`` on a full merge, or
+        ``(PARTIAL, rest)`` with the re-packed remainder packets.
+        """
+        if not self._valid_count:
+            return InsertOutcome.FULL, []
+        overlaps = self._find_overlaps(request)
+        if not overlaps:
+            return InsertOutcome.FULL, []
+        self.record_offer()
+        covered: set[int] = set()
+        for entry, common in overlaps:
+            self._merge_lines(entry, request, common)
+            covered |= common
+        remainder = sorted(set(request.lines) - covered)
+        if not remainder:
+            self.record_outcome("merged_full")
+            return InsertOutcome.MERGED, []
+        self.record_outcome("merged_partial")
+        rest = self._repack(request, remainder)
+        self.record_remainders(len(rest))
+        return InsertOutcome.PARTIAL, rest
+
+    def _find_overlaps(
+        self, request: CoalescedRequest
+    ) -> list[tuple[MSHREntry, set[int]]]:
+        """Valid same-type entries sharing lines with ``request``.
+
+        Returned in ascending entry-index order with each entry's set of
+        common lines, matching the order the historical linear scan
+        visited them in.
+        """
+        index = self._line_index
+        t = int(request.rtype)
+        by_entry: dict[int, tuple[MSHREntry, set[int]]] = {}
+        for line in request.lines:
+            bucket = index.get((t, line))
+            if bucket is None:
+                continue
+            for entry in bucket:
+                hit = by_entry.get(entry.index)
+                if hit is None:
+                    by_entry[entry.index] = (entry, {line})
+                else:
+                    hit[1].add(line)
+        if len(by_entry) > 1:
+            return [by_entry[i] for i in sorted(by_entry)]
+        return list(by_entry.values())
 
     def allocate_direct(
         self, request: CoalescedRequest, cycle: int, service_cycles
@@ -325,16 +447,17 @@ class DynamicMSHRFile:
         self, entry: MSHREntry, request: CoalescedRequest, lines: set[int]
     ) -> None:
         """Attach the request's targets for ``lines`` as subentries."""
-        line_size = self.config.line_size
+        base = entry.addr // self._line_size
+        subentries = entry.subentries
+        added = 0
         for req in request.constituents:
             if req.line in lines:
-                entry.subentries.append(
-                    MSHRSubentry(
-                        line_id=entry.line_id_of(req.line, line_size),
-                        request=req,
-                    )
+                subentries.append(
+                    MSHRSubentry(line_id=req.line - base, request=req)
                 )
-                self.record_subentries(1)
+                added += 1
+        if added:
+            self.record_subentries(added)
 
     def _repack(
         self, request: CoalescedRequest, lines: list[int]
@@ -363,24 +486,46 @@ class DynamicMSHRFile:
     def _allocate(
         self, request: CoalescedRequest, cycle: int, service_cycles
     ) -> MSHREntry | None:
-        for entry in self.entries:
-            if not entry.valid:
-                if callable(service_cycles):
-                    service_cycles = service_cycles()
-                entry.valid = True
-                entry.addr = request.addr
-                entry.num_lines = request.num_lines
-                entry.rtype = request.rtype
-                entry.subentries = [
-                    MSHRSubentry(
-                        line_id=entry.line_id_of(req.line, self.config.line_size),
-                        request=req,
-                    )
-                    for req in request.constituents
-                ]
-                entry.issue_cycle = cycle
-                entry.complete_cycle = cycle + service_cycles
-                self.record_outcome("allocated")
-                self.record_subentries(len(entry.subentries))
-                return entry
-        return None
+        if not self._free_heap:
+            return None
+        if callable(service_cycles):
+            service_cycles = service_cycles()
+        entry = self.entries[heapq.heappop(self._free_heap)]
+        entry.valid = True
+        entry.addr = request.addr
+        entry.num_lines = request.num_lines
+        entry.rtype = request.rtype
+        base = request.addr // self._line_size
+        num_lines = request.num_lines
+        subentries = []
+        for req in request.constituents:
+            line_id = req.line - base
+            if not 0 <= line_id < num_lines:
+                raise ValueError(
+                    f"line {req.line} outside entry {base}+{num_lines}"
+                )
+            subentries.append(MSHRSubentry(line_id=line_id, request=req))
+        entry.subentries = subentries
+        entry.issue_cycle = cycle
+        complete = cycle + service_cycles
+        entry.complete_cycle = complete
+        if self._valid_count:
+            if complete < self._next_complete:
+                self._next_complete = complete
+            if complete > self._last_complete:
+                self._last_complete = complete
+        else:
+            self._next_complete = complete
+            self._last_complete = complete
+        self._valid_count += 1
+        index = self._line_index
+        t = int(request.rtype)
+        for line in range(base, base + num_lines):
+            bucket = index.get((t, line))
+            if bucket is None:
+                index[(t, line)] = [entry]
+            else:
+                bucket.append(entry)
+        self.record_outcome("allocated")
+        self.record_subentries(len(subentries))
+        return entry

@@ -32,8 +32,8 @@ from dataclasses import dataclass
 
 from repro.core.config import CoalescerConfig
 from repro.core.request import MemoryRequest
-from repro.core.sorting import OddEvenMergesortNetwork
-from repro.obs import MetricsRegistry
+from repro.core.sorting import compiled_network
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 
 @dataclass(slots=True)
@@ -121,9 +121,9 @@ class PipelinedSortingNetwork:
         self, config: CoalescerConfig, registry: MetricsRegistry | None = None
     ):
         self.config = config
-        self.network = OddEvenMergesortNetwork(config.sorter_width)
+        self.network = compiled_network(config.sorter_width)
         self.stats = SortPipelineStats()
-        self.registry = registry if registry is not None else MetricsRegistry()
+        self.registry = registry if registry is not None else NULL_REGISTRY
         self._m_sequences = self.registry.counter(
             "sorter_sequences_total",
             help="Sorted sequences launched, by flush reason",
@@ -177,6 +177,8 @@ class PipelinedSortingNetwork:
                 self.network.num_steps, self.network.num_stages
             )
 
+        #: Memoized merge-stage count -> pipeline latency (cycles).
+        self._latency_cache: dict[int, int] = {}
         # Front buffer state.
         self._buffer: list[MemoryRequest] = []
         self._first_arrival_cycle: int | None = None
@@ -229,6 +231,9 @@ class PipelinedSortingNetwork:
         steps belonging to the required merge stages have executed;
         with stage select, later pipeline stages are skipped entirely.
         """
+        cached = self._latency_cache.get(merge_stages)
+        if cached is not None:
+            return cached
         steps_needed = sum(
             len(stage) for stage in self.network.stages[:merge_stages]
         )
@@ -239,6 +244,7 @@ class PipelinedSortingNetwork:
                 break
             latency += depth * self.step_cycles
             consumed += depth
+        self._latency_cache[merge_stages] = latency
         return latency
 
     # -- trace-driven interface -------------------------------------------
@@ -306,24 +312,29 @@ class PipelinedSortingNetwork:
         self.stats.stages_skipped += self.network.num_stages - stages_used
 
         # Sort on the extended key; padding slots use the maximal
-        # invalid key so they sink to the end and are dropped.
+        # invalid key so they sink to the end and are dropped.  The
+        # compare-exchange loop runs over the pre-flattened comparator
+        # tuple, swapping (key, request) pairs in place; equal keys are
+        # never exchanged, so duplicates stay stable.
         keyed: list[tuple[int, MemoryRequest | None]] = [
             (req.sort_key(), req) for req in requests
         ]
-        keyed += [(MemoryRequest.padding_key(), None)] * padding
-        sorted_items = self.network.apply_items(
-            keyed, key=lambda kv: kv[0], stages=stages_used
-        )
-        sorted_requests = [req for _, req in sorted_items if req is not None]
+        if padding:
+            keyed += [(MemoryRequest.padding_key(), None)] * padding
+        for lo, hi in self.network.prefix_pairs(stages_used):
+            if keyed[lo][0] > keyed[hi][0]:
+                keyed[lo], keyed[hi] = keyed[hi], keyed[lo]
+        sorted_requests = [req for _, req in keyed if req is not None]
 
         launch = max(cycle, self._stage1_free_cycle)
         self._stage1_free_cycle = launch + self.initiation_interval_cycles
         complete = launch + self._stages_to_pipeline_latency(stages_used)
 
+        comparator_ops = self.network.count_operations(stages_used)
         self.stats.sequences += 1
         self.stats.requests_sorted += count
         self.stats.padding_slots += padding
-        self.stats.comparator_ops += self.network.count_operations(stages_used)
+        self.stats.comparator_ops += comparator_ops
         self.stats.total_sort_latency_cycles += complete - launch
         self.stats.total_wait_latency_cycles += max(0, launch - first_cycle)
         setattr(self.stats, f"flushes_{reason}", getattr(self.stats, f"flushes_{reason}") + 1)
@@ -331,7 +342,7 @@ class PipelinedSortingNetwork:
         self._m_sequences.inc(reason=reason)
         self._m_requests.inc(count)
         self._m_padding.inc(padding)
-        self._m_comparator_ops.inc(self.network.count_operations(stages_used))
+        self._m_comparator_ops.inc(comparator_ops)
         self._m_stages_skipped.inc(self.network.num_stages - stages_used)
         self._m_occupancy.observe(count)
         self._m_wait.observe(max(0, launch - first_cycle))

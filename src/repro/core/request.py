@@ -110,6 +110,9 @@ class MemoryRequest:
     targets: list[int] = field(default_factory=list)
     issue_cycle: int = 0
     request_id: int = field(default_factory=lambda: next(_request_ids))
+    #: Memoized extended sort key (-1 = not yet computed).  Keys are
+    #: nonnegative, so -1 is a safe sentinel.
+    _sort_key: int = field(default=-1, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.rtype is not RequestType.FENCE:
@@ -138,11 +141,20 @@ class MemoryRequest:
         return self.addr // CACHE_LINE_SIZE
 
     def sort_key(self) -> int:
-        """Extended 54-bit key used by the request sorting network."""
-        if self.is_fence:
-            # Fences are never sorted; they monopolize a pipeline stage.
-            raise ValueError("memory fences do not carry a sort key")
-        return extend_address(self.addr, is_store=self.is_store)
+        """Extended 54-bit key used by the request sorting network.
+
+        Computed once and memoized: the key depends only on the frozen
+        ``addr``/``rtype`` pair, and the sorting pipeline consults it
+        for every comparator the request crosses.
+        """
+        key = self._sort_key
+        if key < 0:
+            if self.is_fence:
+                # Fences are never sorted; they monopolize a pipeline stage.
+                raise ValueError("memory fences do not carry a sort key")
+            key = extend_address(self.addr, is_store=self.is_store)
+            self._sort_key = key
+        return key
 
     @staticmethod
     def padding_key() -> int:

@@ -28,6 +28,7 @@ Batcher's network; for n = 16 it yields exactly the 4-stage / 10-step /
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -43,6 +44,10 @@ def _is_power_of_two(n: int) -> bool:
 def odd_even_merge_sort_schedule(n: int) -> list[list[Step]]:
     """Build the comparator schedule of an ``n``-input network.
 
+    Memoized per width: the schedule is deterministic, and sweeps
+    construct hundreds of pipelines of the same width.  Callers must
+    treat the returned (shared) lists as read-only.
+
     Returns
     -------
     list of merge stages, each a list of steps, each a list of
@@ -57,7 +62,11 @@ def odd_even_merge_sort_schedule(n: int) -> list[list[Step]]:
     """
     if not _is_power_of_two(n) or n < 2:
         raise ValueError(f"network width must be a power of two >= 2, got {n}")
+    return _odd_even_schedule_cached(n)
 
+
+@lru_cache(maxsize=None)
+def _odd_even_schedule_cached(n: int) -> list[list[Step]]:
     stages: list[list[Step]] = []
     p = 1
     while p < n:
@@ -88,10 +97,16 @@ def bitonic_sort_schedule(n: int) -> list[list[Step]]:
     odd-even mergesort because it "requires fewest comparators as
     compared to shellsort and bitonic sort" at equal O(log^2 n) depth.
     This schedule lets the claim be checked quantitatively (80 vs 63
-    comparators at n = 16).
+    comparators at n = 16).  Memoized per width like
+    :func:`odd_even_merge_sort_schedule`; treat results as read-only.
     """
     if not _is_power_of_two(n) or n < 2:
         raise ValueError(f"network width must be a power of two >= 2, got {n}")
+    return _bitonic_schedule_cached(n)
+
+
+@lru_cache(maxsize=None)
+def _bitonic_schedule_cached(n: int) -> list[list[Step]]:
     stages: list[list[Step]] = []
     k = 2
     while k <= n:
@@ -149,6 +164,8 @@ class OddEvenMergesortNetwork:
         self.width = width
         self.stages: list[list[Step]] = odd_even_merge_sort_schedule(width)
         self.steps: list[Step] = flatten_steps(self.stages)
+        self._ops_cache: dict[int, int] = {}
+        self._prefix_cache: dict[int, tuple[Comparator, ...]] = {}
 
     # -- static structure ------------------------------------------------
 
@@ -212,11 +229,9 @@ class OddEvenMergesortNetwork:
         if not 0 <= stages <= self.num_stages:
             raise ValueError(f"stages must be in [0, {self.num_stages}]")
         data = list(keys)
-        for stage in self.stages[:stages]:
-            for step in stage:
-                for lo, hi in step:
-                    if data[lo] > data[hi]:
-                        data[lo], data[hi] = data[hi], data[lo]
+        for lo, hi in self.prefix_pairs(stages):
+            if data[lo] > data[hi]:
+                data[lo], data[hi] = data[hi], data[lo]
         return data
 
     def apply_items(
@@ -236,18 +251,38 @@ class OddEvenMergesortNetwork:
         n_stages = self.num_stages if stages is None else stages
         data = list(items)
         cached = [key(item) for item in data]
-        for stage in self.stages[:n_stages]:
-            for step in stage:
-                for lo, hi in step:
-                    if cached[lo] > cached[hi]:
-                        data[lo], data[hi] = data[hi], data[lo]
-                        cached[lo], cached[hi] = cached[hi], cached[lo]
+        for lo, hi in self.prefix_pairs(n_stages):
+            if cached[lo] > cached[hi]:
+                data[lo], data[hi] = data[hi], data[lo]
+                cached[lo], cached[hi] = cached[hi], cached[lo]
         return data
+
+    def prefix_pairs(self, stages: int | None = None) -> tuple[Comparator, ...]:
+        """Flattened comparator list of the first ``stages`` merge
+        stages, in firing order.  Cached per stage count so evaluation
+        loops over one tuple instead of three nested lists."""
+        n_stages = self.num_stages if stages is None else stages
+        pairs = self._prefix_cache.get(n_stages)
+        if pairs is None:
+            pairs = tuple(
+                comparator
+                for stage in self.stages[:n_stages]
+                for step in stage
+                for comparator in step
+            )
+            self._prefix_cache[n_stages] = pairs
+        return pairs
 
     def count_operations(self, stages: int | None = None) -> int:
         """Number of comparator firings when running ``stages`` stages."""
         n_stages = self.num_stages if stages is None else stages
-        return sum(len(step) for stage in self.stages[:n_stages] for step in stage)
+        ops = self._ops_cache.get(n_stages)
+        if ops is None:
+            ops = sum(
+                len(step) for stage in self.stages[:n_stages] for step in stage
+            )
+            self._ops_cache[n_stages] = ops
+        return ops
 
     def validate(self) -> None:
         """Structural sanity checks (used by tests and on construction).
@@ -287,6 +322,8 @@ class BitonicSortNetwork(OddEvenMergesortNetwork):
         self.width = width
         self.stages = bitonic_sort_schedule(width)
         self.steps = flatten_steps(self.stages)
+        self._ops_cache: dict[int, int] = {}
+        self._prefix_cache: dict[int, tuple[Comparator, ...]] = {}
 
     def required_stages(self, count: int) -> int:
         """Stage select does not transfer to bitonic networks: their
@@ -295,3 +332,15 @@ class BitonicSortNetwork(OddEvenMergesortNetwork):
         if not 0 <= count <= self.width:
             raise ValueError(f"count must be in [0, {self.width}]")
         return self.num_stages if count > 1 else 0
+
+
+@lru_cache(maxsize=None)
+def compiled_network(width: int) -> OddEvenMergesortNetwork:
+    """Shared :class:`OddEvenMergesortNetwork` instance per width.
+
+    The network is purely functional after construction, so every
+    pipeline of the same width can share one instance — and with it the
+    warm ``prefix_pairs`` / ``count_operations`` caches — instead of
+    rebuilding the comparator schedule.  Treat the result as immutable.
+    """
+    return OddEvenMergesortNetwork(width)

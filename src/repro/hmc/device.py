@@ -16,7 +16,7 @@ from repro.hmc.link import HMCLink
 from repro.hmc.packet import REQUEST_CONTROL_BYTES, transferred_bytes
 from repro.hmc.timing import HMCTimingConfig
 from repro.hmc.vault import Vault
-from repro.obs import MetricsRegistry
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 
 @dataclass(slots=True)
@@ -91,7 +91,7 @@ class HMCDevice:
         registry: MetricsRegistry | None = None,
     ):
         self.config = config or HMCTimingConfig()
-        self.registry = registry if registry is not None else MetricsRegistry()
+        self.registry = registry if registry is not None else NULL_REGISTRY
         self.link = HMCLink(self.config, self.registry)
         self.vaults = [
             Vault(i, self.config, self.registry)

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.hmc.packet import REQUEST_CONTROL_BYTES, packet_flits
 from repro.hmc.timing import HMCTimingConfig
-from repro.obs import MetricsRegistry
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 
 @dataclass(slots=True)
@@ -46,7 +46,7 @@ class HMCLink:
         self.config = config
         self.free_at_ns = 0.0
         self.stats = LinkStats()
-        self.registry = registry if registry is not None else MetricsRegistry()
+        self.registry = registry if registry is not None else NULL_REGISTRY
         self._m_transactions = self.registry.counter(
             "link_transactions_total", help="Transactions serialized on the links"
         )

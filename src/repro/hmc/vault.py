@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hmc.timing import HMCTimingConfig
-from repro.obs import MetricsRegistry
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 
 @dataclass(slots=True)
@@ -67,7 +67,7 @@ class Vault:
         self.banks = [Bank() for _ in range(config.banks_per_vault)]
         self.free_at_ns = 0.0
         self.stats = VaultStats()
-        self.registry = registry if registry is not None else MetricsRegistry()
+        self.registry = registry if registry is not None else NULL_REGISTRY
         self._label = str(index)
         self._m_requests = self.registry.counter(
             "vault_requests_total", help="Requests served, per vault"

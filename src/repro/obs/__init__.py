@@ -8,7 +8,14 @@ into JSON-lines, a flat dict or a terminal table, and
 phase.  See ``docs/metrics.md`` for the full metric catalogue.
 """
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
 from repro.obs.profile import PhaseProfiler
 from repro.obs.timeline import StageTimeline, TimelineEvent
 
@@ -17,6 +24,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullMetricsRegistry",
     "PhaseProfiler",
     "StageTimeline",
     "TimelineEvent",

@@ -23,12 +23,18 @@ value, histograms add bucket counts.  Exporters live in
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Iterable, Iterator
 
 from repro.obs.timeline import StageTimeline
 
 #: Canonical label-set key: sorted (name, value) pairs.
 LabelKey = tuple[tuple[str, str], ...]
+
+#: The (only) key of an unlabelled sample.  The vast majority of
+#: per-request increments carry no labels, so the write paths bypass
+#: :func:`label_key` entirely for this case.
+_EMPTY_KEY: LabelKey = ()
 
 
 def label_key(labels: dict[str, str]) -> LabelKey:
@@ -64,7 +70,7 @@ class Counter(Metric):
     def inc(self, amount: float = 1.0, **labels: str) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
-        key = label_key(labels)
+        key = label_key(labels) if labels else _EMPTY_KEY
         self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: str) -> float:
@@ -94,11 +100,12 @@ class Gauge(Metric):
         self._values: dict[LabelKey, float] = {}
 
     def set(self, value: float, **labels: str) -> None:
-        self._values[label_key(labels)] = float(value)
+        key = label_key(labels) if labels else _EMPTY_KEY
+        self._values[key] = float(value)
 
     def set_max(self, value: float, **labels: str) -> None:
         """Keep the running maximum (high-water-mark gauges)."""
-        key = label_key(labels)
+        key = label_key(labels) if labels else _EMPTY_KEY
         if key not in self._values or value > self._values[key]:
             self._values[key] = float(value)
 
@@ -150,7 +157,7 @@ class Histogram(Metric):
         self._series: dict[LabelKey, _HistogramSeries] = {}
 
     def _get(self, labels: dict[str, str]) -> _HistogramSeries:
-        key = label_key(labels)
+        key = label_key(labels) if labels else _EMPTY_KEY
         series = self._series.get(key)
         if series is None:
             series = self._series[key] = _HistogramSeries(len(self.buckets))
@@ -158,12 +165,9 @@ class Histogram(Metric):
 
     def observe(self, value: float, **labels: str) -> None:
         series = self._get(labels)
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                series.counts[i] += 1
-                break
-        else:
-            series.counts[-1] += 1
+        # First bound with value <= bound; the final (len(buckets))
+        # slot of ``counts`` is the overflow bucket.
+        series.counts[bisect_left(self.buckets, value)] += 1
         series.sum += value
         series.count += 1
         if series.min is None or value < series.min:
@@ -332,3 +336,84 @@ def _flat_name(name: str, labels: dict[str, str]) -> str:
         return name
     inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
     return f"{name}{{{inner}}}"
+
+
+# -- no-op sink ---------------------------------------------------------------
+#
+# Every simulated component dual-writes its legacy *Stats dataclass and
+# its registry metrics.  When a component is constructed standalone
+# (unit tests, microbenchmarks, library use without observability) no
+# registry is attached; instead of accumulating samples nobody will
+# read, the component is handed the shared :data:`NULL_REGISTRY`, whose
+# metric handles discard writes in a single call frame.
+
+
+class _NullTimeline(StageTimeline):
+    """Timeline that drops every event."""
+
+    def record(self, cycle, stage, event, value=None) -> None:  # noqa: D102
+        return None
+
+
+class _NullCounter(Counter):
+    """Counter whose writes are discarded."""
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:  # noqa: D102
+        return None
+
+
+class _NullGauge(Gauge):
+    """Gauge whose writes are discarded."""
+
+    def set(self, value: float, **labels: str) -> None:  # noqa: D102
+        return None
+
+    def set_max(self, value: float, **labels: str) -> None:  # noqa: D102
+        return None
+
+
+class _NullHistogram(Histogram):
+    """Histogram whose observations are discarded."""
+
+    def observe(self, value: float, **labels: str) -> None:  # noqa: D102
+        return None
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """A registry that registers nothing and records nothing.
+
+    ``counter``/``gauge``/``histogram`` hand back shared no-op metric
+    objects so component hot loops pay one no-op method call instead of
+    a dict update per event.  The registry itself always stays empty;
+    merging into it is a no-op.  Use the module-level
+    :data:`NULL_REGISTRY` singleton instead of constructing new ones.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.timeline = _NullTimeline(max_events=0)
+        self._null_counter = _NullCounter("noop")
+        self._null_gauge = _NullGauge("noop")
+        self._null_histogram = _NullHistogram("noop", buckets=(1.0,))
+
+    def counter(self, name: str, help: str = "", unit: str = "") -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str, help: str = "", unit: str = "") -> Gauge:
+        return self._null_gauge
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] | None = None,
+        help: str = "",
+        unit: str = "",
+    ) -> Histogram:
+        return self._null_histogram
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        return self
+
+
+#: Shared no-op sink handed to components constructed without a registry.
+NULL_REGISTRY = NullMetricsRegistry()

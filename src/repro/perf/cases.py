@@ -1,0 +1,65 @@
+"""Perf-harness case definitions.
+
+A :class:`PerfCase` names one (benchmark, figure config, trace length)
+simulation whose wall time and simulated-requests/second the harness
+measures.  Two suites are provided:
+
+``smoke``
+    Three cases, a few seconds total: what CI's perf-smoke job runs on
+    every push.  SG/combined is the stress case — the scatter-gather
+    access pattern keeps the MSHR file full, which is exactly the
+    regime the indexed offer path optimizes.
+
+``full``
+    A broader grid across access patterns and coalescer configs, for
+    local before/after comparisons when touching hot paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class PerfCase:
+    """One measured simulation: benchmark x config x trace length."""
+
+    benchmark: str
+    config: str  # a FIGURE_CONFIGS key: uncoalesced/mshr_only/dmc_only/combined
+    accesses: int
+    seed: int = 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.benchmark}/{self.config}@{self.accesses}"
+
+
+SMOKE_SUITE: tuple[PerfCase, ...] = (
+    PerfCase("SG", "combined", 6_000),
+    PerfCase("FT", "combined", 6_000),
+    PerfCase("MG", "uncoalesced", 6_000),
+)
+
+FULL_SUITE: tuple[PerfCase, ...] = SMOKE_SUITE + (
+    PerfCase("SG", "mshr_only", 6_000),
+    PerfCase("SG", "uncoalesced", 6_000),
+    PerfCase("HPCG", "combined", 6_000),
+    PerfCase("STREAM", "combined", 6_000),
+    PerfCase("CG", "combined", 6_000),
+    PerfCase("SG", "combined", 12_000),
+)
+
+SUITES: dict[str, tuple[PerfCase, ...]] = {
+    "smoke": SMOKE_SUITE,
+    "full": FULL_SUITE,
+}
+
+
+def get_suite(name: str) -> tuple[PerfCase, ...]:
+    """Look up a suite by name (``smoke`` or ``full``)."""
+    try:
+        return SUITES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown perf suite {name!r}; options: {', '.join(SUITES)}"
+        ) from None

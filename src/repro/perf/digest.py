@@ -1,0 +1,29 @@
+"""Canonical digests of simulation results.
+
+A digest covers everything a run observably produces: the full
+:func:`repro.sim.shard.result_to_dict` serialization (stats, derived
+figure metrics, platform echo) plus the flattened metrics registry.
+Two runs with equal digests produced bit-identical simulations, so the
+perf harness, ``scripts/check_perf_parity.py`` and the differential
+tests all share this one definition of "same result".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.sim import shard
+
+
+def digest_payload(result) -> list[Any]:
+    """The JSON-serializable payload a digest is computed over."""
+    flat = result.metrics.as_flat_dict() if result.metrics is not None else {}
+    return [shard.result_to_dict(result), flat]
+
+
+def result_digest(result) -> str:
+    """sha256 hex digest of a :class:`SimulationResult`'s observables."""
+    blob = json.dumps(digest_payload(result), sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,0 +1,228 @@
+"""Measurement and comparison engine behind ``python -m repro perf``.
+
+Each :class:`~repro.perf.cases.PerfCase` is run ``repeats`` times
+under a fresh :class:`~repro.obs.PhaseProfiler`; the *best* wall time
+is reported (interference only ever slows a run down, so min is the
+most stable estimator).  Every case also records the run's
+:func:`~repro.perf.digest.result_digest`, making a perf report a
+bit-exactness witness at the same time.
+
+Cross-machine comparisons divide out host speed with a calibration
+loop (:func:`calibration_seconds`): ``normalized_throughput`` is
+simulated requests/second multiplied by the host's calibration
+seconds, which cancels single-core interpreter speed to first order.
+CI compares normalized throughputs against the checked-in baseline and
+fails beyond the regression threshold; digests are compared exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.obs import PhaseProfiler
+from repro.perf.cases import PerfCase
+from repro.perf.digest import result_digest
+
+#: Report schema version (bump on incompatible layout changes).
+SCHEMA = 1
+
+
+def calibration_seconds(repeats: int = 3) -> float:
+    """Best wall time of a fixed pure-Python workload on this host.
+
+    The loop exercises the same primitives the simulator leans on
+    (dict churn, list swaps, integer arithmetic) so its runtime tracks
+    interpreter speed for our workload, not e.g. numpy throughput.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        table: dict[int, int] = {}
+        data = list(range(512))
+        acc = 0
+        for i in range(20_000):
+            key = (i * 2654435761) & 0xFFFF
+            table[key] = table.get(key, 0) + 1
+            lo = i & 255
+            hi = 511 - lo
+            if data[lo] > data[hi]:
+                data[lo], data[hi] = data[hi], data[lo]
+            acc += key >> 7
+        if acc < 0:  # pragma: no cover - keeps the loop un-eliminable
+            raise AssertionError
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@dataclass(slots=True)
+class CaseResult:
+    """Measurements for one perf case."""
+
+    case: PerfCase
+    wall_seconds: float
+    wall_seconds_all: list[float]
+    llc_requests: int
+    cpu_accesses: int
+    digest: str
+    phases: dict[str, float]
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.llc_requests / self.wall_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "benchmark": self.case.benchmark,
+            "config": self.case.config,
+            "accesses": self.case.accesses,
+            "seed": self.case.seed,
+            "wall_seconds": self.wall_seconds,
+            "wall_seconds_all": self.wall_seconds_all,
+            "llc_requests": self.llc_requests,
+            "cpu_accesses": self.cpu_accesses,
+            "requests_per_second": self.requests_per_second,
+            "digest": self.digest,
+            "phases": self.phases,
+        }
+
+
+def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
+    """Run one case ``repeats`` times; keep the fastest repeat."""
+    from repro.sim.driver import PlatformConfig, run_benchmark
+    from repro.sim.sweep import FIGURE_CONFIGS
+
+    coalescer = FIGURE_CONFIGS[case.config]
+    platform = PlatformConfig(accesses=case.accesses, seed=case.seed)
+    walls: list[float] = []
+    best_profiler: PhaseProfiler | None = None
+    best_result = None
+    for _ in range(max(1, repeats)):
+        profiler = PhaseProfiler()
+        start = time.perf_counter()
+        result = run_benchmark(
+            case.benchmark,
+            platform=platform,
+            coalescer=coalescer,
+            profiler=profiler,
+        )
+        wall = time.perf_counter() - start
+        walls.append(wall)
+        if wall == min(walls):
+            best_profiler = profiler
+            best_result = result
+    assert best_result is not None and best_profiler is not None
+    return CaseResult(
+        case=case,
+        wall_seconds=min(walls),
+        wall_seconds_all=walls,
+        llc_requests=best_result.coalescer.llc_requests,
+        cpu_accesses=best_result.tracer.cpu_accesses,
+        digest=result_digest(best_result),
+        phases={
+            name: best_profiler.elapsed(name)
+            for name in best_profiler.phases()
+        },
+    )
+
+
+def run_suite(
+    cases: Iterable[PerfCase],
+    repeats: int = 3,
+    *,
+    suite_name: str = "",
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Run every case and assemble the ``BENCH_perf.json`` report."""
+    calibration = calibration_seconds()
+    report: dict = {
+        "schema": SCHEMA,
+        "generated_by": "python -m repro perf",
+        "suite": suite_name,
+        "repeats": repeats,
+        "calibration_seconds": calibration,
+        "cases": {},
+    }
+    for case in cases:
+        measured = run_case(case, repeats=repeats)
+        entry = measured.as_dict()
+        entry["normalized_throughput"] = (
+            measured.requests_per_second * calibration
+        )
+        report["cases"][case.name] = entry
+        if progress is not None:
+            progress(
+                f"{case.name}: {measured.wall_seconds * 1e3:.1f} ms, "
+                f"{measured.requests_per_second:,.0f} req/s"
+            )
+    return report
+
+
+def save_report(report: dict, path: str | Path) -> Path:
+    """Write a report as stable, diff-friendly JSON."""
+    out = Path(path)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def load_report(path: str | Path) -> dict:
+    report = json.loads(Path(path).read_text())
+    if report.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported perf report schema {report.get('schema')!r}"
+        )
+    return report
+
+
+@dataclass(slots=True)
+class CaseComparison:
+    """Current-vs-baseline verdict for one case."""
+
+    name: str
+    current_wall: float
+    baseline_wall: float
+    ratio: float  # normalized current / baseline throughput; <1 is slower
+    regressed: bool
+    digest_match: bool | None  # None when params differ (not comparable)
+
+
+def compare_reports(
+    current: dict, baseline: dict, *, threshold: float = 0.25
+) -> list[CaseComparison]:
+    """Compare two reports case by case.
+
+    A case regresses when its calibration-normalized throughput drops
+    by more than ``threshold`` relative to the baseline.  Digests are
+    compared whenever the simulation parameters match, regardless of
+    speed: a mismatch means behaviour changed, which the perf gate
+    treats as a failure in its own right.
+    """
+    out: list[CaseComparison] = []
+    params = ("benchmark", "config", "accesses", "seed")
+    for name, base in sorted(baseline.get("cases", {}).items()):
+        cur = current.get("cases", {}).get(name)
+        if cur is None:
+            continue
+        base_norm = base.get("normalized_throughput") or 0.0
+        cur_norm = cur.get("normalized_throughput") or 0.0
+        ratio = (cur_norm / base_norm) if base_norm > 0 else 1.0
+        same_params = all(base.get(k) == cur.get(k) for k in params)
+        digest_match = (
+            (base.get("digest") == cur.get("digest")) if same_params else None
+        )
+        out.append(
+            CaseComparison(
+                name=name,
+                current_wall=cur.get("wall_seconds", 0.0),
+                baseline_wall=base.get("wall_seconds", 0.0),
+                ratio=ratio,
+                regressed=ratio < 1.0 - threshold,
+                digest_match=digest_match,
+            )
+        )
+    return out

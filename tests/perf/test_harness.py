@@ -1,0 +1,114 @@
+"""Unit tests for the perf harness (measurement, report, comparison)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import (
+    PerfCase,
+    calibration_seconds,
+    compare_reports,
+    get_suite,
+    load_report,
+    run_suite,
+    save_report,
+)
+from repro.perf.harness import SCHEMA, run_case
+
+TINY = PerfCase("STREAM", "combined", 800)
+
+
+def test_calibration_is_positive_and_stable():
+    a = calibration_seconds(repeats=2)
+    assert a > 0
+    # Best-of-N of a fixed workload should land in the same decade.
+    b = calibration_seconds(repeats=2)
+    assert 0.1 < a / b < 10
+
+
+def test_get_suite_names_and_unknown():
+    assert get_suite("smoke")
+    assert set(get_suite("smoke")) <= set(get_suite("full"))
+    with pytest.raises(ValueError, match="unknown perf suite"):
+        get_suite("nope")
+
+
+def test_run_case_measures_and_digests():
+    measured = run_case(TINY, repeats=2)
+    assert measured.wall_seconds > 0
+    assert len(measured.wall_seconds_all) == 2
+    assert measured.wall_seconds == min(measured.wall_seconds_all)
+    assert measured.llc_requests > 0
+    assert measured.requests_per_second > 0
+    assert len(measured.digest) == 64
+    assert measured.phases  # PhaseProfiler attributed at least one phase
+
+
+def test_run_case_digest_is_deterministic():
+    assert run_case(TINY, repeats=1).digest == run_case(TINY, repeats=1).digest
+
+
+def test_report_roundtrip(tmp_path):
+    report = run_suite([TINY], repeats=1, suite_name="tiny")
+    assert report["schema"] == SCHEMA
+    assert report["calibration_seconds"] > 0
+    entry = report["cases"][TINY.name]
+    assert entry["normalized_throughput"] > 0
+    path = save_report(report, tmp_path / "BENCH_perf.json")
+    assert load_report(path) == json.loads(path.read_text()) == report
+
+
+def test_load_report_rejects_unknown_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": 99, "cases": {}}))
+    with pytest.raises(ValueError, match="unsupported perf report schema"):
+        load_report(path)
+
+
+def _fake_report(norm: float, digest: str = "d0") -> dict:
+    return {
+        "schema": SCHEMA,
+        "cases": {
+            "SG/combined@6000": {
+                "benchmark": "SG",
+                "config": "combined",
+                "accesses": 6000,
+                "seed": 0,
+                "wall_seconds": 0.5,
+                "normalized_throughput": norm,
+                "digest": digest,
+            }
+        },
+    }
+
+
+def test_compare_flags_regression_beyond_threshold():
+    comparisons = compare_reports(
+        _fake_report(70.0), _fake_report(100.0), threshold=0.25
+    )
+    assert [c.regressed for c in comparisons] == [True]
+    ok = compare_reports(_fake_report(80.0), _fake_report(100.0), threshold=0.25)
+    assert [c.regressed for c in ok] == [False]
+
+
+def test_compare_flags_digest_mismatch():
+    same = compare_reports(_fake_report(100.0), _fake_report(100.0))
+    assert [c.digest_match for c in same] == [True]
+    diff = compare_reports(
+        _fake_report(100.0, digest="other"), _fake_report(100.0)
+    )
+    assert [c.digest_match for c in diff] == [False]
+
+
+def test_compare_skips_digest_when_params_differ():
+    current = _fake_report(100.0, digest="other")
+    current["cases"]["SG/combined@6000"]["accesses"] = 12000
+    comparisons = compare_reports(current, _fake_report(100.0))
+    assert [c.digest_match for c in comparisons] == [None]
+
+
+def test_compare_ignores_cases_missing_from_current():
+    comparisons = compare_reports({"schema": SCHEMA, "cases": {}}, _fake_report(100.0))
+    assert comparisons == []
