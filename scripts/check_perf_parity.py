@@ -1,18 +1,23 @@
 #!/usr/bin/env python
 """Verify the optimized hot paths are bit-identical to the reference.
 
-The indexed :class:`repro.core.mshr.DynamicMSHRFile` replaced the
-original linear-scan implementation, which is retained verbatim as
-:class:`repro.core.mshr_reference.ReferenceMSHRFile`.  This script
-runs each parity case twice end to end — once with the fast path
-(default factory) and once with the reference swapped in through the
-coalescer's ``DEFAULT_MSHR_FACTORY`` hook — and asserts the
-:func:`repro.perf.digest.result_digest` of both runs is identical.
+Two independent parity axes are checked, both through
+:func:`repro.perf.digest.result_digest` (full result serialization
+plus the flattened metrics registry -- equality means the same
+``SimulationResult`` and metric values, bit for bit):
 
-The digest covers the full result serialization plus the flattened
-metrics registry, so equality means the same ``SimulationResult``
-(issued requests, MSHR indices, cycle counts, figure metrics) and the
-same metric values, bit for bit.
+1. **MSHR parity.**  The indexed :class:`repro.core.mshr.DynamicMSHRFile`
+   replaced the original linear-scan implementation, retained verbatim
+   as :class:`repro.core.mshr_reference.ReferenceMSHRFile`.  Each cell
+   runs twice end to end -- fast path vs reference swapped in through
+   the coalescer's ``DEFAULT_MSHR_FACTORY`` hook.
+
+2. **Replay parity.**  The trace-materialization layer
+   (:mod:`repro.trace`) captures the LLC miss stream on first use and
+   replays it afterwards, skipping the workload generator and cache
+   hierarchy entirely.  Each cell runs live, then capture-through-store,
+   then replay-from-store; all three digests must be identical, and the
+   replayed run must actually have hit the store.
 
 Exit status 0 on parity, 1 on any divergence.
 
@@ -24,6 +29,7 @@ Usage::
 from __future__ import annotations
 
 import sys
+import tempfile
 
 import repro.core.coalescer as coalescer_module
 from repro.core.mshr import DynamicMSHRFile
@@ -31,6 +37,7 @@ from repro.core.mshr_reference import ReferenceMSHRFile
 from repro.perf.digest import result_digest
 from repro.sim.driver import PlatformConfig, run_benchmark
 from repro.sim.sweep import FIGURE_CONFIGS
+from repro.trace import TraceStore
 
 ACCESSES = 3_000
 #: (benchmark, figure config) cells covering every coalescer mode:
@@ -43,6 +50,16 @@ CASES = (
     ("STREAM", "dmc_only"),
     ("MG", "uncoalesced"),
     ("FT", "mshr_only"),
+)
+
+#: (benchmark, figure config) cells for live-vs-replay parity:
+#: SparseLU is the front-end-dominated extreme (lowest miss fraction),
+#: SG the back-end saturated one, and FT the uncoalesced baseline with
+#: a mid-range miss mix.
+REPLAY_CASES = (
+    ("SparseLU", "combined"),
+    ("SG", "combined"),
+    ("FT", "uncoalesced"),
 )
 
 
@@ -59,8 +76,7 @@ def run_digest(benchmark: str, config_name: str, factory) -> str:
     return result_digest(result)
 
 
-def main() -> int:
-    problems: list[str] = []
+def check_mshr_parity(problems: list[str]) -> None:
     for benchmark, config_name in CASES:
         fast = run_digest(benchmark, config_name, DynamicMSHRFile)
         reference = run_digest(benchmark, config_name, ReferenceMSHRFile)
@@ -70,7 +86,55 @@ def main() -> int:
                 f"{label}: digest mismatch: fast={fast} reference={reference}"
             )
         else:
-            print(f"  {label}: {fast[:16]}... OK")
+            print(f"  mshr   {label}: {fast[:16]}... OK")
+
+
+def check_replay_parity(problems: list[str]) -> None:
+    for benchmark, config_name in REPLAY_CASES:
+        platform = PlatformConfig(accesses=ACCESSES)
+        coalescer = FIGURE_CONFIGS[config_name]
+        label = f"{benchmark}/{config_name}"
+        live = result_digest(
+            run_benchmark(benchmark, platform=platform, coalescer=coalescer)
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            store = TraceStore(tmp)
+            captured = result_digest(
+                run_benchmark(
+                    benchmark,
+                    platform=platform,
+                    coalescer=coalescer,
+                    trace_store=store,
+                )
+            )
+            replayed = result_digest(
+                run_benchmark(
+                    benchmark,
+                    platform=platform,
+                    coalescer=coalescer,
+                    trace_store=store,
+                )
+            )
+            hits = store.hits
+        if not (live == captured == replayed):
+            problems.append(
+                f"{label}: live/capture/replay digests diverge: "
+                f"live={live[:16]} captured={captured[:16]} "
+                f"replayed={replayed[:16]}"
+            )
+        elif hits < 1:
+            problems.append(
+                f"{label}: replay run never hit the trace store "
+                "(parity was live-vs-live, not live-vs-replay)"
+            )
+        else:
+            print(f"  replay {label}: {live[:16]}... OK")
+
+
+def main() -> int:
+    problems: list[str] = []
+    check_mshr_parity(problems)
+    check_replay_parity(problems)
 
     if problems:
         print("perf parity check FAILED:", file=sys.stderr)
@@ -79,8 +143,9 @@ def main() -> int:
         return 1
 
     print(
-        f"perf parity OK: {len(CASES)} benchmark/config cells produce "
-        "bit-identical digests with the indexed and reference MSHR files"
+        f"perf parity OK: {len(CASES)} MSHR cells and "
+        f"{len(REPLAY_CASES)} live-vs-replay cells produce "
+        "bit-identical digests"
     )
     return 0
 

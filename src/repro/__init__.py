@@ -14,6 +14,8 @@ full evaluation stack around it:
 * :mod:`repro.sim` -- the end-to-end driver and per-figure experiments;
 * :mod:`repro.obs` -- the per-run metrics registry, stage timeline,
   exporters and wall-clock profiler (see docs/metrics.md);
+* :mod:`repro.trace` -- the materialized LLC trace layer: capture the
+  miss stream once, replay it bit-identically for every config;
 * :mod:`repro.analysis` -- analytic models and report rendering.
 
 The supported entry point is :mod:`repro.api` (re-exported here):
@@ -42,9 +44,10 @@ from repro.sim import (
     run_benchmark,
     run_sweep,
 )
+from repro.trace import TraceBuffer, TraceStore
 from repro.workloads import BENCHMARKS, get_workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BENCHMARKS",
@@ -61,6 +64,8 @@ __all__ = [
     "SimulationResult",
     "SweepResult",
     "SweepSpec",
+    "TraceBuffer",
+    "TraceStore",
     "get_workload",
     "run_benchmark",
     "run_sweep",

@@ -63,12 +63,15 @@ def _cmd_list(_args) -> int:
 
 def _cmd_run(args) -> int:
     from repro.analysis.report import format_table
-    from repro.core.config import UNCOALESCED_CONFIG
-    from repro.sim.driver import PlatformConfig, run_benchmark, runtime_improvement
+    from repro.sim.driver import (
+        PlatformConfig,
+        run_baseline_and_coalesced,
+        runtime_improvement,
+    )
 
     platform = PlatformConfig(accesses=args.accesses, seed=args.seed)
-    coal = run_benchmark(args.benchmark, platform=platform)
-    base = run_benchmark(args.benchmark, platform=platform, coalescer=UNCOALESCED_CONFIG)
+    # Both runs share one LLC capture through the default trace store.
+    base, coal = run_baseline_and_coalesced(args.benchmark, platform=platform)
     rows = [
         ["LLC requests", base.coalescer.llc_requests, coal.coalescer.llc_requests],
         ["HMC requests", base.hmc.requests, coal.hmc.requests],
@@ -107,7 +110,11 @@ def _cmd_figures(args) -> int:
                 else f"  {key}: {value}"
             )
 
-    suite = EvaluationSuite(PlatformConfig(accesses=args.accesses), jobs=args.jobs)
+    suite = EvaluationSuite(
+        PlatformConfig(accesses=args.accesses),
+        jobs=args.jobs,
+        trace_dir=args.trace_dir,
+    )
     if args.jobs > 1:
         suite.prefetch()
     figures = [
@@ -123,6 +130,7 @@ def _cmd_figures(args) -> int:
         fig14_timeout_sweep(
             platform=PlatformConfig(accesses=max(3000, args.accesses // 3)),
             jobs=args.jobs,
+            trace_dir=args.trace_dir,
         ),
     ]
     for data in figures:
@@ -153,6 +161,77 @@ def _cmd_disasm(args) -> int:
     return 0
 
 
+def _cmd_trace_store(args) -> int:
+    """The ``trace ls`` / ``trace info`` / ``trace gc`` store actions."""
+    from pathlib import Path
+
+    from repro.analysis.report import format_table
+    from repro.trace import TraceBuffer, TraceError, TraceStore
+
+    action = args.benchmark
+    if action == "info":
+        if not args.file:
+            print("trace info requires a trace file (or name)", file=sys.stderr)
+            return 2
+        path = Path(args.file)
+        if not path.exists() and args.trace_dir:
+            path = Path(args.trace_dir) / args.file
+        try:
+            buf = TraceBuffer.load(path)
+        except (OSError, TraceError) as exc:
+            print(f"cannot read {path}: {exc}", file=sys.stderr)
+            return 1
+        rows = [["records", len(buf)], ["last_cycle", buf.last_cycle]]
+        for k, v in sorted(buf.meta.items()):
+            if k == "key":
+                continue
+            rows.append([k, v])
+        for k, v in sorted((buf.meta.get("key") or {}).items()):
+            rows.append([f"key.{k}", v])
+        print(format_table(["field", "value"], rows, title=str(path)))
+        return 0
+
+    if not args.trace_dir:
+        print(f"trace {action} requires --trace-dir DIR", file=sys.stderr)
+        return 2
+    store = TraceStore(args.trace_dir)
+    if action == "gc":
+        removed = store.gc(drop_all=args.all)
+        what = "entries" if args.all else "unreadable entries"
+        print(f"removed {len(removed)} {what} from {args.trace_dir}")
+        for path in removed:
+            print(f"  {path.name}")
+        return 0
+
+    rows = []
+    for path, buf in store.entries():
+        if buf is None:
+            rows.append([path.name, "<corrupt>", "-", "-", "-", path.stat().st_size])
+        else:
+            key = buf.meta.get("key") or {}
+            rows.append(
+                [
+                    path.name,
+                    buf.meta.get("benchmark", "?"),
+                    len(buf),
+                    key.get("accesses", "-"),
+                    key.get("seed", "-"),
+                    path.stat().st_size,
+                ]
+            )
+    if not rows:
+        print(f"no traces under {args.trace_dir}")
+        return 0
+    print(
+        format_table(
+            ["file", "benchmark", "records", "accesses", "seed", "bytes"],
+            rows,
+            title=f"trace store: {args.trace_dir}",
+        )
+    )
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.analysis.report import format_table
     from repro.cache.hierarchy import CacheHierarchy
@@ -161,6 +240,12 @@ def _cmd_trace(args) -> int:
     from repro.sim.driver import PlatformConfig
     from repro.workloads import get_workload
 
+    if args.benchmark in ("ls", "info", "gc"):
+        return _cmd_trace_store(args)
+
+    if args.file is None:
+        print("trace capture requires BENCHMARK FILE", file=sys.stderr)
+        return 2
     if args.summary:
         stats = trace_summary(args.file)
         print(format_table(["metric", "value"], sorted(stats.items())))
@@ -272,6 +357,7 @@ def _cmd_sweep(args) -> int:
         retries=args.retries,
         filter=args.filter,
         progress=progress,
+        trace_dir=args.trace_dir,
     )
     runs = list(sweep.results.items())
     if runs:
@@ -291,6 +377,48 @@ def _cmd_sweep(args) -> int:
             file=sys.stderr,
         )
     return 1 if sweep.failures else 0
+
+
+def _update_baseline(report: dict, args) -> int:
+    """``perf --update-baseline``: merge this run into the baseline.
+
+    The digest gate: when a case in the existing baseline was re-run
+    with identical parameters but produced a *different* result
+    digest, refuse to overwrite (behaviour changed, which a baseline
+    refresh must not paper over) unless ``--force``.  Cases only in
+    the old baseline are kept, so suites can update independently.
+    """
+    import os
+
+    from repro.perf import compare_reports, derive_speedups, load_report, save_report
+
+    merged = report
+    if os.path.exists(args.baseline):
+        baseline = load_report(args.baseline)
+        mismatched = [
+            c.name
+            for c in compare_reports(report, baseline, threshold=args.threshold)
+            if c.digest_match is False
+        ]
+        if mismatched and not args.force:
+            print(
+                "refusing to update baseline: result digests changed for "
+                + ", ".join(mismatched)
+                + "\n(simulator behaviour differs from the baseline; pass "
+                "--force if this is intentional)",
+                file=sys.stderr,
+            )
+            return 1
+        cases = dict(baseline.get("cases", {}))
+        cases.update(report["cases"])
+        merged = {**report, "cases": cases}
+        derived = derive_speedups(cases)
+        merged.pop("derived", None)
+        if derived:
+            merged["derived"] = derived
+    path = save_report(merged, args.baseline)
+    print(f"updated baseline {path}")
+    return 0
 
 
 def _cmd_perf(args) -> int:
@@ -320,9 +448,7 @@ def _cmd_perf(args) -> int:
     out = save_report(report, args.out)
     print(f"wrote {out}")
     if args.update_baseline:
-        path = save_report(report, args.baseline)
-        print(f"updated baseline {path}")
-        return 0
+        return _update_baseline(report, args)
     if args.no_compare:
         return 0
     if not os.path.exists(args.baseline):
@@ -394,6 +520,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figures.add_argument("--json", help="archive figure data to this JSON file")
     figures.add_argument("--svg-dir", help="render each figure as SVG into this directory")
+    figures.add_argument(
+        "--trace-dir",
+        help="persist captured LLC traces here and replay across configs",
+    )
     figures.set_defaults(fn=_cmd_figures)
 
     sweep = sub.add_parser(
@@ -434,6 +564,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--accesses", type=int, default=12_000)
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument(
+        "--trace-dir",
+        help="shared LLC trace store: each benchmark's front end runs "
+        "once, every config replays it (shipped to worker processes)",
+    )
+    sweep.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress lines"
     )
     sweep.add_argument(
@@ -447,13 +582,32 @@ def build_parser() -> argparse.ArgumentParser:
     disasm.add_argument("kernel")
     disasm.set_defaults(fn=_cmd_disasm)
 
-    trace = sub.add_parser("trace", help="capture or summarize an LLC trace")
-    trace.add_argument("benchmark", nargs="?", default="STREAM")
-    trace.add_argument("file")
+    trace = sub.add_parser(
+        "trace",
+        help="capture/summarize an LLC trace, or manage a trace store "
+        "(trace ls|info|gc)",
+    )
+    trace.add_argument(
+        "benchmark",
+        nargs="?",
+        default="STREAM",
+        help="benchmark to capture, or a store action: ls, info, gc",
+    )
+    trace.add_argument(
+        "file", nargs="?", help="output trace file (or the file for info)"
+    )
     trace.add_argument("--accesses", type=int, default=24_000)
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument(
         "--summary", action="store_true", help="summarize FILE instead of writing it"
+    )
+    trace.add_argument(
+        "--trace-dir", help="trace-store directory for ls/info/gc"
+    )
+    trace.add_argument(
+        "--all",
+        action="store_true",
+        help="with gc: remove every entry, not just unreadable ones",
     )
     trace.set_defaults(fn=_cmd_trace)
 
@@ -488,7 +642,8 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--suite",
         default="smoke",
-        help="case suite to run: smoke (CI) or full (default: smoke)",
+        help="case suite to run: smoke (CI), trace (capture/replay "
+        "economics) or full (default: smoke)",
     )
     perf.add_argument(
         "--repeats",
@@ -516,7 +671,14 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--update-baseline",
         action="store_true",
-        help="rewrite the baseline from this run instead of comparing",
+        help="merge this run into the baseline instead of comparing "
+        "(refuses on result-digest changes unless --force)",
+    )
+    perf.add_argument(
+        "--force",
+        action="store_true",
+        help="with --update-baseline: overwrite even when result "
+        "digests changed",
     )
     perf.add_argument(
         "--no-compare",

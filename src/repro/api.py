@@ -73,6 +73,14 @@ class Session:
         Directory for the sweep engine's per-run checkpoint files.
         When set, completed runs persist across Sessions and
         interrupted sweeps resume automatically.
+    trace_dir:
+        Directory for the on-disk LLC trace store
+        (:class:`repro.trace.TraceStore`).  Sessions always share
+        captured traces in memory -- each benchmark's front end runs
+        once per (geometry, pacing) key and every coalescer config
+        replays it bit-identically; ``trace_dir`` additionally
+        persists captures across Sessions and ships them to sweep
+        worker processes.
     """
 
     def __init__(
@@ -83,6 +91,7 @@ class Session:
         seed: int | None = None,
         jobs: int = 1,
         checkpoint_dir: str | Path | None = None,
+        trace_dir: str | Path | None = None,
     ):
         base = platform or PlatformConfig()
         if accesses is not None:
@@ -92,11 +101,18 @@ class Session:
         self.platform = base
         self.jobs = jobs
         self.checkpoint_dir = str(checkpoint_dir) if checkpoint_dir else None
+        self.trace_dir = str(trace_dir) if trace_dir else None
         self._suite = EvaluationSuite(
             base,
             jobs=jobs,
             checkpoint_dir=self.checkpoint_dir,
+            trace_dir=self.trace_dir,
         )
+
+    @property
+    def trace_store(self):
+        """The session's shared :class:`repro.trace.TraceStore`."""
+        return self._suite.trace_store
 
     # -- single runs ---------------------------------------------------------
 
@@ -163,6 +179,7 @@ class Session:
             retries=retries,
             filter=filter,
             progress=progress,
+            trace_dir=self.trace_dir,
         )
         for key, result in sweep.results.items():
             self._suite.adopt(key.benchmark, key.config, result)
@@ -204,5 +221,7 @@ class Session:
             suite.fig12_dmc_latency(),
             suite.fig13_crq_fill_time(),
             suite.fig15_performance(),
-            fig14_timeout_sweep(platform=fig14_platform, jobs=jobs),
+            fig14_timeout_sweep(
+                platform=fig14_platform, jobs=jobs, trace_dir=self.trace_dir
+            ),
         ]

@@ -45,6 +45,31 @@ class TracerStats:
         return self.llc_requests / self.cpu_accesses if self.cpu_accesses else 0.0
 
 
+def register_tracer_metrics(registry: MetricsRegistry):
+    """Register (or look up) the tracer's three counters on ``registry``.
+
+    Shared by the live :class:`MemoryTracer` and the trace-replay path
+    (:func:`repro.trace.replay.publish_replay_tracer_metrics`) so both
+    produce byte-identical metric names, help strings and units --
+    which is what keeps replayed results digest-identical to live runs.
+    Returns ``(cpu_accesses, llc_requests, requested_bytes)`` counters.
+    """
+    return (
+        registry.counter(
+            "tracer_cpu_accesses_total", help="CPU accesses entering the hierarchy"
+        ),
+        registry.counter(
+            "tracer_llc_requests_total",
+            help="LLC-level requests emitted to the coalescer, by kind",
+        ),
+        registry.counter(
+            "tracer_requested_bytes_total",
+            help="Bytes the surviving LLC requests actually asked for",
+            unit="bytes",
+        ),
+    )
+
+
 class MemoryTracer:
     """Trace-producing front-end over the cache hierarchy.
 
@@ -82,18 +107,15 @@ class MemoryTracer:
         self._clock = 0.0
         self._next_port_free = 0.0
         self.registry = registry if registry is not None else NULL_REGISTRY
-        self._m_cpu = self.registry.counter(
-            "tracer_cpu_accesses_total", help="CPU accesses entering the hierarchy"
-        )
-        self._m_llc = self.registry.counter(
-            "tracer_llc_requests_total",
-            help="LLC-level requests emitted to the coalescer, by kind",
-        )
-        self._m_requested_bytes = self.registry.counter(
-            "tracer_requested_bytes_total",
-            help="Bytes the surviving LLC requests actually asked for",
-            unit="bytes",
-        )
+        m_cpu, m_llc, m_requested = register_tracer_metrics(self.registry)
+        # Pre-bound handles for the per-access loop; a kind's label set
+        # only materializes on its first increment, exactly as before.
+        self._m_cpu = m_cpu.bind()
+        self._m_requested_bytes = m_requested.bind()
+        self._m_llc_kind = {
+            kind: m_llc.bind(kind=kind)
+            for kind in ("miss", "secondary_miss", "writeback", "prefetch")
+        }
 
     @property
     def cycle(self) -> int:
@@ -137,7 +159,7 @@ class MemoryTracer:
                         kind = "secondary_miss"
                     else:
                         kind = "miss"
-                    self._m_llc.inc(kind=kind)
+                    self._m_llc_kind[kind].inc()
                 yield record
             self._clock += self.cycles_per_access
 

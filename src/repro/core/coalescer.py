@@ -158,18 +158,23 @@ class MemoryCoalescer:
         self.serviced: list[ServicedRequest] = []
         self._llc_requests = 0
         self._bypassed = 0
+        # push/_record_issue run per request: pre-bound handles.
         self._m_llc_requests = self.registry.counter(
             "coalescer_llc_requests_total",
             help="LLC miss/write-back requests entering the coalescer",
-        )
+        ).bind()
         self._m_bypasses = self.registry.counter(
             "coalescer_bypass_total",
             help="Raw requests that skipped the coalescer (stage-select bypass)",
-        )
-        self._m_issued = self.registry.counter(
+        ).bind()
+        m_issued = self.registry.counter(
             "coalescer_hmc_requests_total",
             help="Packets actually issued to the HMC, by path",
         )
+        self._m_issued_path = {
+            True: m_issued.bind(path="bypass"),
+            False: m_issued.bind(path="coalesced"),
+        }
 
     # -- public API -----------------------------------------------------------
 
@@ -366,12 +371,19 @@ class MemoryCoalescer:
             return
         merged: list[CoalescedRequest] = []
         replacements: list[tuple[CoalescedRequest, list[CoalescedRequest]]] = []
+        gen = self.mshrs.alloc_gen
         for queued in list(self.crq.iter_requests()):
+            if queued.merge_checked_gen == gen:
+                # No entry was allocated since this request last found
+                # nothing to merge with; re-comparing cannot succeed.
+                continue
             outcome, remainder = self._merge_only(queued)
             if outcome is InsertOutcome.MERGED:
                 merged.append(queued)
             elif outcome is InsertOutcome.PARTIAL:
                 replacements.append((queued, remainder))
+            else:
+                queued.merge_checked_gen = gen
         for request in merged:
             self.crq.remove(request)
         for old, rest in replacements:
@@ -407,4 +419,4 @@ class MemoryCoalescer:
                 bypassed=bypassed,
             )
         )
-        self._m_issued.inc(path="bypass" if bypassed else "coalesced")
+        self._m_issued_path[bypassed].inc()

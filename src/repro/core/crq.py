@@ -60,30 +60,31 @@ class CoalescedRequestQueue:
         self._fill_window: list[int] = []
         self.stats = CRQStats()
         self.registry = registry if registry is not None else NULL_REGISTRY
+        # push/pop run per packet; pre-bound handles throughout.
         self._m_pushes = self.registry.counter(
             "crq_pushes_total", help="Packets admitted into the CRQ"
-        )
+        ).bind()
         self._m_pops = self.registry.counter(
             "crq_pops_total", help="Packets drained from the CRQ into MSHRs"
-        )
+        ).bind()
         self._m_fills = self.registry.counter(
             "crq_fills_total", help="Times the CRQ produced a full queue's worth"
-        )
+        ).bind()
         self._m_depth = self.registry.histogram(
             "crq_depth",
             buckets=(1, 2, 4, 8, 16, 32),
             help="Queue depth observed after each admission (depth over time)",
             unit="slots",
-        )
+        ).bind()
         self._m_fill_cycles = self.registry.histogram(
             "crq_fill_cycles",
             buckets=(8, 16, 32, 64, 128, 256, 512),
             help="Cycles to produce one CRQ's worth of packets (Figure 13)",
             unit="cycles",
-        )
+        ).bind()
         self._m_max_occupancy = self.registry.gauge(
             "crq_max_occupancy", help="High-water mark of queue depth", unit="slots"
-        )
+        ).bind()
 
     def __len__(self) -> int:
         return len(self._slots)

@@ -103,39 +103,40 @@ class DMCUnit:
         self.config = config
         self.stats = DMCStats()
         self.registry = registry if registry is not None else NULL_REGISTRY
+        # Per-request/-comparison recording: pre-bound handles.
         self._m_sequences = self.registry.counter(
             "dmc_sequences_total", help="Sorted sequences coalesced"
-        )
+        ).bind()
         self._m_requests_in = self.registry.counter(
             "dmc_requests_in_total", help="Requests entering first-phase coalescing"
-        )
+        ).bind()
         self._m_packets_out = self.registry.counter(
             "dmc_packets_out_total", help="Coalesced packets emitted into the CRQ"
-        )
+        ).bind()
         self._m_comparisons = self.registry.counter(
             "dmc_comparisons_total",
             help="Simultaneous base-vs-rest comparisons (one per group)",
-        )
+        ).bind()
         self._m_merges = self.registry.counter(
             "dmc_merges_total", help="Requests absorbed into a coalescing group"
-        )
+        ).bind()
         self._m_latency = self.registry.counter(
             "dmc_latency_cycles_total",
             help="Cycles spent in first-phase coalescing",
             unit="cycles",
-        )
+        ).bind()
         self._m_packet_lines = self.registry.histogram(
             "dmc_packet_lines",
             buckets=(1, 2, 4, 8),
             help="Emitted packet size in cache lines (Figure 10 input)",
             unit="lines",
-        )
+        ).bind()
         self._m_merge_distance = self.registry.histogram(
             "dmc_merge_distance_lines",
             buckets=(0, 1, 2, 4, 8),
             help="Line distance between an absorbed request and its group base",
             unit="lines",
-        )
+        ).bind()
 
     def coalesce(
         self, requests: list[MemoryRequest], start_cycle: int = 0

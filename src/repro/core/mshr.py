@@ -174,36 +174,48 @@ class DynamicMSHRFile:
         #: coalescing-disabled files may legitimately hold several
         #: same-type entries covering one line.
         self._line_index: dict[tuple[int, int], list[MSHREntry]] = {}
+        #: Bumped on every successful allocation.  Entries never gain
+        #: lines after allocation (merges only add subentries inside an
+        #: entry's fixed span), so a request that found no overlap at
+        #: generation G cannot overlap anything until G advances -- the
+        #: coalescer's merge-while-full pass keys its skip logic on this.
+        self.alloc_gen = 0
+        # The record_* helpers run on every offer; pre-bound handles
+        # keep each one to a single dict update.
         self._m_offers = self.registry.counter(
             "mshr_offers_total", help="Requests offered to the MSHR file"
-        )
-        self._m_outcomes = self.registry.counter(
+        ).bind()
+        m_outcomes = self.registry.counter(
             "mshr_outcomes_total",
             help="Offer outcomes: case A (merged_full), case B (merged_partial), "
             "case C (allocated), or rejected_full",
         )
+        self._m_outcome_case = {
+            case: m_outcomes.bind(case=case)
+            for case in ("merged_full", "merged_partial", "allocated", "rejected_full")
+        }
         self._m_subentries = self.registry.counter(
             "mshr_subentries_total", help="Targets attached as subentries"
-        )
+        ).bind()
         self._m_remainders = self.registry.counter(
             "mshr_remainder_packets_total",
             help="Re-packed packets produced by case-B splits",
-        )
+        ).bind()
         self._m_completions = self.registry.counter(
             "mshr_completions_total", help="Entries freed by HMC responses"
-        )
+        ).bind()
         self._m_occupancy = self.registry.histogram(
             "mshr_occupancy",
             buckets=(0, 2, 4, 8, 16, 32),
             help="Valid entries at each offer (subentry pressure context)",
             unit="entries",
-        )
+        ).bind()
         self._m_entry_subentries = self.registry.histogram(
             "mshr_entry_subentries",
             buckets=(1, 2, 4, 8, 16, 32),
             help="Subentries per entry at completion (subentry pressure)",
             unit="subentries",
-        )
+        ).bind()
 
     # -- shared stat recording (also used by the coalescer's merge-only
     # pass, which manipulates entries without going through offer()) ---------
@@ -226,7 +238,7 @@ class DynamicMSHRFile:
             self.stats.rejected_full += 1
         else:
             raise ValueError(f"unknown MSHR outcome {case!r}")
-        self._m_outcomes.inc(case=case)
+        self._m_outcome_case[case].inc()
 
     def record_remainders(self, count: int) -> None:
         self.stats.remainder_packets += count
@@ -528,4 +540,5 @@ class DynamicMSHRFile:
                 bucket.append(entry)
         self.record_outcome("allocated")
         self.record_subentries(len(subentries))
+        self.alloc_gen += 1
         return entry

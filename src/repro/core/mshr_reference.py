@@ -190,5 +190,6 @@ class ReferenceMSHRFile(DynamicMSHRFile):
                 entry.complete_cycle = cycle + service_cycles
                 self.record_outcome("allocated")
                 self.record_subentries(len(entry.subentries))
+                self.alloc_gen += 1
                 return entry
         return None

@@ -124,47 +124,50 @@ class PipelinedSortingNetwork:
         self.network = compiled_network(config.sorter_width)
         self.stats = SortPipelineStats()
         self.registry = registry if registry is not None else NULL_REGISTRY
+        # Per-sequence recording: pre-bound handles (labels resolved
+        # once here, not per launch).
         self._m_sequences = self.registry.counter(
             "sorter_sequences_total",
             help="Sorted sequences launched, by flush reason",
         )
+        self._m_sequences_reason: dict[str, object] = {}
         self._m_requests = self.registry.counter(
             "sorter_requests_total", help="Valid requests entering the sorter"
-        )
+        ).bind()
         self._m_padding = self.registry.counter(
             "sorter_padding_slots_total",
             help="Invalid padding slots appended to short sequences",
-        )
+        ).bind()
         self._m_fences = self.registry.counter(
             "sorter_fence_slots_total",
             help="Pipeline slots monopolized by memory fences",
-        )
+        ).bind()
         self._m_comparator_ops = self.registry.counter(
             "sorter_comparator_ops_total",
             help="Comparator operations evaluated across all sequences",
-        )
+        ).bind()
         self._m_stages_skipped = self.registry.counter(
             "sorter_stages_skipped_total",
             help="Merge stages skipped by stage select (Section 3.3)",
-        )
+        ).bind()
         self._m_occupancy = self.registry.histogram(
             "sorter_occupancy",
             buckets=(1, 2, 4, 8, 16, 32),
             help="Valid requests per launched sequence (buffer occupancy)",
             unit="requests",
-        )
+        ).bind()
         self._m_wait = self.registry.histogram(
             "sorter_wait_cycles",
             buckets=(1, 2, 4, 8, 16, 32, 64, 128),
             help="Front-buffer wait before launch (timeout effect)",
             unit="cycles",
-        )
+        ).bind()
         self._m_sort_latency = self.registry.histogram(
             "sorter_sort_latency_cycles",
             buckets=(4, 8, 16, 32, 64, 128),
             help="In-network latency per sorted sequence",
             unit="cycles",
-        )
+        ).bind()
 
         # Step time tau: one compare plus one exchange (Section 4.1:
         # "2 clock cycles per operation (totally 4 cycles)").
@@ -339,7 +342,12 @@ class PipelinedSortingNetwork:
         self.stats.total_wait_latency_cycles += max(0, launch - first_cycle)
         setattr(self.stats, f"flushes_{reason}", getattr(self.stats, f"flushes_{reason}") + 1)
 
-        self._m_sequences.inc(reason=reason)
+        bound = self._m_sequences_reason.get(reason)
+        if bound is None:
+            bound = self._m_sequences_reason[reason] = self._m_sequences.bind(
+                reason=reason
+            )
+        bound.inc()
         self._m_requests.inc(count)
         self._m_padding.inc(padding)
         self._m_comparator_ops.inc(comparator_ops)

@@ -181,6 +181,11 @@ class CoalescedRequest:
     #: Optional reduced payload (adaptive granularity): the bytes the
     #: packet actually carries when less than the full line span.
     payload_bytes: int | None = None
+    #: MSHR allocation generation at which a merge-while-full check
+    #: last found no overlap (coalescer bookkeeping; entries only gain
+    #: lines through allocation, so the check need not repeat until
+    #: the generation advances).
+    merge_checked_gen: int = field(default=-1, repr=False, compare=False)
 
     VALID_LINE_COUNTS = (1, 2, 4, 8)
 

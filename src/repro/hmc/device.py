@@ -98,31 +98,41 @@ class HMCDevice:
             for i in range(self.config.num_vaults)
         ]
         self.stats = HMCStats()
-        self._m_requests = self.registry.counter(
+        # _account runs once per transaction; pre-bind every label set
+        # it can touch so the hot path never re-resolves label keys.
+        m_requests = self.registry.counter(
             "hmc_requests_total", help="HMC transactions served, by operation"
         )
+        self._m_requests_op = {
+            "read": m_requests.bind(op="read"),
+            "write": m_requests.bind(op="write"),
+        }
         self._m_payload = self.registry.counter(
             "hmc_payload_bytes_total", help="Packet payload bytes", unit="bytes"
-        )
+        ).bind()
         self._m_requested = self.registry.counter(
             "hmc_requested_bytes_total",
             help="Bytes the application actually asked for (Equation 1 numerator)",
             unit="bytes",
-        )
+        ).bind()
         self._m_control = self.registry.counter(
             "hmc_control_bytes_total",
             help="Control bytes across all transactions",
             unit="bytes",
-        )
-        self._m_rows = self.registry.counter(
+        ).bind()
+        m_rows = self.registry.counter(
             "hmc_row_accesses_total", help="Row-buffer outcomes across all banks"
         )
+        self._m_rows_outcome = {
+            True: m_rows.bind(outcome="hit"),
+            False: m_rows.bind(outcome="miss"),
+        }
         self._m_packet_bytes = self.registry.histogram(
             "hmc_packet_bytes",
             buckets=(16, 32, 64, 128, 256, 512),
             help="Issued packet payload size distribution (Figure 10)",
             unit="bytes",
-        )
+        ).bind()
 
     def _account(
         self,
@@ -158,11 +168,11 @@ class HMCDevice:
         s.last_complete_ns = max(s.last_complete_ns, complete_ns)
         s.size_histogram[packet_bytes] = s.size_histogram.get(packet_bytes, 0) + 1
 
-        self._m_requests.inc(op=op)
+        self._m_requests_op[op].inc()
         self._m_payload.inc(payload)
         self._m_requested.inc(requested)
         self._m_control.inc(control)
-        self._m_rows.inc(outcome="hit" if row_hit else "miss")
+        self._m_rows_outcome[row_hit].inc()
         self._m_packet_bytes.observe(packet_bytes)
 
     def service(

@@ -47,20 +47,23 @@ class HMCLink:
         self.free_at_ns = 0.0
         self.stats = LinkStats()
         self.registry = registry if registry is not None else NULL_REGISTRY
+        # account() runs per transaction: pre-bound handles throughout.
         self._m_transactions = self.registry.counter(
             "link_transactions_total", help="Transactions serialized on the links"
-        )
+        ).bind()
         self._m_flits = self.registry.counter(
             "link_flits_total", help="16 B FLITs moved in both directions"
-        )
-        self._m_bytes = self.registry.counter(
+        ).bind()
+        m_bytes = self.registry.counter(
             "link_bytes_total",
             help="Bytes crossing the links, split payload vs control",
             unit="bytes",
         )
+        self._m_payload_bytes = m_bytes.bind(kind="payload")
+        self._m_control_bytes = m_bytes.bind(kind="control")
         self._m_busy = self.registry.counter(
             "link_busy_ns_total", help="Time the links spent moving FLITs", unit="ns"
-        )
+        ).bind()
 
     def account(
         self,
@@ -86,9 +89,9 @@ class HMCLink:
         if flits:
             self._m_flits.inc(flits)
         if payload_bytes:
-            self._m_bytes.inc(payload_bytes, kind="payload")
+            self._m_payload_bytes.inc(payload_bytes)
         if control_bytes:
-            self._m_bytes.inc(control_bytes, kind="control")
+            self._m_control_bytes.inc(control_bytes)
         if busy_ns:
             self._m_busy.inc(busy_ns)
 

@@ -69,22 +69,24 @@ class Vault:
         self.stats = VaultStats()
         self.registry = registry if registry is not None else NULL_REGISTRY
         self._label = str(index)
+        # Every sample from this vault carries the same label, so the
+        # service loop uses pre-bound handles (one dict update each).
         self._m_requests = self.registry.counter(
             "vault_requests_total", help="Requests served, per vault"
-        )
+        ).bind(vault=self._label)
         self._m_conflicts = self.registry.counter(
             "vault_bank_conflicts_total",
             help="Row-buffer misses (precharge/activate stalls), per vault",
-        )
+        ).bind(vault=self._label)
         self._m_busy = self.registry.counter(
             "vault_busy_ns_total", help="DRAM + TSV service time, per vault", unit="ns"
-        )
+        ).bind(vault=self._label)
         self._m_queue_wait = self.registry.histogram(
             "vault_queue_wait_ns",
             buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
             help="Per-request wait behind earlier requests (queue depth proxy)",
             unit="ns",
-        )
+        ).bind(vault=self._label)
 
     def service(
         self, addr: int, data_bytes: int, arrive_ns: float
@@ -122,10 +124,10 @@ class Vault:
             self.stats.row_hits += 1
         else:
             self.stats.row_misses += 1
-            self._m_conflicts.inc(vault=self._label)
-        self._m_requests.inc(vault=self._label)
-        self._m_busy.inc(dram + xfer, vault=self._label)
-        self._m_queue_wait.observe(start - arrive_ns, vault=self._label)
+            self._m_conflicts.inc()
+        self._m_requests.inc()
+        self._m_busy.inc(dram + xfer)
+        self._m_queue_wait.observe(start - arrive_ns)
         return complete, hit
 
     @property

@@ -39,6 +39,11 @@ _EMPTY_KEY: LabelKey = ()
 
 def label_key(labels: dict[str, str]) -> LabelKey:
     """Canonical hashable key for one label set."""
+    if len(labels) == 1:
+        # Hot path: almost every labelled sample carries one label, and
+        # a one-pair tuple needs no sort.
+        [(k, v)] = labels.items()
+        return ((k if type(k) is str else str(k), v if type(v) is str else str(v)),)
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
@@ -58,6 +63,30 @@ class Metric:
         return f"<{type(self).__name__} {self.name}>"
 
 
+class _BoundCounter:
+    """One label set of a :class:`Counter`, with its key pre-resolved.
+
+    Hot loops that increment the same label set millions of times pay
+    ``label_key`` (kwargs dict + sort + str coercion) on every call;
+    a handle from :meth:`Counter.bind` reduces that to one dict update.
+    The underlying key is only materialized in the counter's value map
+    on the first :meth:`inc`, so binding alone never creates a sample.
+    """
+
+    __slots__ = ("_values", "_key")
+
+    def __init__(self, values: dict, key: LabelKey):
+        self._values = values
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        values = self._values
+        key = self._key
+        values[key] = values.get(key, 0.0) + amount
+
+
 class Counter(Metric):
     """A monotonically increasing total, split by label sets."""
 
@@ -72,6 +101,12 @@ class Counter(Metric):
             raise ValueError("counters only go up")
         key = label_key(labels) if labels else _EMPTY_KEY
         self._values[key] = self._values.get(key, 0.0) + amount
+
+    def bind(self, **labels: str) -> _BoundCounter:
+        """A pre-resolved handle for one label set (see hot loops)."""
+        return _BoundCounter(
+            self._values, label_key(labels) if labels else _EMPTY_KEY
+        )
 
     def value(self, **labels: str) -> float:
         """Value of one label set (0 if never incremented)."""
@@ -109,6 +144,12 @@ class Gauge(Metric):
         if key not in self._values or value > self._values[key]:
             self._values[key] = float(value)
 
+    def bind(self, **labels: str) -> "_BoundGauge":
+        """A pre-resolved handle for one label set (see hot loops)."""
+        return _BoundGauge(
+            self._values, label_key(labels) if labels else _EMPTY_KEY
+        )
+
     def value(self, **labels: str) -> float:
         return self._values.get(label_key(labels), 0.0)
 
@@ -119,6 +160,25 @@ class Gauge(Metric):
     def _merge(self, other: "Gauge") -> None:
         # Last writer wins: the incoming registry is the newer run.
         self._values.update(other._values)
+
+
+class _BoundGauge:
+    """One label set of a :class:`Gauge`, with its key pre-resolved."""
+
+    __slots__ = ("_values", "_key")
+
+    def __init__(self, values: dict, key: LabelKey):
+        self._values = values
+        self._key = key
+
+    def set(self, value: float) -> None:
+        self._values[self._key] = float(value)
+
+    def set_max(self, value: float) -> None:
+        values = self._values
+        key = self._key
+        if key not in values or value > values[key]:
+            values[key] = float(value)
 
 
 class _HistogramSeries:
@@ -175,6 +235,12 @@ class Histogram(Metric):
         if series.max is None or value > series.max:
             series.max = value
 
+    def bind(self, **labels: str) -> "_BoundHistogram":
+        """A pre-resolved handle for one label set (see hot loops)."""
+        return _BoundHistogram(
+            self, label_key(labels) if labels else _EMPTY_KEY
+        )
+
     # -- per-label-set reads ------------------------------------------------
 
     def count(self, **labels: str) -> int:
@@ -222,6 +288,40 @@ class Histogram(Metric):
                     setattr(mine, "min", min(cur, val))
                 else:
                     setattr(mine, "max", max(cur, val))
+
+
+class _BoundHistogram:
+    """One label set of a :class:`Histogram`, with its key pre-resolved.
+
+    The series is created lazily on the first :meth:`observe`, so a
+    bound-but-unused handle leaves the histogram's sample set (and any
+    digest over it) unchanged.
+    """
+
+    __slots__ = ("_hist", "_key", "_series")
+
+    def __init__(self, hist: Histogram, key: LabelKey):
+        self._hist = hist
+        self._key = key
+        self._series = hist._series.get(key)
+
+    def observe(self, value: float) -> None:
+        series = self._series
+        if series is None:
+            hist = self._hist
+            series = hist._series.get(self._key)
+            if series is None:
+                series = hist._series[self._key] = _HistogramSeries(
+                    len(hist.buckets)
+                )
+            self._series = series
+        series.counts[bisect_left(self._hist.buckets, value)] += 1
+        series.sum += value
+        series.count += 1
+        if series.min is None or value < series.min:
+            series.min = value
+        if series.max is None or value > series.max:
+            series.max = value
 
 
 class MetricsRegistry:
@@ -355,11 +455,35 @@ class _NullTimeline(StageTimeline):
         return None
 
 
+class _NullBound:
+    """Bound handle whose writes are discarded (all metric kinds)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def set_max(self, value: float) -> None:
+        return None
+
+
+_NULL_BOUND = _NullBound()
+
+
 class _NullCounter(Counter):
     """Counter whose writes are discarded."""
 
     def inc(self, amount: float = 1.0, **labels: str) -> None:  # noqa: D102
         return None
+
+    def bind(self, **labels: str):  # noqa: D102
+        return _NULL_BOUND
 
 
 class _NullGauge(Gauge):
@@ -371,12 +495,18 @@ class _NullGauge(Gauge):
     def set_max(self, value: float, **labels: str) -> None:  # noqa: D102
         return None
 
+    def bind(self, **labels: str):  # noqa: D102
+        return _NULL_BOUND
+
 
 class _NullHistogram(Histogram):
     """Histogram whose observations are discarded."""
 
     def observe(self, value: float, **labels: str) -> None:  # noqa: D102
         return None
+
+    def bind(self, **labels: str):  # noqa: D102
+        return _NULL_BOUND
 
 
 class NullMetricsRegistry(MetricsRegistry):

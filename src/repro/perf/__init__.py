@@ -12,12 +12,19 @@ a :func:`repro.perf.digest.result_digest` so a perf run doubles as a
 bit-exactness check.  See ``docs/performance.md``.
 """
 
-from repro.perf.cases import FULL_SUITE, SMOKE_SUITE, PerfCase, get_suite
+from repro.perf.cases import (
+    FULL_SUITE,
+    SMOKE_SUITE,
+    TRACE_SUITE,
+    PerfCase,
+    get_suite,
+)
 from repro.perf.digest import result_digest
 from repro.perf.harness import (
     CaseResult,
     calibration_seconds,
     compare_reports,
+    derive_speedups,
     load_report,
     run_suite,
     save_report,
@@ -28,8 +35,10 @@ __all__ = [
     "FULL_SUITE",
     "PerfCase",
     "SMOKE_SUITE",
+    "TRACE_SUITE",
     "calibration_seconds",
     "compare_reports",
+    "derive_speedups",
     "get_suite",
     "load_report",
     "result_digest",

@@ -1,43 +1,102 @@
 """Perf-harness case definitions.
 
-A :class:`PerfCase` names one (benchmark, figure config, trace length)
-simulation whose wall time and simulated-requests/second the harness
-measures.  Two suites are provided:
+A :class:`PerfCase` names one measured workload: a (benchmark, figure
+config, trace length) triple plus a *kind* selecting what the harness
+actually times.  Three suites are provided:
 
 ``smoke``
-    Three cases, a few seconds total: what CI's perf-smoke job runs on
-    every push.  SG/combined is the stress case — the scatter-gather
-    access pattern keeps the MSHR file full, which is exactly the
-    regime the indexed offer path optimizes.
+    Three plain simulations, a few seconds total: what CI's perf-smoke
+    job runs on every push.  SG/combined is the stress case — the
+    scatter-gather access pattern keeps the MSHR file full, which is
+    exactly the regime the indexed offer path optimizes.
+
+``trace``
+    The trace-materialization layer's capture/replay economics:
+    capture overhead vs a plain run, replay vs live, a
+    baseline+coalesced pair with and without a shared trace, and a
+    4-config sweep with and without one.  The paired kinds make the
+    speedup directly readable from one report.
 
 ``full``
     A broader grid across access patterns and coalescer configs, for
     local before/after comparisons when touching hot paths.
+
+Case kinds
+----------
+``sim``
+    One live end-to-end run (the default; pre-trace behaviour).
+``trace_capture``
+    A live run teeing its LLC stream into a fresh trace store —
+    measures what capture costs on top of ``sim``.
+``trace_replay``
+    A run replayed from a warm trace store — measures the front end
+    eliminated (compare against the same case as ``sim``).
+``pair_live`` / ``pair_shared_trace``
+    ``run_baseline_and_coalesced`` with the store disabled vs enabled;
+    the ratio is the headline pair speedup.  Its ceiling is set by the
+    front-end share of a run — see ``docs/performance.md`` for the
+    capture/replay cost model and measured ratios.
+``sweep_live`` / ``sweep_shared``
+    All four figure configs of one benchmark, each run live vs all
+    replaying one capture (front-end work done once, so the saving
+    approaches ``(N-1)/N`` of the front-end share on an N-config grid).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: Kinds whose measurement covers more than one simulation run.
+COMPOSITE_KINDS = ("pair_live", "pair_shared_trace", "sweep_live", "sweep_shared")
+
+#: Every kind :func:`repro.perf.harness.run_case` can measure.
+CASE_KINDS = ("sim", "trace_capture", "trace_replay") + COMPOSITE_KINDS
+
 
 @dataclass(frozen=True, slots=True)
 class PerfCase:
-    """One measured simulation: benchmark x config x trace length."""
+    """One measured workload: benchmark x config x trace length x kind."""
 
     benchmark: str
     config: str  # a FIGURE_CONFIGS key: uncoalesced/mshr_only/dmc_only/combined
     accesses: int
     seed: int = 0
+    kind: str = "sim"
+
+    def __post_init__(self) -> None:
+        if self.kind not in CASE_KINDS:
+            raise ValueError(
+                f"unknown perf case kind {self.kind!r}; options: "
+                + ", ".join(CASE_KINDS)
+            )
 
     @property
     def name(self) -> str:
-        return f"{self.benchmark}/{self.config}@{self.accesses}"
+        base = f"{self.benchmark}/{self.config}@{self.accesses}"
+        return base if self.kind == "sim" else f"{self.kind}:{base}"
 
 
 SMOKE_SUITE: tuple[PerfCase, ...] = (
     PerfCase("SG", "combined", 6_000),
     PerfCase("FT", "combined", 6_000),
     PerfCase("MG", "uncoalesced", 6_000),
+)
+
+TRACE_SUITE: tuple[PerfCase, ...] = (
+    # SparseLU is the front-end-dominated case (lowest LLC miss
+    # fraction of the workload set), so it shows the trace layer's
+    # best-case economics; SG is the back-end stress case bounding the
+    # worst case.  STREAM carries the sweep pair: short runs whose
+    # 4-config grid amortizes one capture furthest.
+    PerfCase("SparseLU", "combined", 6_000),
+    PerfCase("SparseLU", "combined", 6_000, kind="trace_capture"),
+    PerfCase("SparseLU", "combined", 6_000, kind="trace_replay"),
+    PerfCase("SG", "combined", 6_000),
+    PerfCase("SG", "combined", 6_000, kind="trace_replay"),
+    PerfCase("SparseLU", "combined", 6_000, kind="pair_live"),
+    PerfCase("SparseLU", "combined", 6_000, kind="pair_shared_trace"),
+    PerfCase("STREAM", "combined", 6_000, kind="sweep_live"),
+    PerfCase("STREAM", "combined", 6_000, kind="sweep_shared"),
 )
 
 FULL_SUITE: tuple[PerfCase, ...] = SMOKE_SUITE + (
@@ -51,12 +110,13 @@ FULL_SUITE: tuple[PerfCase, ...] = SMOKE_SUITE + (
 
 SUITES: dict[str, tuple[PerfCase, ...]] = {
     "smoke": SMOKE_SUITE,
+    "trace": TRACE_SUITE,
     "full": FULL_SUITE,
 }
 
 
 def get_suite(name: str) -> tuple[PerfCase, ...]:
-    """Look up a suite by name (``smoke`` or ``full``)."""
+    """Look up a suite by name (``smoke``, ``trace`` or ``full``)."""
     try:
         return SUITES[name]
     except KeyError:

@@ -17,6 +17,7 @@ fails beyond the regression threshold; digests are compared exactly.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 from dataclasses import dataclass
@@ -82,6 +83,7 @@ class CaseResult:
             "config": self.case.config,
             "accesses": self.case.accesses,
             "seed": self.case.seed,
+            "kind": self.case.kind,
             "wall_seconds": self.wall_seconds,
             "wall_seconds_all": self.wall_seconds_all,
             "llc_requests": self.llc_requests,
@@ -93,41 +95,124 @@ class CaseResult:
 
 
 def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
-    """Run one case ``repeats`` times; keep the fastest repeat."""
-    from repro.sim.driver import PlatformConfig, run_benchmark
+    """Run one case ``repeats`` times; keep the fastest repeat.
+
+    The case's ``kind`` selects the measured workload (see
+    :mod:`repro.perf.cases`): a plain simulation, a capture or replay
+    through the trace store, or a composite (pair / 4-config sweep)
+    with or without a shared trace.  Composite kinds digest the
+    concatenated per-run digests, so live and shared-trace variants of
+    the same workload must report identical digests -- the perf report
+    doubles as a bit-exactness witness for the trace layer.
+    """
+    from repro.sim.driver import (
+        PlatformConfig,
+        run_baseline_and_coalesced,
+        run_benchmark,
+    )
     from repro.sim.sweep import FIGURE_CONFIGS
+    from repro.trace import TraceStore
 
     coalescer = FIGURE_CONFIGS[case.config]
     platform = PlatformConfig(accesses=case.accesses, seed=case.seed)
-    walls: list[float] = []
-    best_profiler: PhaseProfiler | None = None
-    best_result = None
-    for _ in range(max(1, repeats)):
-        profiler = PhaseProfiler()
-        start = time.perf_counter()
-        result = run_benchmark(
+    kind = case.kind
+
+    warm_store: TraceStore | None = None
+    if kind == "trace_replay":
+        # One untimed capture; every measured repeat is a pure replay.
+        warm_store = TraceStore()
+        run_benchmark(
             case.benchmark,
             platform=platform,
             coalescer=coalescer,
-            profiler=profiler,
+            trace_store=warm_store,
         )
+
+    def attempt(profiler: PhaseProfiler | None):
+        if kind == "sim":
+            return [
+                run_benchmark(
+                    case.benchmark,
+                    platform=platform,
+                    coalescer=coalescer,
+                    profiler=profiler,
+                )
+            ]
+        if kind == "trace_capture":
+            return [
+                run_benchmark(
+                    case.benchmark,
+                    platform=platform,
+                    coalescer=coalescer,
+                    profiler=profiler,
+                    trace_store=TraceStore(),
+                )
+            ]
+        if kind == "trace_replay":
+            return [
+                run_benchmark(
+                    case.benchmark,
+                    platform=platform,
+                    coalescer=coalescer,
+                    profiler=profiler,
+                    trace_store=warm_store,
+                )
+            ]
+        if kind == "pair_live":
+            return [
+                run_benchmark(
+                    case.benchmark,
+                    platform=platform,
+                    coalescer=FIGURE_CONFIGS["uncoalesced"],
+                ),
+                run_benchmark(case.benchmark, platform=platform, coalescer=coalescer),
+            ]
+        if kind == "pair_shared_trace":
+            return list(
+                run_baseline_and_coalesced(
+                    case.benchmark, platform=platform.with_coalescer(coalescer)
+                )
+            )
+        # sweep_live / sweep_shared: the full 4-config figure grid.
+        store = TraceStore() if kind == "sweep_shared" else None
+        return [
+            run_benchmark(
+                case.benchmark, platform=platform, coalescer=cfg, trace_store=store
+            )
+            for cfg in FIGURE_CONFIGS.values()
+        ]
+
+    profiled = kind in ("sim", "trace_capture", "trace_replay")
+    walls: list[float] = []
+    best_profiler: PhaseProfiler | None = None
+    best_results = None
+    for _ in range(max(1, repeats)):
+        profiler = PhaseProfiler() if profiled else None
+        start = time.perf_counter()
+        results = attempt(profiler)
         wall = time.perf_counter() - start
         walls.append(wall)
         if wall == min(walls):
             best_profiler = profiler
-            best_result = result
-    assert best_result is not None and best_profiler is not None
+            best_results = results
+    assert best_results is not None
+    digests = [result_digest(r) for r in best_results]
+    if len(digests) == 1:
+        digest = digests[0]
+    else:
+        digest = hashlib.sha256("\n".join(digests).encode()).hexdigest()
     return CaseResult(
         case=case,
         wall_seconds=min(walls),
         wall_seconds_all=walls,
-        llc_requests=best_result.coalescer.llc_requests,
-        cpu_accesses=best_result.tracer.cpu_accesses,
-        digest=result_digest(best_result),
-        phases={
-            name: best_profiler.elapsed(name)
-            for name in best_profiler.phases()
-        },
+        llc_requests=sum(r.coalescer.llc_requests for r in best_results),
+        cpu_accesses=sum(r.tracer.cpu_accesses for r in best_results),
+        digest=digest,
+        phases=(
+            {name: best_profiler.elapsed(name) for name in best_profiler.phases()}
+            if best_profiler is not None
+            else {}
+        ),
     )
 
 
@@ -160,7 +245,54 @@ def run_suite(
                 f"{case.name}: {measured.wall_seconds * 1e3:.1f} ms, "
                 f"{measured.requests_per_second:,.0f} req/s"
             )
+    derived = derive_speedups(report["cases"])
+    if derived:
+        report["derived"] = derived
     return report
+
+
+#: (slow kind, fast kind) -> derived metric name; the metric value is
+#: ``wall(slow) / wall(fast)`` for the same benchmark/config/accesses.
+_SPEEDUP_PAIRS = {
+    ("sim", "trace_replay"): "replay_speedup",
+    ("pair_live", "pair_shared_trace"): "pair_speedup",
+    ("sweep_live", "sweep_shared"): "sweep_speedup",
+}
+
+
+def derive_speedups(cases: dict) -> dict:
+    """Trace-layer speedup ratios readable straight from the report.
+
+    For every workload measured under both halves of a live/shared
+    pair, emits ``<metric>:<benchmark>/<config>@<accesses>`` with the
+    wall-time ratio (>1 means the trace layer is that many times
+    faster) and flags ``digest_mismatch`` if the halves disagree --
+    which would mean replay is not bit-exact and the ratio is
+    meaningless.
+    """
+    by_key: dict[tuple, dict] = {}
+    for entry in cases.values():
+        key = (
+            entry.get("kind", "sim"),
+            entry.get("benchmark"),
+            entry.get("config"),
+            entry.get("accesses"),
+            entry.get("seed"),
+        )
+        by_key[key] = entry
+    derived: dict = {}
+    for (slow_kind, fast_kind), metric in _SPEEDUP_PAIRS.items():
+        for key, slow in by_key.items():
+            if key[0] != slow_kind:
+                continue
+            fast = by_key.get((fast_kind, *key[1:]))
+            if fast is None or not fast.get("wall_seconds"):
+                continue
+            label = f"{metric}:{key[1]}/{key[2]}@{key[3]}"
+            derived[label] = slow["wall_seconds"] / fast["wall_seconds"]
+            if slow.get("digest") != fast.get("digest"):
+                derived[label + ":digest_mismatch"] = True
+    return derived
 
 
 def save_report(report: dict, path: str | Path) -> Path:
@@ -203,7 +335,7 @@ def compare_reports(
     treats as a failure in its own right.
     """
     out: list[CaseComparison] = []
-    params = ("benchmark", "config", "accesses", "seed")
+    params = ("benchmark", "config", "accesses", "seed", "kind")
     for name, base in sorted(baseline.get("cases", {}).items()):
         cur = current.get("cases", {}).get(name)
         if cur is None:

@@ -22,10 +22,12 @@ Figure 15 metric.
 
 from __future__ import annotations
 
+import json
 import time
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import Iterable
+from functools import lru_cache
+from typing import Iterable, Iterator
 
 from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.cache.tracer import MemoryTracer, TraceRecord, TracerStats
@@ -36,6 +38,13 @@ from repro.hmc.device import HMCDevice, HMCStats
 from repro.hmc.packet import REQUEST_CONTROL_BYTES
 from repro.hmc.timing import HMCTimingConfig
 from repro.obs import MetricsRegistry, PhaseProfiler
+from repro.trace import (
+    TraceBuffer,
+    TraceStore,
+    publish_replay_tracer_metrics,
+    replay_trace,
+    trace_key,
+)
 from repro.workloads import Workload, get_workload
 
 
@@ -140,10 +149,7 @@ class SimulationResult:
         cfg = self.platform.coalescer
         if not cfg.enable_dmc:
             return 0.0
-        from repro.core.pipeline import PipelinedSortingNetwork
-
-        pipe = PipelinedSortingNetwork(cfg)
-        fill_cycles = pipe.full_latency_cycles + self.coalescer.dmc.mean_latency_cycles()
+        fill_cycles = _pipeline_fill_cycles(cfg) + self.coalescer.dmc.mean_latency_cycles()
         return cfg.cycles_to_ns(fill_cycles)
 
     @property
@@ -211,6 +217,21 @@ class SimulationResult:
         g("sim_secondary_misses", help="In-flight secondary LLC misses").set(
             self.secondary_misses
         )
+
+
+@lru_cache(maxsize=None)
+def _pipeline_fill_cycles(cfg: CoalescerConfig) -> int:
+    """Pipeline-fill latency of the sorting network for ``cfg``.
+
+    ``coalescer_overhead_ns`` is read repeatedly (``runtime_ns``,
+    derived metrics, figures); the fill latency depends only on the
+    frozen-hashable :class:`CoalescerConfig`, so build the
+    :class:`PipelinedSortingNetwork` once per config instead of once
+    per property access.
+    """
+    from repro.core.pipeline import PipelinedSortingNetwork
+
+    return PipelinedSortingNetwork(cfg).full_latency_cycles
 
 
 #: Functions that already emitted their positional-argument warning
@@ -309,12 +330,70 @@ def _make_service_time(device: HMCDevice, cycle_ns: float):
     return service_time
 
 
+def _tee_records(
+    records: Iterable[TraceRecord], buffer: TraceBuffer
+) -> Iterator[TraceRecord]:
+    """Yield ``records`` unchanged while appending each to ``buffer``.
+
+    The capture piggybacks on the live run: the coalescer sees the
+    exact same lazy stream it always did, and the buffer fills as a
+    side effect.
+    """
+    append = buffer.append_record
+    for record in records:
+        append(record)
+        yield record
+
+
+def _replay_benchmark(
+    buffer: TraceBuffer,
+    *,
+    platform: PlatformConfig,
+    profiler: PhaseProfiler | None,
+) -> SimulationResult:
+    """Build a :class:`SimulationResult` from a stored trace.
+
+    Digest-identical to the live path: the same coalescer/HMC stack is
+    driven with the same request stream, and the tracer-side
+    observables (stats, registry counters, secondary misses) are
+    reconstructed from the capture's metadata.
+    """
+    registry = MetricsRegistry()
+    publish_replay_tracer_metrics(registry, buffer)
+    device = HMCDevice(platform.hmc, registry)
+    engine = MemoryCoalescer(
+        platform.coalescer,
+        service_time=_make_service_time(device, platform.cycle_ns),
+        registry=registry,
+    )
+    last_cycle = replay_trace(buffer, coalescer=engine, profiler=profiler)
+    intensity = (
+        platform.compute_cycles_per_access
+        if platform.compute_cycles_per_access is not None
+        else buffer.meta["compute_cycles_per_access"]
+    )
+    result = SimulationResult(
+        benchmark=buffer.meta["benchmark"],
+        platform=platform,
+        tracer=buffer.tracer_stats(),
+        coalescer=engine.stats(),
+        hmc=device.stats,
+        secondary_misses=buffer.meta["secondary_misses"],
+        trace_cycles=last_cycle,
+        compute_cycles_per_access=intensity,
+        metrics=registry,
+    )
+    result.publish_derived_metrics()
+    return result
+
+
 def run_benchmark(
     benchmark: str | Workload,
     *_deprecated_positional,
     platform: PlatformConfig | None = None,
     coalescer: CoalescerConfig | None = None,
     profiler: PhaseProfiler | None = None,
+    trace_store: TraceStore | None = None,
 ) -> SimulationResult:
     """Run one benchmark end to end on the given platform.
 
@@ -325,6 +404,13 @@ def run_benchmark(
     shape still works but raises a one-time
     :class:`DeprecationWarning`; prefer :class:`repro.api.Session` for
     cached, sweep-aware runs.
+
+    With a ``trace_store``, the front end (workload generation plus
+    cache filtering) runs at most once per (workload, geometry,
+    pacing) key: a stored capture is replayed bit-identically, a miss
+    runs live while teeing the stream into the store.  ``Workload``
+    instances always run live (their construction parameters are not
+    part of the store key).
 
     Every stage shares one :class:`~repro.obs.MetricsRegistry`, returned
     on the result's ``metrics`` field.  An optional ``profiler``
@@ -341,6 +427,15 @@ def run_benchmark(
     platform = platform or PlatformConfig()
     if coalescer is not None:
         platform = platform.with_coalescer(coalescer)
+
+    key = capture = None
+    if trace_store is not None and not isinstance(benchmark, Workload):
+        key = trace_key(benchmark, platform)
+        stored = trace_store.get(key)
+        if stored is not None:
+            return _replay_benchmark(stored, platform=platform, profiler=profiler)
+        capture = TraceBuffer()
+
     if isinstance(benchmark, Workload):
         workload = benchmark
     else:
@@ -362,8 +457,11 @@ def run_benchmark(
         registry=registry,
     )
 
+    records: Iterable[TraceRecord] = tracer.trace(workload.accesses(platform.accesses))
+    if capture is not None:
+        records = _tee_records(records, capture)
     last_cycle = run_trace_through_coalescer(
-        tracer.trace(workload.accesses(platform.accesses)),
+        records,
         coalescer=engine,
         device=device,
         cycle_ns=platform.cycle_ns,
@@ -375,6 +473,16 @@ def run_benchmark(
         if platform.compute_cycles_per_access is not None
         else workload.compute_cycles_per_access
     )
+    if capture is not None and key is not None and trace_store is not None:
+        capture.finalize(
+            benchmark=workload.name,
+            cpu_accesses=tracer.stats.cpu_accesses,
+            compute_cycles_per_access=workload.compute_cycles_per_access,
+            secondary_misses=hierarchy.secondary_misses,
+            key_digest=key.digest,
+            key_payload=json.loads(key.payload),
+        )
+        trace_store.put(key, capture)
     result = SimulationResult(
         benchmark=workload.name,
         platform=platform,
@@ -403,8 +511,16 @@ def run_baseline_and_coalesced(
     benchmark: str,
     *_deprecated_positional,
     platform: PlatformConfig | None = None,
+    trace_store: TraceStore | None = None,
 ) -> tuple[SimulationResult, SimulationResult]:
-    """Run the uncoalesced baseline and the two-phase coalescer."""
+    """Run the uncoalesced baseline and the two-phase coalescer.
+
+    Both runs share one LLC trace: the store key excludes the
+    coalescer config, so the baseline run captures the stream and the
+    coalesced run replays it.  Pass ``trace_store`` to reuse captures
+    across calls (or a disk-backed store across processes); by default
+    a private in-memory store still halves the front-end work.
+    """
     if _deprecated_positional:
         if len(_deprecated_positional) > 1 or platform is not None:
             raise TypeError(
@@ -414,6 +530,13 @@ def run_baseline_and_coalesced(
         _warn_positional("run_baseline_and_coalesced", "platform")
         platform = _deprecated_positional[0]
     platform = platform or PlatformConfig()
-    base = run_benchmark(benchmark, platform=platform, coalescer=UNCOALESCED_CONFIG)
-    coal = run_benchmark(benchmark, platform=platform)
+    if trace_store is None:
+        trace_store = TraceStore(max_memory_entries=1)
+    base = run_benchmark(
+        benchmark,
+        platform=platform,
+        coalescer=UNCOALESCED_CONFIG,
+        trace_store=trace_store,
+    )
+    coal = run_benchmark(benchmark, platform=platform, trace_store=trace_store)
     return base, coal

@@ -30,6 +30,7 @@ from repro.sim.sweep import (
     config_digest,
     run_sweep,
 )
+from repro.trace import TraceStore, trace_key
 from repro.workloads import BENCHMARKS
 
 #: Benchmark order used across all figures (the paper's grouping).
@@ -67,11 +68,17 @@ class EvaluationSuite:
         *,
         jobs: int = 1,
         checkpoint_dir: str | None = None,
+        trace_dir: str | None = None,
     ):
         self.platform = platform or PlatformConfig(accesses=24_000)
         self.benchmarks = benchmarks
         self.jobs = jobs
         self.checkpoint_dir = checkpoint_dir
+        self.trace_dir = trace_dir
+        #: Shared LLC-trace store: each benchmark's front end (workload
+        #: generation + cache filtering) runs once and all four figure
+        #: configs replay the capture.  ``trace_dir`` adds a disk tier.
+        self.trace_store = TraceStore(trace_dir)
         self._cache: dict[tuple[str, str], SimulationResult] = {}
         self._config_names: dict[str, str] = {}
 
@@ -94,7 +101,9 @@ class EvaluationSuite:
             self._config_names.setdefault(digest, config)
         key = (benchmark, digest)
         if key not in self._cache:
-            self._cache[key] = run_benchmark(benchmark, platform=platform)
+            self._cache[key] = run_benchmark(
+                benchmark, platform=platform, trace_store=self.trace_store
+            )
         return self._cache[key]
 
     def adopt(self, benchmark: str, config_name: str, result: SimulationResult) -> None:
@@ -121,6 +130,7 @@ class EvaluationSuite:
             jobs=self.jobs if jobs is None else jobs,
             out_dir=self.checkpoint_dir,
             resume=self.checkpoint_dir is not None,
+            trace_dir=self.trace_dir,
         )
         for key, result in sweep.results.items():
             self.adopt(key.benchmark, key.config, result)
@@ -197,7 +207,7 @@ class EvaluationSuite:
         # FLIT-rounded actually-requested payload.
         sim = self.run(benchmark, "combined")
         total = 0
-        for rec in _issued_of(sim):
+        for rec in _issued_of(sim, trace_store=self.trace_store):
             req = max(
                 FLIT_BYTES,
                 min(
@@ -337,32 +347,38 @@ class EvaluationSuite:
         )
 
 
-def _issued_of(sim: SimulationResult):
+def _issued_of(sim: SimulationResult, trace_store: TraceStore | None = None):
     """The issued-request records of a finished simulation.
 
     ``SimulationResult`` carries aggregate stats; the issued list lives
-    on the coalescer object, so the driver re-runs with a capture
-    hook when per-request detail is needed.  To keep this cheap the
-    function simply re-runs the benchmark and returns the coalescer's
-    issued list.
+    on the coalescer object, so the stream is re-driven when
+    per-request detail is needed.  With a ``trace_store`` holding the
+    run's capture, only the coalescer replays (no workload generation
+    or cache filtering); otherwise the full front end re-runs.
     """
     from repro.cache.hierarchy import CacheHierarchy
     from repro.cache.tracer import MemoryTracer
     from repro.core.coalescer import MemoryCoalescer
     from repro.hmc.device import HMCDevice
     from repro.sim.driver import _make_service_time, run_trace_through_coalescer
+    from repro.trace import replay_trace
     from repro.workloads import get_workload
 
     platform = sim.platform
+    device = HMCDevice(platform.hmc)
+    coalescer = MemoryCoalescer(
+        platform.coalescer, service_time=_make_service_time(device, platform.cycle_ns)
+    )
+    if trace_store is not None:
+        stored = trace_store.get(trace_key(sim.benchmark, platform))
+        if stored is not None:
+            replay_trace(stored, coalescer=coalescer)
+            return coalescer.issued
     workload = get_workload(
         sim.benchmark, num_threads=platform.num_threads, seed=platform.seed
     )
     hierarchy = CacheHierarchy(platform.hierarchy)
     tracer = MemoryTracer(hierarchy, cycles_per_access=platform.cycles_per_access)
-    device = HMCDevice(platform.hmc)
-    coalescer = MemoryCoalescer(
-        platform.coalescer, service_time=_make_service_time(device, platform.cycle_ns)
-    )
     run_trace_through_coalescer(
         tracer.trace(workload.accesses(platform.accesses)),
         coalescer=coalescer,
@@ -421,6 +437,7 @@ def fig14_timeout_sweep(
     benchmarks: tuple[str, ...] = BENCHMARK_ORDER,
     *,
     jobs: int = 1,
+    trace_dir: str | None = None,
 ) -> FigureData:
     """Figure 14: mean coalescer latency vs sorting-buffer timeout.
 
@@ -443,7 +460,7 @@ def fig14_timeout_sweep(
             f"T{t}": CoalescerConfig(timeout_cycles=t) for t in timeouts
         },
     )
-    sweep = run_sweep(spec, jobs=jobs)
+    sweep = run_sweep(spec, jobs=jobs, trace_dir=trace_dir)
     rows = []
     for name in benchmarks:
         row: list[object] = [name]

@@ -211,18 +211,28 @@ def read_checkpoint(path: str | Path):
 # -- worker entry point ------------------------------------------------------
 
 
-def execute_run(payload: dict, checkpoint_path: str | Path):
+def execute_run(payload: dict, checkpoint_path: str | Path, trace_store=None):
     """Run one shard and checkpoint it; returns the live result.
 
     ``payload`` is the scheduler's run description::
 
         {"benchmark": ..., "config": ..., "digest": ...,
-         "platform": platform_to_dict(...)}
+         "platform": platform_to_dict(...), "trace_dir": ... or None}
+
+    ``trace_store`` lets an in-process scheduler share one
+    :class:`~repro.trace.TraceStore` across shards; forked workers
+    instead rebuild a store from the payload's ``trace_dir`` (the
+    on-disk tier is how they share captures, via atomic writes).
     """
     from repro.sim.driver import run_benchmark
+    from repro.trace import TraceStore
 
+    if trace_store is None and payload.get("trace_dir"):
+        trace_store = TraceStore(payload["trace_dir"])
     platform = platform_from_dict(payload["platform"])
-    result = run_benchmark(payload["benchmark"], platform=platform)
+    result = run_benchmark(
+        payload["benchmark"], platform=platform, trace_store=trace_store
+    )
     header = {k: payload[k] for k in ("benchmark", "config", "digest")}
     write_checkpoint(checkpoint_path, header, result)
     return result

@@ -204,6 +204,7 @@ class _Pending:
     key: RunKey
     platform: PlatformConfig
     checkpoint: Path
+    trace_dir: str | None = None
     attempts: int = 0
 
     @property
@@ -216,6 +217,7 @@ class _Pending:
             "config": self.key.config,
             "digest": self.key.digest,
             "platform": platform_to_dict(self.platform),
+            "trace_dir": self.trace_dir,
         }
 
 
@@ -241,6 +243,7 @@ def run_sweep(
     retries: int = 1,
     filter: str | None = None,
     progress: Progress | None = None,
+    trace_dir: str | Path | None = None,
 ) -> SweepResult:
     """Execute a sweep spec and return the merged :class:`SweepResult`.
 
@@ -267,6 +270,13 @@ def run_sweep(
         Substring filter on ``benchmark/config`` labels.
     progress:
         Callback for one-line progress messages (e.g. ``print``).
+    trace_dir:
+        On-disk :class:`~repro.trace.TraceStore` directory.  Every
+        shard sharing a (benchmark, geometry, pacing) key then shares
+        one LLC capture: inline runs via an in-process store, forked
+        workers via the directory's atomically-written files.  ``None``
+        still shares captures within an inline sweep (in memory), but
+        parallel workers each capture their own.
     """
     expanded = spec.expand(filter=filter)
     tmp_dir: tempfile.TemporaryDirectory | None = None
@@ -294,12 +304,21 @@ def run_sweep(
                     skipped += 1
                     _say(progress, f"skip {key.label} (checkpointed)")
                     continue
-            pending.append(_Pending(key, platform, ck))
+            pending.append(
+                _Pending(
+                    key,
+                    platform,
+                    ck,
+                    str(trace_dir) if trace_dir is not None else None,
+                )
+            )
 
         total = len(pending)
         if pending:
             if jobs <= 1 and timeout is None:
-                _run_inline(pending, total, results, failures, retries, progress)
+                _run_inline(
+                    pending, total, results, failures, retries, progress, trace_dir
+                )
             else:
                 _run_parallel(
                     pending, total, results, failures, jobs, timeout, retries, progress
@@ -336,16 +355,24 @@ def _run_inline(
     failures: list[FailedRun],
     retries: int,
     progress: Progress | None,
+    trace_dir: str | Path | None = None,
 ) -> None:
     """Single-process execution path (identical checkpoint writes)."""
     import traceback as tb_mod
 
+    from repro.trace import TraceStore
+
+    # One store for the whole inline sweep: each benchmark's front end
+    # runs once and every config cell replays it.
+    store = TraceStore(trace_dir)
     done = 0
     for item in pending:
         while True:
             item.attempts += 1
             try:
-                results[item.key] = execute_run(item.payload(), item.checkpoint)
+                results[item.key] = execute_run(
+                    item.payload(), item.checkpoint, trace_store=store
+                )
             except Exception as exc:  # noqa: BLE001 - shard sandbox
                 if item.attempts <= retries:
                     _say(progress, f"retry {item.key.label} ({exc})")

@@ -1,0 +1,327 @@
+"""Columnar LLC trace container and its binary on-disk format.
+
+A :class:`TraceBuffer` holds one captured LLC request stream as five
+parallel ``array`` columns -- cycle, address, type+flags, line size and
+requested bytes -- so replay walks packed machine words instead of
+churning per-record objects, and the whole trace serializes as a
+handful of contiguous blobs.
+
+On-disk layout (all integers little-endian)::
+
+    magic "RTRC" | version u16 | header_len u32 | header JSON (utf-8)
+    | column payloads (cycle, addr, flags, size, requested)
+    | sha256 of everything above (32 bytes)
+
+The header carries the column typecodes/lengths plus a ``meta`` dict:
+the aggregate tracer statistics of the capture (CPU accesses, kind
+counts, requested bytes, secondary misses, ...) and the structural
+cache key the store filed the trace under.  The trailing digest makes
+corruption, truncation and partial writes detectable before a single
+row is replayed; writes go through a temp file + ``os.replace`` so a
+crashed writer never leaves a half-written trace behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import sys
+from array import array
+from pathlib import Path
+from typing import Iterator
+
+from repro.cache.tracer import TraceRecord, TracerStats
+from repro.core.request import MemoryRequest, RequestType
+
+#: File magic of the binary trace format.
+TRACE_MAGIC = b"RTRC"
+
+#: Format version, bumped on incompatible layout changes.
+TRACE_VERSION = 1
+
+#: File suffix of one stored trace.
+TRACE_SUFFIX = ".rtrace"
+
+#: ``flags`` column encoding: request type in the low two bits,
+#: event flags above them.
+_TYPE_MASK = 0b11
+_FLAG_WRITEBACK = 0x04
+_FLAG_SECONDARY = 0x08
+_FLAG_PREFETCH = 0x10
+
+#: Column name -> array typecode, in serialization order.
+_COLUMNS = (
+    ("cycle", "q"),
+    ("addr", "Q"),
+    ("flags", "B"),
+    ("size", "I"),
+    ("requested", "I"),
+)
+
+_HEADER_PREFIX = struct.Struct("<HI")  # version, header_len
+
+
+class TraceError(ValueError):
+    """Base error for unreadable trace files (corrupt or truncated)."""
+
+
+class TraceVersionError(TraceError):
+    """The file's format version is not the one this code writes."""
+
+
+class TraceIntegrityError(TraceError):
+    """The file's trailing sha256 digest does not match its content."""
+
+
+class TraceBuffer:
+    """One captured LLC request stream in columnar form.
+
+    Rows are appended during capture (:meth:`append_record`) and read
+    back either as packed columns (:meth:`columns`, the replay path)
+    or as reconstructed :class:`~repro.cache.tracer.TraceRecord`
+    objects (:meth:`records`, for interop and tests).  Aggregate
+    tracer statistics are accumulated as rows arrive so a finished
+    buffer can reproduce the live run's :class:`TracerStats` and
+    registry counters without a second pass.
+    """
+
+    __slots__ = (
+        "cycles",
+        "addrs",
+        "flags",
+        "sizes",
+        "requested",
+        "meta",
+        "_llc_requests",
+        "_writebacks",
+        "_prefetches",
+        "_fences",
+        "_requested_bytes",
+        "_kinds",
+    )
+
+    def __init__(self, meta: dict | None = None):
+        self.cycles = array("q")
+        self.addrs = array("Q")
+        self.flags = array("B")
+        self.sizes = array("I")
+        self.requested = array("I")
+        self.meta: dict = dict(meta) if meta else {}
+        self._llc_requests = 0
+        self._writebacks = 0
+        self._prefetches = 0
+        self._fences = 0
+        self._requested_bytes = 0
+        self._kinds = {"miss": 0, "secondary_miss": 0, "writeback": 0, "prefetch": 0}
+
+    # -- capture -------------------------------------------------------------
+
+    def append_record(self, record: TraceRecord) -> None:
+        """Append one tracer record as a packed row."""
+        req = record.request
+        flags = int(req.rtype)
+        if record.is_writeback:
+            flags |= _FLAG_WRITEBACK
+        if record.is_secondary:
+            flags |= _FLAG_SECONDARY
+        if record.is_prefetch:
+            flags |= _FLAG_PREFETCH
+        self.cycles.append(record.cycle)
+        self.addrs.append(req.addr)
+        self.flags.append(flags)
+        self.sizes.append(req.size)
+        self.requested.append(req.requested_bytes)
+        if req.rtype is RequestType.FENCE:
+            self._fences += 1
+            return
+        # Mirror MemoryTracer's accounting exactly: per-flag totals
+        # plus the precedence-resolved kind label of the registry.
+        self._llc_requests += 1
+        self._requested_bytes += req.requested_bytes
+        if record.is_writeback:
+            self._writebacks += 1
+            kind = "writeback"
+        elif record.is_prefetch:
+            kind = "prefetch"
+        else:
+            kind = "secondary_miss" if record.is_secondary else "miss"
+        if record.is_prefetch:
+            self._prefetches += 1
+        self._kinds[kind] += 1
+
+    def finalize(
+        self,
+        *,
+        benchmark: str,
+        cpu_accesses: int,
+        compute_cycles_per_access: float,
+        secondary_misses: int,
+        key_digest: str = "",
+        key_payload: dict | None = None,
+    ) -> "TraceBuffer":
+        """Seal the capture with everything replay needs to rebuild a
+        live run's tracer-side observables."""
+        self.meta.update(
+            {
+                "benchmark": benchmark,
+                "cpu_accesses": cpu_accesses,
+                "compute_cycles_per_access": compute_cycles_per_access,
+                "secondary_misses": secondary_misses,
+                "llc_requests": self._llc_requests,
+                "writebacks": self._writebacks,
+                "prefetches": self._prefetches,
+                "fences": self._fences,
+                "requested_bytes": self._requested_bytes,
+                "kinds": dict(self._kinds),
+                "key_digest": key_digest,
+            }
+        )
+        if key_payload is not None:
+            self.meta["key"] = key_payload
+        return self
+
+    # -- reads ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+    @property
+    def last_cycle(self) -> int:
+        """Cycle of the final record (0 for an empty trace)."""
+        return self.cycles[-1] if self.cycles else 0
+
+    def columns(self) -> tuple[array, array, array, array, array]:
+        """The packed (cycle, addr, flags, size, requested) columns."""
+        return self.cycles, self.addrs, self.flags, self.sizes, self.requested
+
+    def tracer_stats(self) -> TracerStats:
+        """The :class:`TracerStats` a live capture of this trace saw."""
+        m = self.meta
+        return TracerStats(
+            cpu_accesses=m["cpu_accesses"],
+            llc_requests=m["llc_requests"],
+            writebacks=m["writebacks"],
+            prefetches=m["prefetches"],
+            requested_bytes=m["requested_bytes"],
+        )
+
+    def records(self) -> Iterator[TraceRecord]:
+        """Reconstruct full :class:`TraceRecord` objects row by row."""
+        for i in range(len(self.cycles)):
+            flags = self.flags[i]
+            rtype = RequestType(flags & _TYPE_MASK)
+            if rtype is RequestType.FENCE:
+                request = MemoryRequest(addr=0, rtype=RequestType.FENCE)
+            else:
+                request = MemoryRequest(
+                    addr=self.addrs[i],
+                    rtype=rtype,
+                    size=self.sizes[i],
+                    requested_bytes=self.requested[i],
+                )
+            yield TraceRecord(
+                request=request,
+                cycle=self.cycles[i],
+                is_writeback=bool(flags & _FLAG_WRITEBACK),
+                is_secondary=bool(flags & _FLAG_SECONDARY),
+                is_prefetch=bool(flags & _FLAG_PREFETCH),
+            )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the versioned, digest-trailed binary format."""
+        header = {
+            "columns": [
+                [name, code, len(getattr(self, _attr_of(name)))]
+                for name, code in _COLUMNS
+            ],
+            "meta": self.meta,
+        }
+        header_blob = json.dumps(header, sort_keys=True).encode("utf-8")
+        parts = [
+            TRACE_MAGIC,
+            _HEADER_PREFIX.pack(TRACE_VERSION, len(header_blob)),
+            header_blob,
+        ]
+        for name, _code in _COLUMNS:
+            col = getattr(self, _attr_of(name))
+            if sys.byteorder == "big":  # pragma: no cover - LE hosts
+                col = array(col.typecode, col)
+                col.byteswap()
+            parts.append(col.tobytes())
+        payload = b"".join(parts)
+        return payload + hashlib.sha256(payload).digest()
+
+    def digest(self) -> str:
+        """Stable content digest of the serialized trace."""
+        blob = self.to_bytes()
+        return blob[-32:].hex()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TraceBuffer":
+        """Parse the binary format, verifying version and integrity."""
+        if len(data) < len(TRACE_MAGIC) + _HEADER_PREFIX.size + 32:
+            raise TraceError("trace file is truncated (no header)")
+        if data[: len(TRACE_MAGIC)] != TRACE_MAGIC:
+            raise TraceError("not a repro binary trace (bad magic)")
+        version, header_len = _HEADER_PREFIX.unpack_from(data, len(TRACE_MAGIC))
+        if version != TRACE_VERSION:
+            raise TraceVersionError(
+                f"trace format version {version}, expected {TRACE_VERSION}"
+            )
+        payload, checksum = data[:-32], data[-32:]
+        if hashlib.sha256(payload).digest() != checksum:
+            raise TraceIntegrityError("trace digest mismatch (corrupt file)")
+        offset = len(TRACE_MAGIC) + _HEADER_PREFIX.size
+        try:
+            header = json.loads(data[offset : offset + header_len])
+        except ValueError as exc:
+            raise TraceError(f"unreadable trace header: {exc}") from exc
+        offset += header_len
+
+        buf = cls(meta=header.get("meta") or {})
+        for name, code, count in header.get("columns", []):
+            col = array(code)
+            nbytes = count * col.itemsize
+            if offset + nbytes > len(payload):
+                raise TraceError(f"trace column {name!r} is truncated")
+            col.frombytes(data[offset : offset + nbytes])
+            if sys.byteorder == "big":  # pragma: no cover - LE hosts
+                col.byteswap()
+            setattr(buf, _attr_of(name), col)
+            offset += nbytes
+        lengths = {len(getattr(buf, _attr_of(name))) for name, _ in _COLUMNS}
+        if len(lengths) != 1:
+            raise TraceError("trace columns have inconsistent lengths")
+        return buf
+
+    def save(self, path: str | Path) -> Path:
+        """Atomically write the trace to ``path`` (temp + rename)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+        tmp.write_bytes(self.to_bytes())
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TraceBuffer":
+        """Read and validate a stored trace."""
+        return cls.from_bytes(Path(path).read_bytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = self.meta.get("benchmark", "?")
+        return f"TraceBuffer({name}, {len(self)} records)"
+
+
+def _attr_of(column: str) -> str:
+    return {
+        "cycle": "cycles",
+        "addr": "addrs",
+        "flags": "flags",
+        "size": "sizes",
+        "requested": "requested",
+    }[column]

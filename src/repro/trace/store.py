@@ -1,0 +1,228 @@
+"""Trace store: digest-keyed cache of captured LLC traces.
+
+A :class:`TraceStore` maps a :class:`TraceKey` -- the structural digest
+of exactly the inputs an LLC trace depends on -- to a finished
+:class:`~repro.trace.buffer.TraceBuffer`.  Lookups hit an in-process
+LRU first and an optional on-disk directory second; misses return
+``None`` so the caller runs the live capture path and files the result
+with :meth:`TraceStore.put`.
+
+The key contract (also documented in ``docs/architecture.md``): a
+trace is a pure function of the *front end* --
+
+* workload identity: canonical benchmark name, ``num_threads``,
+  ``accesses``, ``seed``;
+* cache geometry: every field of
+  :class:`~repro.cache.hierarchy.HierarchyConfig`;
+* arrival pacing: ``cycles_per_access``.
+
+It deliberately excludes everything downstream of the LLC -- the
+coalescer config, HMC timing, ``clock_ghz`` and
+``compute_cycles_per_access`` -- so the uncoalesced baseline, every
+coalesced variant and every cell of a config sweep share one capture.
+
+Disk entries are independent files named by digest, written atomically
+by :meth:`TraceBuffer.save`, so concurrent sweep workers can populate
+one directory without locking: the worst case is two workers capturing
+the same trace and one ``os.replace`` winning.  Unreadable entries
+(corrupt, truncated, wrong version, digest mismatch) are logged,
+deleted and treated as misses -- the caller's live capture then
+overwrites them.  A stale entry whose stored key payload no longer
+matches the requested key is likewise discarded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import logging
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from repro.trace.buffer import TRACE_SUFFIX, TRACE_VERSION, TraceBuffer, TraceError
+from repro.workloads import BENCHMARKS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (driver imports us)
+    from repro.sim.driver import PlatformConfig
+
+logger = logging.getLogger("repro.trace")
+
+#: Cache-key schema version; bump when the key payload changes shape.
+KEY_SCHEMA = 1
+
+
+@dataclass(frozen=True, slots=True)
+class TraceKey:
+    """Identity of one capturable trace: digest + its input payload."""
+
+    benchmark: str
+    digest: str
+    payload: str  # canonical JSON of the key inputs, for audit/info
+
+    @property
+    def filename(self) -> str:
+        return f"{self.benchmark}-{self.digest[:16]}{TRACE_SUFFIX}"
+
+
+def canonical_benchmark(name: str) -> str:
+    """The registry-canonical benchmark name (case-insensitive)."""
+    for key, cls in BENCHMARKS.items():
+        if key.lower() == name.lower():
+            return cls.name
+    raise KeyError(
+        f"unknown benchmark {name!r}; available: {', '.join(BENCHMARKS)}"
+    )
+
+
+def trace_key(benchmark: str, platform: "PlatformConfig") -> TraceKey:
+    """Structural key of the trace ``(benchmark, platform)`` produces.
+
+    Only trace-determining inputs enter the digest -- see the module
+    docstring for the contract.
+    """
+    name = canonical_benchmark(benchmark)
+    payload = {
+        "schema": KEY_SCHEMA,
+        "trace_version": TRACE_VERSION,
+        "benchmark": name,
+        "num_threads": platform.num_threads,
+        "accesses": platform.accesses,
+        "seed": platform.seed,
+        "cycles_per_access": platform.cycles_per_access,
+        "hierarchy": {
+            f.name: getattr(platform.hierarchy, f.name)
+            for f in dataclasses.fields(platform.hierarchy)
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha1(blob.encode("utf-8")).hexdigest()
+    return TraceKey(benchmark=name, digest=digest, payload=blob)
+
+
+class TraceStore:
+    """In-process LRU + optional on-disk cache of captured traces.
+
+    Parameters
+    ----------
+    root:
+        Directory for the on-disk tier.  ``None`` keeps the store
+        purely in-memory (still shares captures within one process).
+    max_memory_entries:
+        LRU capacity of the in-process tier.  Full traces are a few
+        MB each; eight covers a figure run without unbounded growth.
+    """
+
+    def __init__(
+        self, root: str | Path | None = None, *, max_memory_entries: int = 8
+    ):
+        self.root = Path(root) if root is not None else None
+        self.max_memory_entries = max_memory_entries
+        self._memory: OrderedDict[str, TraceBuffer] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, key: TraceKey) -> TraceBuffer | None:
+        """The stored trace for ``key``, or ``None`` on a miss.
+
+        Never raises for a bad disk entry: unreadable or mismatched
+        files are logged, removed and reported as a miss so the caller
+        falls back to live capture (whose ``put`` overwrites them).
+        """
+        buf = self._memory.get(key.digest)
+        if buf is not None:
+            self._memory.move_to_end(key.digest)
+            self.hits += 1
+            return buf
+        path = self._path_of(key)
+        if path is None or not path.exists():
+            self.misses += 1
+            return None
+        try:
+            buf = TraceBuffer.load(path)
+        except TraceError as exc:
+            logger.warning(
+                "discarding unreadable trace %s (%s); re-capturing live",
+                path,
+                exc,
+            )
+            self._discard(path)
+            self.misses += 1
+            return None
+        if buf.meta.get("key_digest") != key.digest:
+            logger.warning(
+                "discarding stale trace %s (key digest %s != %s); "
+                "re-capturing live",
+                path,
+                buf.meta.get("key_digest"),
+                key.digest,
+            )
+            self._discard(path)
+            self.misses += 1
+            return None
+        self._remember(key.digest, buf)
+        self.hits += 1
+        return buf
+
+    def put(self, key: TraceKey, buffer: TraceBuffer) -> None:
+        """File a finished capture under ``key`` (memory + disk)."""
+        self._remember(key.digest, buffer)
+        path = self._path_of(key)
+        if path is not None:
+            buffer.save(path)
+
+    # -- maintenance / CLI ---------------------------------------------------
+
+    def entries(self) -> Iterator[tuple[Path, TraceBuffer | None]]:
+        """All on-disk entries as ``(path, buffer-or-None-if-bad)``."""
+        if self.root is None or not self.root.exists():
+            return
+        for path in sorted(self.root.glob(f"*{TRACE_SUFFIX}")):
+            try:
+                yield path, TraceBuffer.load(path)
+            except TraceError:
+                yield path, None
+
+    def gc(self, *, drop_all: bool = False) -> list[Path]:
+        """Delete unreadable entries (or every entry with ``drop_all``)."""
+        removed = []
+        for path, buf in list(self.entries()):
+            if drop_all or buf is None:
+                self._discard(path)
+                removed.append(path)
+        if drop_all:
+            self._memory.clear()
+        return removed
+
+    def clear_memory(self) -> None:
+        """Drop the in-process tier (used before forking workers)."""
+        self._memory.clear()
+
+    # -- internals -----------------------------------------------------------
+
+    def _path_of(self, key: TraceKey) -> Path | None:
+        return self.root / key.filename if self.root is not None else None
+
+    def _remember(self, digest: str, buf: TraceBuffer) -> None:
+        self._memory[digest] = buf
+        self._memory.move_to_end(digest)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing worker already won
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = str(self.root) if self.root is not None else "memory-only"
+        return (
+            f"TraceStore({where}, {len(self._memory)} cached, "
+            f"{self.hits} hits / {self.misses} misses)"
+        )

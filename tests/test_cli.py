@@ -168,3 +168,148 @@ class TestSweepCommand:
     def test_figures_jobs_flag_parses(self):
         args = build_parser().parse_args(["figures", "--jobs", "3"])
         assert args.jobs == 3
+
+
+class TestTraceStoreCommands:
+    """The ``repro trace ls/info/gc`` store-maintenance verbs."""
+
+    def _populate(self, trace_dir):
+        from repro.sim.driver import PlatformConfig, run_benchmark
+        from repro.trace import TraceStore
+
+        run_benchmark(
+            "STREAM",
+            platform=PlatformConfig(accesses=600),
+            trace_store=TraceStore(trace_dir),
+        )
+
+    def test_ls_lists_captures(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert main(["trace", "ls", "--trace-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "STREAM" in out and ".rtrace" in out
+
+    def test_ls_empty_dir(self, tmp_path, capsys):
+        assert main(["trace", "ls", "--trace-dir", str(tmp_path)]) == 0
+        assert "no traces" in capsys.readouterr().out
+
+    def test_info_prints_key_payload(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        name = next(tmp_path.glob("*.rtrace")).name
+        assert main(["trace", "info", name, "--trace-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "records" in out and "key.benchmark" in out
+
+    def test_info_missing_file(self, tmp_path, capsys):
+        assert main(["trace", "info", "nope.rtrace", "--trace-dir", str(tmp_path)]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_info_requires_file_argument(self, capsys):
+        assert main(["trace", "info"]) == 2
+        assert "requires" in capsys.readouterr().err
+
+    def test_gc_removes_corrupt_entries_only(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        (tmp_path / "bad.rtrace").write_bytes(b"junk")
+        assert main(["trace", "gc", "--trace-dir", str(tmp_path)]) == 0
+        assert "bad.rtrace" in capsys.readouterr().out
+        assert not (tmp_path / "bad.rtrace").exists()
+        assert len(list(tmp_path.glob("*.rtrace"))) == 1
+
+    def test_gc_all(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert main(["trace", "gc", "--all", "--trace-dir", str(tmp_path)]) == 0
+        assert not list(tmp_path.glob("*.rtrace"))
+
+    def test_gc_requires_trace_dir(self, capsys):
+        assert main(["trace", "gc"]) == 2
+        assert "--trace-dir" in capsys.readouterr().err
+
+    def test_capture_requires_file_argument(self, capsys):
+        assert main(["trace", "STREAM"]) == 2
+        assert "requires" in capsys.readouterr().err
+
+    def test_sweep_trace_dir_populates_store(self, tmp_path, capsys):
+        sweep_args = [
+            "sweep", "--accesses", "900", "--benchmarks", "STREAM",
+            "--configs", "uncoalesced,combined", "--quiet",
+            "--trace-dir", str(tmp_path / "traces"),
+        ]
+        assert main(sweep_args) == 0
+        # Both configs share one capture of the front end.
+        assert len(list((tmp_path / "traces").glob("*.rtrace"))) == 1
+
+
+class TestPerfUpdateBaseline:
+    """The digest gate of ``perf --update-baseline``."""
+
+    @staticmethod
+    def _case(digest, wall=0.1):
+        return {
+            "benchmark": "STREAM",
+            "config": "combined",
+            "accesses": 600,
+            "seed": 0,
+            "kind": "sim",
+            "digest": digest,
+            "wall_seconds": wall,
+            "requests_per_second": 1000.0,
+            "normalized_throughput": 50.0,
+        }
+
+    def _report(self, digest, name="STREAM/combined@600"):
+        return {
+            "schema": 1,
+            "suite": "test",
+            "calibration_seconds": 0.05,
+            "cases": {name: self._case(digest)},
+        }
+
+    def _args(self, path, force=False):
+        import argparse
+
+        return argparse.Namespace(baseline=str(path), force=force, threshold=0.25)
+
+    def test_refuses_on_digest_change_without_force(self, tmp_path, capsys):
+        from repro.__main__ import _update_baseline
+        from repro.perf import save_report
+
+        baseline = tmp_path / "baseline.json"
+        save_report(self._report("aaa"), baseline)
+        assert _update_baseline(self._report("bbb"), self._args(baseline)) == 1
+        err = capsys.readouterr().err
+        assert "refusing" in err and "--force" in err
+        from repro.perf import load_report
+
+        assert load_report(baseline)["cases"]["STREAM/combined@600"]["digest"] == "aaa"
+
+    def test_force_overwrites_changed_digest(self, tmp_path, capsys):
+        from repro.__main__ import _update_baseline
+        from repro.perf import load_report, save_report
+
+        baseline = tmp_path / "baseline.json"
+        save_report(self._report("aaa"), baseline)
+        assert _update_baseline(
+            self._report("bbb"), self._args(baseline, force=True)
+        ) == 0
+        assert load_report(baseline)["cases"]["STREAM/combined@600"]["digest"] == "bbb"
+
+    def test_merge_keeps_cases_not_rerun(self, tmp_path, capsys):
+        from repro.__main__ import _update_baseline
+        from repro.perf import load_report, save_report
+
+        baseline = tmp_path / "baseline.json"
+        save_report(self._report("aaa"), baseline)
+        update = self._report("ccc", name="SG/combined@600")
+        update["cases"]["SG/combined@600"]["benchmark"] = "SG"
+        assert _update_baseline(update, self._args(baseline)) == 0
+        cases = load_report(baseline)["cases"]
+        assert set(cases) == {"STREAM/combined@600", "SG/combined@600"}
+
+    def test_creates_baseline_when_absent(self, tmp_path, capsys):
+        from repro.__main__ import _update_baseline
+        from repro.perf import load_report
+
+        baseline = tmp_path / "baseline.json"
+        assert _update_baseline(self._report("aaa"), self._args(baseline)) == 0
+        assert load_report(baseline)["cases"]

@@ -1,0 +1,131 @@
+"""TraceBuffer: columnar capture, binary roundtrip, format errors."""
+
+import pytest
+
+from repro.cache.tracer import TraceRecord
+from repro.core.request import MemoryRequest, RequestType
+from repro.trace.buffer import (
+    TRACE_MAGIC,
+    TraceBuffer,
+    TraceError,
+    TraceIntegrityError,
+    TraceVersionError,
+)
+
+
+def _record(addr, rtype=RequestType.LOAD, cycle=0, **flags):
+    if rtype is RequestType.FENCE:
+        request = MemoryRequest(addr=0, rtype=RequestType.FENCE)
+    else:
+        request = MemoryRequest(
+            addr=addr, rtype=rtype, size=64, requested_bytes=8
+        )
+    return TraceRecord(request=request, cycle=cycle, **flags)
+
+
+def _sample_buffer():
+    buf = TraceBuffer()
+    buf.append_record(_record(0x1000, cycle=1))
+    buf.append_record(_record(0x1040, RequestType.STORE, cycle=2))
+    buf.append_record(_record(0x2000, cycle=3, is_writeback=True))
+    buf.append_record(_record(0x3000, cycle=4, is_secondary=True))
+    buf.append_record(_record(0, RequestType.FENCE, cycle=5))
+    buf.append_record(_record(0x4000, cycle=6, is_prefetch=True))
+    return buf.finalize(
+        benchmark="SG",
+        cpu_accesses=10,
+        compute_cycles_per_access=2.0,
+        secondary_misses=1,
+        key_digest="abc123",
+    )
+
+
+class TestCaptureAccounting:
+    def test_len_and_last_cycle(self):
+        buf = _sample_buffer()
+        assert len(buf) == 6
+        assert buf.last_cycle == 6
+
+    def test_meta_mirrors_tracer_accounting(self):
+        meta = _sample_buffer().meta
+        assert meta["llc_requests"] == 5  # the fence does not count
+        assert meta["fences"] == 1
+        assert meta["writebacks"] == 1
+        assert meta["prefetches"] == 1
+        assert meta["kinds"] == {
+            "miss": 2,
+            "secondary_miss": 1,
+            "writeback": 1,
+            "prefetch": 1,
+        }
+
+    def test_tracer_stats_view(self):
+        stats = _sample_buffer().tracer_stats()
+        assert stats.cpu_accesses == 10
+        assert stats.llc_requests == 5
+        assert stats.requested_bytes == 5 * 8
+
+
+class TestRoundtrip:
+    def test_bytes_roundtrip_preserves_rows(self):
+        buf = _sample_buffer()
+        clone = TraceBuffer.from_bytes(buf.to_bytes())
+        assert list(clone.cycles) == list(buf.cycles)
+        assert list(clone.addrs) == list(buf.addrs)
+        assert list(clone.flags) == list(buf.flags)
+        assert clone.meta == buf.meta
+
+    def test_records_reconstruct_requests_and_flags(self):
+        records = list(TraceBuffer.from_bytes(_sample_buffer().to_bytes()).records())
+        assert records[0].request.addr == 0x1000
+        assert records[0].request.rtype is RequestType.LOAD
+        assert records[1].request.rtype is RequestType.STORE
+        assert records[2].is_writeback
+        assert records[3].is_secondary
+        assert records[4].request.is_fence
+        assert records[5].is_prefetch
+
+    def test_save_load_roundtrip(self, tmp_path):
+        buf = _sample_buffer()
+        path = buf.save(tmp_path / "t.rtrace")
+        assert TraceBuffer.load(path).digest() == buf.digest()
+
+    def test_save_is_atomic_no_temp_left_behind(self, tmp_path):
+        _sample_buffer().save(tmp_path / "t.rtrace")
+        assert [p.name for p in tmp_path.iterdir()] == ["t.rtrace"]
+
+    def test_digest_is_content_stable(self):
+        assert _sample_buffer().digest() == _sample_buffer().digest()
+
+
+class TestFormatErrors:
+    def test_bad_magic(self):
+        data = bytearray(_sample_buffer().to_bytes())
+        data[:4] = b"XXXX"
+        with pytest.raises(TraceError):
+            TraceBuffer.from_bytes(bytes(data))
+
+    def test_truncated_header(self):
+        with pytest.raises(TraceError):
+            TraceBuffer.from_bytes(TRACE_MAGIC + b"\x00")
+
+    def test_truncated_payload(self):
+        data = _sample_buffer().to_bytes()
+        with pytest.raises(TraceError):
+            TraceBuffer.from_bytes(data[: len(data) // 2])
+
+    def test_flipped_byte_fails_integrity(self):
+        data = bytearray(_sample_buffer().to_bytes())
+        data[-40] ^= 0xFF  # inside the column payloads
+        with pytest.raises(TraceIntegrityError):
+            TraceBuffer.from_bytes(bytes(data))
+
+    def test_version_mismatch(self):
+        import hashlib
+        import struct
+
+        data = bytearray(_sample_buffer().to_bytes())[:-32]
+        struct.pack_into("<H", data, len(TRACE_MAGIC), 99)
+        data += hashlib.sha256(bytes(data)).digest()  # keep integrity valid
+        with pytest.raises(TraceVersionError):
+            TraceBuffer.from_bytes(bytes(data))

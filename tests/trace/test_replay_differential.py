@@ -1,0 +1,65 @@
+"""Differential test: replayed runs are bit-identical to live runs.
+
+For each workload, run live, then capture-through-store, then replay
+from the store (in a fresh store instance so the disk format is on the
+path), and require all three :func:`result_digest` values to be equal.
+The digest covers the full result serialization plus every metric
+value, so equality here is the trace layer's bit-exactness contract.
+"""
+
+import pytest
+
+from repro.perf.digest import result_digest
+from repro.sim.driver import PlatformConfig, run_benchmark
+from repro.sim.sweep import FIGURE_CONFIGS
+from repro.trace import TraceStore
+
+#: Front-end-dominated, back-end-saturated and mid-range workloads.
+WORKLOADS = ("SparseLU", "SG", "STREAM", "FT")
+
+
+@pytest.mark.parametrize("bench", WORKLOADS)
+@pytest.mark.parametrize("config", ("uncoalesced", "combined"))
+def test_live_capture_replay_digests_match(tmp_path, bench, config):
+    platform = PlatformConfig(accesses=900)
+    coalescer = FIGURE_CONFIGS[config]
+
+    live = run_benchmark(bench, platform=platform, coalescer=coalescer)
+
+    capture_store = TraceStore(tmp_path)
+    captured = run_benchmark(
+        bench,
+        platform=platform,
+        coalescer=coalescer,
+        trace_store=capture_store,
+    )
+    assert capture_store.misses == 1 and capture_store.hits == 0
+
+    replay_store = TraceStore(tmp_path)  # fresh instance: disk tier path
+    replayed = run_benchmark(
+        bench,
+        platform=platform,
+        coalescer=coalescer,
+        trace_store=replay_store,
+    )
+    assert replay_store.hits == 1
+
+    assert (
+        result_digest(live)
+        == result_digest(captured)
+        == result_digest(replayed)
+    )
+
+
+def test_one_capture_serves_every_coalescer_config(tmp_path):
+    """The sweep contract: four configs, one trace file on disk."""
+    platform = PlatformConfig(accesses=900)
+    store = TraceStore(tmp_path)
+    for cfg in FIGURE_CONFIGS.values():
+        live = run_benchmark("STREAM", platform=platform, coalescer=cfg)
+        shared = run_benchmark(
+            "STREAM", platform=platform, coalescer=cfg, trace_store=store
+        )
+        assert result_digest(live) == result_digest(shared)
+    assert store.misses == 1 and store.hits == len(FIGURE_CONFIGS) - 1
+    assert len(list(store.entries())) == 1

@@ -1,0 +1,202 @@
+"""TraceStore: key contract, LRU/disk tiers, failure-mode fallback.
+
+The failure-mode contract (ISSUE): a corrupt, truncated,
+version-mismatched or key-mismatched disk entry must be logged and
+treated as a miss -- the caller falls back to live capture whose
+``put`` overwrites the bad file -- and must never crash a run or serve
+stale rows.
+"""
+
+import hashlib
+import struct
+
+import pytest
+
+from repro.sim.driver import PlatformConfig, run_benchmark
+from repro.sim.sweep import FIGURE_CONFIGS
+from repro.trace.buffer import TRACE_MAGIC, TraceBuffer
+from repro.trace.store import TraceStore, canonical_benchmark, trace_key
+
+
+def _platform(**kwargs):
+    kwargs.setdefault("accesses", 600)
+    return PlatformConfig(**kwargs)
+
+
+def _key(benchmark="STREAM", **kwargs):
+    return trace_key(benchmark, _platform(**kwargs))
+
+
+def _capture(key, tmp_root=None, **platform_kwargs):
+    """A tiny real capture filed under ``key`` in a fresh store."""
+    store = TraceStore(tmp_root)
+    run_benchmark(
+        key.benchmark,
+        platform=_platform(**platform_kwargs),
+        coalescer=FIGURE_CONFIGS["combined"],
+        trace_store=store,
+    )
+    return store
+
+
+class TestKeyContract:
+    def test_canonical_benchmark_is_case_insensitive(self):
+        assert canonical_benchmark("stream") == canonical_benchmark("STREAM")
+        with pytest.raises(KeyError):
+            canonical_benchmark("nope")
+
+    def test_front_end_inputs_change_the_key(self):
+        base = _key()
+        assert _key(seed=7).digest != base.digest
+        assert _key(accesses=601).digest != base.digest
+
+    def test_downstream_config_does_not_change_the_key(self):
+        base = trace_key("STREAM", PlatformConfig(accesses=600))
+        coalesced = trace_key(
+            "STREAM",
+            PlatformConfig(accesses=600).with_coalescer(
+                FIGURE_CONFIGS["combined"]
+            ),
+        )
+        assert base.digest == coalesced.digest
+
+    def test_filename_carries_benchmark_and_digest(self):
+        key = _key()
+        assert key.filename.startswith("STREAM-")
+        assert key.filename.endswith(".rtrace")
+
+
+class TestTiers:
+    def test_memory_only_store_hits_within_process(self):
+        key = _key()
+        store = _capture(key)
+        assert store.get(key) is not None
+        assert store.hits >= 1
+
+    def test_disk_tier_survives_a_fresh_store(self, tmp_path):
+        key = _key()
+        _capture(key, tmp_path)
+        fresh = TraceStore(tmp_path)
+        buf = fresh.get(key)
+        assert buf is not None and len(buf) > 0
+        assert fresh.hits == 1
+
+    def test_lru_evicts_oldest_memory_entry(self):
+        store = TraceStore(max_memory_entries=2)
+        keys = [_key(seed=s) for s in range(3)]
+        for k in keys:
+            store.put(k, TraceBuffer())
+        assert store.get(keys[0]) is None  # evicted, no disk tier
+        assert store.get(keys[2]) is not None
+
+
+class TestFailureModes:
+    """Every bad-entry flavour degrades to a logged live re-capture."""
+
+    def _path(self, key, tmp_path):
+        return tmp_path / key.filename
+
+    def _assert_falls_back_and_overwrites(self, key, tmp_path, caplog):
+        store = TraceStore(tmp_path)
+        with caplog.at_level("WARNING", logger="repro.trace"):
+            assert store.get(key) is None  # never raises, never stale
+        assert store.misses == 1
+        assert any("re-capturing live" in r.message for r in caplog.records)
+        assert not self._path(key, tmp_path).exists()  # bad file removed
+        # The live fallback's put overwrites it with a good entry.
+        _capture(key, tmp_path)
+        assert TraceStore(tmp_path).get(key) is not None
+
+    def test_corrupt_garbage_file(self, tmp_path, caplog):
+        key = _key()
+        self._path(key, tmp_path).write_bytes(b"not a trace at all")
+        self._assert_falls_back_and_overwrites(key, tmp_path, caplog)
+
+    def test_truncated_file(self, tmp_path, caplog):
+        key = _key()
+        _capture(key, tmp_path)
+        path = self._path(key, tmp_path)
+        path.write_bytes(path.read_bytes()[:-100])
+        self._assert_falls_back_and_overwrites(key, tmp_path, caplog)
+
+    def test_version_mismatch(self, tmp_path, caplog):
+        key = _key()
+        _capture(key, tmp_path)
+        path = self._path(key, tmp_path)
+        data = bytearray(path.read_bytes())[:-32]
+        struct.pack_into("<H", data, len(TRACE_MAGIC), 99)
+        path.write_bytes(bytes(data) + hashlib.sha256(bytes(data)).digest())
+        self._assert_falls_back_and_overwrites(key, tmp_path, caplog)
+
+    def test_payload_digest_mismatch(self, tmp_path, caplog):
+        key = _key()
+        _capture(key, tmp_path)
+        path = self._path(key, tmp_path)
+        data = bytearray(path.read_bytes())
+        data[-40] ^= 0xFF
+        path.write_bytes(bytes(data))
+        self._assert_falls_back_and_overwrites(key, tmp_path, caplog)
+
+    def test_stale_key_digest_is_discarded(self, tmp_path, caplog):
+        # A readable trace filed under this key's name but captured for
+        # different inputs must not be served.
+        key, other = _key(), _key(seed=99)
+        _capture(other, tmp_path, seed=99)
+        (tmp_path / other.filename).rename(tmp_path / key.filename)
+        self._assert_falls_back_and_overwrites(key, tmp_path, caplog)
+
+    def test_replay_after_corruption_is_bit_exact(self, tmp_path):
+        # End to end: corrupting the store mid-sequence never changes
+        # results, it only costs a re-capture.
+        from repro.perf.digest import result_digest
+
+        key = _key()
+        platform = PlatformConfig(accesses=600)
+        coalescer = FIGURE_CONFIGS["combined"]
+        live = result_digest(
+            run_benchmark("STREAM", platform=platform, coalescer=coalescer)
+        )
+        _capture(key, tmp_path)
+        self._path(key, tmp_path).write_bytes(b"garbage")
+        store = TraceStore(tmp_path)
+        recaptured = result_digest(
+            run_benchmark(
+                "STREAM",
+                platform=platform,
+                coalescer=coalescer,
+                trace_store=store,
+            )
+        )
+        replayed = result_digest(
+            run_benchmark(
+                "STREAM",
+                platform=platform,
+                coalescer=coalescer,
+                trace_store=TraceStore(tmp_path),
+            )
+        )
+        assert live == recaptured == replayed
+
+
+class TestMaintenance:
+    def test_entries_reports_bad_files_as_none(self, tmp_path):
+        key = _key()
+        _capture(key, tmp_path)
+        (tmp_path / "bad.rtrace").write_bytes(b"junk")
+        got = {p.name: buf for p, buf in TraceStore(tmp_path).entries()}
+        assert got["bad.rtrace"] is None
+        assert got[key.filename] is not None
+
+    def test_gc_removes_only_unreadable_entries(self, tmp_path):
+        key = _key()
+        _capture(key, tmp_path)
+        (tmp_path / "bad.rtrace").write_bytes(b"junk")
+        removed = TraceStore(tmp_path).gc()
+        assert [p.name for p in removed] == ["bad.rtrace"]
+        assert (tmp_path / key.filename).exists()
+
+    def test_gc_drop_all(self, tmp_path):
+        _capture(_key(), tmp_path)
+        store = TraceStore(tmp_path)
+        assert store.gc(drop_all=True)
+        assert not list(store.entries())
