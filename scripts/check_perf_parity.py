@@ -19,6 +19,12 @@ plus the flattened metrics registry -- equality means the same
    then replay-from-store; all three digests must be identical, and the
    replayed run must actually have hit the store.
 
+3. **Engine parity.**  The columnar kernel engine
+   (:mod:`repro.kernels`) re-executes capture and replay as batched
+   NumPy passes; the object engine is retained verbatim as the
+   reference.  Each cell runs end to end under ``engine="object"`` and
+   ``engine="vector"`` and the two digests must be identical.
+
 Exit status 0 on parity, 1 on any divergence.
 
 Usage::
@@ -131,10 +137,41 @@ def check_replay_parity(problems: list[str]) -> None:
             print(f"  replay {label}: {live[:16]}... OK")
 
 
+def check_engine_parity(problems: list[str]) -> None:
+    for benchmark, config_name in CASES:
+        platform = PlatformConfig(accesses=ACCESSES)
+        coalescer = FIGURE_CONFIGS[config_name]
+        label = f"{benchmark}/{config_name}"
+        obj = result_digest(
+            run_benchmark(
+                benchmark,
+                platform=platform,
+                coalescer=coalescer,
+                engine="object",
+            )
+        )
+        vec = result_digest(
+            run_benchmark(
+                benchmark,
+                platform=platform,
+                coalescer=coalescer,
+                engine="vector",
+            )
+        )
+        if obj != vec:
+            problems.append(
+                f"{label}: engine digest mismatch: "
+                f"object={obj[:16]} vector={vec[:16]}"
+            )
+        else:
+            print(f"  engine {label}: {obj[:16]}... OK")
+
+
 def main() -> int:
     problems: list[str] = []
     check_mshr_parity(problems)
     check_replay_parity(problems)
+    check_engine_parity(problems)
 
     if problems:
         print("perf parity check FAILED:", file=sys.stderr)
@@ -143,8 +180,9 @@ def main() -> int:
         return 1
 
     print(
-        f"perf parity OK: {len(CASES)} MSHR cells and "
-        f"{len(REPLAY_CASES)} live-vs-replay cells produce "
+        f"perf parity OK: {len(CASES)} MSHR cells, "
+        f"{len(REPLAY_CASES)} live-vs-replay cells and "
+        f"{len(CASES)} object-vs-vector engine cells produce "
         "bit-identical digests"
     )
     return 0

@@ -34,7 +34,13 @@ Commands
     (best-of-``--repeats`` wall time, simulated requests/second and a
     result digest per case), write ``BENCH_perf.json``, and compare
     against the checked-in baseline, failing on throughput regressions
-    beyond ``--threshold`` or on any digest mismatch.
+    beyond ``--threshold`` or on any digest mismatch.  ``--filter``
+    scopes the suite (substring or glob over case names), ``--list``
+    prints the case names instead of running.
+
+``run``/``stats``/``profile`` take ``--engine object|vector`` to pick
+the kernel execution engine (bit-identical results either way; see
+``docs/architecture.md``).
 """
 
 from __future__ import annotations
@@ -71,7 +77,9 @@ def _cmd_run(args) -> int:
 
     platform = PlatformConfig(accesses=args.accesses, seed=args.seed)
     # Both runs share one LLC capture through the default trace store.
-    base, coal = run_baseline_and_coalesced(args.benchmark, platform=platform)
+    base, coal = run_baseline_and_coalesced(
+        args.benchmark, platform=platform, engine=args.engine
+    )
     rows = [
         ["LLC requests", base.coalescer.llc_requests, coal.coalescer.llc_requests],
         ["HMC requests", base.hmc.requests, coal.hmc.requests],
@@ -276,7 +284,7 @@ def _cmd_stats(args) -> int:
     from repro.sim.driver import PlatformConfig, run_benchmark
 
     platform = PlatformConfig(accesses=args.accesses, seed=args.seed)
-    result = run_benchmark(args.benchmark, platform=platform)
+    result = run_benchmark(args.benchmark, platform=platform, engine=args.engine)
     registry = result.metrics
     assert registry is not None
     if args.out:
@@ -304,7 +312,9 @@ def _cmd_profile(args) -> int:
 
     platform = PlatformConfig(accesses=args.accesses, seed=args.seed)
     profiler = PhaseProfiler()
-    result = run_benchmark(args.benchmark, platform=platform, profiler=profiler)
+    result = run_benchmark(
+        args.benchmark, platform=platform, profiler=profiler, engine=args.engine
+    )
     print(profiler.format_table(title=f"{result.benchmark} simulator profile"))
     print(
         f"total {profiler.total() * 1e3:.1f} ms for "
@@ -421,6 +431,22 @@ def _update_baseline(report: dict, args) -> int:
     return 0
 
 
+def _filter_cases(cases, pattern):
+    """Scope a suite to case names matching ``pattern``.
+
+    A pattern containing glob metacharacters (``*?[``) is matched with
+    :func:`fnmatch.fnmatchcase`; anything else is a plain substring
+    test, so ``--filter vector_`` picks out both kernel-engine kinds.
+    """
+    if not pattern:
+        return cases
+    if any(ch in pattern for ch in "*?["):
+        from fnmatch import fnmatchcase
+
+        return tuple(c for c in cases if fnmatchcase(c.name, pattern))
+    return tuple(c for c in cases if pattern in c.name)
+
+
 def _cmd_perf(args) -> int:
     import os
 
@@ -438,6 +464,18 @@ def _cmd_perf(args) -> int:
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
+    cases = _filter_cases(cases, args.filter)
+    if not cases:
+        print(
+            f"--filter {args.filter!r} matches no case in suite "
+            f"{args.suite!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.list:
+        for case in cases:
+            print(case.name)
+        return 0
 
     report = run_suite(
         cases,
@@ -504,10 +542,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the 12 benchmarks").set_defaults(fn=_cmd_list)
 
+    def add_engine_flag(p):
+        from repro.kernels import DEFAULT_ENGINE, ENGINES
+
+        p.add_argument(
+            "--engine",
+            choices=ENGINES,
+            default=None,
+            help="kernel execution engine: object (reference) or "
+            f"vector (columnar fast paths; default {DEFAULT_ENGINE})",
+        )
+
     run = sub.add_parser("run", help="run one benchmark, baseline vs coalesced")
     run.add_argument("benchmark")
     run.add_argument("--accesses", type=int, default=24_000)
     run.add_argument("--seed", type=int, default=0)
+    add_engine_flag(run)
     run.set_defaults(fn=_cmd_run)
 
     figures = sub.add_parser("figures", help="regenerate every paper figure")
@@ -626,6 +676,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="omit stage-timeline events from the JSON export",
     )
+    add_engine_flag(stats)
     stats.set_defaults(fn=_cmd_stats)
 
     profile = sub.add_parser(
@@ -634,6 +685,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("benchmark")
     profile.add_argument("--accesses", type=int, default=12_000)
     profile.add_argument("--seed", type=int, default=0)
+    add_engine_flag(profile)
     profile.set_defaults(fn=_cmd_profile)
 
     perf = sub.add_parser(
@@ -684,6 +736,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-compare",
         action="store_true",
         help="only measure and write the report",
+    )
+    perf.add_argument(
+        "--filter",
+        help="only run cases whose name contains this substring "
+        "(or matches it as a glob when it contains *?[)",
+    )
+    perf.add_argument(
+        "--list",
+        action="store_true",
+        help="print the suite's case names (after --filter) and exit",
     )
     perf.add_argument(
         "--quiet", action="store_true", help="suppress per-case progress lines"

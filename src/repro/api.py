@@ -81,6 +81,13 @@ class Session:
         replays it bit-identically; ``trace_dir`` additionally
         persists captures across Sessions and ships them to sweep
         worker processes.
+    engine:
+        Kernel execution engine for the session's in-process runs:
+        ``"object"`` (the reference interpreter) or ``"vector"``
+        (columnar NumPy fast paths).  ``None`` takes the library
+        default (:data:`repro.kernels.DEFAULT_ENGINE`).  Engine choice
+        never changes results -- the vector engine is bit-exact -- so
+        it is a Session knob, not a platform parameter.
     """
 
     def __init__(
@@ -92,6 +99,7 @@ class Session:
         jobs: int = 1,
         checkpoint_dir: str | Path | None = None,
         trace_dir: str | Path | None = None,
+        engine: str | None = None,
     ):
         base = platform or PlatformConfig()
         if accesses is not None:
@@ -102,11 +110,13 @@ class Session:
         self.jobs = jobs
         self.checkpoint_dir = str(checkpoint_dir) if checkpoint_dir else None
         self.trace_dir = str(trace_dir) if trace_dir else None
+        self.engine = engine
         self._suite = EvaluationSuite(
             base,
             jobs=jobs,
             checkpoint_dir=self.checkpoint_dir,
             trace_dir=self.trace_dir,
+            engine=engine,
         )
 
     @property

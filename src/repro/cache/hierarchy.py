@@ -147,6 +147,166 @@ class CacheHierarchy:
             line_addr += line_size
         return events
 
+    def access_batch(
+        self, line_addrs, stores, cores, requested, cycles
+    ) -> list[tuple[int, int, int, int]]:
+        """Batch-equivalent of :meth:`access` over pre-split line rows.
+
+        The inputs are parallel per-line columns (one row per
+        ``_access_line`` call the sequential path would make, in stream
+        order): line address, store flag, issuing core, demand bytes
+        and the access's CPU cycle.  Returns the LLC events as
+        ``(row, kind, addr, requested_bytes)`` tuples in exactly the
+        order the sequential path would emit them, with ``kind`` 0 for
+        a miss, 1 for a secondary miss and 2 for a write-back.
+
+        Levels run as batches: L1 per core, then the L2 fill/lookup
+        stream each L1 outcome implies, then the (much smaller) LLC
+        stream walked sequentially so the shared in-flight window and
+        event order stay exact.  Not supported with ``llc_prefetch``
+        (prefetch decisions depend on LLC state mid-row); callers gate
+        on the config and fall back to :meth:`access`.
+        """
+        import numpy as np
+
+        if self.config.llc_prefetch:
+            raise ValueError("access_batch does not model llc_prefetch")
+
+        n = len(line_addrs)
+        line_col = np.asarray(line_addrs, dtype=np.int64)
+        store_col = np.asarray(stores, dtype=bool)
+        core_col = np.asarray(cores, dtype=np.int64)
+        if n and not (
+            (core_col >= 0).all() & (core_col < self.config.num_cores).all()
+        ):
+            bad = int(
+                core_col[(core_col < 0) | (core_col >= self.config.num_cores)][0]
+            )
+            raise ValueError(
+                f"thread_id {bad} out of range "
+                f"(num_cores={self.config.num_cores})"
+            )
+
+        # L1: private per core, so per-core sub-streams are independent.
+        l1_hits = np.zeros(n, dtype=bool)
+        l1_wb: list[tuple[int, int]] = []
+        for core in np.unique(core_col).tolist():
+            rows = np.nonzero(core_col == core)[0]
+            hits, wbs, _evs = self.l1[core].access_lines_batch(
+                line_col[rows], store_col[rows]
+            )
+            l1_hits[rows] = hits
+            rows_list = rows.tolist()
+            for pos, addr in wbs:
+                l1_wb.append((rows_list[pos], addr))
+        l1_wb.sort()
+
+        # L2 stream: per row, the fill of the L1 victim (if any) comes
+        # before the demand lookup (if the L1 missed) -- the order
+        # _access_line processes them in.
+        line_list = line_col.tolist()
+        miss_rows = np.nonzero(~l1_hits)[0].tolist()
+        l2_rows: list[int] = []
+        l2_lines: list[int] = []
+        l2_fill: list[bool] = []
+        i = j = 0
+        while i < len(l1_wb) or j < len(miss_rows):
+            if i < len(l1_wb) and (
+                j >= len(miss_rows) or l1_wb[i][0] <= miss_rows[j]
+            ):
+                row, addr = l1_wb[i]
+                i += 1
+                l2_rows.append(row)
+                l2_lines.append(addr)
+                l2_fill.append(True)  # fills store (is_store=True)
+            else:
+                row = miss_rows[j]
+                j += 1
+                l2_rows.append(row)
+                l2_lines.append(line_list[row])
+                l2_fill.append(False)  # demand lookups probe clean
+        m = len(l2_rows)
+
+        l2_hits = np.zeros(m, dtype=bool)
+        l2_wb: list[tuple[int, int]] = []
+        if m:
+            if self.config.l2_private and self.config.num_cores > 1:
+                entry_cores = core_col[np.asarray(l2_rows, dtype=np.int64)]
+                groups = [
+                    (core, np.nonzero(entry_cores == core)[0])
+                    for core in np.unique(entry_cores).tolist()
+                ]
+            else:
+                groups = [(0, np.arange(m))]
+            lines_arr = np.asarray(l2_lines, dtype=np.int64)
+            fill_arr = np.asarray(l2_fill, dtype=bool)
+            for core, entries in groups:
+                hits, wbs, _evs = self.l2[core].access_lines_batch(
+                    lines_arr[entries], fill_arr[entries]
+                )
+                l2_hits[entries] = hits
+                entries_list = entries.tolist()
+                for pos, addr in wbs:
+                    l2_wb.append((entries_list[pos], addr))
+            l2_wb.sort()
+
+        # LLC stream: per L2 entry, its dirty victim fills the LLC
+        # before the entry's own demand (an L2 lookup miss) probes it.
+        llc_stream: list[tuple[int, int, bool]] = []  # (row, addr, is_fill)
+        demand_entries = [
+            k for k in range(m) if not l2_fill[k] and not l2_hits[k]
+        ]
+        i = j = 0
+        while i < len(l2_wb) or j < len(demand_entries):
+            if i < len(l2_wb) and (
+                j >= len(demand_entries) or l2_wb[i][0] <= demand_entries[j]
+            ):
+                entry, addr = l2_wb[i]
+                i += 1
+                llc_stream.append((l2_rows[entry], addr, True))
+            else:
+                entry = demand_entries[j]
+                j += 1
+                llc_stream.append((l2_rows[entry], l2_lines[entry], False))
+
+        # The LLC sees few rows; walk them in order with the object
+        # lookup so the shared in-flight dict and stats stay exact.
+        events: list[tuple[int, int, int, int]] = []
+        llc_access = self.llc.access_line
+        inflight = self._inflight
+        fill_latency = self.config.llc_fill_latency
+        line_size = self.config.line_size
+        requested_list = (
+            requested
+            if isinstance(requested, list)
+            else np.asarray(requested).tolist()
+        )
+        cycle_list = (
+            cycles if isinstance(cycles, list) else np.asarray(cycles).tolist()
+        )
+        for row, addr, is_fill in llc_stream:
+            res = llc_access(addr, is_store=is_fill)
+            if res.writeback_addr is not None:
+                inflight.pop(res.writeback_addr, None)
+                events.append((row, 2, res.writeback_addr, line_size))
+            if res.evicted_addr is not None:
+                inflight.pop(res.evicted_addr, None)
+            if is_fill:
+                continue
+            if not res.hit:
+                if fill_latency:
+                    inflight[addr] = cycle_list[row] + fill_latency
+                events.append((row, 0, addr, requested_list[row]))
+            else:
+                ready = inflight.get(addr)
+                if ready is not None:
+                    if cycle_list[row] < ready:
+                        self.secondary_misses += 1
+                        events.append((row, 1, addr, requested_list[row]))
+                    else:
+                        del inflight[addr]
+        return events
+
     # -- internals ----------------------------------------------------------
 
     def _access_line(

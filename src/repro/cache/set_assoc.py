@@ -162,6 +162,97 @@ class SetAssociativeCache:
             return self._rng.choice(list(ways))
         return next(iter(ways))  # LRU / FIFO: oldest entry first
 
+    def access_lines_batch(
+        self, line_addrs, stores
+    ) -> tuple["np.ndarray", list[tuple[int, int]], list[tuple[int, int]]]:
+        """Batch-equivalent of :meth:`access_line` over a line stream.
+
+        Computes the set/tag columns with NumPy, then walks the stream
+        grouped by set: accesses to different sets never interact, and a
+        stable sort preserves each set's internal order, so per-set
+        processing reproduces the sequential outcomes exactly while the
+        inner loop keeps one set's state dict hot.
+
+        Returns ``(hits, writebacks, evictions)``: a bool array per
+        position, plus ``(position, victim_addr)`` pairs sorted by
+        position for dirty and clean victims respectively.  Statistics
+        update identically to the sequential path.
+        """
+        import numpy as np
+
+        n = len(line_addrs)
+        if self.config.replacement is Replacement.RANDOM:
+            # RANDOM consumes the shared rng in stream order; keep the
+            # sequential walk so victim choices stay reproducible.
+            hits = np.empty(n, dtype=bool)
+            writebacks: list[tuple[int, int]] = []
+            evictions: list[tuple[int, int]] = []
+            for pos in range(n):
+                res = self.access_line(
+                    int(line_addrs[pos]), is_store=bool(stores[pos])
+                )
+                hits[pos] = res.hit
+                if res.writeback_addr is not None:
+                    writebacks.append((pos, res.writeback_addr))
+                elif res.evicted_addr is not None:
+                    evictions.append((pos, res.evicted_addr))
+            return hits, writebacks, evictions
+
+        addrs = np.asarray(line_addrs, dtype=np.int64)
+        line_no = addrs >> self._line_shift
+        set_col = (line_no & self._set_mask).tolist()
+        tag_col = (line_no >> self._set_shift).tolist()
+        order = np.argsort(
+            np.asarray(set_col, dtype=np.int64), kind="stable"
+        ).tolist()
+        store_col = np.asarray(stores, dtype=bool).tolist()
+
+        hits = np.zeros(n, dtype=bool)
+        writebacks = []
+        evictions = []
+        sets = self._sets
+        assoc = self._assoc
+        is_lru = self._is_lru
+        tag_shift = self._set_shift + self._line_shift
+        n_hits = n_misses = n_evictions = n_writebacks = 0
+        current_set = -1
+        ways: dict[int, bool] = {}
+        set_base = 0
+        for pos in order:
+            set_index = set_col[pos]
+            if set_index != current_set:
+                current_set = set_index
+                ways = sets[set_index]
+                set_base = set_index << self._line_shift
+            tag = tag_col[pos]
+            if tag in ways:
+                n_hits += 1
+                hits[pos] = True
+                if is_lru:
+                    ways[tag] = ways.pop(tag) or store_col[pos]
+                else:
+                    ways[tag] = ways[tag] or store_col[pos]
+                continue
+            n_misses += 1
+            if len(ways) >= assoc:
+                victim_tag = next(iter(ways))
+                victim_dirty = ways.pop(victim_tag)
+                victim_addr = (victim_tag << tag_shift) | set_base
+                n_evictions += 1
+                if victim_dirty:
+                    n_writebacks += 1
+                    writebacks.append((pos, victim_addr))
+                else:
+                    evictions.append((pos, victim_addr))
+            ways[tag] = store_col[pos]
+        self.stats.hits += n_hits
+        self.stats.misses += n_misses
+        self.stats.evictions += n_evictions
+        self.stats.writebacks += n_writebacks
+        writebacks.sort()
+        evictions.sort()
+        return hits, writebacks, evictions
+
     def contains(self, line_addr: int) -> bool:
         """Whether the line is currently resident (no LRU update)."""
         set_index, tag = self._locate(line_addr)

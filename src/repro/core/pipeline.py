@@ -264,7 +264,7 @@ class PipelinedSortingNetwork:
         if request.is_fence:
             if self._buffer:
                 out.append(self._flush("fence", cycle))
-            out.append(self._fence_slot(cycle))
+            out.append(self.fence_slot(cycle))
             return out
 
         # A timeout is checked against the arrival clock: if the oldest
@@ -294,6 +294,12 @@ class PipelinedSortingNetwork:
         """Number of requests waiting in the front buffer."""
         return len(self._buffer)
 
+    def stages_for(self, count: int) -> int:
+        """Merge stages a ``count``-request sequence runs (stage select)."""
+        if self.config.stage_select_enabled:
+            return max(self.network.required_stages(count), 1)
+        return self.network.num_stages
+
     # -- internals ----------------------------------------------------------
 
     def _flush(self, reason: str, cycle: int) -> SortedSequence:
@@ -302,17 +308,9 @@ class PipelinedSortingNetwork:
         first_cycle = self._first_arrival_cycle or cycle
         self._first_arrival_cycle = None
 
-        n = self.config.sorter_width
         count = len(requests)
-        padding = n - count
-
-        # Stage select: short sequences need fewer merge stages.
-        if self.config.stage_select_enabled:
-            stages_used = self.network.required_stages(count)
-            stages_used = max(stages_used, 1)
-        else:
-            stages_used = self.network.num_stages
-        self.stats.stages_skipped += self.network.num_stages - stages_used
+        padding = self.config.sorter_width - count
+        stages_used = self.stages_for(count)
 
         # Sort on the extended key; padding slots use the maximal
         # invalid key so they sink to the end and are dropped.  The
@@ -328,6 +326,37 @@ class PipelinedSortingNetwork:
             if keyed[lo][0] > keyed[hi][0]:
                 keyed[lo], keyed[hi] = keyed[hi], keyed[lo]
         sorted_requests = [req for _, req in keyed if req is not None]
+
+        return self.emit_sorted(
+            sorted_requests,
+            count=count,
+            reason=reason,
+            cycle=cycle,
+            first_cycle=first_cycle,
+        )
+
+    def emit_sorted(
+        self,
+        sorted_requests: list[MemoryRequest],
+        *,
+        count: int,
+        reason: str,
+        cycle: int,
+        first_cycle: int,
+    ) -> SortedSequence:
+        """Account for one flushed sequence whose sort is already done.
+
+        All timing, statistics and metrics bookkeeping of a flush lives
+        here; :meth:`_flush` calls it after the comparator walk, and the
+        vector engine (:mod:`repro.kernels.replay`) calls it directly
+        with batch-precomputed orderings so both engines share one
+        digest-visible accounting implementation.  ``sorted_requests``
+        must hold the ``count`` valid requests in network output order,
+        padding already stripped.
+        """
+        padding = self.config.sorter_width - count
+        stages_used = self.stages_for(count)
+        self.stats.stages_skipped += self.network.num_stages - stages_used
 
         launch = max(cycle, self._stage1_free_cycle)
         self._stage1_free_cycle = launch + self.initiation_interval_cycles
@@ -366,7 +395,7 @@ class PipelinedSortingNetwork:
             flush_reason=reason,
         )
 
-    def _fence_slot(self, cycle: int) -> SortedSequence:
+    def fence_slot(self, cycle: int) -> SortedSequence:
         """Insert the pipeline slot a memory fence monopolizes."""
         launch = max(cycle, self._stage1_free_cycle)
         # The fence owns an entire stage slot; nothing overlaps it.

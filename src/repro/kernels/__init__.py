@@ -1,0 +1,54 @@
+"""Columnar kernel engine: vectorized NumPy fast paths.
+
+The simulator has two interchangeable execution engines:
+
+``"object"``
+    The reference path: per-request Python objects walked one at a
+    time through the cache hierarchy and the coalescer.  Retained
+    verbatim -- it is the semantic ground truth every optimization is
+    differentially tested against.
+
+``"vector"``
+    The columnar path (this package): capture runs the workload's
+    access columns through batched cache lookups
+    (:mod:`repro.kernels.capture`), and replay precomputes sorted
+    orderings for whole chunks of flush sequences with a NumPy
+    execution of the Batcher comparator schedule
+    (:mod:`repro.kernels.replay` / :mod:`repro.kernels.sortnet`).
+
+Both engines produce bit-identical :class:`~repro.sim.driver.SimulationResult`
+digests -- the vector engine is *exact*, not approximate.  That contract
+is enforced three ways: the engine-parity cells in
+``scripts/check_perf_parity.py``, the hypothesis differential tests
+under ``tests/kernels``/``tests/cache``, and the perf harness digest
+gate (``vector_*`` perf kinds must match their object-engine pair).
+
+Engine selection is an execution concern, never a platform parameter:
+it must not appear in :class:`~repro.sim.driver.PlatformConfig` (the
+platform echo is part of the result digest) and it never changes a
+result, only how fast the result is produced.  Configurations the
+vector engine cannot reproduce exactly (currently ``llc_prefetch``)
+fall back to the object path automatically.
+"""
+
+from __future__ import annotations
+
+#: The selectable execution engines, reference first.
+ENGINES = ("object", "vector")
+
+#: Engine used when callers pass ``engine=None``.
+DEFAULT_ENGINE = "vector"
+
+
+def resolve_engine(engine: str | None) -> str:
+    """Normalize an ``engine=`` argument, defaulting to the vector path."""
+    if engine is None:
+        return DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; options: {', '.join(ENGINES)}"
+        )
+    return engine
+
+
+__all__ = ["ENGINES", "DEFAULT_ENGINE", "resolve_engine"]

@@ -1,0 +1,238 @@
+"""Vectorized trace capture: workload columns to LLC miss stream.
+
+The object capture path walks every CPU access through Python objects:
+``Workload.accesses`` yields :class:`~repro.core.request.Access`
+instances one by one, :class:`~repro.cache.tracer.MemoryTracer`
+advances its clock per access, and the hierarchy splits each access
+into per-line lookups.  This module performs the same computation
+columnar-side-up:
+
+* the round-robin thread interleave becomes a ``lexsort`` over
+  (per-thread position, thread id) -- exactly the order
+  :func:`~repro.workloads.base.interleave_phases` yields with the
+  driver's ``burst=1``;
+* the tracer clock becomes a ``cumsum`` (NumPy's cumulative sum adds
+  sequentially, reproducing the tracer's float accumulation bit for
+  bit);
+* the access-to-line split becomes a ``repeat`` expansion;
+* cache lookups run through
+  :meth:`~repro.cache.hierarchy.CacheHierarchy.access_batch`, which
+  returns LLC events in the exact sequential order;
+* only the LLC port pacing remains a scalar loop, because it is a
+  running float recurrence (``emit = max(clock, prev_emit + port)``)
+  whose additions must happen in stream order -- but it runs over the
+  *miss stream*, a small fraction of the access stream.
+
+The resulting :class:`~repro.trace.buffer.TraceBuffer` is byte-for-byte
+identical to one teed off a live object-engine run (pinned by
+``tests/kernels/test_engine_parity.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.request import RequestType
+from repro.trace.buffer import (
+    TraceBuffer,
+    _FLAG_SECONDARY,
+    _FLAG_WRITEBACK,
+)
+from repro.workloads.base import Workload
+
+_FENCE_FLAGS = int(RequestType.FENCE)
+_WB_FLAGS = int(RequestType.STORE) | _FLAG_WRITEBACK
+
+#: ``MemoryRequest``'s default line size -- the ``size`` column value of
+#: every captured row, independent of the hierarchy's line geometry
+#: (the object path constructs events without passing ``size``).
+_ROW_SIZE = 64
+
+
+def supports_vector_capture(platform) -> bool:
+    """Whether the vector capture path models this platform exactly.
+
+    The next-line prefetcher consults live LLC state mid-row (``does
+    the LLC already hold line L+1?``), which the level-by-level batch
+    cannot reproduce; such platforms run the object path.
+    """
+    return not platform.hierarchy.llc_prefetch
+
+
+def _workload_columns(workload: Workload, total_accesses: int):
+    """The interleaved access stream as columns.
+
+    Returns ``(addr, size, store, tid, fence)`` arrays in global stream
+    order.  Workloads that keep the stock :meth:`Workload.accesses`
+    take the columnar route; anything that overrides the interleave
+    (custom bursts, fence injection, hand-written generators) is
+    materialized through the real iterator so its semantics -- whatever
+    they are -- stay authoritative.
+    """
+    if type(workload).accesses is not Workload.accesses:
+        addrs, sizes, stores, tids, fences = [], [], [], [], []
+        for access in workload.accesses(total_accesses):
+            if access.is_fence:
+                addrs.append(0)
+                sizes.append(0)
+                stores.append(False)
+                tids.append(0)
+                fences.append(True)
+            else:
+                addrs.append(access.addr)
+                sizes.append(access.size)
+                stores.append(access.is_store)
+                tids.append(access.thread_id)
+                fences.append(False)
+        return (
+            np.asarray(addrs, dtype=np.int64),
+            np.asarray(sizes, dtype=np.int64),
+            np.asarray(stores, dtype=bool),
+            np.asarray(tids, dtype=np.int64),
+            np.asarray(fences, dtype=bool),
+        )
+
+    n_each = max(1, total_accesses // workload.num_threads)
+    addr_parts, size_parts, store_parts, tid_parts, idx_parts = [], [], [], [], []
+    for tid in range(workload.num_threads):
+        rng = np.random.default_rng((workload.seed, tid, 0xC0A1E5CE))
+        phases = workload.thread_phases(tid, n_each, rng)
+        if phases:
+            addrs = np.concatenate([p.addrs for p in phases])
+            sizes = np.concatenate([p.sizes for p in phases])
+            stores = np.concatenate([p.stores for p in phases])
+        else:
+            addrs = np.empty(0, np.int64)
+            sizes = np.empty(0, np.int32)
+            stores = np.empty(0, bool)
+        addr_parts.append(addrs.astype(np.int64, copy=False))
+        size_parts.append(sizes.astype(np.int64))
+        store_parts.append(stores.astype(bool, copy=False))
+        tid_parts.append(np.full(len(addrs), tid, dtype=np.int64))
+        idx_parts.append(np.arange(len(addrs), dtype=np.int64))
+
+    addr = np.concatenate(addr_parts)
+    size = np.concatenate(size_parts)
+    store = np.concatenate(store_parts)
+    tid = np.concatenate(tid_parts)
+    idx = np.concatenate(idx_parts)
+    # Round-robin with burst=1: item k of every live thread, threads in
+    # id order -- i.e. sort by (per-thread position, thread id).
+    # Threads that run out simply stop appearing, same as the iterator.
+    order = np.lexsort((tid, idx))
+    fence = np.zeros(len(addr), dtype=bool)
+    return addr[order], size[order], store[order], tid[order], fence
+
+
+def batch_capture(
+    workload: Workload,
+    platform,
+    *,
+    llc_port_cycles: float = 1.0,
+) -> tuple[TraceBuffer, int, int]:
+    """Capture ``workload``'s LLC trace columnar; no coalescing.
+
+    Returns ``(buffer, cpu_accesses, secondary_misses)`` where
+    ``buffer`` holds the packed rows (not yet finalized -- the caller
+    owns the metadata).  ``llc_port_cycles`` mirrors the
+    :class:`~repro.cache.tracer.MemoryTracer` default the driver relies
+    on.  Callers must check :func:`supports_vector_capture` first.
+    """
+    hierarchy = CacheHierarchy(platform.hierarchy)
+    addr, size, store, tid, fence = _workload_columns(
+        workload, platform.accesses
+    )
+    n = len(addr)
+    buffer = TraceBuffer()
+    if not n:
+        return buffer, 0, 0
+
+    # Tracer clock: starts at 0.0, advances cycles_per_access *after*
+    # each access; cumsum performs the identical sequential float adds.
+    inc = np.full(n, platform.cycles_per_access, dtype=np.float64)
+    inc[0] = 0.0
+    clock_f = np.cumsum(inc)
+    int_clock = clock_f.astype(np.int64)
+
+    # Split non-fence accesses into per-line rows.
+    nf = np.nonzero(~fence)[0]
+    a = addr[nf]
+    sz = size[nf]
+    ls = hierarchy.config.line_size
+    first_line = a - (a % ls)
+    last = a + sz - 1
+    last_line = last - (last % ls)
+    counts = (last_line - first_line) // ls + 1
+    total_lines = int(counts.sum())
+    row_access = np.repeat(np.arange(len(nf), dtype=np.int64), counts)
+    k = np.arange(total_lines, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    line_addr = first_line[row_access] + k * ls
+    lo = np.maximum(a[row_access], line_addr)
+    hi = np.minimum((a + sz)[row_access], line_addr + ls)
+    row_global = nf[row_access]
+
+    events = hierarchy.access_batch(
+        line_addr,
+        store[nf][row_access],
+        tid[nf][row_access],
+        hi - lo,
+        int_clock[row_global],
+    )
+
+    # Port pacing + row encoding: a scalar walk over the (small) event
+    # stream, interleaving fence rows at their access positions.
+    clock_l = clock_f.tolist()
+    row_to_access = row_global.tolist()
+    store_l = store[nf][row_access].tolist()
+    fence_rows = np.nonzero(fence)[0].tolist()
+    cyc_out: list[int] = []
+    addr_out: list[int] = []
+    flag_out: list[int] = []
+    req_out: list[int] = []
+    port = llc_port_cycles
+    next_free = 0.0
+    fi = 0
+    n_fences = len(fence_rows)
+    for row, kind, eaddr, ereq in events:
+        acc = row_to_access[row]
+        while fi < n_fences and fence_rows[fi] < acc:
+            fa = fence_rows[fi]
+            fi += 1
+            cyc_out.append(int(clock_l[fa]))
+            addr_out.append(0)
+            flag_out.append(_FENCE_FLAGS)
+            req_out.append(0)
+        emit = clock_l[acc]
+        if port:
+            if next_free > emit:
+                emit = next_free
+            next_free = emit + port
+        if kind == 2:
+            fl = _WB_FLAGS
+        else:
+            fl = int(store_l[row])
+            if kind == 1:
+                fl |= _FLAG_SECONDARY
+        cyc_out.append(int(emit))
+        addr_out.append(eaddr)
+        flag_out.append(fl)
+        req_out.append(ereq)
+    while fi < n_fences:
+        fa = fence_rows[fi]
+        fi += 1
+        cyc_out.append(int(clock_l[fa]))
+        addr_out.append(0)
+        flag_out.append(_FENCE_FLAGS)
+        req_out.append(0)
+
+    buffer.extend_rows(
+        cyc_out,
+        addr_out,
+        flag_out,
+        np.full(len(cyc_out), _ROW_SIZE, dtype=np.uint32),
+        req_out,
+    )
+    return buffer, n, hierarchy.secondary_misses

@@ -1,0 +1,272 @@
+"""Vectorized trace replay: batch-precomputed sort orderings.
+
+The object replay loop constructs a :class:`MemoryRequest` per row and
+hands it to :meth:`MemoryCoalescer.push`, which buffers it in the
+sorting pipeline and eventually runs the comparator walk over each
+flushed sequence.  This engine inverts that flow: it partitions the
+row stream into flush sequences itself (the partition is a pure
+function of row cycles and the width/timeout/fence rules), precomputes
+the sorted orderings for whole *chunks* of upcoming sequences with one
+batched NumPy pass over the comparator schedule
+(:class:`~repro.kernels.sortnet.VectorSortNetwork`), and materializes
+requests directly in network output order via
+:meth:`~repro.core.pipeline.PipelinedSortingNetwork.emit_sorted`.
+
+The partition is *predicted*, not assumed: a stage-select bypass
+consumes a row without buffering it, which shifts every later sequence
+boundary.  Each flush therefore verifies the predicted group against
+the actual span and replans from the resume point on mismatch; a
+mismatch streak collapses the chunk size to 1, degrading gracefully to
+per-sequence planning.  Every digest-visible side effect -- stats,
+metrics, timeline entries, CRQ/MSHR interactions, drain cadence --
+replays the object path's call sequence exactly; the parity cells in
+``scripts/check_perf_parity.py`` and the differential tests pin it.
+
+Configurations without the DMC unit never sort (each row becomes a
+single-line packet), so they delegate to the object loop unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.address import INVALID_KEY, TYPE_BIT
+from repro.core.coalescer import MemoryCoalescer
+from repro.core.request import MemoryRequest, RequestType
+from repro.kernels.sortnet import VectorSortNetwork
+from repro.obs import PhaseProfiler
+from repro.trace.buffer import TraceBuffer
+from repro.trace.replay import replay_trace
+
+_TYPE_MASK = 0b11
+_FENCE_CODE = int(RequestType.FENCE)
+_LOAD = RequestType.LOAD
+_STORE = RequestType.STORE
+
+#: Flush sequences planned (and their permutations batch-computed)
+#: per chunk.
+_PLAN_CHUNK = 128
+#: Below this many sequences, the scalar permutation beats the batch.
+_MIN_BATCH_GROUPS = 4
+#: Consecutive plan mismatches before collapsing to per-sequence mode.
+_MAX_MISS_STREAK = 8
+
+
+def vector_replay(
+    buffer: TraceBuffer,
+    *,
+    coalescer: MemoryCoalescer,
+    profiler: PhaseProfiler | None = None,
+) -> int:
+    """Feed a captured trace into ``coalescer``; return the last cycle.
+
+    Drop-in replacement for :func:`repro.trace.replay.replay_trace`
+    with identical observable behaviour.  With a ``profiler``, column
+    precomputation is charged to the ``trace`` phase, the main loop to
+    ``coalesce`` and the end-of-trace retire to ``flush`` (the same
+    phase names the object path uses, at coarser grain).
+    """
+    config = coalescer.config
+    if not config.enable_dmc:
+        # No sorting pipeline in the loop -- nothing to batch.
+        return replay_trace(buffer, coalescer=coalescer, profiler=profiler)
+
+    clock = time.perf_counter
+    mark = clock()
+
+    cycles_a, addrs_a, flags_a, sizes_a, requested_a = buffer.columns()
+    n = len(cycles_a)
+    cycles_l = cycles_a.tolist()
+    addrs_l = addrs_a.tolist()
+    flags_l = flags_a.tolist()
+    sizes_l = sizes_a.tolist()
+    requested_l = requested_a.tolist()
+    if n:
+        addr_np = np.frombuffer(addrs_a, dtype=np.uint64).astype(np.int64)
+        flag_np = np.frombuffer(flags_a, dtype=np.uint8)
+        keys_np = addr_np | ((flag_np & 0b01).astype(np.int64) << TYPE_BIT)
+    else:
+        keys_np = np.empty(0, dtype=np.int64)
+    keys_l = keys_np.tolist()
+
+    pipeline = coalescer.pipeline
+    vsn = VectorSortNetwork(pipeline.network)
+    width = config.sorter_width
+    timeout = config.timeout_cycles
+    complete = coalescer._complete_up_to
+    drain_crq = coalescer._drain_crq
+    handle = coalescer._handle_sequence
+    can_bypass = coalescer._can_bypass
+    crq = coalescer.crq
+    emit_sorted = pipeline.emit_sorted
+
+    span: list[int] = []
+    first = 0
+    llc_count = 0
+    plan_groups: list[list[int]] = []
+    plan_perms: list[list[int]] = []
+    plan_pos = 0
+    chunk = _PLAN_CHUNK
+    miss_streak = 0
+
+    def plan_from(start: int, budget: int) -> list[list[int]]:
+        """Predict the next ``budget`` flush sequences from row ``start``.
+
+        Mirrors the main loop's partition rules (fence / timeout /
+        width) while assuming no bypass occurs; a trailing partial
+        sequence is only a real group if the trace ends inside it
+        (the drain flush).
+        """
+        groups: list[list[int]] = []
+        g: list[int] = []
+        g_first = 0
+        i = start
+        while i < n and len(groups) < budget:
+            f = flags_l[i]
+            if f & _TYPE_MASK == _FENCE_CODE:
+                if g:
+                    groups.append(g)
+                    g = []
+                i += 1
+                continue
+            c = cycles_l[i]
+            if g and c - g_first >= timeout:
+                groups.append(g)
+                g = []
+                if len(groups) >= budget:
+                    break  # row i not consumed by this plan
+            if not g:
+                g_first = c
+            g.append(i)
+            if len(g) == width:
+                groups.append(g)
+                g = []
+            i += 1
+        if g and i >= n:
+            groups.append(g)
+        return groups
+
+    def batch_perms(groups: list[list[int]]) -> list[list[int]]:
+        if len(groups) < _MIN_BATCH_GROUPS:
+            return [
+                vsn.sequence_permutation([keys_l[j] for j in g])
+                for g in groups
+            ]
+        mat = np.full((len(groups), width), INVALID_KEY, dtype=np.int64)
+        for g, grp in enumerate(groups):
+            mat[g, : len(grp)] = keys_np[grp]
+        perms = vsn.permutations(mat)
+        return [perms[g, : len(grp)].tolist() for g, grp in enumerate(groups)]
+
+    def flush_span(reason: str, cycle: int, resume_i: int):
+        """Emit the current span as a sorted sequence (not yet handled)."""
+        nonlocal plan_groups, plan_perms, plan_pos, chunk, miss_streak
+        if plan_pos < len(plan_groups) and plan_groups[plan_pos] == span:
+            perm = plan_perms[plan_pos]
+            plan_pos += 1
+            miss_streak = 0
+        else:
+            miss_streak += 1
+            if miss_streak > _MAX_MISS_STREAK:
+                chunk = 1
+            plan_groups = [list(span)]
+            if chunk > 1:
+                plan_groups += plan_from(resume_i, chunk - 1)
+            plan_perms = batch_perms(plan_groups)
+            plan_pos = 1
+            perm = plan_perms[0]
+        count = len(span)
+        requests = []
+        for p in perm:
+            j = span[p]
+            requests.append(
+                MemoryRequest(
+                    addr=addrs_l[j],
+                    rtype=_STORE if flags_l[j] & 0b01 else _LOAD,
+                    size=sizes_l[j],
+                    requested_bytes=requested_l[j],
+                )
+            )
+        seq = emit_sorted(
+            requests,
+            count=count,
+            reason=reason,
+            cycle=cycle,
+            first_cycle=first or cycle,
+        )
+        span.clear()
+        return seq
+
+    if profiler is not None:
+        now = clock()
+        profiler.add("trace", now - mark)
+        mark = now
+
+    for i in range(n):
+        c = cycles_l[i]
+        complete(c)
+        f = flags_l[i]
+        if f & _TYPE_MASK == _FENCE_CODE:
+            # push(): buffer flush, then the fence's own pipeline slot,
+            # then the CRQ fence marker.
+            if span:
+                seq = flush_span("fence", c, i + 1)
+                pipeline.fence_slot(c)
+                handle(seq)
+            else:
+                pipeline.fence_slot(c)
+            crq.push_fence(c)
+            drain_crq(c)
+            continue
+        llc_count += 1
+        if not span and can_bypass(c):
+            # _can_bypass requires pipeline.pending() == 0, which here
+            # is exactly "the span is empty" (the pipeline's own buffer
+            # is never used by this engine).
+            coalescer._bypass(
+                MemoryRequest(
+                    addr=addrs_l[i],
+                    rtype=_STORE if f & 0b01 else _LOAD,
+                    size=sizes_l[i],
+                    requested_bytes=requested_l[i],
+                ),
+                c,
+            )
+            continue
+        if span and c - first >= timeout:
+            handle(flush_span("timeout", c, i))
+        if not span:
+            first = c
+        span.append(i)
+        if len(span) == width:
+            handle(flush_span("full", c, i + 1))
+        if not crq.is_empty:
+            # push() unconditionally drains after every non-bypassed
+            # request; on an empty CRQ that drain is a pure no-op, so
+            # only the non-empty case is replayed.
+            drain_crq(c)
+
+    if profiler is not None:
+        now = clock()
+        profiler.add("coalesce", now - mark)
+        mark = now
+
+    last_cycle = buffer.last_cycle
+    final = last_cycle + 1
+    complete(final)
+    if span:
+        handle(flush_span("drain", final, n))
+    # flush() re-runs _complete_up_to (now a no-op) and drains an
+    # already-empty pipeline buffer, then retires CRQ/MSHR state --
+    # the exact end-of-trace sequence of the object path.
+    coalescer.flush(final)
+
+    coalescer._llc_requests += llc_count
+    if llc_count:
+        coalescer._m_llc_requests.inc(llc_count)
+
+    if profiler is not None:
+        profiler.add("flush", clock() - mark)
+    return last_cycle

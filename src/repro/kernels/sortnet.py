@@ -1,0 +1,122 @@
+"""Vectorized execution of the Batcher comparator schedule.
+
+:class:`VectorSortNetwork` runs the exact comparator schedule of a
+:class:`repro.core.sorting.OddEvenMergesortNetwork` over a whole batch
+of flush sequences at once: keys live in a ``(width, sequences)``
+int64 matrix and every comparator becomes a masked column swap.  The
+output is not the sorted keys but the *permutation* each sequence
+underwent, so the replay engine can materialize requests directly in
+network output order.
+
+Exactness notes (these are the properties the differential tests pin):
+
+* The network is **not** a stable sort.  Compare-exchange swaps on
+  strict key ``>`` only, so *adjacent* equal keys never swap, but a
+  comparator spanning other wires can reorder equal keys (e.g. width-4
+  keys ``[3, 3, 2, 3]``).  A plain ``argsort`` therefore only matches
+  when a sequence's keys are all distinct; otherwise the comparator
+  walk itself is the specification.  The index matrix here rides along
+  with the key matrix through the same masked swaps, which reproduces
+  the object engine's tie behaviour exactly.
+
+* Running the **full** schedule equals running the stage-select prefix
+  for every padded flush.  Stages ``1..s`` only contain comparators
+  within aligned ``2**s`` blocks, so the ``count`` valid keys (wires
+  ``0..count-1``, all inside block 0) are sorted within block 0 after
+  ``required_stages(count)`` stages, with maximal ``INVALID_KEY``
+  padding behind them.  Every later comparator then compares either
+  two sorted block-0 wires (no strict ``>``) or a block-0 wire against
+  padding (never ``>`` than ``INVALID_KEY``), so no further swap fires.
+  Batched execution therefore always runs the full schedule; stage
+  select remains purely a timing/statistics effect, accounted by
+  :meth:`repro.core.pipeline.PipelinedSortingNetwork.emit_sorted`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.address import INVALID_KEY
+from repro.core.sorting import OddEvenMergesortNetwork
+
+
+class VectorSortNetwork:
+    """Batched permutation oracle for one sorting network."""
+
+    def __init__(self, network: OddEvenMergesortNetwork):
+        self.network = network
+        self.width = network.width
+        self._full_pairs = network.prefix_pairs(network.num_stages)
+
+    def permutations(
+        self, keys: np.ndarray, stages: int | None = None
+    ) -> np.ndarray:
+        """Run the comparator schedule over a ``(sequences, width)`` key
+        matrix; return the ``(sequences, width)`` permutation matrix.
+
+        Row ``g`` of the result holds, for each output position, the
+        input position whose key ended up there.  Short sequences must
+        be padded with :data:`~repro.core.address.INVALID_KEY`; their
+        valid input positions occupy the leading output slots.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.ndim != 2 or keys.shape[1] != self.width:
+            raise ValueError(
+                f"expected a (sequences, {self.width}) key matrix, "
+                f"got shape {keys.shape}"
+            )
+        pairs = (
+            self._full_pairs
+            if stages is None
+            else self.network.prefix_pairs(stages)
+        )
+        # Wire-major layout: each wire's keys are one contiguous row,
+        # so a comparator touches two rows instead of two strided
+        # columns.
+        work = keys.T.copy()
+        idx = np.empty(work.shape, dtype=np.int64)
+        idx[:] = np.arange(self.width, dtype=np.int64)[:, None]
+        for lo, hi in pairs:
+            a = work[lo]
+            b = work[hi]
+            mask = a > b
+            if not mask.any():
+                continue
+            new_lo = np.where(mask, b, a)
+            work[hi] = np.where(mask, a, b)
+            work[lo] = new_lo
+            ia = idx[lo]
+            ib = idx[hi]
+            new_ia = np.where(mask, ib, ia)
+            idx[hi] = np.where(mask, ia, ib)
+            idx[lo] = new_ia
+        return idx.T
+
+    def sort_keys(
+        self, keys: np.ndarray, stages: int | None = None
+    ) -> np.ndarray:
+        """Network output keys for a ``(sequences, width)`` matrix."""
+        keys = np.asarray(keys, dtype=np.int64)
+        perm = self.permutations(keys, stages)
+        return np.take_along_axis(keys, perm, axis=1)
+
+    def sequence_permutation(self, keys: list[int]) -> list[int]:
+        """Output permutation of one short sequence (``len <= width``).
+
+        The scalar fallback the replay engine uses when a flush was not
+        in its precomputed plan: distinct keys take the unique sorted
+        arrangement, duplicate keys walk the padded comparator schedule
+        on (key, position) pairs -- both exactly equal to the object
+        engine's keyed compare-exchange loop.
+        """
+        count = len(keys)
+        if count > self.width:
+            raise ValueError(f"sequence of {count} exceeds width {self.width}")
+        if len(set(keys)) == count:
+            return sorted(range(count), key=keys.__getitem__)
+        keyed = [(keys[j], j) for j in range(count)]
+        keyed += [(INVALID_KEY, -1)] * (self.width - count)
+        for lo, hi in self._full_pairs:
+            if keyed[lo][0] > keyed[hi][0]:
+                keyed[lo], keyed[hi] = keyed[hi], keyed[lo]
+        return [j for _, j in keyed if j >= 0]

@@ -40,6 +40,21 @@ Case kinds
     All four figure configs of one benchmark, each run live vs all
     replaying one capture (front-end work done once, so the saving
     approaches ``(N-1)/N`` of the front-end share on an N-config grid).
+``vector_capture``
+    ``trace_capture`` with the columnar kernel engine: the workload's
+    access stream and cache walk run as NumPy batches
+    (``repro.kernels.capture``).  Compare against ``trace_capture`` on
+    the same workload for the capture-side engine speedup.
+``vector_replay``
+    ``trace_replay`` with the columnar kernel engine: flush sequences
+    are partitioned ahead of time and their sort orderings computed in
+    batched comparator passes (``repro.kernels.replay``).  Compare
+    against ``trace_replay`` for the replay-side engine speedup.
+
+Both vector kinds pin their object twins to ``engine="object"`` so the
+pair always measures object-vs-vector regardless of the session default,
+and both report the same result digest as their twin -- the report is a
+bit-exactness witness for the kernel engine too.
 """
 
 from __future__ import annotations
@@ -49,8 +64,14 @@ from dataclasses import dataclass
 #: Kinds whose measurement covers more than one simulation run.
 COMPOSITE_KINDS = ("pair_live", "pair_shared_trace", "sweep_live", "sweep_shared")
 
+#: Kinds measured under the vector kernel engine; each has an
+#: object-engine twin kind it derives a speedup against.
+VECTOR_KINDS = ("vector_capture", "vector_replay")
+
 #: Every kind :func:`repro.perf.harness.run_case` can measure.
-CASE_KINDS = ("sim", "trace_capture", "trace_replay") + COMPOSITE_KINDS
+CASE_KINDS = (
+    ("sim", "trace_capture", "trace_replay") + VECTOR_KINDS + COMPOSITE_KINDS
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -87,12 +108,20 @@ TRACE_SUITE: tuple[PerfCase, ...] = (
     # fraction of the workload set), so it shows the trace layer's
     # best-case economics; SG is the back-end stress case bounding the
     # worst case.  STREAM carries the sweep pair: short runs whose
-    # 4-config grid amortizes one capture furthest.
+    # 4-config grid amortizes one capture furthest.  The vector kinds
+    # mirror their object twins on both workloads so the engine
+    # speedups (and their per-phase ratios) read straight off one
+    # report.
     PerfCase("SparseLU", "combined", 6_000),
     PerfCase("SparseLU", "combined", 6_000, kind="trace_capture"),
     PerfCase("SparseLU", "combined", 6_000, kind="trace_replay"),
+    PerfCase("SparseLU", "combined", 6_000, kind="vector_capture"),
     PerfCase("SG", "combined", 6_000),
+    PerfCase("SG", "combined", 6_000, kind="trace_capture"),
     PerfCase("SG", "combined", 6_000, kind="trace_replay"),
+    PerfCase("SG", "combined", 6_000, kind="vector_capture"),
+    PerfCase("SG", "combined", 6_000, kind="vector_replay"),
+    PerfCase("SparseLU", "combined", 6_000, kind="vector_replay"),
     PerfCase("SparseLU", "combined", 6_000, kind="pair_live"),
     PerfCase("SparseLU", "combined", 6_000, kind="pair_shared_trace"),
     PerfCase("STREAM", "combined", 6_000, kind="sweep_live"),

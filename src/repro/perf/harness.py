@@ -25,7 +25,7 @@ from pathlib import Path
 from typing import Callable, Iterable
 
 from repro.obs import PhaseProfiler
-from repro.perf.cases import PerfCase
+from repro.perf.cases import VECTOR_KINDS, PerfCase
 from repro.perf.digest import result_digest
 
 #: Report schema version (bump on incompatible layout changes).
@@ -116,9 +116,15 @@ def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
     coalescer = FIGURE_CONFIGS[case.config]
     platform = PlatformConfig(accesses=case.accesses, seed=case.seed)
     kind = case.kind
+    # The sim/trace_* kinds pin the object engine: they are the
+    # reference measurements the vector kinds derive speedups against,
+    # and their baselines predate the kernel engine.  Composite kinds
+    # run whatever the session default resolves to -- they measure
+    # what users of the trace layer actually get.
+    engine = "vector" if kind in VECTOR_KINDS else "object"
 
     warm_store: TraceStore | None = None
-    if kind == "trace_replay":
+    if kind in ("trace_replay", "vector_replay"):
         # One untimed capture; every measured repeat is a pure replay.
         warm_store = TraceStore()
         run_benchmark(
@@ -136,9 +142,10 @@ def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
                     platform=platform,
                     coalescer=coalescer,
                     profiler=profiler,
+                    engine=engine,
                 )
             ]
-        if kind == "trace_capture":
+        if kind in ("trace_capture", "vector_capture"):
             return [
                 run_benchmark(
                     case.benchmark,
@@ -146,9 +153,10 @@ def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
                     coalescer=coalescer,
                     profiler=profiler,
                     trace_store=TraceStore(),
+                    engine=engine,
                 )
             ]
-        if kind == "trace_replay":
+        if kind in ("trace_replay", "vector_replay"):
             return [
                 run_benchmark(
                     case.benchmark,
@@ -156,6 +164,7 @@ def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
                     coalescer=coalescer,
                     profiler=profiler,
                     trace_store=warm_store,
+                    engine=engine,
                 )
             ]
         if kind == "pair_live":
@@ -164,30 +173,44 @@ def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
                     case.benchmark,
                     platform=platform,
                     coalescer=FIGURE_CONFIGS["uncoalesced"],
+                    profiler=profiler,
                 ),
-                run_benchmark(case.benchmark, platform=platform, coalescer=coalescer),
+                run_benchmark(
+                    case.benchmark,
+                    platform=platform,
+                    coalescer=coalescer,
+                    profiler=profiler,
+                ),
             ]
         if kind == "pair_shared_trace":
             return list(
                 run_baseline_and_coalesced(
-                    case.benchmark, platform=platform.with_coalescer(coalescer)
+                    case.benchmark,
+                    platform=platform.with_coalescer(coalescer),
+                    profiler=profiler,
                 )
             )
         # sweep_live / sweep_shared: the full 4-config figure grid.
         store = TraceStore() if kind == "sweep_shared" else None
         return [
             run_benchmark(
-                case.benchmark, platform=platform, coalescer=cfg, trace_store=store
+                case.benchmark,
+                platform=platform,
+                coalescer=cfg,
+                trace_store=store,
+                profiler=profiler,
             )
             for cfg in FIGURE_CONFIGS.values()
         ]
 
-    profiled = kind in ("sim", "trace_capture", "trace_replay")
     walls: list[float] = []
     best_profiler: PhaseProfiler | None = None
     best_results = None
     for _ in range(max(1, repeats)):
-        profiler = PhaseProfiler() if profiled else None
+        # Every kind profiles: composites accumulate their runs'
+        # phases into one profiler, so pair/sweep entries report where
+        # the composite's time went, not just its total.
+        profiler = PhaseProfiler()
         start = time.perf_counter()
         results = attempt(profiler)
         wall = time.perf_counter() - start
@@ -257,6 +280,22 @@ _SPEEDUP_PAIRS = {
     ("sim", "trace_replay"): "replay_speedup",
     ("pair_live", "pair_shared_trace"): "pair_speedup",
     ("sweep_live", "sweep_shared"): "sweep_speedup",
+    ("trace_capture", "vector_capture"): "vector_capture_speedup",
+    ("trace_replay", "vector_replay"): "vector_replay_speedup",
+}
+
+#: (slow kind, fast kind) -> (phase, metric): additionally derive the
+#: ratio of one *phase*'s time across the pair.  The kernel-engine
+#: pairs need this because the wall ratio dilutes the vectorized phase
+#: with engine-invariant machinery (the coalescer's CRQ/MSHR/HMC walk
+#: is digest-visible and identical under both engines), while the
+#: phase ratio isolates what the engine actually replaced.
+_PHASE_SPEEDUP_PAIRS = {
+    ("trace_capture", "vector_capture"): ("trace", "vector_capture_trace_speedup"),
+    ("trace_replay", "vector_replay"): (
+        "coalesce",
+        "vector_replay_coalesce_speedup",
+    ),
 }
 
 
@@ -292,6 +331,13 @@ def derive_speedups(cases: dict) -> dict:
             derived[label] = slow["wall_seconds"] / fast["wall_seconds"]
             if slow.get("digest") != fast.get("digest"):
                 derived[label + ":digest_mismatch"] = True
+            phase_metric = _PHASE_SPEEDUP_PAIRS.get((slow_kind, fast_kind))
+            if phase_metric is not None:
+                phase, name = phase_metric
+                slow_t = (slow.get("phases") or {}).get(phase)
+                fast_t = (fast.get("phases") or {}).get(phase)
+                if slow_t and fast_t:
+                    derived[f"{name}:{key[1]}/{key[2]}@{key[3]}"] = slow_t / fast_t
     return derived
 
 

@@ -37,6 +37,9 @@ from repro.core.request import CoalescedRequest
 from repro.hmc.device import HMCDevice, HMCStats
 from repro.hmc.packet import REQUEST_CONTROL_BYTES
 from repro.hmc.timing import HMCTimingConfig
+from repro.kernels import resolve_engine
+from repro.kernels.capture import batch_capture, supports_vector_capture
+from repro.kernels.replay import vector_replay
 from repro.obs import MetricsRegistry, PhaseProfiler
 from repro.trace import (
     TraceBuffer,
@@ -350,23 +353,28 @@ def _replay_benchmark(
     *,
     platform: PlatformConfig,
     profiler: PhaseProfiler | None,
+    engine: str = "object",
 ) -> SimulationResult:
     """Build a :class:`SimulationResult` from a stored trace.
 
     Digest-identical to the live path: the same coalescer/HMC stack is
     driven with the same request stream, and the tracer-side
     observables (stats, registry counters, secondary misses) are
-    reconstructed from the capture's metadata.
+    reconstructed from the capture's metadata.  ``engine`` selects the
+    replay loop -- ``"vector"`` batch-precomputes sort orderings
+    (:func:`repro.kernels.replay.vector_replay`), ``"object"`` walks
+    rows one by one; both are digest-identical by contract.
     """
     registry = MetricsRegistry()
     publish_replay_tracer_metrics(registry, buffer)
     device = HMCDevice(platform.hmc, registry)
-    engine = MemoryCoalescer(
+    coal = MemoryCoalescer(
         platform.coalescer,
         service_time=_make_service_time(device, platform.cycle_ns),
         registry=registry,
     )
-    last_cycle = replay_trace(buffer, coalescer=engine, profiler=profiler)
+    replay = vector_replay if engine == "vector" else replay_trace
+    last_cycle = replay(buffer, coalescer=coal, profiler=profiler)
     intensity = (
         platform.compute_cycles_per_access
         if platform.compute_cycles_per_access is not None
@@ -376,7 +384,7 @@ def _replay_benchmark(
         benchmark=buffer.meta["benchmark"],
         platform=platform,
         tracer=buffer.tracer_stats(),
-        coalescer=engine.stats(),
+        coalescer=coal.stats(),
         hmc=device.stats,
         secondary_misses=buffer.meta["secondary_misses"],
         trace_cycles=last_cycle,
@@ -394,6 +402,7 @@ def run_benchmark(
     coalescer: CoalescerConfig | None = None,
     profiler: PhaseProfiler | None = None,
     trace_store: TraceStore | None = None,
+    engine: str | None = None,
 ) -> SimulationResult:
     """Run one benchmark end to end on the given platform.
 
@@ -415,6 +424,13 @@ def run_benchmark(
     Every stage shares one :class:`~repro.obs.MetricsRegistry`, returned
     on the result's ``metrics`` field.  An optional ``profiler``
     collects wall-clock per phase (the ``repro profile`` command).
+
+    ``engine`` selects the execution engine (``"vector"`` by default,
+    see :mod:`repro.kernels`): the vector engine captures the LLC
+    trace columnar and replays it with batch-precomputed sort
+    orderings, producing a digest-identical result faster.  Platforms
+    the vector capture cannot model exactly (LLC prefetching) fall
+    back to the object path automatically.
     """
     if _deprecated_positional:
         if len(_deprecated_positional) > 1 or platform is not None:
@@ -427,13 +443,16 @@ def run_benchmark(
     platform = platform or PlatformConfig()
     if coalescer is not None:
         platform = platform.with_coalescer(coalescer)
+    engine = resolve_engine(engine)
 
     key = capture = None
     if trace_store is not None and not isinstance(benchmark, Workload):
         key = trace_key(benchmark, platform)
         stored = trace_store.get(key)
         if stored is not None:
-            return _replay_benchmark(stored, platform=platform, profiler=profiler)
+            return _replay_benchmark(
+                stored, platform=platform, profiler=profiler, engine=engine
+            )
         capture = TraceBuffer()
 
     if isinstance(benchmark, Workload):
@@ -441,6 +460,28 @@ def run_benchmark(
     else:
         workload = get_workload(
             benchmark, num_threads=platform.num_threads, seed=platform.seed
+        )
+
+    if engine == "vector" and supports_vector_capture(platform):
+        if profiler is not None:
+            with profiler.phase("trace"):
+                buffer, cpu_accesses, secondary = batch_capture(
+                    workload, platform
+                )
+        else:
+            buffer, cpu_accesses, secondary = batch_capture(workload, platform)
+        buffer.finalize(
+            benchmark=workload.name,
+            cpu_accesses=cpu_accesses,
+            compute_cycles_per_access=workload.compute_cycles_per_access,
+            secondary_misses=secondary,
+            key_digest=key.digest if key is not None else "",
+            key_payload=json.loads(key.payload) if key is not None else None,
+        )
+        if key is not None and trace_store is not None:
+            trace_store.put(key, buffer)
+        return _replay_benchmark(
+            buffer, platform=platform, profiler=profiler, engine="vector"
         )
 
     registry = MetricsRegistry()
@@ -451,7 +492,7 @@ def run_benchmark(
         registry=registry,
     )
     device = HMCDevice(platform.hmc, registry)
-    engine = MemoryCoalescer(
+    coal = MemoryCoalescer(
         platform.coalescer,
         service_time=_make_service_time(device, platform.cycle_ns),
         registry=registry,
@@ -462,7 +503,7 @@ def run_benchmark(
         records = _tee_records(records, capture)
     last_cycle = run_trace_through_coalescer(
         records,
-        coalescer=engine,
+        coalescer=coal,
         device=device,
         cycle_ns=platform.cycle_ns,
         profiler=profiler,
@@ -487,7 +528,7 @@ def run_benchmark(
         benchmark=workload.name,
         platform=platform,
         tracer=tracer.stats,
-        coalescer=engine.stats(),
+        coalescer=coal.stats(),
         hmc=device.stats,
         secondary_misses=hierarchy.secondary_misses,
         trace_cycles=last_cycle,
@@ -512,6 +553,8 @@ def run_baseline_and_coalesced(
     *_deprecated_positional,
     platform: PlatformConfig | None = None,
     trace_store: TraceStore | None = None,
+    profiler: PhaseProfiler | None = None,
+    engine: str | None = None,
 ) -> tuple[SimulationResult, SimulationResult]:
     """Run the uncoalesced baseline and the two-phase coalescer.
 
@@ -519,7 +562,9 @@ def run_baseline_and_coalesced(
     coalescer config, so the baseline run captures the stream and the
     coalesced run replays it.  Pass ``trace_store`` to reuse captures
     across calls (or a disk-backed store across processes); by default
-    a private in-memory store still halves the front-end work.
+    a private in-memory store still halves the front-end work.  A
+    ``profiler`` accumulates phase timings across both runs; ``engine``
+    selects the execution engine for both.
     """
     if _deprecated_positional:
         if len(_deprecated_positional) > 1 or platform is not None:
@@ -537,6 +582,14 @@ def run_baseline_and_coalesced(
         platform=platform,
         coalescer=UNCOALESCED_CONFIG,
         trace_store=trace_store,
+        profiler=profiler,
+        engine=engine,
     )
-    coal = run_benchmark(benchmark, platform=platform, trace_store=trace_store)
+    coal = run_benchmark(
+        benchmark,
+        platform=platform,
+        trace_store=trace_store,
+        profiler=profiler,
+        engine=engine,
+    )
     return base, coal

@@ -69,12 +69,17 @@ class EvaluationSuite:
         jobs: int = 1,
         checkpoint_dir: str | None = None,
         trace_dir: str | None = None,
+        engine: str | None = None,
     ):
         self.platform = platform or PlatformConfig(accesses=24_000)
         self.benchmarks = benchmarks
         self.jobs = jobs
         self.checkpoint_dir = checkpoint_dir
         self.trace_dir = trace_dir
+        #: Kernel engine for the suite's own runs (None = default).
+        #: Purely an execution choice: results and cache keys are
+        #: engine-invariant, so mixing engines across tiers is safe.
+        self.engine = engine
         #: Shared LLC-trace store: each benchmark's front end (workload
         #: generation + cache filtering) runs once and all four figure
         #: configs replay the capture.  ``trace_dir`` adds a disk tier.
@@ -102,7 +107,10 @@ class EvaluationSuite:
         key = (benchmark, digest)
         if key not in self._cache:
             self._cache[key] = run_benchmark(
-                benchmark, platform=platform, trace_store=self.trace_store
+                benchmark,
+                platform=platform,
+                trace_store=self.trace_store,
+                engine=self.engine,
             )
         return self._cache[key]
 

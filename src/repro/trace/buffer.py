@@ -151,6 +151,49 @@ class TraceBuffer:
             self._prefetches += 1
         self._kinds[kind] += 1
 
+    def extend_rows(self, cycles, addrs, flags, sizes, requested) -> None:
+        """Append many packed rows at once (the batched-capture path).
+
+        The five parallel columns may be NumPy arrays or any sequence
+        coercible to the column dtypes.  Aggregate accounting matches a
+        row-by-row :meth:`append_record` walk exactly -- the counters
+        are plain integer sums, so order does not matter.
+        """
+        import numpy as np
+
+        cyc = np.ascontiguousarray(cycles, dtype=np.int64)
+        adr = np.ascontiguousarray(addrs, dtype=np.uint64)
+        flg = np.ascontiguousarray(flags, dtype=np.uint8)
+        siz = np.ascontiguousarray(sizes, dtype=np.uint32)
+        req = np.ascontiguousarray(requested, dtype=np.uint32)
+        n = len(cyc)
+        if not (len(adr) == len(flg) == len(siz) == len(req) == n):
+            raise ValueError("trace columns have inconsistent lengths")
+        if not n:
+            return
+        self.cycles.frombytes(cyc.tobytes())
+        self.addrs.frombytes(adr.tobytes())
+        self.flags.frombytes(flg.tobytes())
+        self.sizes.frombytes(siz.tobytes())
+        self.requested.frombytes(req.tobytes())
+
+        fence = (flg & _TYPE_MASK) == int(RequestType.FENCE)
+        self._fences += int(fence.sum())
+        live = ~fence
+        self._llc_requests += int(live.sum())
+        self._requested_bytes += int(req[live].astype(np.int64).sum())
+        wb = live & ((flg & _FLAG_WRITEBACK) != 0)
+        pf = live & ((flg & _FLAG_PREFETCH) != 0)
+        sec = live & ((flg & _FLAG_SECONDARY) != 0)
+        n_wb = int(wb.sum())
+        self._writebacks += n_wb
+        self._prefetches += int(pf.sum())
+        kinds = self._kinds
+        kinds["writeback"] += n_wb
+        kinds["prefetch"] += int((pf & ~wb).sum())
+        kinds["secondary_miss"] += int((sec & ~wb & ~pf).sum())
+        kinds["miss"] += int((live & ~wb & ~pf & ~sec).sum())
+
     def finalize(
         self,
         *,

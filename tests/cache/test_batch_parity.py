@@ -1,0 +1,145 @@
+"""Differential tests: batch cache paths vs the sequential walks.
+
+``SetAssociativeCache.access_lines_batch`` and
+``CacheHierarchy.access_batch`` are the vector capture kernel's
+foundations; their contract is outcome-for-outcome equality with the
+sequential ``access_line`` / ``access`` paths on the same stream --
+hits, victim choices, write-back ordering, statistics, and (for the
+hierarchy) the global LLC event order and the secondary-miss window.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cache.set_assoc import (
+    CacheConfig,
+    Replacement,
+    SetAssociativeCache,
+)
+from repro.core.request import Access, RequestType
+
+#: Tiny tag space so short streams still see conflict evictions.
+_lines = st.integers(min_value=0, max_value=47).map(lambda i: i * 64)
+_stream = st.lists(st.tuples(_lines, st.booleans()), max_size=120)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    stream=_stream,
+    replacement=st.sampled_from(list(Replacement)),
+    chunks=st.integers(min_value=1, max_value=3),
+)
+def test_access_lines_batch_matches_sequential(stream, replacement, chunks):
+    cfg = CacheConfig(
+        size_bytes=1024, associativity=2, line_size=64, replacement=replacement
+    )
+    seq = SetAssociativeCache(cfg)
+    bat = SetAssociativeCache(cfg)
+
+    ref_hits, ref_wb, ref_ev = [], [], []
+    for pos, (addr, store) in enumerate(stream):
+        res = seq.access_line(addr, is_store=store)
+        ref_hits.append(res.hit)
+        if res.writeback_addr is not None:
+            ref_wb.append((pos, res.writeback_addr))
+        if res.evicted_addr is not None:
+            ref_ev.append((pos, res.evicted_addr))
+
+    # Split the stream into a few batch calls: state must carry over.
+    bat_hits, bat_wb, bat_ev = [], [], []
+    bounds = [len(stream) * i // chunks for i in range(chunks + 1)]
+    for lo, hi in zip(bounds, bounds[1:]):
+        part = stream[lo:hi]
+        hits, wbs, evs = bat.access_lines_batch(
+            np.asarray([a for a, _ in part], dtype=np.int64),
+            np.asarray([s for _, s in part], dtype=bool),
+        )
+        bat_hits.extend(hits.tolist())
+        bat_wb.extend((lo + pos, addr) for pos, addr in wbs)
+        bat_ev.extend((lo + pos, addr) for pos, addr in evs)
+
+    assert bat_hits == ref_hits
+    assert bat_wb == ref_wb
+    assert bat_ev == ref_ev
+    assert bat.stats == seq.stats
+
+
+_hier_config = st.builds(
+    HierarchyConfig,
+    num_cores=st.sampled_from((1, 2)),
+    l1_size=st.just(512),
+    l1_assoc=st.just(2),
+    l2_size=st.just(1024),
+    l2_assoc=st.just(2),
+    llc_size=st.just(2048),
+    llc_assoc=st.just(4),
+    line_size=st.just(64),
+    l2_private=st.booleans(),
+    llc_fill_latency=st.sampled_from((0, 40)),
+)
+
+_accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4095),  # addr
+        st.integers(min_value=1, max_value=130),  # size (crosses lines)
+        st.booleans(),  # store
+        st.integers(min_value=0, max_value=1),  # thread
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(config=_hier_config, accesses=_accesses)
+def test_hierarchy_access_batch_matches_sequential(config, accesses):
+    seq = CacheHierarchy(config)
+    bat = CacheHierarchy(config)
+
+    # Sequential reference: one Access per tuple, cycle = 3 * index
+    # (spaced so fill latency sometimes expires between accesses).
+    ref_events = []
+    for i, (addr, size, store, tid) in enumerate(accesses):
+        evs = seq.access(
+            Access(
+                addr=addr,
+                size=size,
+                rtype=RequestType.STORE if store else RequestType.LOAD,
+                thread_id=tid % config.num_cores,
+            ),
+            cycle=3 * i,
+        )
+        for ev in evs:
+            kind = 2 if ev.is_writeback else (1 if ev.is_secondary else 0)
+            ref_events.append((kind, ev.request.addr, ev.request.requested_bytes))
+
+    # Batch path: pre-split every access into its per-line rows, the
+    # same expansion the vector capture kernel performs.
+    line_addrs, stores, cores, requested, cycles = [], [], [], [], []
+    for i, (addr, size, store, tid) in enumerate(accesses):
+        ls = config.line_size
+        line = addr - addr % ls
+        while line < addr + size:
+            lo = max(addr, line)
+            hi = min(addr + size, line + ls)
+            line_addrs.append(line)
+            stores.append(store)
+            cores.append(tid % config.num_cores)
+            requested.append(hi - lo)
+            cycles.append(3 * i)
+            line += ls
+    events = bat.access_batch(
+        np.asarray(line_addrs, dtype=np.int64),
+        np.asarray(stores, dtype=bool),
+        np.asarray(cores, dtype=np.int64),
+        np.asarray(requested, dtype=np.int64),
+        np.asarray(cycles, dtype=np.int64),
+    )
+    bat_events = [(kind, addr, req) for _row, kind, addr, req in events]
+
+    assert bat_events == ref_events
+    assert bat.secondary_misses == seq.secondary_misses
+    assert bat.llc.stats == seq.llc.stats
+    for a, b in zip(bat.l1 + bat.l2, seq.l1 + seq.l2):
+        assert a.stats == b.stats

@@ -1,0 +1,131 @@
+"""Engine parity: object and vector engines are bit-identical.
+
+The kernel engine contract (``docs/architecture.md``): engine choice
+is an execution concern that must never change a result.  These tests
+compare full-run :func:`result_digest` values -- the serialized result
+plus every metric value -- across engines, per coalescer config, and
+across the trace store in both capture/replay directions, plus raw
+trace-buffer bytes for the capture kernel on its own.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.tracer import MemoryTracer
+from repro.core.request import Access, RequestType
+from repro.kernels import resolve_engine
+from repro.kernels.capture import batch_capture, supports_vector_capture
+from repro.perf.digest import result_digest
+from repro.sim.driver import PlatformConfig, run_benchmark
+from repro.sim.sweep import FIGURE_CONFIGS
+from repro.trace import TraceBuffer, TraceStore
+from repro.workloads import get_workload
+from repro.workloads.base import Workload
+
+
+def _object_capture(workload, platform):
+    """The live path's capture: a tracer run teed into a buffer."""
+    hierarchy = CacheHierarchy(platform.hierarchy)
+    tracer = MemoryTracer(
+        hierarchy, cycles_per_access=platform.cycles_per_access
+    )
+    buffer = TraceBuffer()
+    for record in tracer.trace(workload.accesses(platform.accesses)):
+        buffer.append_record(record)
+    return buffer, tracer.stats.cpu_accesses, hierarchy.secondary_misses
+
+
+@pytest.mark.parametrize("config", tuple(FIGURE_CONFIGS))
+@pytest.mark.parametrize("bench", ("SG", "SparseLU"))
+def test_engine_digest_parity(bench, config):
+    platform = PlatformConfig(accesses=1200)
+    coalescer = FIGURE_CONFIGS[config]
+    obj = run_benchmark(
+        bench, platform=platform, coalescer=coalescer, engine="object"
+    )
+    vec = run_benchmark(
+        bench, platform=platform, coalescer=coalescer, engine="vector"
+    )
+    assert result_digest(obj) == result_digest(vec)
+
+
+@pytest.mark.parametrize("bench", ("SG", "STREAM", "SparseLU"))
+def test_batch_capture_buffer_is_byte_identical(bench):
+    platform = PlatformConfig(accesses=1500)
+    workload = get_workload(
+        bench, num_threads=platform.num_threads, seed=platform.seed
+    )
+    ref, ref_accesses, ref_secondary = _object_capture(workload, platform)
+    vec, vec_accesses, vec_secondary = batch_capture(workload, platform)
+    assert vec_accesses == ref_accesses
+    assert vec_secondary == ref_secondary
+    assert vec.to_bytes() == ref.to_bytes()
+
+
+class _FencedStrides(Workload):
+    """Custom iterator with fences: exercises the generic column path."""
+
+    name = "FencedStrides"
+
+    def thread_phases(self, tid, n, rng):  # pragma: no cover - unused
+        raise NotImplementedError
+
+    def accesses(self, total_accesses, *, burst: int = 1):
+        for i in range(total_accesses):
+            if i % 9 == 8:
+                yield Access(addr=0, size=0, rtype=RequestType.FENCE)
+            else:
+                yield Access(
+                    addr=64 * ((i * 37) % 211) + (i % 48),
+                    size=8 + (i % 3) * 16,
+                    rtype=RequestType.STORE if i % 3 == 1 else RequestType.LOAD,
+                    thread_id=i % self.num_threads,
+                )
+
+
+def test_batch_capture_handles_custom_workloads_with_fences():
+    platform = PlatformConfig(accesses=800)
+    workload = _FencedStrides(num_threads=platform.num_threads)
+    ref, ref_accesses, ref_secondary = _object_capture(workload, platform)
+    vec, vec_accesses, vec_secondary = batch_capture(workload, platform)
+    assert vec_accesses == ref_accesses
+    assert vec_secondary == ref_secondary
+    assert vec.to_bytes() == ref.to_bytes()
+
+
+@pytest.mark.parametrize(
+    "capture_engine,replay_engine", [("object", "vector"), ("vector", "object")]
+)
+def test_store_interplay_across_engines(tmp_path, capture_engine, replay_engine):
+    """A trace captured by either engine replays bit-exactly on the other."""
+    platform = PlatformConfig(accesses=900)
+    store = TraceStore(tmp_path)
+    captured = run_benchmark(
+        "FT", platform=platform, trace_store=store, engine=capture_engine
+    )
+    replayed = run_benchmark(
+        "FT", platform=platform, trace_store=store, engine=replay_engine
+    )
+    assert store.misses == 1 and store.hits == 1
+    assert result_digest(captured) == result_digest(replayed)
+
+
+def test_prefetch_platforms_fall_back_to_the_object_path():
+    platform = PlatformConfig(accesses=900)
+    platform = replace(
+        platform, hierarchy=replace(platform.hierarchy, llc_prefetch=True)
+    )
+    assert not supports_vector_capture(platform)
+    obj = run_benchmark("STREAM", platform=platform, engine="object")
+    vec = run_benchmark("STREAM", platform=platform, engine="vector")
+    assert result_digest(obj) == result_digest(vec)
+
+
+def test_resolve_engine_contract():
+    assert resolve_engine(None) in ("object", "vector")
+    assert resolve_engine("object") == "object"
+    assert resolve_engine("vector") == "vector"
+    with pytest.raises(ValueError):
+        resolve_engine("gpu")
