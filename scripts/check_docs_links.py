@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Verify intra-repo documentation links and perf-kind coverage.
+
+Two independent checks, both cheap enough for every CI push:
+
+1. **Link check** — every relative markdown link or image in
+   ``docs/*.md`` (plus the repo-root ``README.md`` and ``DESIGN.md``)
+   must resolve to a file in the repository; fragment links
+   (``file.md#anchor``) must also match a heading anchor in the target
+   document.  External links (``http(s)://``, ``mailto:``) are not
+   fetched.
+
+2. **Perf-kind coverage** — every case ``kind`` recorded in the
+   checked-in ``BENCH_perf.json`` must be mentioned in
+   ``docs/performance.md``.  The perf report is the artifact users
+   read speedups from; a kind that shows up there but is documented
+   nowhere is how stale docs start.
+
+Usage::
+
+    python scripts/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+PERF_DOC = DOCS / "performance.md"
+BENCH = REPO / "BENCH_perf.json"
+
+#: Markdown inline links/images: ``[text](target)`` / ``![alt](target)``.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+#: Markdown headings, for anchor validation.
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+#: Inline code spans; links inside them are illustrative, not real.
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+
+
+def doc_files() -> list[Path]:
+    files = sorted(DOCS.glob("*.md"))
+    for name in ("README.md", "DESIGN.md"):
+        candidate = REPO / name
+        if candidate.exists():
+            files.append(candidate)
+    return files
+
+
+def heading_anchors(text: str) -> set[str]:
+    """GitHub-style anchors: lowercase, punctuation (except dashes and
+    underscores) stripped, then every space becomes a dash -- runs of
+    spaces are NOT collapsed (``Foo — Bar`` -> ``foo--bar``)."""
+    anchors = set()
+    for heading in HEADING_RE.findall(text):
+        slug = heading.strip().lower()
+        slug = re.sub(r"[^\w\s-]", "", slug)
+        slug = slug.replace(" ", "-")
+        anchors.add(slug)
+    return anchors
+
+
+def check_links() -> list[str]:
+    errors = []
+    for doc in doc_files():
+        text = doc.read_text()
+        plain = CODE_SPAN_RE.sub("", text)
+        for target in LINK_RE.findall(plain):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = (doc.parent / path_part).resolve()
+                if not resolved.exists():
+                    errors.append(f"{doc.relative_to(REPO)}: broken link {target!r}")
+                    continue
+            else:
+                resolved = doc
+            if fragment and resolved.suffix == ".md":
+                if fragment not in heading_anchors(resolved.read_text()):
+                    errors.append(
+                        f"{doc.relative_to(REPO)}: link {target!r} points at a "
+                        f"missing anchor in {resolved.name}"
+                    )
+    return errors
+
+
+def check_perf_kinds() -> list[str]:
+    if not BENCH.exists():
+        # Nothing to cross-check in a fresh clone; the CI perf job
+        # regenerates the report before this script runs.
+        return []
+    report = json.loads(BENCH.read_text())
+    kinds = {
+        entry.get("kind", "sim") for entry in report.get("cases", {}).values()
+    }
+    doc = PERF_DOC.read_text()
+    errors = []
+    for kind in sorted(kinds):
+        if f"`{kind}`" not in doc and kind not in doc:
+            errors.append(
+                f"BENCH_perf.json records kind {kind!r} but "
+                f"docs/performance.md never mentions it"
+            )
+    return errors
+
+
+def main() -> int:
+    errors = check_links() + check_perf_kinds()
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    docs = len(doc_files())
+    print(f"docs links ok ({docs} documents); perf kinds documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -436,7 +436,7 @@ def _filter_cases(cases, pattern):
 
     A pattern containing glob metacharacters (``*?[``) is matched with
     :func:`fnmatch.fnmatchcase`; anything else is a plain substring
-    test, so ``--filter vector_`` picks out both kernel-engine kinds.
+    test, so ``--filter vector_`` picks out every kernel-engine kind.
     """
     if not pattern:
         return cases

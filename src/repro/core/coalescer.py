@@ -246,6 +246,26 @@ class MemoryCoalescer:
         self.flush(last_cycle + 1)
         return self.stats()
 
+    def service_time_for(self, packet: CoalescedRequest, cycle: int) -> int:
+        """Modelled HMC round-trip for ``packet`` issued at ``cycle``.
+
+        Public wrapper around the normalized service-time hook so
+        engine kernels (:mod:`repro.kernels.coalesce`) consult the
+        backing device at exactly the same points the object path does
+        without reaching into ``_service_time``.
+        """
+        return self._service_time(packet, cycle)
+
+    def record_issued_bulk(self, count: int) -> None:
+        """Apply a deferred batch of coalesced-path issue counts.
+
+        The batched kernel appends :class:`IssuedRequest` records live
+        (their order matters) but defers the per-issue counter; zero
+        counts record nothing.
+        """
+        if count:
+            self._m_issued_path[False].inc(count)
+
     def stats(self) -> CoalescerStats:
         """Current statistics snapshot."""
         return CoalescerStats(

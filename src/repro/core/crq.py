@@ -133,6 +133,48 @@ class CoalescedRequestQueue:
             self.registry.timeline.record(cycle, "crq", "fill", fill_cycles)
         return True
 
+    def record_activity_bulk(
+        self,
+        *,
+        pushes: int,
+        pops: int,
+        depth_counts: dict[int, int],
+        fills: int,
+        fill_total: int,
+        fill_counts: dict[int, int],
+        max_depth: int,
+    ) -> None:
+        """Apply a deferred batch of push/pop/fill accounting.
+
+        Used by the batched coalescing kernel
+        (:mod:`repro.kernels.coalesce`), which manipulates ``_slots``
+        and ``_fill_window`` directly and accumulates the statistics in
+        value->count form.  Equivalent to the per-call recording of
+        :meth:`push` / :meth:`pop` / :meth:`remove`; zero counts record
+        nothing (fill-timeline events are recorded live by the kernel,
+        since the timeline is ordered).
+        """
+        stats = self.stats
+        if pushes:
+            stats.pushes += pushes
+            self._m_pushes.inc(pushes)
+            if max_depth > stats.max_occupancy:
+                stats.max_occupancy = max_depth
+            self._m_max_occupancy.set_max(max_depth)
+            depth = self._m_depth
+            for value in sorted(depth_counts):
+                depth.observe_bulk(value, depth_counts[value])
+        if pops:
+            stats.pops += pops
+            self._m_pops.inc(pops)
+        if fills:
+            stats.fills += fills
+            stats.total_fill_cycles += fill_total
+            self._m_fills.inc(fills)
+            fill_cycles = self._m_fill_cycles
+            for value in sorted(fill_counts):
+                fill_cycles.observe_bulk(value, fill_counts[value])
+
     def push_fence(self, cycle: int) -> None:
         """Enqueue a memory-fence marker (Section 3.4).
 

@@ -224,6 +224,55 @@ class DMCUnit:
         self._m_latency.inc(latency)
         return packets, start_cycle + latency
 
+    def record_activity_bulk(
+        self,
+        *,
+        sequences: int,
+        requests_in: int,
+        packets_out: int,
+        comparisons: int,
+        merges: int,
+        latency: int,
+        packet_lines: dict[int, int],
+        merge_distance_counts: dict[int, int],
+    ) -> None:
+        """Apply a deferred batch of coalescing accounting.
+
+        Used by the batched coalescing kernel
+        (:mod:`repro.kernels.coalesce`), which forms packets from
+        precomputed merge plans and accumulates the statistics in
+        value->count form.  Equivalent to the per-call recording of
+        :meth:`coalesce`; zero counts record nothing.
+        """
+        stats = self.stats
+        if sequences:
+            stats.sequences += sequences
+            self._m_sequences.inc(sequences)
+        if requests_in:
+            stats.requests_in += requests_in
+            self._m_requests_in.inc(requests_in)
+        if packets_out:
+            stats.packets_out += packets_out
+            self._m_packets_out.inc(packets_out)
+            packet_hist = self._m_packet_lines
+            for num_lines in sorted(packet_lines):
+                count = packet_lines[num_lines]
+                if count:
+                    stats.packets_by_lines[num_lines] += count
+                    packet_hist.observe_bulk(num_lines, count)
+        if comparisons:
+            stats.comparisons += comparisons
+            self._m_comparisons.inc(comparisons)
+        if merges:
+            stats.merges += merges
+            self._m_merges.inc(merges)
+            distance = self._m_merge_distance
+            for value in sorted(merge_distance_counts):
+                distance.observe_bulk(value, merge_distance_counts[value])
+        if latency:
+            stats.total_latency_cycles += latency
+            self._m_latency.inc(latency)
+
     def _emit(
         self, group: list[MemoryRequest], cycle: int
     ) -> list[CoalescedRequest]:

@@ -248,6 +248,65 @@ class DynamicMSHRFile:
         self.stats.subentries_added += count
         self._m_subentries.inc(count)
 
+    # -- deferred batch recording (vector coalescing kernel) -----------------
+    #
+    # The batched kernel (repro.kernels.coalesce) keeps structural MSHR
+    # state live but defers all statistics into value->count
+    # accumulators, applied once per run through these helpers.  Each
+    # is exactly N record_* calls collapsed into one; zero counts are
+    # skipped so no metric sample is materialized that an unbatched run
+    # would not have created.
+
+    def record_offers_bulk(
+        self, count: int, occupancy_counts: dict[int, int]
+    ) -> None:
+        """Apply ``count`` deferred offers with their occupancy multiset."""
+        if count:
+            self.stats.offered += count
+            self._m_offers.inc(count)
+        occupancy = self._m_occupancy
+        for value in sorted(occupancy_counts):
+            occupancy.observe_bulk(value, occupancy_counts[value])
+
+    def record_outcomes_bulk(self, outcomes: dict[str, int]) -> None:
+        """Apply deferred offer-outcome counts (case name -> count)."""
+        stats = self.stats
+        for case, count in outcomes.items():
+            if not count:
+                continue
+            if case == "merged_full":
+                stats.merged_full += count
+            elif case == "merged_partial":
+                stats.merged_partial += count
+            elif case == "allocated":
+                stats.allocated += count
+            elif case == "rejected_full":
+                stats.rejected_full += count
+            else:
+                raise ValueError(f"unknown MSHR outcome {case!r}")
+            self._m_outcome_case[case].inc(count)
+
+    def record_merges_bulk(self, subentries: int, remainders: int) -> None:
+        """Apply deferred subentry-attach and case-B remainder counts."""
+        if subentries:
+            self.stats.subentries_added += subentries
+            self._m_subentries.inc(subentries)
+        if remainders:
+            self.stats.remainder_packets += remainders
+            self._m_remainders.inc(remainders)
+
+    def record_completions_bulk(
+        self, count: int, subentry_counts: dict[int, int]
+    ) -> None:
+        """Apply ``count`` deferred retirements with their
+        subentries-per-entry multiset."""
+        if count:
+            self.stats.completions += count
+            self._m_completions.inc(count)
+        entry_subs = self._m_entry_subentries
+        for value in sorted(subentry_counts):
+            entry_subs.observe_bulk(value, subentry_counts[value])
+
     # -- occupancy ---------------------------------------------------------
 
     def free_entries(self) -> int:

@@ -113,6 +113,11 @@ class MemoryRequest:
     #: Memoized extended sort key (-1 = not yet computed).  Keys are
     #: nonnegative, so -1 is a safe sentinel.
     _sort_key: int = field(default=-1, repr=False, compare=False)
+    #: Memoized cache-line number (-1 = not yet computed).  ``addr``
+    #: is frozen by convention once the request enters the coalescer,
+    #: and the merge machinery reads ``line`` several times per
+    #: request.
+    _line: int = field(default=-1, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.rtype is not RequestType.FENCE:
@@ -137,8 +142,11 @@ class MemoryRequest:
 
     @property
     def line(self) -> int:
-        """Cache-line number of the request."""
-        return self.addr // CACHE_LINE_SIZE
+        """Cache-line number of the request (memoized)."""
+        line = self._line
+        if line < 0:
+            line = self._line = self.addr // CACHE_LINE_SIZE
+        return line
 
     def sort_key(self) -> int:
         """Extended 54-bit key used by the request sorting network.
@@ -186,6 +194,10 @@ class CoalescedRequest:
     #: lines through allocation, so the check need not repeat until
     #: the generation advances).
     merge_checked_gen: int = field(default=-1, repr=False, compare=False)
+    #: Memoized constituent byte total (-1 = not yet computed).  The
+    #: constituent list is fixed at construction; the service-time and
+    #: adaptive-granularity paths both read the total.
+    _requested_bytes: int = field(default=-1, repr=False, compare=False)
 
     VALID_LINE_COUNTS = (1, 2, 4, 8)
 
@@ -226,8 +238,18 @@ class CoalescedRequest:
 
     @property
     def requested_bytes(self) -> int:
-        """Total bytes actually requested by the constituent accesses."""
-        return sum(req.requested_bytes for req in self.constituents)
+        """Total bytes actually requested by the constituent accesses
+        (memoized; the constituent list is fixed at construction)."""
+        total = self._requested_bytes
+        if total < 0:
+            cons = self.constituents
+            if len(cons) == 1:
+                total = self._requested_bytes = cons[0].requested_bytes
+            else:
+                total = self._requested_bytes = sum(
+                    req.requested_bytes for req in cons
+                )
+        return total
 
     @property
     def size_field(self) -> int:

@@ -133,6 +133,79 @@ class HMCDevice:
             help="Issued packet payload size distribution (Figure 10)",
             unit="bytes",
         ).bind()
+        # service() runs per transaction: pure-config values are cached
+        # so the hot path never chases config attributes (identical
+        # arithmetic, identical results).
+        self._block_bytes = self.config.block_bytes
+        self._capacity = self.config.capacity_bytes
+        self._num_vaults = self.config.num_vaults
+        self._half_serdes_ns = self.config.t_serdes_ns / 2
+        self._deferred = False
+        self._a_reads = 0
+        self._a_writes = 0
+        self._a_payload = 0
+        self._a_requested = 0
+        self._a_control = 0
+        self._a_hits = 0
+        self._a_misses = 0
+        self._a_packets: list[int] = []
+
+    def defer_metrics(self) -> None:
+        """Batch registry writes for the whole device stack.
+
+        Puts the device, its link and every vault into deferred mode:
+        the service path accumulates counter totals in plain attributes
+        and buffers histogram observations; the legacy ``stats``
+        dataclasses stay live.  :meth:`apply_deferred_metrics` applies
+        counters as one increment each (bit-exact: adding a fold's
+        total to a fresh zero sample reproduces the fold) and replays
+        histogram observations in call order.  Callers must apply
+        before reading the registry -- the replay driver does so before
+        the digest, charged to the flush phase.
+        """
+        self._deferred = True
+        self._a_reads = 0
+        self._a_writes = 0
+        self._a_payload = 0
+        self._a_requested = 0
+        self._a_control = 0
+        self._a_hits = 0
+        self._a_misses = 0
+        self._a_packets = []
+        self.link.defer_metrics()
+        for vault in self.vaults:
+            vault.defer_metrics()
+
+    def apply_deferred_metrics(self) -> None:
+        """Flush all deferred accumulators into the registry.
+
+        No-op unless :meth:`defer_metrics` is pending, so the driver
+        may call it unconditionally after a replay.  Zero-count batches
+        record nothing, matching the live path's lazy sample
+        materialization.
+        """
+        if not self._deferred:
+            return
+        self._deferred = False
+        if self._a_reads:
+            self._m_requests_op["read"].inc(self._a_reads)
+        if self._a_writes:
+            self._m_requests_op["write"].inc(self._a_writes)
+        if self._a_reads or self._a_writes:
+            self._m_payload.inc(self._a_payload)
+            self._m_requested.inc(self._a_requested)
+            self._m_control.inc(self._a_control)
+        if self._a_hits:
+            self._m_rows_outcome[True].inc(self._a_hits)
+        if self._a_misses:
+            self._m_rows_outcome[False].inc(self._a_misses)
+        observe = self._m_packet_bytes.observe
+        for packet_bytes in self._a_packets:
+            observe(packet_bytes)
+        self._a_packets = []
+        self.link.apply_deferred_metrics()
+        for vault in self.vaults:
+            vault.apply_deferred_metrics()
 
     def _account(
         self,
@@ -168,12 +241,26 @@ class HMCDevice:
         s.last_complete_ns = max(s.last_complete_ns, complete_ns)
         s.size_histogram[packet_bytes] = s.size_histogram.get(packet_bytes, 0) + 1
 
-        self._m_requests_op[op].inc()
-        self._m_payload.inc(payload)
-        self._m_requested.inc(requested)
-        self._m_control.inc(control)
-        self._m_rows_outcome[row_hit].inc()
-        self._m_packet_bytes.observe(packet_bytes)
+        if self._deferred:
+            if op == "write":
+                self._a_writes += 1
+            else:
+                self._a_reads += 1
+            self._a_payload += payload
+            self._a_requested += requested
+            self._a_control += control
+            if row_hit:
+                self._a_hits += 1
+            else:
+                self._a_misses += 1
+            self._a_packets.append(packet_bytes)
+        else:
+            self._m_requests_op[op].inc()
+            self._m_payload.inc(payload)
+            self._m_requested.inc(requested)
+            self._m_control.inc(control)
+            self._m_rows_outcome[row_hit].inc()
+            self._m_packet_bytes.observe(packet_bytes)
 
     def service(
         self,
@@ -199,32 +286,9 @@ class HMCDevice:
             Bytes the application actually asked for (defaults to the
             payload) -- the Equation 1 numerator.
         """
-        if data_bytes > self.config.block_bytes:
-            raise ValueError(
-                f"request of {data_bytes} B exceeds the {self.config.block_bytes} B block"
-            )
-        if addr // self.config.block_bytes != (addr + data_bytes - 1) // self.config.block_bytes:
-            raise ValueError("request must not cross an HMC block boundary")
-        if addr < 0 or addr + data_bytes > self.config.capacity_bytes:
-            raise ValueError("address out of device range")
-
-        vault_index = self.config.vault_of(addr)
-        at_vault = self.link.transfer(data_bytes, arrive_ns, is_write=is_write)
-        at_vault += self.config.t_serdes_ns / 2
-        done, row_hit = self.vaults[vault_index].service(addr, data_bytes, at_vault)
-        complete = done + self.config.t_serdes_ns / 2
-
-        req = requested_bytes if requested_bytes is not None else data_bytes
-        self._account(
-            op="write" if is_write else "read",
-            payload=data_bytes,
-            requested=req,
-            control=REQUEST_CONTROL_BYTES,
-            row_hit=row_hit,
-            latency_ns=complete - arrive_ns,
-            complete_ns=complete,
+        complete, row_hit, vault_index = self._service_core(
+            addr, data_bytes, is_write, arrive_ns, requested_bytes
         )
-
         return HMCResponse(
             addr=addr,
             data_bytes=data_bytes,
@@ -234,6 +298,113 @@ class HMCDevice:
             row_hit=row_hit,
             vault=vault_index,
         )
+
+    def _service_core(
+        self,
+        addr: int,
+        data_bytes: int,
+        is_write: bool,
+        arrive_ns: float,
+        requested_bytes: int | None,
+    ) -> tuple[float, bool, int]:
+        """Positional hot core of :meth:`service`.
+
+        Returns ``(complete_ns, row_hit, vault_index)``; the replay
+        driver calls this directly to skip the response-object
+        construction it would immediately discard.  Accounting is
+        inlined (see :meth:`_account`, kept for the atomic path) with
+        identical arithmetic and identical registry call order.
+        """
+        block_bytes = self._block_bytes
+        block = addr // block_bytes
+        if data_bytes > block_bytes:
+            raise ValueError(
+                f"request of {data_bytes} B exceeds the {block_bytes} B block"
+            )
+        # Division-free twin of ``block != (addr + data_bytes - 1) //
+        # block_bytes`` for the non-negative operands already enforced.
+        if addr - block * block_bytes + data_bytes > block_bytes:
+            raise ValueError("request must not cross an HMC block boundary")
+        if addr < 0 or addr + data_bytes > self._capacity:
+            raise ValueError("address out of device range")
+
+        vault_index = block % self._num_vaults
+        # Inlined ``HMCLink.transfer`` (identical arithmetic and
+        # accounting; the method call per transaction costs as much as
+        # the serialization math it wraps).
+        link = self.link
+        key = (data_bytes, is_write)
+        cached = link._flit_cache.get(key)
+        if cached is None:
+            at_vault = link.transfer(data_bytes, arrive_ns, is_write=is_write)
+        else:
+            flits, req_time, total_time = cached
+            free_at = link.free_at_ns
+            start = arrive_ns if arrive_ns > free_at else free_at
+            link.free_at_ns = start + total_time
+            lstats = link.stats
+            lstats.transactions += 1
+            lstats.flits += flits
+            lstats.payload_bytes += data_bytes
+            lstats.control_bytes += REQUEST_CONTROL_BYTES
+            lstats.busy_ns += total_time
+            if link._deferred:
+                link._a_transactions += 1
+                link._a_flits += flits
+                link._a_payload += data_bytes
+                link._a_control += REQUEST_CONTROL_BYTES
+                link._a_busy += total_time
+            else:
+                link._m_transactions.inc(1)
+                link._m_flits.inc(flits)
+                link._m_payload_bytes.inc(data_bytes)
+                link._m_control_bytes.inc(REQUEST_CONTROL_BYTES)
+                link._m_busy.inc(total_time)
+            at_vault = start + req_time
+        at_vault += self._half_serdes_ns
+        done, row_hit = self.vaults[vault_index].service(addr, data_bytes, at_vault)
+        complete = done + self._half_serdes_ns
+
+        req = requested_bytes if requested_bytes is not None else data_bytes
+        s = self.stats
+        s.requests += 1
+        if is_write:
+            s.writes += 1
+        else:
+            s.reads += 1
+        s.payload_bytes += data_bytes
+        s.requested_bytes += req
+        s.control_bytes += REQUEST_CONTROL_BYTES
+        if row_hit:
+            s.row_hits += 1
+        else:
+            s.row_misses += 1
+        s.total_latency_ns += complete - arrive_ns
+        s.last_complete_ns = max(s.last_complete_ns, complete)
+        s.size_histogram[data_bytes] = s.size_histogram.get(data_bytes, 0) + 1
+
+        if self._deferred:
+            if is_write:
+                self._a_writes += 1
+            else:
+                self._a_reads += 1
+            self._a_payload += data_bytes
+            self._a_requested += req
+            self._a_control += REQUEST_CONTROL_BYTES
+            if row_hit:
+                self._a_hits += 1
+            else:
+                self._a_misses += 1
+            self._a_packets.append(data_bytes)
+        else:
+            self._m_requests_op["write" if is_write else "read"].inc()
+            self._m_payload.inc(data_bytes)
+            self._m_requested.inc(req)
+            self._m_control.inc(REQUEST_CONTROL_BYTES)
+            self._m_rows_outcome[row_hit].inc()
+            self._m_packet_bytes.observe(data_bytes)
+
+        return complete, row_hit, vault_index
 
     def service_atomic(
         self,

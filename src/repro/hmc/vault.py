@@ -87,6 +87,55 @@ class Vault:
             help="Per-request wait behind earlier requests (queue depth proxy)",
             unit="ns",
         ).bind(vault=self._label)
+        # service() runs per transaction: pure-config address math and
+        # DRAM latencies resolve to the same values on every call, so
+        # they are cached here (identical arithmetic, identical floats).
+        self._bank_stride = config.block_bytes * config.num_vaults
+        self._banks_per_vault = config.banks_per_vault
+        # (addr // per_round) // blocks_per_row == addr // (per_round *
+        # blocks_per_row) for nonnegative operands.
+        self._row_stride = self._bank_stride * config.banks_per_vault * max(
+            1, config.row_bytes // config.block_bytes
+        )
+        self._closed_page = config.page_policy == "closed"
+        self._closed_ns = config.closed_access_ns()
+        self._row_hit_ns = config.row_hit_ns()
+        self._row_miss_ns = config.row_miss_ns()
+        self._vault_bw = config.vault_bandwidth_gbps
+        self._deferred = False
+        self._a_requests = 0
+        self._a_conflicts = 0
+        self._a_busy = 0.0
+        self._a_waits: list[float] = []
+
+    def defer_metrics(self) -> None:
+        """Batch this vault's registry writes (see ``HMCDevice``)."""
+        self._deferred = True
+        self._a_requests = 0
+        self._a_conflicts = 0
+        self._a_busy = 0.0
+        self._a_waits = []
+
+    def apply_deferred_metrics(self) -> None:
+        """Flush the deferred accumulators into the registry.
+
+        Counters apply as one increment (bit-exact: the accumulator
+        repeated the live fold against a fresh sample, and adding the
+        total to zero reproduces it); the queue-wait observations
+        replay in call order so the histogram's float sum folds
+        identically.  Zero-count batches record nothing, matching the
+        live path's lazy sample materialization.
+        """
+        self._deferred = False
+        if self._a_requests:
+            self._m_requests.inc(self._a_requests)
+            self._m_busy.inc(self._a_busy)
+        if self._a_conflicts:
+            self._m_conflicts.inc(self._a_conflicts)
+        observe = self._m_queue_wait.observe
+        for wait in self._a_waits:
+            observe(wait)
+        self._a_waits = []
 
     def service(
         self, addr: int, data_bytes: int, arrive_ns: float
@@ -100,34 +149,54 @@ class Vault:
         """
         if data_bytes <= 0:
             raise ValueError("data_bytes must be positive")
-        bank_idx = self.config.bank_of(addr)
-        row = self.config.row_of(addr)
-        start = max(arrive_ns, self.free_at_ns)
-        self.stats.queued_ns += start - arrive_ns
+        bank_idx = (addr // self._bank_stride) % self._banks_per_vault
+        row = addr // self._row_stride
+        free_at = self.free_at_ns
+        start = arrive_ns if arrive_ns > free_at else free_at
+        stats = self.stats
+        stats.queued_ns += start - arrive_ns
 
-        if self.config.page_policy == "closed":
+        bank = self.banks[bank_idx]
+        if self._closed_page:
             # Auto-precharge: every access activates, none conflicts.
-            self.banks[bank_idx].access(row)
-            self.banks[bank_idx].open_row = None
+            bank.access(row)
+            bank.open_row = None
             hit = False
-            dram = self.config.closed_access_ns()
+            dram = self._closed_ns
         else:
-            hit = self.banks[bank_idx].access(row)
-            dram = self.config.row_hit_ns() if hit else self.config.row_miss_ns()
-        xfer = self.config.vault_transfer_ns(data_bytes)
+            # Inline ``Bank.access`` (per-transaction method call).
+            if bank.open_row == row:
+                hit = True
+                dram = self._row_hit_ns
+            else:
+                bank.open_row = row
+                bank.activations += 1
+                hit = False
+                dram = self._row_miss_ns
+        xfer = data_bytes / self._vault_bw
         complete = start + dram + xfer
 
         self.free_at_ns = complete
-        self.stats.requests += 1
-        self.stats.busy_ns += dram + xfer
-        if hit:
-            self.stats.row_hits += 1
+        stats.requests += 1
+        stats.busy_ns += dram + xfer
+        if self._deferred:
+            if hit:
+                stats.row_hits += 1
+            else:
+                stats.row_misses += 1
+                self._a_conflicts += 1
+            self._a_requests += 1
+            self._a_busy += dram + xfer
+            self._a_waits.append(start - arrive_ns)
         else:
-            self.stats.row_misses += 1
-            self._m_conflicts.inc()
-        self._m_requests.inc()
-        self._m_busy.inc(dram + xfer)
-        self._m_queue_wait.observe(start - arrive_ns)
+            if hit:
+                stats.row_hits += 1
+            else:
+                stats.row_misses += 1
+                self._m_conflicts.inc()
+            self._m_requests.inc()
+            self._m_busy.inc(dram + xfer)
+            self._m_queue_wait.observe(start - arrive_ns)
         return complete, hit
 
     @property

@@ -1,0 +1,1153 @@
+"""Batched second-phase coalescing: DMC merge plans + lean CRQ/MSHR replay.
+
+The vector replay engine (:mod:`repro.kernels.replay`) eliminated the
+per-row comparator walk, but every flushed sequence still ran the
+object DMC/CRQ/MSHR machinery call-for-call -- per-packet metric
+increments, per-offer occupancy observations, and (dominating the
+profile) thousands of *repeat* rejected-full drains while the MSHR
+file sat fully occupied.  This module removes that ceiling in three
+moves, none of which change a digest-visible effect:
+
+**Merge plans.**  The DMC unit's group boundaries are a pure function
+of the sorted (type, line) key stream: a new group starts at position
+``j`` iff the type bit changes, the line distance exceeds one, or a
+distance-one step crosses an aligned ``max_packet_lines`` block
+(``line % max_lines == 0``; the distinct-line capacity cap is
+subsumed by the alignment cut for power-of-two ``max_lines``).
+:func:`plan_merge_spans` evaluates that predicate column-wise over the
+same batched key matrix the sort planner already builds, so packet
+formation becomes list slicing instead of a scan with per-merge
+bookkeeping.
+
+**Deferred accounting.**  Every counter increment and histogram
+observation the object path performs is commutative and
+order-independent (counters sum; histogram buckets, sums, counts and
+min/max are multiset functions of the observed values; the high-water
+gauge is a max).  :class:`BatchedCoalescer` therefore keeps the
+*structural* state live (CRQ slots, MSHR entries, free heap, line
+index, completion bounds, HMC device calls -- everything whose order
+matters) and accumulates the statistics in plain ints and small
+value->count dicts, applying them once at the end of the run through
+the ``record_*_bulk`` helpers on the core components.  Zero-count
+batches are skipped so the lazily-materialized metric samples match
+the object run exactly.
+
+**Drain memoization.**  When a drain ends in ``rejected_full``, the
+object path repeats the identical offer/reject/merge-pass sequence on
+every subsequent row until an entry retires or a new packet arrives:
+the merge-while-full pass marks every queued request with the current
+``alloc_gen``, so re-running it is a no-op, and the head's re-offer
+deterministically records one offer + occupancy + rejection.  The
+kernel memoizes that terminal state as ``(head slot, alloc_gen,
+retire count)`` and replays repeats in three deferred updates.  Any
+allocation, retirement or enqueue invalidates the memo.  The replay
+row loop goes one step further: a *run* of consecutive memo-hit
+drains has cycle-independent accounting, so the loop just counts them
+and flushes the whole run through :meth:`BatchedCoalescer.drain_hits_bulk`
+-- which re-verifies the memo (head identity, ``alloc_gen``, retire
+count) before applying the batch -- immediately before anything
+mutates CRQ/MSHR state.
+
+Supporting machinery sharing the same digest boundary:
+
+* **Inverted merge join.**  The object merge-while-full pass re-scans
+  the whole queue per allocation; the kernel keeps checked-clean
+  queued requests in a ``(type, line) -> slots`` index
+  (``_queue_index``) and probes each *new allocation's* lines against
+  it, so the steady-state pass is O(new entry lines) dict lookups.
+* **Completion heap.**  Retirements pop from a ``(complete_cycle,
+  index)`` min-heap instead of scanning the file; the row loop skips
+  the completion call entirely while the heap's minimum is in the
+  future (the object call is a no-op there).
+* **Deferred stream materialization.**  The digest-invisible
+  ``issued``/``serviced`` request streams accumulate as raw field
+  tuples during the run and materialize into their dataclasses once
+  in :meth:`BatchedCoalescer.finalize`, in append order.
+* **Kernel bypass.**  The Section 4.2 bypass check (empty CRQ, idle
+  MSHRs, nothing mid-sort) is evaluated from kernel state, so
+  bypassed packets take the same lean allocate/issue path.
+
+The kernel only engages for the stock component stack (an *envelope
+check*, mirroring the capture kernel); anything else -- reference MSHR
+files, subclassed coalescers, DMC-less configs -- delegates to the
+object engine.  If an invariant the kernel relies on is violated
+mid-run it raises :class:`CoalesceKernelError`; the driver catches it,
+rebuilds the component stack and re-runs the object replay, so a
+verification miss costs one retry, never a wrong digest.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from operator import itemgetter
+
+import numpy as np
+
+from repro.core.address import CACHE_LINE_SIZE, TYPE_BIT
+from repro.core.coalescer import IssuedRequest, MemoryCoalescer, ServicedRequest
+from repro.core.crq import CoalescedRequestQueue, _Slot
+from repro.core.dmc import DMCUnit, split_aligned_runs
+from repro.core.mshr import DynamicMSHRFile
+from repro.core.pipeline import PipelinedSortingNetwork
+from repro.core.request import CoalescedRequest, MemoryRequest
+
+_ADDR_MASK = (1 << TYPE_BIT) - 1
+_LINE_SHIFT = CACHE_LINE_SIZE.bit_length() - 1
+_BY_INDEX = itemgetter(1)
+
+
+class CoalesceKernelError(RuntimeError):
+    """A batched-coalescing invariant failed mid-run.
+
+    Raised instead of silently continuing; the replay driver catches
+    it, rebuilds the component stack and re-runs the object engine
+    (see ``repro.sim.driver._replay_benchmark``).
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+# -- engagement / fallback telemetry ----------------------------------------
+#
+# Module-level, *not* registry metrics: the registry is digest-visible
+# and must be engine-invariant, but which engine ran (and whether it
+# fell back) is exactly the kind of run metadata the perf harness wants
+# to surface.  Counters accumulate per process; the harness snapshots
+# around each attempt.
+
+_COUNTERS: dict = {
+    "engaged": 0,
+    "delegated": 0,
+    "fallbacks": 0,
+    "fallback_reasons": {},
+}
+
+
+def kernel_counters() -> dict:
+    """Snapshot of the engagement/fallback counters (copied)."""
+    out = dict(_COUNTERS)
+    out["fallback_reasons"] = dict(_COUNTERS["fallback_reasons"])
+    return out
+
+
+def reset_kernel_counters() -> None:
+    """Zero the counters (test isolation)."""
+    _COUNTERS["engaged"] = 0
+    _COUNTERS["delegated"] = 0
+    _COUNTERS["fallbacks"] = 0
+    _COUNTERS["fallback_reasons"] = {}
+
+
+def record_engaged() -> None:
+    _COUNTERS["engaged"] += 1
+
+
+def record_delegated() -> None:
+    _COUNTERS["delegated"] += 1
+
+
+def record_fallback(reason: str) -> None:
+    _COUNTERS["fallbacks"] += 1
+    reasons = _COUNTERS["fallback_reasons"]
+    reasons[reason] = reasons.get(reason, 0) + 1
+
+
+def supports_batched_coalesce(coalescer: MemoryCoalescer) -> bool:
+    """Envelope check: does the stock batched kernel model this stack?
+
+    The kernel replays the exact accounting of the stock
+    ``MemoryCoalescer``/``DynamicMSHRFile``/``CoalescedRequestQueue``/
+    ``DMCUnit`` stack; subclasses or swapped implementations (e.g. the
+    reference MSHR file used by the parity harness) delegate to the
+    object engine instead.
+    """
+    config = coalescer.config
+    return (
+        type(coalescer) is MemoryCoalescer
+        and type(coalescer.mshrs) is DynamicMSHRFile
+        and type(coalescer.crq) is CoalescedRequestQueue
+        and type(coalescer.dmc) is DMCUnit
+        and type(coalescer.pipeline) is PipelinedSortingNetwork
+        and config.enable_dmc
+        and config.line_size == CACHE_LINE_SIZE
+        and config.max_packet_lines in (1, 2, 4, 8)
+    )
+
+
+def plan_merge_spans(
+    sorted_keys: np.ndarray, lengths: list[int], max_lines: int
+) -> list[list[tuple[int, int]] | None]:
+    """Column-wise DMC merge plans for a batch of sorted sequences.
+
+    ``sorted_keys`` is a ``(groups, width)`` int64 matrix of extended
+    sort keys in network output order (padding lanes hold the invalid
+    key and sort last); ``lengths`` gives each row's valid prefix.
+    Returns, per group, the ``(start, end)`` index spans of the DMC
+    coalescing groups over the sorted requests.
+
+    A new group starts where the type bit changes, the line step
+    exceeds one, or a step of exactly one crosses an aligned
+    ``max_lines`` block boundary -- the same decisions the object
+    :meth:`~repro.core.dmc.DMCUnit.coalesce` scan makes, evaluated as
+    three vectorized comparisons.
+    """
+    line = (sorted_keys & _ADDR_MASK) >> _LINE_SHIFT
+    t = sorted_keys >> TYPE_BIT
+    d = line[:, 1:] - line[:, :-1]
+    boundary = (
+        (t[:, 1:] != t[:, :-1])
+        | (d > 1)
+        | ((d == 1) & ((line[:, 1:] & (max_lines - 1)) == 0))
+    )
+    out: list[list[tuple[int, int]] | None] = []
+    for g, count in enumerate(lengths):
+        if count <= 1:
+            out.append([(0, count)] if count else [])
+            continue
+        spans: list[tuple[int, int]] = []
+        prev = 0
+        for cut in np.flatnonzero(boundary[g, : count - 1]):
+            nxt = int(cut) + 1
+            spans.append((prev, nxt))
+            prev = nxt
+        spans.append((prev, count))
+        out.append(spans)
+    return out
+
+
+class BatchedCoalescer:
+    """Lean replay of the second-phase coalescing machinery.
+
+    Wraps a stock :class:`MemoryCoalescer` (envelope-checked by
+    :func:`supports_batched_coalesce`) and substitutes for its
+    ``_complete_up_to`` / ``_handle_sequence`` / ``_drain_crq`` /
+    ``flush`` internals inside the vector replay loop.  Structural
+    state lives in the wrapped components; statistics are deferred (see
+    the module docstring) and applied once by :meth:`finalize`, which
+    :meth:`finish` calls at end of trace.
+    """
+
+    def __init__(self, coalescer: MemoryCoalescer):
+        config = coalescer.config
+        self._coalescer = coalescer
+        self._mshrs = coalescer.mshrs
+        self._crq = coalescer.crq
+        self._dmc = coalescer.dmc
+        self._pipeline = coalescer.pipeline
+        self._slots = coalescer.crq._slots
+        self._fill_window = coalescer.crq._fill_window
+        self._depth = coalescer.crq.depth
+        self._timeline = coalescer.registry.timeline
+        self._service_time = coalescer.service_time_for
+        self._issued = coalescer.issued
+        self._serviced = coalescer.serviced
+        self._coalescing = config.enable_mshr_coalescing
+        self._adaptive = config.adaptive_granularity
+        self._line_size = config.line_size
+        self._max_lines = config.max_packet_lines
+        self._compare_cycles = config.compare_cycles
+
+        #: Retirement epoch: bumped whenever entries complete.  Part of
+        #: the drain memo key (a retire frees capacity, so a memoized
+        #: rejected-full drain is stale once this moves).
+        self._retires = 0
+        #: ``(head slot, alloc_gen, retires, head_is_fence)`` of a
+        #: drain that ended with no progress possible, or ``None``.
+        self._memo: tuple | None = None
+        #: Entries allocated since the last merge-while-full pass
+        #: finished.  A queued request that already passed a full
+        #: overlap check can only overlap entries in this log (entries
+        #: never gain lines after allocation), so the steady-state pass
+        #: is a probe of the log entries' lines against
+        #: ``_queue_index`` instead of a scan of every queued request.
+        self._alloc_log: list = []
+        #: ``(type, line) -> [slot, ...]`` over queued requests whose
+        #: last full overlap check found nothing (the check's result
+        #: stays valid modulo ``_alloc_log``).  Slots enter on a clean
+        #: check, leave when popped/merged/replaced; a fence pop sends
+        #: everything back to ``_unchecked`` (slots behind a fence are
+        #: skipped by probes, so their checks go stale).
+        self._queue_index: dict = {}
+        #: ``id(slot) -> slot`` for queued requests that still need a
+        #: full overlap check (fresh pushes, post-fence re-checks), in
+        #: queue order.
+        self._unchecked: dict = {}
+        #: Fence markers currently in the queue (probe filtering is
+        #: only needed while this is non-zero).
+        self._fences = 0
+        #: ``(complete_cycle, entry_index)`` min-heap over the valid
+        #: entries, maintained by :meth:`_alloc_entry` and drained by
+        #: :meth:`complete_up_to`.  Replaces the object file's
+        #: ``_next_complete``/``_last_complete`` bound refresh (an
+        #: O(entries) rescan after every retire batch): the heap head
+        #: is the next completion, its max the drain horizon.  The
+        #: object bounds are left stale -- nothing reads them once the
+        #: kernel owns the replay (``pop_completions`` guards on
+        #: ``_valid_count`` first).
+        self._c_heap: list[tuple[int, int]] = []
+        self._finalized = False
+
+        # Deferred MSHR accounting.
+        self._d_offers = 0
+        self._d_merged_full = 0
+        self._d_merged_partial = 0
+        self._d_allocated = 0
+        self._d_rejected = 0
+        self._d_subentries = 0
+        self._d_remainders = 0
+        self._d_completions = 0
+        self._d_occupancy: dict[int, int] = {}
+        self._d_entry_subs: dict[int, int] = {}
+        # Deferred CRQ accounting.
+        self._d_pushes = 0
+        self._d_pops = 0
+        self._d_fills = 0
+        self._d_fill_total = 0
+        self._d_depth: dict[int, int] = {}
+        self._d_fill_obs: dict[int, int] = {}
+        self._max_depth = 0
+        # Deferred DMC accounting.
+        self._d_sequences = 0
+        self._d_requests_in = 0
+        self._d_packets_out = 0
+        self._d_comparisons = 0
+        self._d_merges = 0
+        self._d_latency = 0
+        self._d_packet_lines: dict[int, int] = {}
+        self._d_merge_dist: dict[int, int] = {}
+        # Deferred coalescer accounting (non-bypass issue count).
+        self._d_issued = 0
+        # Deferred stream materialization: the issued/serviced record
+        # objects are built at finalize from these field tuples, in
+        # append order, so the hot loop pays a tuple append instead of
+        # a dataclass construction.  Nothing reads either stream until
+        # after the run (snapshot_stats / the differential tests).
+        self._raw_issued: list[tuple] = []
+        self._raw_serviced: list[tuple] = []
+
+    # -- completion ---------------------------------------------------------
+
+    def complete_up_to(self, cycle: int) -> None:
+        """Lean twin of ``MemoryCoalescer._complete_up_to``.
+
+        Pops due records off the completion heap instead of scanning
+        the entry file; a batch of several due entries is re-sorted by
+        entry index because the object scan retires (and appends the
+        serviced records) in index order.  In kernel mode subentries
+        are the raw constituent requests (``_retire`` never reads
+        them), so the serviced append skips the wrapper hop.
+        """
+        heap = self._c_heap
+        if not heap or heap[0][0] > cycle:
+            return
+        m = self._mshrs
+        entries = m.entries
+        serviced_append = self._raw_serviced.append
+        d_subs = self._d_entry_subs
+        free_heap = m._free_heap
+        line_index = m._line_index
+        line_size = m._line_size
+        first = heappop(heap)
+        if heap and heap[0][0] <= cycle:
+            due = [first]
+            while heap and heap[0][0] <= cycle:
+                due.append(heappop(heap))
+            due.sort(key=_BY_INDEX)
+        else:
+            due = (first,)
+        for cc, idx in due:
+            entry = entries[idx]
+            subs = entry.subentries
+            for req in subs:
+                serviced_append((req, cc))
+            # Lean twin of ``DynamicMSHRFile._retire`` (valid flag,
+            # free heap, line-index unwind; the valid count is batched
+            # below -- nothing in this loop reads it).
+            entry.valid = False
+            heappush(free_heap, idx)
+            t = int(entry.rtype)
+            base = entry.addr // line_size
+            num_lines = entry.num_lines
+            if num_lines == 1:
+                key = (t, base)
+                bucket = line_index.get(key)
+                if bucket is not None:
+                    try:
+                        bucket.remove(entry)
+                    except ValueError:
+                        pass
+                    if not bucket:
+                        del line_index[key]
+            else:
+                for line in range(base, base + num_lines):
+                    bucket = line_index.get((t, line))
+                    if bucket is not None:
+                        try:
+                            bucket.remove(entry)
+                        except ValueError:
+                            pass
+                        if not bucket:
+                            del line_index[(t, line)]
+            n_subs = len(subs)
+            d_subs[n_subs] = d_subs.get(n_subs, 0) + 1
+            entry.subentries = []
+        retired = len(due)
+        m._valid_count -= retired
+        self._d_completions += retired
+        self._retires += retired
+
+    # -- CRQ drain ----------------------------------------------------------
+
+    def drain(self, cycle: int) -> None:
+        """Lean twin of ``MemoryCoalescer._drain_crq``.
+
+        A memoized no-progress drain (head unchanged, no allocation or
+        retirement since) replays as the deterministic offer/reject
+        accounting it would produce -- or as a pure no-op for a fence
+        head blocked on busy MSHRs.
+        """
+        memo = self._memo
+        if memo is not None:
+            slot, gen, retires, fence = memo
+            slots = self._slots
+            if (
+                slots
+                and slots[0] is slot
+                and self._mshrs.alloc_gen == gen
+                and self._retires == retires
+            ):
+                if not fence:
+                    self._d_offers += 1
+                    occ = self._mshrs._valid_count
+                    d_occ = self._d_occupancy
+                    d_occ[occ] = d_occ.get(occ, 0) + 1
+                    self._d_rejected += 1
+                return
+            self._memo = None
+        self._drain_full(cycle)
+
+    def drain_hits_bulk(self, count: int) -> None:
+        """Replay ``count`` memoized no-progress drains at once.
+
+        The replay loop counts consecutive per-row drains between state
+        changes instead of calling :meth:`drain` for each: a memoized
+        drain's accounting (one offer at the current occupancy, one
+        rejection) is cycle-independent, so a run of them applies as a
+        single bulk update.  The memo is re-verified here; the caller
+        flushing before every mutation should make that vacuous, so a
+        stale memo means the engine contract broke (fallback).
+        """
+        memo = self._memo
+        if memo is None:
+            raise CoalesceKernelError("bulk-drain-without-memo")
+        slot, gen, retires, fence = memo
+        slots = self._slots
+        if (
+            not slots
+            or slots[0] is not slot
+            or self._mshrs.alloc_gen != gen
+            or self._retires != retires
+        ):
+            raise CoalesceKernelError("bulk-drain-memo-stale")
+        if fence:
+            return
+        self._d_offers += count
+        occ = self._mshrs._valid_count
+        d_occ = self._d_occupancy
+        d_occ[occ] = d_occ.get(occ, 0) + count
+        self._d_rejected += count
+
+    def _drain_full(self, cycle: int) -> None:
+        slots = self._slots
+        m = self._mshrs
+        coalescing = self._coalescing
+        adaptive = self._adaptive
+        d_occ = self._d_occupancy
+        unchecked = self._unchecked
+        popleft = slots.popleft
+        find_overlaps = m._find_overlaps
+        probe_log = self._probe_log
+        free_heap = m._free_heap
+        alloc_entry = self._alloc_entry
+        issued_append = self._raw_issued.append
+        while slots:
+            slot = slots[0]
+            head = slot.request
+            if head is None:
+                # Fence marker: nothing behind it issues until every
+                # request ahead has committed.
+                if m._valid_count:
+                    self._memo = (slot, m.alloc_gen, self._retires, True)
+                    return
+                popleft()  # pop_fence records nothing
+                self._fences -= 1
+                if self._queue_index:
+                    # Probes skipped everything behind the fence, so
+                    # every stored check is now suspect: re-check the
+                    # whole queue in full at the next pass.
+                    self._queue_index.clear()
+                    unchecked.clear()
+                    for s in slots:
+                        if s.request is not None:
+                            unchecked[id(s)] = s
+                continue
+            if adaptive and head.num_lines == 1 and head.payload_bytes is None:
+                # Inline :meth:`_shrink` (its guards are this branch).
+                line_size = self._line_size
+                wanted = head.requested_bytes
+                if wanted > line_size:
+                    wanted = line_size
+                elif wanted <= 0:
+                    wanted = 16
+                head.payload_bytes = min(
+                    line_size, max(16, -(-wanted // 16) * 16)
+                )
+            at = cycle if cycle >= head.issue_cycle else head.issue_cycle
+            self._d_offers += 1
+            occ = m._valid_count
+            d_occ[occ] = d_occ.get(occ, 0) + 1
+            sid = id(slot)
+            if coalescing and occ:
+                fresh = sid in unchecked
+                if fresh:
+                    overlaps = find_overlaps(head)
+                else:
+                    # Already checked clean: only entries allocated
+                    # since (all in the log) can overlap.
+                    overlaps = probe_log(head)
+                if overlaps:
+                    covered: set[int] = set()
+                    for entry, common in overlaps:
+                        self._merge_entry(entry, head, common)
+                        covered |= common
+                    remainder = sorted(set(head.lines) - covered)
+                    if fresh:
+                        del unchecked[sid]
+                    else:
+                        self._unindex_slot(slot)
+                    if not remainder:
+                        self._d_merged_full += 1
+                        popleft()
+                        self._d_pops += 1
+                    else:
+                        self._d_merged_partial += 1
+                        rest = m._repack(head, remainder)
+                        self._d_remainders += len(rest)
+                        enq = slot.enqueue_cycle
+                        popleft()
+                        new_slots = [_Slot(r, enq) for r in rest]
+                        slots.extendleft(reversed(new_slots))
+                        # Remainder lines overlap nothing right now by
+                        # construction: born checked.
+                        for ns in new_slots:
+                            self._index_slot(ns)
+                    continue
+            if free_heap:
+                # Coalesced-path allocation: shared core plus the
+                # issue record (inlined -- this is the one call site).
+                entry = alloc_entry(head, at)
+                issued_append(
+                    (head, at, entry.complete_cycle, entry.index, False)
+                )
+                self._d_issued += 1
+                if sid in unchecked:
+                    del unchecked[sid]
+                elif coalescing:
+                    self._unindex_slot(slot)
+                popleft()
+                self._d_pops += 1
+                continue
+            self._d_rejected += 1
+            if coalescing and sid in unchecked:
+                # The offer just ran a full overlap check; record it.
+                del unchecked[sid]
+                self._index_slot(slot)
+            self._merge_waiting_pass()
+            self._memo = (slot, m.alloc_gen, self._retires, False)
+            return
+
+    def note_fence(self) -> None:
+        """A fence marker was pushed onto the CRQ (probe filtering on)."""
+        self._fences += 1
+
+    def _index_slot(self, slot: _Slot) -> None:
+        req = slot.request
+        t = int(req.rtype)
+        base = req.addr // self._line_size
+        qi = self._queue_index
+        for line in range(base, base + req.num_lines):
+            bucket = qi.get((t, line))
+            if bucket is None:
+                qi[(t, line)] = [slot]
+            else:
+                bucket.append(slot)
+
+    def _unindex_slot(self, slot: _Slot) -> None:
+        req = slot.request
+        t = int(req.rtype)
+        base = req.addr // self._line_size
+        qi = self._queue_index
+        for line in range(base, base + req.num_lines):
+            bucket = qi[(t, line)]
+            for i, s in enumerate(bucket):
+                if s is slot:
+                    del bucket[i]
+                    break
+            if not bucket:
+                del qi[(t, line)]
+
+    def _probe_log(self, queued: CoalescedRequest):
+        """Overlaps of ``queued`` against the allocation log only.
+
+        Valid exactly when ``queued``'s last full overlap check found
+        nothing: entries never gain lines, so anything older than the
+        log was ruled out then.  Spans are contiguous on both sides, so
+        the common-line set is a range intersection; duplicate log
+        records for a recycled entry collapse in the by-index dict, and
+        the ascending-index order matches ``_find_overlaps``.
+        """
+        log = self._alloc_log
+        if not log:
+            return None
+        line_size = self._line_size
+        qb = queued.addr // line_size
+        q_hi = qb + queued.num_lines
+        q_type = queued.rtype
+        hits = None
+        for entry in log:
+            if not entry.valid or entry.rtype is not q_type:
+                continue
+            eb = entry.addr // line_size
+            lo = eb if eb > qb else qb
+            hi = eb + entry.num_lines
+            if q_hi < hi:
+                hi = q_hi
+            if lo < hi:
+                if hits is None:
+                    hits = {}
+                hits[entry.index] = (entry, set(range(lo, hi)))
+        if not hits:
+            return None
+        if len(hits) > 1:
+            return [hits[i] for i in sorted(hits)]
+        return list(hits.values())
+
+    def _merge_waiting_pass(self) -> None:
+        """Lean twin of ``MemoryCoalescer._merge_waiting``.
+
+        The object pass re-joins every queued request against the MSHR
+        file after each allocation.  Here the join is inverted: queued
+        requests whose last full check found nothing sit in
+        ``_queue_index``, and each newly allocated entry (the log)
+        probes its lines against that index -- O(new entry lines) dict
+        lookups in the steady state.  Only fresh pushes and post-fence
+        re-checks (``_unchecked``) still pay a full ``_find_overlaps``.
+        Requests behind the first fence are skipped, exactly like the
+        object pass; a fence pop sends the whole queue back to
+        ``_unchecked`` to make up for the skipped probes.
+        """
+        if not self._coalescing:
+            return
+        log = self._alloc_log
+        unchecked = self._unchecked
+        if not unchecked:
+            if not log:
+                # Nothing new on either side of the join since the
+                # last pass: no branch below can make progress.
+                return
+            if not self._queue_index:
+                # New allocations but an empty join target: no queued
+                # request is checked-clean, so the probes hit nothing.
+                log.clear()
+                return
+        m = self._mshrs
+        valid = m._valid_count
+        slots = self._slots
+        if not valid:
+            # No entries to overlap: every waiting packet checks clean.
+            if unchecked:
+                for slot in unchecked.values():
+                    self._index_slot(slot)
+                unchecked.clear()
+            log.clear()
+            return
+        # Fence filter: ids of slots ahead of the first fence marker.
+        before: set | None = None
+        if self._fences:
+            before = set()
+            for s in slots:
+                if s.request is None:
+                    break
+                before.add(id(s))
+        # Both join-result containers allocate lazily: the common
+        # steady-state pass probes a handful of index buckets and finds
+        # nothing, so it should not pay two container constructions.
+        hits: list[tuple[_Slot, list]] | None = None
+        if unchecked:
+            behind = None
+            for sid, slot in unchecked.items():
+                if before is not None and sid not in before:
+                    if behind is None:
+                        behind = {}
+                    behind[sid] = slot  # stays unchecked past the fence
+                    continue
+                overlaps = m._find_overlaps(slot.request)
+                if overlaps:
+                    if hits is None:
+                        hits = []
+                    hits.append((slot, overlaps))
+                else:
+                    self._index_slot(slot)
+            unchecked.clear()
+            if behind:
+                unchecked.update(behind)
+        if log and self._queue_index:
+            line_size = self._line_size
+            qi = self._queue_index
+            probed: dict[int, _Slot] | None = None
+            for entry in log:
+                if not entry.valid:
+                    continue
+                t = int(entry.rtype)
+                eb = entry.addr // line_size
+                for line in range(eb, eb + entry.num_lines):
+                    bucket = qi.get((t, line))
+                    if bucket:
+                        if probed is None:
+                            probed = {}
+                        for s in bucket:
+                            probed[id(s)] = s
+            if probed:
+                for sid, slot in probed.items():
+                    if before is not None and sid not in before:
+                        continue
+                    overlaps = self._probe_log(slot.request)
+                    if overlaps is None:  # pragma: no cover - defensive
+                        raise CoalesceKernelError("queue-index-probe-mismatch")
+                    if hits is None:
+                        hits = []
+                    hits.append((slot, overlaps))
+                    self._unindex_slot(slot)
+        if hits:
+            if len(hits) > 1:
+                # Subentry append order is digest-visible through the
+                # serviced stream: process hits in queue order, exactly
+                # like the object pass.
+                pos = {id(s): i for i, s in enumerate(slots)}
+                hits.sort(key=lambda h: pos[id(h[0])])
+            d_occ = self._d_occupancy
+            for slot, overlaps in hits:
+                queued = slot.request
+                self._d_offers += 1
+                d_occ[valid] = d_occ.get(valid, 0) + 1
+                covered: set[int] = set()
+                for entry, common in overlaps:
+                    self._merge_entry(entry, queued, common)
+                    covered |= common
+                remainder = sorted(set(queued.lines) - covered)
+                idx = None
+                for i, s in enumerate(slots):
+                    if s is slot:
+                        idx = i
+                        break
+                if not remainder:
+                    self._d_merged_full += 1
+                    del slots[idx]
+                    self._d_pops += 1
+                else:
+                    self._d_merged_partial += 1
+                    rest = m._repack(queued, remainder)
+                    self._d_remainders += len(rest)
+                    del slots[idx]
+                    enq = slot.enqueue_cycle
+                    for offset, r in enumerate(rest):
+                        ns = _Slot(r, enq)
+                        slots.insert(idx + offset, ns)
+                        self._index_slot(ns)
+        log.clear()
+
+    def _merge_entry(
+        self, entry, request: CoalescedRequest, lines: set[int]
+    ) -> None:
+        # Kernel-mode subentries are the raw constituent requests:
+        # ``_retire`` never reads them, and the serviced stream only
+        # wants the request back, so the MSHRSubentry wrapper (and its
+        # per-request line_id arithmetic) is pure overhead here.
+        subentries = entry.subentries
+        added = 0
+        for req in request.constituents:
+            if req.line in lines:
+                subentries.append(req)
+                added += 1
+        self._d_subentries += added
+
+    def _alloc_entry(self, request: CoalescedRequest, at: int):
+        """Lean twin of ``DynamicMSHRFile._allocate``.
+
+        The caller has already verified a free entry exists; the
+        service hook (the HMC device call, digest-visible) is evaluated
+        at exactly the same point the object path evaluates its lazy
+        ``service_cycles`` callable.  Subentries are raw requests (see
+        :meth:`_merge_entry`); the completion-bound refresh is replaced
+        by a heap push (see ``_c_heap``).
+        """
+        m = self._mshrs
+        service = self._service_time(request, at)
+        entry = m.entries[heappop(m._free_heap)]
+        entry.valid = True
+        entry.addr = request.addr
+        entry.num_lines = request.num_lines
+        entry.rtype = request.rtype
+        base = request.addr // self._line_size
+        num_lines = request.num_lines
+        constituents = request.constituents
+        for req in constituents:
+            if not 0 <= req.line - base < num_lines:
+                raise CoalesceKernelError("subentry-line-out-of-range")
+        entry.subentries = list(constituents)
+        entry.issue_cycle = at
+        complete = at + service
+        entry.complete_cycle = complete
+        m._valid_count += 1
+        index = m._line_index
+        t = int(request.rtype)
+        if num_lines == 1:
+            key = (t, base)
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = [entry]
+            else:
+                bucket.append(entry)
+        else:
+            for line in range(base, base + num_lines):
+                bucket = index.get((t, line))
+                if bucket is None:
+                    index[(t, line)] = [entry]
+                else:
+                    bucket.append(entry)
+        m.alloc_gen += 1
+        self._alloc_log.append(entry)
+        heappush(self._c_heap, (complete, entry.index))
+        self._d_allocated += 1
+        self._d_subentries += len(constituents)
+        return entry
+
+    def bypass(self, request: MemoryRequest, cycle: int) -> None:
+        """Lean twin of ``MemoryCoalescer._bypass``.
+
+        Replays ``allocate_direct``'s accounting (one offer at the
+        current -- necessarily zero -- occupancy, then the shared
+        allocation core, which defers the ``allocated`` outcome and
+        subentry count exactly like the object ``_allocate`` records
+        them) and keeps the rare live effects live: the bypass counter,
+        the timeline entry and the bypassed-path issue metric.
+        """
+        packet = CoalescedRequest(
+            addr=request.addr,
+            num_lines=1,
+            rtype=request.rtype,
+            constituents=[request],
+            issue_cycle=cycle,
+        )
+        self._shrink(packet)
+        self._d_offers += 1
+        occ = self._mshrs._valid_count
+        d_occ = self._d_occupancy
+        d_occ[occ] = d_occ.get(occ, 0) + 1
+        entry = self._alloc_entry(packet, cycle)
+        coalescer = self._coalescer
+        coalescer._bypassed += 1
+        coalescer._m_bypasses.inc()
+        self._timeline.record(cycle, "coalescer", "bypass")
+        self._raw_issued.append(
+            (packet, cycle, entry.complete_cycle, entry.index, True)
+        )
+        coalescer._m_issued_path[True].inc()
+
+    def _shrink(self, packet: CoalescedRequest) -> None:
+        if (
+            self._adaptive
+            and packet.num_lines == 1
+            and packet.payload_bytes is None
+        ):
+            wanted = min(packet.requested_bytes, self._line_size)
+            if wanted <= 0:
+                wanted = 16
+            packet.payload_bytes = min(
+                self._line_size, max(16, -(-wanted // 16) * 16)
+            )
+
+    # -- enqueue ------------------------------------------------------------
+
+    def enqueue(self, packet: CoalescedRequest, cycle: int) -> None:
+        """Lean twin of ``MemoryCoalescer._enqueue_packet`` + CRQ push."""
+        slots = self._slots
+        depth_limit = self._depth
+        heap = self._c_heap
+        complete_up_to = self.complete_up_to
+        drain_full = self._drain_full
+        while True:
+            if len(slots) < depth_limit:
+                slot = _Slot(packet, cycle)
+                slots.append(slot)
+                self._unchecked[id(slot)] = slot
+                # A fresh packet can merge where the memoized pass
+                # found nothing: the next drain must run in full.
+                self._memo = None
+                self._d_pushes += 1
+                depth = len(slots)
+                if depth > self._max_depth:
+                    self._max_depth = depth
+                d_depth = self._d_depth
+                d_depth[depth] = d_depth.get(depth, 0) + 1
+                window = self._fill_window
+                window.append(packet.issue_cycle)
+                if len(window) >= depth_limit:
+                    fill_cycles = window[-1] - window[0]
+                    if fill_cycles < 0:
+                        fill_cycles = 0
+                    self._d_fills += 1
+                    self._d_fill_total += fill_cycles
+                    d_fill = self._d_fill_obs
+                    d_fill[fill_cycles] = d_fill.get(fill_cycles, 0) + 1
+                    window.clear()
+                    self._timeline.record(cycle, "crq", "fill", fill_cycles)
+                return
+            # Back-pressure: advance to the earliest MSHR completion so
+            # a slot can drain.  The advance guarantees the completion
+            # pass retires something whenever the heap is non-empty
+            # (and an empty heap means no entries, hence no reject
+            # memo), so the drain memo is always stale here: skip the
+            # memo check and run the full drain directly.
+            horizon = heap[0][0] if heap else cycle + 1
+            cycle = cycle + 1 if cycle + 1 > horizon else horizon
+            complete_up_to(cycle)
+            self._memo = None
+            drain_full(cycle)
+
+    # -- sequence handling ---------------------------------------------------
+
+    def handle_sequence(self, seq, spans=None) -> None:
+        """Lean twin of ``MemoryCoalescer._handle_sequence``.
+
+        ``spans`` is a precomputed merge plan from
+        :func:`plan_merge_spans`; ``None`` computes it scalar (small
+        batches and replan misses).
+        """
+        requests = seq.requests
+        if seq.is_fence or not requests:
+            return
+        packets, done_cycle = self._coalesce(
+            requests, seq.complete_cycle, spans
+        )
+        # Inlined fast path of :meth:`enqueue`: the CRQ has room for
+        # most pushes, so the per-call attribute loads are hoisted out
+        # of the packet loop.  Back-pressure falls back to the method
+        # (every container touched here mutates in place, so the
+        # hoisted bindings stay valid across that call).
+        slots = self._slots
+        depth_limit = self._depth
+        unchecked = self._unchecked
+        d_depth = self._d_depth
+        window = self._fill_window
+        for packet in packets:
+            if len(slots) >= depth_limit:
+                self.enqueue(packet, done_cycle)
+                continue
+            slot = _Slot(packet, done_cycle)
+            slots.append(slot)
+            unchecked[id(slot)] = slot
+            self._memo = None
+            self._d_pushes += 1
+            depth = len(slots)
+            if depth > self._max_depth:
+                self._max_depth = depth
+            d_depth[depth] = d_depth.get(depth, 0) + 1
+            window.append(packet.issue_cycle)
+            if len(window) >= depth_limit:
+                fill_cycles = window[-1] - window[0]
+                if fill_cycles < 0:
+                    fill_cycles = 0
+                self._d_fills += 1
+                self._d_fill_total += fill_cycles
+                d_fill = self._d_fill_obs
+                d_fill[fill_cycles] = d_fill.get(fill_cycles, 0) + 1
+                window.clear()
+                self._timeline.record(done_cycle, "crq", "fill", fill_cycles)
+        self.drain(done_cycle)
+
+    def sequence_spans(self, requests) -> list[tuple[int, int]]:
+        """Scalar merge plan: the boundary predicate over one sequence."""
+        n = len(requests)
+        max_lines = self._max_lines
+        spans = []
+        start = 0
+        prev = requests[0]
+        prev_line = prev.line
+        prev_type = prev.rtype
+        for j in range(1, n):
+            req = requests[j]
+            line = req.line
+            d = line - prev_line
+            if (
+                req.rtype is not prev_type
+                or d > 1
+                or (d == 1 and line % max_lines == 0)
+            ):
+                spans.append((start, j))
+                start = j
+            prev_line = line
+            prev_type = req.rtype
+        spans.append((start, n))
+        return spans
+
+    def _coalesce(self, requests, start_cycle: int, spans):
+        """Lean twin of ``DMCUnit.coalesce`` driven by a merge plan."""
+        if spans is None:
+            spans = self.sequence_spans(requests)
+        cc = self._compare_cycles
+        max_lines = self._max_lines
+        line_size = self._line_size
+        self._d_sequences += 1
+        self._d_requests_in += len(requests)
+        latency = 0
+        comparisons = 0
+        merges = 0
+        packets: list[CoalescedRequest] = []
+        packets_append = packets.append
+        d_md = self._d_merge_dist
+        d_pl = self._d_packet_lines
+        for start, end in spans:
+            base_req = requests[start]
+            base_line = base_req.line
+            group_size = end - start
+            # One simultaneous comparison per group, one merge op per
+            # absorbed request, one packet-construction stage for
+            # multi-request groups (Section 5.3.3 timing).
+            latency += cc
+            comparisons += 1
+            if group_size > 1:
+                merges += group_size - 1
+                for j in range(start + 1, end):
+                    dist = requests[j].line - base_line
+                    d_md[dist] = d_md.get(dist, 0) + 1
+                latency += cc * (group_size - 1) + cc
+            pkt_cycle = start_cycle + latency
+            last_line = requests[end - 1].line
+            if last_line == base_line:
+                chunks = ((base_line, 1),)
+            else:
+                # Group lines are contiguous by construction of the
+                # boundary predicate.
+                chunks = split_aligned_runs(
+                    list(range(base_line, last_line + 1)), max_lines
+                )
+            pos = start
+            rtype = base_req.rtype
+            for chunk_base, chunk_num in chunks:
+                limit = chunk_base + chunk_num
+                cursor = pos
+                while cursor < end and requests[cursor].line < limit:
+                    cursor += 1
+                packets_append(
+                    CoalescedRequest(
+                        addr=chunk_base * line_size,
+                        num_lines=chunk_num,
+                        rtype=rtype,
+                        constituents=requests[pos:cursor],
+                        issue_cycle=pkt_cycle,
+                    )
+                )
+                d_pl[chunk_num] = d_pl.get(chunk_num, 0) + 1
+                pos = cursor
+        self._d_comparisons += comparisons
+        self._d_merges += merges
+        self._d_packets_out += len(packets)
+        self._d_latency += latency
+        return packets, start_cycle + latency
+
+    # -- end of trace --------------------------------------------------------
+
+    def finish(self, cycle: int) -> None:
+        """Lean twin of ``MemoryCoalescer.flush`` + deferred apply.
+
+        The vector engine never uses the pipeline's front buffer, so
+        the object path's ``pipeline.drain`` here is a guaranteed
+        no-op; a non-empty buffer means the engine contract broke.
+        """
+        self.complete_up_to(cycle)
+        if self._pipeline.pending():
+            raise CoalesceKernelError("pipeline-buffer-not-empty-at-flush")
+        self.drain(cycle)
+        m = self._mshrs
+        slots = self._slots
+        heap = self._c_heap
+        guard = 0
+        while slots or m._valid_count:
+            # Max over the heap equals the object file's
+            # ``_last_complete`` here: every retired completion is
+            # <= cycle and every valid one is > cycle, so the running
+            # max always belongs to a still-valid entry.
+            horizon = max(heap)[0] if heap else cycle
+            cycle = cycle + 1 if cycle + 1 > horizon else horizon
+            self.complete_up_to(cycle)
+            self.drain(cycle)
+            guard += 1
+            if guard > 10_000_000:  # pragma: no cover - defensive
+                raise CoalesceKernelError("drain-guard-exceeded")
+        self.finalize()
+
+    def finalize(self) -> None:
+        """Apply every deferred batch to the live stats and metrics.
+
+        Idempotent; zero-count batches are skipped so no metric sample
+        is materialized that the object run would not have created.
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        # Materialize the issued/serviced streams (deferred as field
+        # tuples by the hot loop) in their original append order.
+        issued = self._issued
+        for req, at, complete, index, bypassed in self._raw_issued:
+            issued.append(IssuedRequest(req, at, complete, index, bypassed))
+        self._raw_issued.clear()
+        serviced = self._serviced
+        for req, cc in self._raw_serviced:
+            serviced.append(ServicedRequest(req, cc))
+        self._raw_serviced.clear()
+        self._mshrs.record_offers_bulk(self._d_offers, self._d_occupancy)
+        self._mshrs.record_outcomes_bulk(
+            {
+                "merged_full": self._d_merged_full,
+                "merged_partial": self._d_merged_partial,
+                "allocated": self._d_allocated,
+                "rejected_full": self._d_rejected,
+            }
+        )
+        self._mshrs.record_merges_bulk(self._d_subentries, self._d_remainders)
+        self._mshrs.record_completions_bulk(
+            self._d_completions, self._d_entry_subs
+        )
+        self._crq.record_activity_bulk(
+            pushes=self._d_pushes,
+            pops=self._d_pops,
+            depth_counts=self._d_depth,
+            fills=self._d_fills,
+            fill_total=self._d_fill_total,
+            fill_counts=self._d_fill_obs,
+            max_depth=self._max_depth,
+        )
+        self._dmc.record_activity_bulk(
+            sequences=self._d_sequences,
+            requests_in=self._d_requests_in,
+            packets_out=self._d_packets_out,
+            comparisons=self._d_comparisons,
+            merges=self._d_merges,
+            latency=self._d_latency,
+            packet_lines=self._d_packet_lines,
+            merge_distance_counts=self._d_merge_dist,
+        )
+        self._coalescer.record_issued_bulk(self._d_issued)

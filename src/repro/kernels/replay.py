@@ -35,6 +35,13 @@ import numpy as np
 from repro.core.address import INVALID_KEY, TYPE_BIT
 from repro.core.coalescer import MemoryCoalescer
 from repro.core.request import MemoryRequest, RequestType
+from repro.kernels.coalesce import (
+    BatchedCoalescer,
+    plan_merge_spans,
+    record_delegated,
+    record_engaged,
+    supports_batched_coalesce,
+)
 from repro.kernels.sortnet import VectorSortNetwork
 from repro.obs import PhaseProfiler
 from repro.trace.buffer import TraceBuffer
@@ -71,6 +78,7 @@ def vector_replay(
     config = coalescer.config
     if not config.enable_dmc:
         # No sorting pipeline in the loop -- nothing to batch.
+        record_delegated()
         return replay_trace(buffer, coalescer=coalescer, profiler=profiler)
 
     clock = time.perf_counter
@@ -95,18 +103,60 @@ def vector_replay(
     vsn = VectorSortNetwork(pipeline.network)
     width = config.sorter_width
     timeout = config.timeout_cycles
-    complete = coalescer._complete_up_to
-    drain_crq = coalescer._drain_crq
-    handle = coalescer._handle_sequence
     can_bypass = coalescer._can_bypass
     crq = coalescer.crq
+    crq_slots = crq._slots  # the deque mutates in place, never rebinds
     emit_sorted = pipeline.emit_sorted
+
+    # Second-phase coalescing: the batched kernel replays DMC/CRQ/MSHR
+    # effects with deferred accounting and precomputed merge plans when
+    # the component stack is the stock one; otherwise every call goes
+    # through the object machinery unchanged.
+    if supports_batched_coalesce(coalescer):
+        kernel = BatchedCoalescer(coalescer)
+        record_engaged()
+        complete = kernel.complete_up_to
+        drain_crq = kernel.drain
+        drain_bulk = kernel.drain_hits_bulk
+        drain_full_k = kernel._drain_full
+        dispatch = kernel.handle_sequence
+        kheap = kernel._c_heap
+    else:
+        kernel = None
+        record_delegated()
+        complete = coalescer._complete_up_to
+        drain_crq = coalescer._drain_crq
+        handle = coalescer._handle_sequence
+        kheap = None
+
+        def dispatch(seq, spans=None, _handle=handle):
+            _handle(seq)
+
+    # Request materialization, like the column decode it feeds on, is
+    # trace-phase work (the object loop also builds each row's request
+    # during its decode step, outside the per-push charge).  Fence rows
+    # never materialize.
+    requests_all: list[MemoryRequest | None] = [
+        None
+        if flags_l[j] & _TYPE_MASK == _FENCE_CODE
+        else MemoryRequest(
+            addr=addrs_l[j],
+            rtype=_STORE if flags_l[j] & 0b01 else _LOAD,
+            size=sizes_l[j],
+            requested_bytes=requested_l[j],
+            # Pre-seed the line memo (addr >> 6 == addr // 64 for the
+            # nonnegative line-aligned addresses the buffer holds).
+            _line=addrs_l[j] >> 6,
+        )
+        for j in range(n)
+    ]
 
     span: list[int] = []
     first = 0
     llc_count = 0
     plan_groups: list[list[int]] = []
     plan_perms: list[list[int]] = []
+    plan_spans: list = []
     plan_pos = 0
     chunk = _PLAN_CHUNK
     miss_streak = 0
@@ -148,23 +198,46 @@ def vector_replay(
             groups.append(g)
         return groups
 
-    def batch_perms(groups: list[list[int]]) -> list[list[int]]:
+    def batch_plans(
+        groups: list[list[int]],
+    ) -> tuple[list[list[int]], list]:
+        """Sort orderings plus (when the kernel is engaged) DMC merge
+        plans for a batch of predicted flush groups.  Small batches
+        skip both vector passes; a ``None`` plan makes the kernel
+        compute the spans scalar at handle time."""
         if len(groups) < _MIN_BATCH_GROUPS:
-            return [
+            perms = [
                 vsn.sequence_permutation([keys_l[j] for j in g])
                 for g in groups
             ]
+            return perms, [None] * len(groups)
         mat = np.full((len(groups), width), INVALID_KEY, dtype=np.int64)
         for g, grp in enumerate(groups):
             mat[g, : len(grp)] = keys_np[grp]
         perms = vsn.permutations(mat)
-        return [perms[g, : len(grp)].tolist() for g, grp in enumerate(groups)]
+        perm_lists = [
+            perms[g, : len(grp)].tolist() for g, grp in enumerate(groups)
+        ]
+        if kernel is None:
+            spans = [None] * len(groups)
+        else:
+            spans = plan_merge_spans(
+                np.take_along_axis(mat, perms, axis=1),
+                [len(grp) for grp in groups],
+                config.max_packet_lines,
+            )
+        return perm_lists, spans
 
     def flush_span(reason: str, cycle: int, resume_i: int):
-        """Emit the current span as a sorted sequence (not yet handled)."""
-        nonlocal plan_groups, plan_perms, plan_pos, chunk, miss_streak
+        """Emit the current span as a sorted sequence (not yet handled).
+
+        Returns ``(sequence, merge_plan)``; the plan is ``None`` when
+        it must be computed scalar (object-backed runs, small batches).
+        """
+        nonlocal plan_groups, plan_perms, plan_spans, plan_pos, chunk, miss_streak
         if plan_pos < len(plan_groups) and plan_groups[plan_pos] == span:
             perm = plan_perms[plan_pos]
+            spans = plan_spans[plan_pos]
             plan_pos += 1
             miss_streak = 0
         else:
@@ -174,21 +247,12 @@ def vector_replay(
             plan_groups = [list(span)]
             if chunk > 1:
                 plan_groups += plan_from(resume_i, chunk - 1)
-            plan_perms = batch_perms(plan_groups)
+            plan_perms, plan_spans = batch_plans(plan_groups)
             plan_pos = 1
             perm = plan_perms[0]
+            spans = plan_spans[0]
         count = len(span)
-        requests = []
-        for p in perm:
-            j = span[p]
-            requests.append(
-                MemoryRequest(
-                    addr=addrs_l[j],
-                    rtype=_STORE if flags_l[j] & 0b01 else _LOAD,
-                    size=sizes_l[j],
-                    requested_bytes=requested_l[j],
-                )
-            )
+        requests = [requests_all[span[p]] for p in perm]
         seq = emit_sorted(
             requests,
             count=count,
@@ -197,56 +261,105 @@ def vector_replay(
             first_cycle=first or cycle,
         )
         span.clear()
-        return seq
+        return seq, spans
 
     if profiler is not None:
         now = clock()
         profiler.add("trace", now - mark)
         mark = now
 
+    # Memoized no-progress drains owed since the last real drain call
+    # (kernel mode): each per-row drain between state changes is a memo
+    # hit with cycle-independent accounting, so a run of them replays
+    # as one bulk update -- flushed before anything mutates CRQ/MSHR
+    # state, while the memo the accounting depends on is still valid.
+    pending = 0
+    stale = True  # True when the kernel's drain memo may be invalid
     for i in range(n):
         c = cycles_l[i]
-        complete(c)
+        if kheap is None:
+            complete(c)
+        elif kheap and c >= kheap[0][0]:
+            # Inline twin of the kernel's completion-heap early exit:
+            # the object path's per-row _complete_up_to is a no-op
+            # outside this condition, so skipping the call is
+            # digest-invisible.
+            if pending:
+                drain_bulk(pending)
+                pending = 0
+            complete(c)
+            stale = True
         f = flags_l[i]
         if f & _TYPE_MASK == _FENCE_CODE:
             # push(): buffer flush, then the fence's own pipeline slot,
             # then the CRQ fence marker.
+            if pending:
+                drain_bulk(pending)
+                pending = 0
             if span:
-                seq = flush_span("fence", c, i + 1)
+                seq, spans = flush_span("fence", c, i + 1)
                 pipeline.fence_slot(c)
-                handle(seq)
+                dispatch(seq, spans)
             else:
                 pipeline.fence_slot(c)
             crq.push_fence(c)
+            if kernel is not None:
+                kernel.note_fence()
             drain_crq(c)
+            stale = False
             continue
         llc_count += 1
         if not span and can_bypass(c):
             # _can_bypass requires pipeline.pending() == 0, which here
             # is exactly "the span is empty" (the pipeline's own buffer
             # is never used by this engine).
-            coalescer._bypass(
-                MemoryRequest(
-                    addr=addrs_l[i],
-                    rtype=_STORE if f & 0b01 else _LOAD,
-                    size=sizes_l[i],
-                    requested_bytes=requested_l[i],
-                ),
-                c,
-            )
+            if pending:
+                drain_bulk(pending)
+                pending = 0
+            if kernel is not None:
+                kernel.bypass(requests_all[i], c)
+                stale = True
+            else:
+                coalescer._bypass(requests_all[i], c)
             continue
         if span and c - first >= timeout:
-            handle(flush_span("timeout", c, i))
+            if pending:
+                drain_bulk(pending)
+                pending = 0
+            seq, spans = flush_span("timeout", c, i)
+            dispatch(seq, spans)
+            stale = False
         if not span:
             first = c
         span.append(i)
         if len(span) == width:
-            handle(flush_span("full", c, i + 1))
-        if not crq.is_empty:
+            if pending:
+                drain_bulk(pending)
+                pending = 0
+            seq, spans = flush_span("full", c, i + 1)
+            dispatch(seq, spans)
+            stale = False
+        if crq_slots:
             # push() unconditionally drains after every non-bypassed
             # request; on an empty CRQ that drain is a pure no-op, so
-            # only the non-empty case is replayed.
-            drain_crq(c)
+            # only the non-empty case is replayed.  A drain right after
+            # a dispatch (whose handle path always drains last) or
+            # another row drain is a guaranteed memo hit: count it
+            # instead of calling.
+            if kheap is None:
+                drain_crq(c)
+            elif stale:
+                # A completion (retire count moved) or bypass (alloc
+                # generation moved) since the last drain guarantees the
+                # memo check would fail: skip it and drain directly.
+                kernel._memo = None
+                drain_full_k(c)
+                stale = False
+            else:
+                pending += 1
+    if pending:
+        drain_bulk(pending)
+        pending = 0
 
     if profiler is not None:
         now = clock()
@@ -257,11 +370,17 @@ def vector_replay(
     final = last_cycle + 1
     complete(final)
     if span:
-        handle(flush_span("drain", final, n))
+        seq, spans = flush_span("drain", final, n)
+        dispatch(seq, spans)
     # flush() re-runs _complete_up_to (now a no-op) and drains an
     # already-empty pipeline buffer, then retires CRQ/MSHR state --
-    # the exact end-of-trace sequence of the object path.
-    coalescer.flush(final)
+    # the exact end-of-trace sequence of the object path.  The kernel's
+    # finish() replays that sequence lean and applies the deferred
+    # accounting.
+    if kernel is not None:
+        kernel.finish(final)
+    else:
+        coalescer.flush(final)
 
     coalescer._llc_requests += llc_count
     if llc_count:

@@ -235,6 +235,27 @@ class Histogram(Metric):
         if series.max is None or value > series.max:
             series.max = value
 
+    def observe_bulk(self, value: float, count: int, **labels: str) -> None:
+        """Record ``count`` identical observations of ``value`` at once.
+
+        Equivalent to calling :meth:`observe` ``count`` times (buckets,
+        sum, count and min/max are all multiset functions, so repeats
+        collapse to one bucket lookup).  ``count <= 0`` records nothing
+        and materializes no series -- deferred batch appliers rely on
+        that to keep lazily-created samples identical to an unbatched
+        run.
+        """
+        if count <= 0:
+            return
+        series = self._get(labels)
+        series.counts[bisect_left(self.buckets, value)] += count
+        series.sum += value * count
+        series.count += count
+        if series.min is None or value < series.min:
+            series.min = value
+        if series.max is None or value > series.max:
+            series.max = value
+
     def bind(self, **labels: str) -> "_BoundHistogram":
         """A pre-resolved handle for one label set (see hot loops)."""
         return _BoundHistogram(
@@ -318,6 +339,28 @@ class _BoundHistogram:
         series.counts[bisect_left(self._hist.buckets, value)] += 1
         series.sum += value
         series.count += 1
+        if series.min is None or value < series.min:
+            series.min = value
+        if series.max is None or value > series.max:
+            series.max = value
+
+    def observe_bulk(self, value: float, count: int) -> None:
+        """Record ``count`` identical observations (see
+        :meth:`Histogram.observe_bulk`); no-op for ``count <= 0``."""
+        if count <= 0:
+            return
+        series = self._series
+        if series is None:
+            hist = self._hist
+            series = hist._series.get(self._key)
+            if series is None:
+                series = hist._series[self._key] = _HistogramSeries(
+                    len(hist.buckets)
+                )
+            self._series = series
+        series.counts[bisect_left(self._hist.buckets, value)] += count
+        series.sum += value * count
+        series.count += count
         if series.min is None or value < series.min:
             series.min = value
         if series.max is None or value > series.max:
@@ -466,6 +509,9 @@ class _NullBound:
     def observe(self, value: float) -> None:
         return None
 
+    def observe_bulk(self, value: float, count: int) -> None:
+        return None
+
     def set(self, value: float) -> None:
         return None
 
@@ -503,6 +549,9 @@ class _NullHistogram(Histogram):
     """Histogram whose observations are discarded."""
 
     def observe(self, value: float, **labels: str) -> None:  # noqa: D102
+        return None
+
+    def observe_bulk(self, value: float, count: int, **labels: str) -> None:  # noqa: D102
         return None
 
     def bind(self, **labels: str):  # noqa: D102

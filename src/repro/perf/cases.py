@@ -50,10 +50,21 @@ Case kinds
     are partitioned ahead of time and their sort orderings computed in
     batched comparator passes (``repro.kernels.replay``).  Compare
     against ``trace_replay`` for the replay-side engine speedup.
+``vector_coalesce``
+    ``trace_replay`` under the kernel engine with the batched
+    second-phase coalescing kernel (``repro.kernels.coalesce``) in
+    focus: the same measurement as ``vector_replay``, plus a
+    kernel-counter snapshot around the measured repeats recording how
+    often the batched DMC/CRQ/MSHR kernel engaged, delegated to the
+    object machinery, or fell back on a verification miss.  The
+    report entry carries the plan-predict-verify ``fallback_rate`` as
+    a first-class number (see ``docs/performance.md``), and the
+    derived ``vector_coalesce_phase_speedup`` isolates the coalesce
+    phase the kernel replaces.
 
-Both vector kinds pin their object twins to ``engine="object"`` so the
+All vector kinds pin their object twins to ``engine="object"`` so the
 pair always measures object-vs-vector regardless of the session default,
-and both report the same result digest as their twin -- the report is a
+and all report the same result digest as their twin -- the report is a
 bit-exactness witness for the kernel engine too.
 """
 
@@ -66,7 +77,7 @@ COMPOSITE_KINDS = ("pair_live", "pair_shared_trace", "sweep_live", "sweep_shared
 
 #: Kinds measured under the vector kernel engine; each has an
 #: object-engine twin kind it derives a speedup against.
-VECTOR_KINDS = ("vector_capture", "vector_replay")
+VECTOR_KINDS = ("vector_capture", "vector_replay", "vector_coalesce")
 
 #: Every kind :func:`repro.perf.harness.run_case` can measure.
 CASE_KINDS = (
@@ -122,6 +133,8 @@ TRACE_SUITE: tuple[PerfCase, ...] = (
     PerfCase("SG", "combined", 6_000, kind="vector_capture"),
     PerfCase("SG", "combined", 6_000, kind="vector_replay"),
     PerfCase("SparseLU", "combined", 6_000, kind="vector_replay"),
+    PerfCase("SG", "combined", 6_000, kind="vector_coalesce"),
+    PerfCase("SparseLU", "combined", 6_000, kind="vector_coalesce"),
     PerfCase("SparseLU", "combined", 6_000, kind="pair_live"),
     PerfCase("SparseLU", "combined", 6_000, kind="pair_shared_trace"),
     PerfCase("STREAM", "combined", 6_000, kind="sweep_live"),

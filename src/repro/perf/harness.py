@@ -70,6 +70,10 @@ class CaseResult:
     cpu_accesses: int
     digest: str
     phases: dict[str, float]
+    #: Batched-coalescing kernel engagement over the measured repeats
+    #: (``vector_coalesce`` only): engaged / delegated / fallback
+    #: deltas plus the derived fallback rate.  ``None`` elsewhere.
+    kernel: dict | None = None
 
     @property
     def requests_per_second(self) -> float:
@@ -91,6 +95,7 @@ class CaseResult:
             "requests_per_second": self.requests_per_second,
             "digest": self.digest,
             "phases": self.phases,
+            **({"kernel": self.kernel} if self.kernel is not None else {}),
         }
 
 
@@ -124,7 +129,7 @@ def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
     engine = "vector" if kind in VECTOR_KINDS else "object"
 
     warm_store: TraceStore | None = None
-    if kind in ("trace_replay", "vector_replay"):
+    if kind in ("trace_replay", "vector_replay", "vector_coalesce"):
         # One untimed capture; every measured repeat is a pure replay.
         warm_store = TraceStore()
         run_benchmark(
@@ -156,7 +161,7 @@ def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
                     engine=engine,
                 )
             ]
-        if kind in ("trace_replay", "vector_replay"):
+        if kind in ("trace_replay", "vector_replay", "vector_coalesce"):
             return [
                 run_benchmark(
                     case.benchmark,
@@ -203,6 +208,12 @@ def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
             for cfg in FIGURE_CONFIGS.values()
         ]
 
+    kernel_before = None
+    if kind == "vector_coalesce":
+        from repro.kernels.coalesce import kernel_counters
+
+        kernel_before = kernel_counters()
+
     walls: list[float] = []
     best_profiler: PhaseProfiler | None = None
     best_results = None
@@ -219,6 +230,25 @@ def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
             best_profiler = profiler
             best_results = results
     assert best_results is not None
+    kernel_stats = None
+    if kernel_before is not None:
+        after = kernel_counters()
+        engaged = after["engaged"] - kernel_before["engaged"]
+        delegated = after["delegated"] - kernel_before["delegated"]
+        fallbacks = after["fallbacks"] - kernel_before["fallbacks"]
+        attempts = engaged + delegated
+        kernel_stats = {
+            "engaged": engaged,
+            "delegated": delegated,
+            "fallbacks": fallbacks,
+            # The plan-predict-verify miss rate: what fraction of
+            # kernel-engaged replays hit a verification miss and
+            # re-ran under the object engine.  Digest parity holds
+            # either way; a rising rate is a perf smell, not a
+            # correctness one.
+            "fallback_rate": (fallbacks / engaged) if engaged else 0.0,
+            "engagement_rate": (engaged / attempts) if attempts else 0.0,
+        }
     digests = [result_digest(r) for r in best_results]
     if len(digests) == 1:
         digest = digests[0]
@@ -236,6 +266,7 @@ def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
             if best_profiler is not None
             else {}
         ),
+        kernel=kernel_stats,
     )
 
 
@@ -246,7 +277,19 @@ def run_suite(
     suite_name: str = "",
     progress: Callable[[str], None] | None = None,
 ) -> dict:
-    """Run every case and assemble the ``BENCH_perf.json`` report."""
+    """Run every case and assemble the ``BENCH_perf.json`` report.
+
+    Raises :class:`ValueError` on an empty case list: a filtered-down
+    suite with zero matches would otherwise measure nothing and write
+    an empty (but valid-looking) report, which downstream baseline
+    comparisons silently accept.
+    """
+    cases = tuple(cases)
+    if not cases:
+        raise ValueError(
+            "perf suite is empty: no cases to run "
+            "(a --filter pattern may have matched nothing)"
+        )
     calibration = calibration_seconds()
     report: dict = {
         "schema": SCHEMA,
@@ -282,6 +325,7 @@ _SPEEDUP_PAIRS = {
     ("sweep_live", "sweep_shared"): "sweep_speedup",
     ("trace_capture", "vector_capture"): "vector_capture_speedup",
     ("trace_replay", "vector_replay"): "vector_replay_speedup",
+    ("trace_replay", "vector_coalesce"): "vector_coalesce_speedup",
 }
 
 #: (slow kind, fast kind) -> (phase, metric): additionally derive the
@@ -295,6 +339,10 @@ _PHASE_SPEEDUP_PAIRS = {
     ("trace_replay", "vector_replay"): (
         "coalesce",
         "vector_replay_coalesce_speedup",
+    ),
+    ("trace_replay", "vector_coalesce"): (
+        "coalesce",
+        "vector_coalesce_phase_speedup",
     ),
 }
 

@@ -33,12 +33,14 @@ from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.cache.tracer import MemoryTracer, TraceRecord, TracerStats
 from repro.core.coalescer import CoalescerStats, MemoryCoalescer
 from repro.core.config import CoalescerConfig, UNCOALESCED_CONFIG
-from repro.core.request import CoalescedRequest
+from repro.core.address import CACHE_LINE_SIZE
+from repro.core.request import CoalescedRequest, RequestType
 from repro.hmc.device import HMCDevice, HMCStats
 from repro.hmc.packet import REQUEST_CONTROL_BYTES
 from repro.hmc.timing import HMCTimingConfig
 from repro.kernels import resolve_engine
 from repro.kernels.capture import batch_capture, supports_vector_capture
+from repro.kernels.coalesce import CoalesceKernelError, record_fallback
 from repro.kernels.replay import vector_replay
 from repro.obs import MetricsRegistry, PhaseProfiler
 from repro.trace import (
@@ -319,16 +321,24 @@ def run_trace_through_coalescer(
 
 
 def _make_service_time(device: HMCDevice, cycle_ns: float):
+    service_core = device._service_core
+    store = RequestType.STORE
+
     def service_time(packet: CoalescedRequest, cycle: int) -> int:
-        payload = packet.effective_payload
-        resp = device.service(
+        payload = packet.payload_bytes
+        if payload is None:
+            payload = packet.num_lines * CACHE_LINE_SIZE
+        requested = packet.requested_bytes
+        arrive_ns = cycle * cycle_ns
+        complete_ns, _, _ = service_core(
             packet.addr,
             payload,
-            is_write=packet.is_store,
-            arrive_ns=cycle * cycle_ns,
-            requested_bytes=min(packet.requested_bytes, payload),
+            packet.rtype is store,
+            arrive_ns,
+            requested if requested < payload else payload,
         )
-        return max(1, int(resp.latency_ns / cycle_ns))
+        cycles = int((complete_ns - arrive_ns) / cycle_ns)
+        return cycles if cycles > 1 else 1
 
     return service_time
 
@@ -361,20 +371,42 @@ def _replay_benchmark(
     driven with the same request stream, and the tracer-side
     observables (stats, registry counters, secondary misses) are
     reconstructed from the capture's metadata.  ``engine`` selects the
-    replay loop -- ``"vector"`` batch-precomputes sort orderings
-    (:func:`repro.kernels.replay.vector_replay`), ``"object"`` walks
-    rows one by one; both are digest-identical by contract.
+    replay loop -- ``"vector"`` batch-precomputes sort orderings and
+    second-phase coalescing effects (:func:`repro.kernels.replay.vector_replay`),
+    ``"object"`` walks rows one by one; both are digest-identical by
+    contract.  If the vector engine's batched coalescing kernel trips a
+    verification check mid-run, the partially-mutated stack is
+    discarded and the trace re-runs on a fresh object-engine stack, so
+    a verification miss costs one retry, never a wrong result.
     """
-    registry = MetricsRegistry()
-    publish_replay_tracer_metrics(registry, buffer)
-    device = HMCDevice(platform.hmc, registry)
-    coal = MemoryCoalescer(
-        platform.coalescer,
-        service_time=_make_service_time(device, platform.cycle_ns),
-        registry=registry,
-    )
+
+    def build_stack():
+        registry = MetricsRegistry()
+        publish_replay_tracer_metrics(registry, buffer)
+        device = HMCDevice(platform.hmc, registry)
+        coal = MemoryCoalescer(
+            platform.coalescer,
+            service_time=_make_service_time(device, platform.cycle_ns),
+            registry=registry,
+        )
+        return registry, device, coal
+
+    registry, device, coal = build_stack()
     replay = vector_replay if engine == "vector" else replay_trace
-    last_cycle = replay(buffer, coalescer=coal, profiler=profiler)
+    try:
+        if engine == "vector":
+            # Batch the device stack's registry writes out of the hot
+            # loop; applied (exactly once) before any registry read.
+            device.defer_metrics()
+        last_cycle = replay(buffer, coalescer=coal, profiler=profiler)
+        mark = time.perf_counter()
+        device.apply_deferred_metrics()
+        if profiler is not None:
+            profiler.add("flush", time.perf_counter() - mark)
+    except CoalesceKernelError as exc:
+        record_fallback(exc.reason)
+        registry, device, coal = build_stack()
+        last_cycle = replay_trace(buffer, coalescer=coal, profiler=profiler)
     intensity = (
         platform.compute_cycles_per_access
         if platform.compute_cycles_per_access is not None

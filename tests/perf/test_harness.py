@@ -60,6 +60,33 @@ def test_report_roundtrip(tmp_path):
     assert load_report(path) == json.loads(path.read_text()) == report
 
 
+def test_run_suite_rejects_empty_case_list():
+    # A zero-match --filter must error out, not write an empty report.
+    with pytest.raises(ValueError, match="no cases to run"):
+        run_suite([])
+
+
+def test_vector_coalesce_case_records_kernel_stats():
+    pair = [
+        PerfCase("STREAM", "combined", 800, kind="trace_replay"),
+        PerfCase("STREAM", "combined", 800, kind="vector_coalesce"),
+    ]
+    report = run_suite(pair, repeats=1, suite_name="tiny")
+    twin = report["cases"][pair[0].name]
+    entry = report["cases"][pair[1].name]
+    # The fallback rate is a first-class report number (docs/performance.md).
+    kernel = entry["kernel"]
+    assert kernel["engaged"] >= 1
+    assert kernel["fallbacks"] == 0
+    assert kernel["fallback_rate"] == 0.0
+    assert kernel["engagement_rate"] == 1.0
+    assert "kernel" not in twin  # object twin carries no kernel block
+    assert entry["digest"] == twin["digest"]
+    derived = report["derived"]
+    assert derived["vector_coalesce_speedup:STREAM/combined@800"] > 0
+    assert derived["vector_coalesce_phase_speedup:STREAM/combined@800"] > 0
+
+
 def test_load_report_rejects_unknown_schema(tmp_path):
     path = tmp_path / "bad.json"
     path.write_text(json.dumps({"schema": 99, "cases": {}}))
