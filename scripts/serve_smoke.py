@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""CI smoke test for the job server (``repro serve``).
+
+Boots the real CLI server as a subprocess on an ephemeral port, then
+exercises the full client conversation against it:
+
+1. wait for ``/v1/healthz``;
+2. submit a job, poll to completion, fetch the result;
+3. re-verify the result digest client-side *and* against a direct
+   local ``Session.run`` of the same platform (bit-exact serving);
+4. submit the same spec again and require an instant cache hit;
+5. check the typed error mapping (404 / 400 over HTTP);
+6. SIGINT the server and require a graceful exit that checkpoints the
+   cached results as sweep-compatible files.
+
+Exits non-zero on the first violated expectation.  Run from the repo
+root:  ``python scripts/serve_smoke.py``
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro import errors  # noqa: E402
+from repro.api import Session  # noqa: E402
+from repro.perf.digest import result_digest  # noqa: E402
+from repro.serve.client import ServeClient  # noqa: E402
+from repro.serve.jobs import JobSpec  # noqa: E402
+from repro.sim.driver import PlatformConfig  # noqa: E402
+from repro.sim.sweep import FIGURE_CONFIGS  # noqa: E402
+
+ACCESSES = 3000
+SEED = 11
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    checkpoint_dir = Path(tempfile.mkdtemp(prefix="serve-smoke-ck-"))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--accesses", str(ACCESSES),
+            "--seed", str(SEED),
+            "--workers", "2",
+            "--checkpoint-dir", str(checkpoint_dir),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO,
+    )
+    try:
+        # The server announces its bound address on the first line.
+        assert proc.stdout is not None
+        line = proc.stdout.readline()
+        match = re.search(r"serving on (http://[\d.]+:\d+)", line)
+        if not match:
+            fail(f"server did not announce its address (got {line!r})")
+        client = ServeClient(match.group(1), timeout=10.0)
+
+        deadline = time.monotonic() + 15.0
+        while True:
+            try:
+                if client.health():
+                    break
+            except Exception:
+                pass
+            if time.monotonic() >= deadline:
+                fail("server never became healthy")
+            time.sleep(0.1)
+        print(f"server healthy at {client.base_url}")
+
+        platform = PlatformConfig(accesses=ACCESSES, seed=SEED).with_coalescer(
+            FIGURE_CONFIGS["combined"]
+        )
+        spec = JobSpec("STREAM", platform, tenant="smoke", label="combined")
+        job = client.run(spec, timeout=120.0)
+        if result_digest(job.result) != job.result_digest:
+            fail("wire payload does not reproduce the served result digest")
+        print(f"job served and verified: digest {job.result_digest[:12]}")
+
+        direct = Session(accesses=ACCESSES, seed=SEED).run(
+            "STREAM", platform=platform
+        )
+        if result_digest(direct) != job.result_digest:
+            fail("served result differs from a direct Session.run")
+        print("served result is bit-identical to the direct run")
+
+        dup = client.submit(spec)
+        if not (dup.terminal and dup.cached):
+            fail(f"duplicate submission missed the cache: {dup}")
+        print("duplicate submission served from cache")
+
+        try:
+            client.status("j999999")
+            fail("expected JobNotFound for an unknown job id")
+        except errors.JobNotFound:
+            pass
+        try:
+            client.submit(JobSpec("NOT_A_BENCHMARK", platform))
+            fail("expected UnknownBenchmark for a bogus benchmark")
+        except errors.UnknownBenchmark:
+            pass
+        print("typed error mapping works over HTTP")
+
+        stats = client.stats()
+        if stats["trace_store"]["puts"] != 1:
+            fail(f"expected exactly 1 trace capture, saw {stats['trace_store']}")
+        print("exactly one front-end capture filed")
+
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            fail("server did not shut down within 30s of SIGINT")
+        checkpoints = sorted(checkpoint_dir.glob("*.jsonl"))
+        if not checkpoints:
+            fail("graceful shutdown wrote no checkpoints")
+        # A restarted server (or repro sweep --resume) must be able to
+        # read them back.
+        from repro.sim.shard import read_checkpoint
+
+        header, restored = read_checkpoint(checkpoints[0])
+        if result_digest(restored) != job.result_digest:
+            fail("checkpointed result does not round-trip bit-exactly")
+        print(
+            f"graceful shutdown checkpointed {len(checkpoints)} result(s), "
+            "round-trip verified"
+        )
+        print("serve smoke test passed")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,11 @@ full evaluation stack around it:
   exporters and wall-clock profiler (see docs/metrics.md);
 * :mod:`repro.trace` -- the materialized LLC trace layer: capture the
   miss stream once, replay it bit-identically for every config;
-* :mod:`repro.analysis` -- analytic models and report rendering.
+* :mod:`repro.analysis` -- analytic models and report rendering;
+* :mod:`repro.errors` -- the typed exception hierarchy every public
+  entry point raises from (see docs/api.md);
+* :mod:`repro.serve` -- the multi-tenant job server over the Session
+  API (see docs/serving.md).
 
 The supported entry point is :mod:`repro.api` (re-exported here):
 :class:`Session` caches runs by config digest and routes sweeps and
@@ -30,8 +34,10 @@ Quickstart
 True
 """
 
+from repro import errors
 from repro.api import Session
 from repro.core import CoalescerConfig, MemoryCoalescer
+from repro.errors import ReproError
 from repro.hmc import HMCDevice, HMCTimingConfig
 from repro.obs import MetricsRegistry, PhaseProfiler
 from repro.sim import (
@@ -59,6 +65,7 @@ __all__ = [
     "MetricsRegistry",
     "PhaseProfiler",
     "PlatformConfig",
+    "ReproError",
     "RunKey",
     "Session",
     "SimulationResult",
@@ -66,6 +73,7 @@ __all__ = [
     "SweepSpec",
     "TraceBuffer",
     "TraceStore",
+    "errors",
     "get_workload",
     "run_benchmark",
     "run_sweep",

@@ -37,6 +37,14 @@ Commands
     beyond ``--threshold`` or on any digest mismatch.  ``--filter``
     scopes the suite (substring or glob over case names), ``--list``
     prints the case names instead of running.
+``serve``
+    Run the multi-tenant job server (``docs/serving.md``): an asyncio
+    HTTP front end over a shared Session with digest-keyed result
+    caching, cross-tenant trace sharing, per-tenant quotas and
+    graceful-shutdown checkpointing.  ``--load-test N`` instead drives
+    a private server with N concurrent clients and writes
+    ``BENCH_serve.json``, gated against
+    ``benchmarks/serve/baseline.json``.
 
 ``run``/``stats``/``profile`` take ``--engine object|vector`` to pick
 the kernel execution engine (bit-identical results either way; see
@@ -533,6 +541,102 @@ def _cmd_perf(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_serve_loadtest(args) -> int:
+    import os
+
+    from repro.serve.loadtest import (
+        check_report,
+        compare_serve_reports,
+        load_serve_report,
+        run_load_test,
+        save_serve_report,
+    )
+
+    report = run_load_test(
+        clients=args.load_test,
+        accesses=args.accesses,
+        seed=args.seed,
+        tenants=args.tenants,
+        workers=args.workers,
+        executor=args.executor,
+        progress=None if args.quiet else print,
+    )
+    out = save_serve_report(report, args.out)
+    print(f"wrote {out}")
+    problems = check_report(report)
+    if args.update_baseline:
+        save_serve_report(report, args.baseline)
+        print(f"updated baseline {args.baseline}")
+    elif os.path.exists(args.baseline):
+        baseline = load_serve_report(args.baseline)
+        problems += compare_serve_reports(
+            report, baseline, threshold=args.threshold
+        )
+    else:
+        print(
+            f"no baseline at {args.baseline}; run with --update-baseline "
+            "to create one",
+            file=sys.stderr,
+        )
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _cmd_serve(args) -> int:
+    if args.load_test:
+        if args.accesses is None:
+            args.accesses = 3000
+        return _cmd_serve_loadtest(args)
+    if args.accesses is None:
+        args.accesses = 24_000
+
+    import asyncio
+    import signal
+
+    from repro.api import Session
+    from repro.serve.scheduler import JobScheduler
+    from repro.serve.server import ReproServer
+
+    scheduler = JobScheduler(
+        session=Session(
+            accesses=args.accesses,
+            seed=args.seed,
+            trace_dir=args.trace_dir,
+        ),
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        tenant_quota=args.tenant_quota,
+        retention=args.retention,
+        executor=args.executor,
+        checkpoint_dir=args.checkpoint_dir,
+        run_timeout=args.run_timeout,
+    )
+    server = ReproServer(scheduler, host=args.host, port=args.port)
+
+    async def _main() -> int:
+        shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, shutdown.set)
+        await server.start()
+        print(f"serving on {server.address} ({args.executor} executor, "
+              f"{scheduler.workers} workers); Ctrl-C for graceful shutdown")
+        await shutdown.wait()
+        print("shutting down: draining running jobs ...")
+        await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(_main())
+    finally:
+        summary = scheduler.close()
+        print(
+            f"drained: {summary['cancelled']} queued jobs cancelled, "
+            f"{summary['checkpointed']} results checkpointed"
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -751,6 +855,103 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-case progress lines"
     )
     perf.set_defaults(fn=_cmd_perf)
+
+    serve = sub.add_parser(
+        "serve", help="run the multi-tenant job server (or its load test)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8642, help="0 binds an ephemeral port"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="worker pool size (default 2)"
+    )
+    serve.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="run jobs on worker threads (shared in-memory caches) or "
+        "in forked shard-worker processes (default thread)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="max distinct queued runs before submissions get 429",
+    )
+    serve.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=8,
+        help="max in-flight jobs per tenant (default 8)",
+    )
+    serve.add_argument(
+        "--retention",
+        type=int,
+        default=256,
+        help="result-cache entries kept before LRU eviction (0: unbounded)",
+    )
+    serve.add_argument(
+        "--accesses",
+        type=int,
+        default=None,
+        help="default platform accesses (server: 24000; load test: 3000)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--trace-dir", help="persist shared LLC captures in this directory"
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        help="restore cached results from here on boot and checkpoint "
+        "them back on graceful shutdown (sweep-compatible files)",
+    )
+    serve.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        help="per-run wall-clock bound in seconds (process executor)",
+    )
+    serve.add_argument(
+        "--load-test",
+        type=int,
+        metavar="N",
+        default=0,
+        help="instead of serving: drive a private server with N "
+        "concurrent clients and write the BENCH_serve.json report",
+    )
+    serve.add_argument(
+        "--tenants",
+        type=int,
+        default=32,
+        help="with --load-test: tenant identities to shard clients over",
+    )
+    serve.add_argument(
+        "--out",
+        default="BENCH_serve.json",
+        help="with --load-test: report path (default BENCH_serve.json)",
+    )
+    serve.add_argument(
+        "--baseline",
+        default="benchmarks/serve/baseline.json",
+        help="with --load-test: checked-in baseline to gate against",
+    )
+    serve.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help="with --load-test: normalized-throughput regression "
+        "tolerance (default 0.5)",
+    )
+    serve.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="with --load-test: write this run as the new baseline",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    serve.set_defaults(fn=_cmd_serve)
 
     return parser
 

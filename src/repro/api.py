@@ -31,12 +31,13 @@ from pathlib import Path
 from typing import Mapping
 
 from repro.core.config import CoalescerConfig, UNCOALESCED_CONFIG
+from repro.errors import ConfigError
 from repro.sim.driver import (
     PlatformConfig,
     SimulationResult,
     runtime_improvement,
 )
-from repro.sim.experiments import EvaluationSuite, FigureData
+from repro.sim.experiments import CachedRun, EvaluationSuite, FigureData
 from repro.sim.sweep import (
     FIGURE_CONFIGS,
     Progress,
@@ -46,6 +47,7 @@ from repro.sim.sweep import (
 )
 
 __all__ = [
+    "CachedRun",
     "CoalescerConfig",
     "FigureData",
     "PlatformConfig",
@@ -127,16 +129,28 @@ class Session:
     # -- single runs ---------------------------------------------------------
 
     def run(
-        self, benchmark: str, *, coalescer: CoalescerConfig | None = None
+        self,
+        benchmark: str,
+        *,
+        coalescer: CoalescerConfig | None = None,
+        platform: PlatformConfig | None = None,
     ) -> SimulationResult:
         """Run (or fetch) one benchmark.
 
         ``coalescer`` overrides the session platform's coalescer
-        config; omitted, the platform's own (paper default: the
-        combined two-phase coalescer) is used.  Results are cached by
-        config digest, so repeated and structurally equal calls are
-        free.
+        config; ``platform`` replaces the whole platform for this run
+        (the job server's path -- tenants ship complete platform
+        documents).  The two are mutually exclusive.  Results are
+        cached by config digest, so repeated and structurally equal
+        calls are free.
         """
+        if platform is not None:
+            if coalescer is not None:
+                raise ConfigError(
+                    "pass either coalescer= or platform=, not both "
+                    "(a full platform already carries its coalescer)"
+                )
+            return self._suite.run_platform(benchmark, platform)
         cfg = coalescer if coalescer is not None else self.platform.coalescer
         return self._suite.run(benchmark, cfg)
 
@@ -147,6 +161,54 @@ class Session:
     def improvement(self, benchmark: str) -> float:
         """Figure 15's runtime-improvement metric for one benchmark."""
         return runtime_improvement(self.baseline(benchmark), self.run(benchmark))
+
+    # -- cache management ----------------------------------------------------
+
+    def adopt(
+        self, benchmark: str, result: SimulationResult, *, config_name: str = ""
+    ) -> None:
+        """Seed the result cache with an externally produced result.
+
+        The entry is keyed by the digest of ``result.platform`` exactly
+        as if :meth:`run` had produced it.  The job server uses this to
+        fold in results computed by worker processes and restored
+        checkpoints; ``config_name`` labels the entry in
+        :meth:`cache_keys` (defaults to a digest prefix).
+        """
+        self._suite.adopt(benchmark, config_name, result)
+
+    def peek(self, benchmark: str, digest: str) -> SimulationResult | None:
+        """The cached result for ``(benchmark, platform digest)``, or
+        ``None`` without running anything.
+
+        ``digest`` is a :meth:`PlatformConfig.content_digest` value (as
+        reported by :meth:`cache_keys`).  The job server's admission
+        path uses this to complete duplicate submissions instantly.
+        """
+        return self._suite.peek(benchmark, digest)
+
+    def cache_keys(self) -> tuple[CachedRun, ...]:
+        """Enumerate the digest-keyed result cache.
+
+        Each entry is a :class:`~repro.sim.experiments.CachedRun`
+        ``(benchmark, config, digest)``; ``digest`` is the platform
+        content digest the run is keyed by (pass it to
+        :meth:`invalidate`).
+        """
+        return self._suite.cache_keys()
+
+    def invalidate(
+        self, digest: str | None = None, *, benchmark: str | None = None
+    ) -> int:
+        """Drop cached results, returning the number of entries removed.
+
+        ``digest`` scopes to one platform digest, ``benchmark`` to one
+        benchmark, both ``None`` clears everything.  The job server's
+        result-retention sweep calls this to bound memory; a user can
+        call it after changing on-disk state a cached result depended
+        on.  Checkpoint files and stored traces are unaffected.
+        """
+        return self._suite.invalidate(digest, benchmark=benchmark)
 
     # -- sweeps --------------------------------------------------------------
 

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from repro.cache.set_assoc import CacheConfig, SetAssociativeCache
 from repro.core.address import CACHE_LINE_SIZE
+from repro.errors import ConfigError
 from repro.core.request import Access, MemoryRequest, RequestType
 
 
@@ -55,9 +56,9 @@ class HierarchyConfig:
 
     def __post_init__(self) -> None:
         if self.num_cores <= 0:
-            raise ValueError("num_cores must be positive")
+            raise ConfigError("num_cores must be positive")
         if self.llc_fill_latency < 0:
-            raise ValueError("llc_fill_latency must be non-negative")
+            raise ConfigError("llc_fill_latency must be non-negative")
 
     def l1_config(self) -> CacheConfig:
         return CacheConfig(self.l1_size, self.l1_assoc, self.line_size)

@@ -15,6 +15,7 @@ from typing import Iterable, Iterator
 
 from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.core.request import Access, MemoryRequest
+from repro.errors import ConfigError
 from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 
@@ -97,9 +98,9 @@ class MemoryTracer:
         registry: MetricsRegistry | None = None,
     ):
         if cycles_per_access <= 0:
-            raise ValueError("cycles_per_access must be positive")
+            raise ConfigError("cycles_per_access must be positive")
         if llc_port_cycles < 0:
-            raise ValueError("llc_port_cycles must be non-negative")
+            raise ConfigError("llc_port_cycles must be non-negative")
         self.hierarchy = hierarchy or CacheHierarchy(HierarchyConfig())
         self.cycles_per_access = cycles_per_access
         self.llc_port_cycles = llc_port_cycles

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.address import CACHE_LINE_SIZE
+from repro.errors import ConfigError
 
 
 @dataclass(frozen=True, slots=True)
@@ -88,22 +89,22 @@ class CoalescerConfig:
 
     def __post_init__(self) -> None:
         if self.sorter_width < 2 or self.sorter_width & (self.sorter_width - 1):
-            raise ValueError("sorter_width must be a power of two >= 2")
+            raise ConfigError("sorter_width must be a power of two >= 2")
         if self.pipeline_stages not in ("merge", "step"):
-            raise ValueError("pipeline_stages must be 'merge' or 'step'")
+            raise ConfigError("pipeline_stages must be 'merge' or 'step'")
         if self.num_mshrs <= 0:
-            raise ValueError("num_mshrs must be positive")
+            raise ConfigError("num_mshrs must be positive")
         if self.max_packet_bytes % self.line_size:
-            raise ValueError("max_packet_bytes must be a multiple of line_size")
+            raise ConfigError("max_packet_bytes must be a multiple of line_size")
         if self.max_packet_bytes // self.line_size not in (1, 2, 4, 8):
-            raise ValueError(
+            raise ConfigError(
                 "max_packet_bytes must be 1, 2 or 4 cache lines (HMC 2.1) "
                 "or 8 lines (future-generation scaling, Section 3.2.3)"
             )
         if self.timeout_cycles < 0:
-            raise ValueError("timeout_cycles must be non-negative")
+            raise ConfigError("timeout_cycles must be non-negative")
         if self.clock_ghz <= 0:
-            raise ValueError("clock_ghz must be positive")
+            raise ConfigError("clock_ghz must be positive")
 
     @property
     def effective_crq_depth(self) -> int:

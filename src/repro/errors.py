@@ -1,0 +1,109 @@
+"""Exception hierarchy of the public ``repro`` surface.
+
+Everything the stable API (:class:`repro.api.Session`, the sweep
+engine, the trace store, the job server in :mod:`repro.serve`) raises
+on purpose derives from :class:`ReproError`, so callers can write one
+``except ReproError`` guard around any entry point.  Each concrete
+class *also* inherits the stdlib exception the code historically
+raised (``ValueError``, ``KeyError``, ``RuntimeError``), so existing
+``except ValueError:`` clauses keep catching exactly what they used
+to -- the hierarchy is a refinement, not a break.
+
+The server maps these onto HTTP status codes (see
+:mod:`repro.serve.server`):
+
+=========================  ======
+exception                  status
+=========================  ======
+:class:`ConfigError`       400
+:class:`SchemaError`       400
+:class:`UnknownBenchmark`  400
+:class:`JobNotFound`       404
+:class:`JobStateError`     409
+:class:`CapacityError`     429
+:class:`QuotaError`        429
+other :class:`ReproError`  500
+=========================  ======
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CapacityError",
+    "CheckpointError",
+    "ConfigError",
+    "JobNotFound",
+    "JobStateError",
+    "QuotaError",
+    "ReproError",
+    "SchemaError",
+    "UnknownBenchmark",
+]
+
+
+class ReproError(Exception):
+    """Base class of every intentional error the public API raises."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value (platform, coalescer, engine...).
+
+    Subclasses ``ValueError`` because every ``__post_init__`` validator
+    used to raise that; pre-existing ``except ValueError`` handlers
+    still fire.
+    """
+
+
+class UnknownBenchmark(ConfigError, KeyError):
+    """A benchmark name not present in :data:`repro.workloads.BENCHMARKS`.
+
+    Subclasses ``KeyError`` (the historical registry-lookup error) *and*
+    :class:`ConfigError` -- a bad benchmark name is a configuration
+    problem from the API's point of view.
+    """
+
+    # KeyError.__str__ repr()s the message; restore the plain form.
+    __str__ = Exception.__str__
+
+
+class SchemaError(ConfigError):
+    """A versioned JSON document has the wrong schema/shape.
+
+    Raised when deserializing configs, job specs, perf reports or
+    checkpoints whose ``schema`` field (or structure) does not match
+    what this version of the library writes.
+    """
+
+
+class CheckpointError(ReproError, ValueError):
+    """A sweep/server checkpoint file is truncated or unrecognizable.
+
+    Subclasses ``ValueError`` so the sweep scheduler's existing
+    treat-as-missing-and-re-run handling keeps working.
+    """
+
+
+class CapacityError(ReproError, RuntimeError):
+    """The server cannot admit more work right now (backpressure).
+
+    The HTTP layer surfaces this as a 429; clients should back off and
+    retry.
+    """
+
+
+class QuotaError(CapacityError):
+    """One tenant exceeded its admission quota (per-tenant 429)."""
+
+
+class JobNotFound(ReproError, KeyError):
+    """No job with the requested id exists on this server."""
+
+    __str__ = Exception.__str__
+
+
+class JobStateError(ReproError, RuntimeError):
+    """The job exists but is in the wrong state for the request.
+
+    Fetching the result of a still-running job, or cancelling one that
+    already finished, lands here (HTTP 409).
+    """

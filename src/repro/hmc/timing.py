@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigError
+
 
 @dataclass(frozen=True, slots=True)
 class HMCTimingConfig:
@@ -63,19 +65,19 @@ class HMCTimingConfig:
 
     def __post_init__(self) -> None:
         if self.page_policy not in ("open", "closed"):
-            raise ValueError("page_policy must be 'open' or 'closed'")
+            raise ConfigError("page_policy must be 'open' or 'closed'")
         if self.capacity_bytes <= 0:
-            raise ValueError("capacity must be positive")
+            raise ConfigError("capacity must be positive")
         if self.num_vaults <= 0 or self.num_vaults & (self.num_vaults - 1):
-            raise ValueError("num_vaults must be a power of two")
+            raise ConfigError("num_vaults must be a power of two")
         if self.banks_per_vault <= 0:
-            raise ValueError("banks_per_vault must be positive")
+            raise ConfigError("banks_per_vault must be positive")
         if self.block_bytes <= 0 or self.block_bytes % 16:
-            raise ValueError("block_bytes must be a positive FLIT multiple")
+            raise ConfigError("block_bytes must be a positive FLIT multiple")
         if self.link_bandwidth_gbps <= 0 or self.vault_bandwidth_gbps <= 0:
-            raise ValueError("bandwidths must be positive")
+            raise ConfigError("bandwidths must be positive")
         if self.queue_limit <= 0:
-            raise ValueError("queue_limit must be positive")
+            raise ConfigError("queue_limit must be positive")
 
     @property
     def bytes_per_vault(self) -> int:

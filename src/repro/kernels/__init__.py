@@ -33,6 +33,8 @@ fall back to the object path automatically.
 
 from __future__ import annotations
 
+from repro.errors import ConfigError
+
 #: The selectable execution engines, reference first.
 ENGINES = ("object", "vector")
 
@@ -45,7 +47,7 @@ def resolve_engine(engine: str | None) -> str:
     if engine is None:
         return DEFAULT_ENGINE
     if engine not in ENGINES:
-        raise ValueError(
+        raise ConfigError(
             f"unknown engine {engine!r}; options: {', '.join(ENGINES)}"
         )
     return engine

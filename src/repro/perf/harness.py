@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable
 
+from repro.errors import SchemaError
 from repro.obs import PhaseProfiler
 from repro.perf.cases import VECTOR_KINDS, PerfCase
 from repro.perf.digest import result_digest
@@ -399,7 +400,7 @@ def save_report(report: dict, path: str | Path) -> Path:
 def load_report(path: str | Path) -> dict:
     report = json.loads(Path(path).read_text())
     if report.get("schema") != SCHEMA:
-        raise ValueError(
+        raise SchemaError(
             f"{path}: unsupported perf report schema {report.get('schema')!r}"
         )
     return report

@@ -1,0 +1,44 @@
+"""Multi-tenant job server over the reproduction's Session API.
+
+Layers (each importable on its own):
+
+* :mod:`repro.serve.jobs` -- the typed wire model
+  (:class:`JobSpec` / :class:`JobStatus` / :class:`JobResult`).
+* :mod:`repro.serve.scheduler` -- :class:`JobScheduler`: admission
+  control, digest dedup, the worker pool, graceful shutdown.
+* :mod:`repro.serve.server` -- :class:`ReproServer`: the asyncio HTTP
+  front end (stdlib only).
+* :mod:`repro.serve.client` -- :class:`ServeClient` (blocking) and
+  :class:`AsyncServeClient`.
+* :mod:`repro.serve.loadtest` -- :func:`run_load_test` and the
+  ``BENCH_serve.json`` gating helpers.
+
+See ``docs/serving.md`` for the protocol and operational story.
+"""
+
+from repro.serve.client import AsyncServeClient, ServeClient
+from repro.serve.jobs import JOB_SCHEMA, JobResult, JobSpec, JobStatus
+from repro.serve.loadtest import (
+    SERVE_SCHEMA,
+    check_report,
+    compare_serve_reports,
+    run_load_test,
+)
+from repro.serve.scheduler import JobScheduler
+from repro.serve.server import ReproServer, running_server
+
+__all__ = [
+    "AsyncServeClient",
+    "JOB_SCHEMA",
+    "JobResult",
+    "JobScheduler",
+    "JobSpec",
+    "JobStatus",
+    "ReproServer",
+    "SERVE_SCHEMA",
+    "ServeClient",
+    "check_report",
+    "compare_serve_reports",
+    "run_load_test",
+    "running_server",
+]

@@ -1,0 +1,232 @@
+"""Clients for the job server (stdlib only).
+
+:class:`ServeClient` is the blocking client (urllib) used by the CLI
+smoke script and tests; :class:`AsyncServeClient` speaks the same
+protocol over raw :func:`asyncio.open_connection` sockets and exists
+so the load-test harness can hold a thousand concurrent conversations
+on one thread.
+
+Both rebuild typed :mod:`repro.errors` exceptions from the server's
+``{"error": <class>, "message": ...}`` bodies, so a remote
+:class:`~repro.errors.QuotaError` raises as a ``QuotaError`` locally
+and ``except`` clauses work identically against a Session or a server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro import errors as _errors
+from repro.errors import ReproError
+from repro.serve.jobs import JobResult, JobSpec, JobStatus
+
+#: Poll backoff used by the ``wait`` helpers: start fast (most jobs
+#: are cache hits that finish before the first poll), grow gently,
+#: cap well below human-noticeable so p99 latency stays honest.
+POLL_INITIAL = 0.01
+POLL_FACTOR = 1.5
+POLL_MAX = 0.2
+
+
+def raise_for_error(doc: dict) -> None:
+    """Re-raise the typed exception encoded in an error body."""
+    name = doc.get("error")
+    if not name:
+        return
+    cls = getattr(_errors, str(name), None)
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        cls = ReproError
+    raise cls(doc.get("message", name))
+
+
+class ServeClient:
+    """Blocking HTTP client for one :class:`~repro.serve.server.ReproServer`.
+
+    >>> client = ServeClient("http://127.0.0.1:8642")
+    >>> status = client.submit(JobSpec("STREAM", platform))
+    >>> status = client.wait(status.job_id)
+    >>> result = client.result(status.job_id)   # verified JobResult
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: bytes | None = None) -> dict | str:
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                text = resp.read().decode()
+        except urllib.error.HTTPError as exc:
+            text = exc.read().decode()
+            try:
+                doc = json.loads(text)
+            except json.JSONDecodeError:
+                raise ReproError(f"HTTP {exc.code}: {text[:200]}") from exc
+            raise_for_error(doc)
+            raise ReproError(f"HTTP {exc.code}: {text[:200]}") from exc
+        return json.loads(text)
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> bool:
+        return bool(self._request("GET", "/v1/healthz").get("ok"))
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def platform(self) -> dict:
+        """The server's default platform document (versioned envelope)."""
+        return self._request("GET", "/v1/platform")
+
+    def submit(self, spec: JobSpec) -> JobStatus:
+        doc = self._request("POST", "/v1/jobs", spec.to_json().encode())
+        return JobStatus.from_json(doc)
+
+    def status(self, job_id: str) -> JobStatus:
+        return JobStatus.from_json(self._request("GET", f"/v1/jobs/{job_id}"))
+
+    def jobs(self, tenant: str | None = None) -> list[JobStatus]:
+        path = "/v1/jobs" + (f"?tenant={tenant}" if tenant else "")
+        return [JobStatus.from_json(d) for d in self._request("GET", path)["jobs"]]
+
+    def result(self, job_id: str) -> JobResult:
+        return JobResult.from_json(
+            self._request("GET", f"/v1/jobs/{job_id}/result")
+        )
+
+    def cancel(self, job_id: str) -> JobStatus:
+        return JobStatus.from_json(self._request("DELETE", f"/v1/jobs/{job_id}"))
+
+    def wait(self, job_id: str, timeout: float = 300.0) -> JobStatus:
+        """Poll with backoff until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        delay = POLL_INITIAL
+        while True:
+            status = self.status(job_id)
+            if status.terminal:
+                return status
+            if time.monotonic() >= deadline:
+                raise ReproError(f"timed out waiting on job {job_id}")
+            time.sleep(delay)
+            delay = min(delay * POLL_FACTOR, POLL_MAX)
+
+    def run(self, spec: JobSpec, timeout: float = 300.0) -> JobResult:
+        """Submit, wait, fetch: the one-call convenience path."""
+        status = self.submit(spec)
+        if not status.terminal:
+            status = self.wait(status.job_id, timeout)
+        return self.result(status.job_id)
+
+
+class AsyncServeClient:
+    """Asyncio client: one ephemeral connection per request.
+
+    The request path retries connection establishment with backoff --
+    under a thousand simultaneous clients the listen backlog can burp
+    connection resets, and the load test's zero-error bar means the
+    client, like any production client, owns the retry.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        connect_retries: int = 8,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.connect_retries = connect_retries
+
+    async def _request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, dict]:
+        payload = body or b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        delay = 0.02
+        for attempt in range(self.connect_retries + 1):
+            try:
+                reader, writer = await asyncio.open_connection(self.host, self.port)
+                break
+            except OSError:
+                if attempt == self.connect_retries:
+                    raise
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, 0.5)
+        try:
+            writer.write(head + payload)
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), timeout=self.timeout)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        header, _, rest = raw.partition(b"\r\n\r\n")
+        status_line = header.split(b"\r\n", 1)[0].decode("latin-1")
+        status = int(status_line.split()[1])
+        return status, json.loads(rest.decode() or "{}")
+
+    async def _checked(self, method: str, path: str, body: bytes | None = None) -> dict:
+        status, doc = await self._request(method, path, body)
+        if status >= 400:
+            raise_for_error(doc)
+            raise ReproError(f"HTTP {status} on {path}")
+        return doc
+
+    async def health(self) -> bool:
+        return bool((await self._checked("GET", "/v1/healthz")).get("ok"))
+
+    async def stats(self) -> dict:
+        return await self._checked("GET", "/v1/stats")
+
+    async def submit(self, spec: JobSpec) -> JobStatus:
+        doc = await self._checked("POST", "/v1/jobs", spec.to_json().encode())
+        return JobStatus.from_json(doc)
+
+    async def status(self, job_id: str) -> JobStatus:
+        return JobStatus.from_json(await self._checked("GET", f"/v1/jobs/{job_id}"))
+
+    async def result(self, job_id: str) -> JobResult:
+        return JobResult.from_json(
+            await self._checked("GET", f"/v1/jobs/{job_id}/result")
+        )
+
+    async def wait(self, job_id: str, timeout: float = 300.0) -> JobStatus:
+        deadline = time.monotonic() + timeout
+        delay = POLL_INITIAL
+        while True:
+            status = await self.status(job_id)
+            if status.terminal:
+                return status
+            if time.monotonic() >= deadline:
+                raise ReproError(f"timed out waiting on job {job_id}")
+            await asyncio.sleep(delay)
+            delay = min(delay * POLL_FACTOR, POLL_MAX)
+
+    async def run(self, spec: JobSpec, timeout: float = 300.0) -> JobResult:
+        status = await self.submit(spec)
+        if not status.terminal:
+            status = await self.wait(status.job_id, timeout)
+        return await self.result(status.job_id)

@@ -1,0 +1,263 @@
+"""Typed request/response model of the job server.
+
+Three documents cross the wire, each a versioned JSON envelope with a
+``schema`` and ``kind`` field so receivers reject incompatible or
+mislabelled payloads up front (:class:`repro.errors.SchemaError`):
+
+* :class:`JobSpec` -- what a tenant submits: a benchmark name plus a
+  complete platform document (the canonical
+  :meth:`~repro.sim.driver.PlatformConfig.to_dict` codec).  Its
+  identity is ``(benchmark, platform content digest)``; two specs with
+  equal identity are the *same work* and the scheduler runs it once.
+* :class:`JobStatus` -- the server's view of one submitted job:
+  lifecycle state, timestamps, whether the result came from the
+  digest-keyed cache, and the error string for failed jobs.
+* :class:`JobResult` -- a finished job's full
+  :class:`~repro.sim.driver.SimulationResult`, serialized through the
+  sweep layer's checkpoint codec (:func:`repro.sim.shard.result_to_dict`)
+  and stamped with the canonical result digest
+  (:func:`repro.perf.digest.result_digest`) so clients can verify what
+  they received bit-for-bit against a local run.
+
+The JSON schemas are documented in ``docs/api.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.sim.driver import PlatformConfig, SimulationResult
+
+#: Version of the three job-document envelopes; bumped together on
+#: incompatible layout changes.
+JOB_SCHEMA = 1
+
+#: Lifecycle states of a job.  ``queued -> running -> done`` is the
+#: primary path; ``failed`` and ``cancelled`` are terminal branches.
+#: A job whose work was already cached (or attached to an identical
+#: in-flight job) goes straight to ``done`` with ``cached=True``.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+
+def _require_envelope(doc, *, kind: str) -> dict:
+    """Parse and validate one versioned envelope, or raise SchemaError."""
+    if isinstance(doc, (str, bytes)):
+        try:
+            doc = json.loads(doc)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"{kind} document is not JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise SchemaError(f"{kind} document must be a JSON object")
+    if doc.get("schema") != JOB_SCHEMA:
+        raise SchemaError(
+            f"{kind} document schema {doc.get('schema')!r}, "
+            f"expected {JOB_SCHEMA}"
+        )
+    if doc.get("kind") != kind:
+        raise SchemaError(
+            f"expected a {kind!r} document, got kind {doc.get('kind')!r}"
+        )
+    return doc
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of submitted work: run ``benchmark`` on ``platform``.
+
+    ``tenant`` scopes admission quotas; ``label`` is an optional
+    human-readable config name used in checkpoint headers and cache
+    listings (it never enters the identity digest).
+    """
+
+    benchmark: str
+    platform: PlatformConfig = field(default_factory=PlatformConfig)
+    tenant: str = "default"
+    label: str = ""
+
+    @property
+    def digest(self) -> str:
+        """The platform content digest -- the cacheable half of identity."""
+        return self.platform.content_digest()
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Deduplication identity: ``(benchmark, platform digest)``."""
+        return (self.benchmark, self.digest)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": JOB_SCHEMA,
+            "kind": "job-spec",
+            "tenant": self.tenant,
+            "benchmark": self.benchmark,
+            "label": self.label,
+            "platform": self.platform.to_dict(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, doc: str | bytes | dict) -> "JobSpec":
+        doc = _require_envelope(doc, kind="job-spec")
+        benchmark = doc.get("benchmark")
+        if not isinstance(benchmark, str) or not benchmark:
+            raise SchemaError("job-spec document needs a 'benchmark' string")
+        if "platform" not in doc:
+            raise SchemaError("job-spec document has no 'platform' payload")
+        platform = PlatformConfig.from_dict(doc["platform"])
+        tenant = doc.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise SchemaError("job-spec 'tenant' must be a non-empty string")
+        return cls(
+            benchmark=benchmark,
+            platform=platform,
+            tenant=tenant,
+            label=str(doc.get("label", "")),
+        )
+
+
+@dataclass
+class JobStatus:
+    """The server's public view of one job (the polling payload)."""
+
+    job_id: str
+    tenant: str
+    benchmark: str
+    digest: str
+    label: str
+    state: str
+    #: ``True`` when the result came from the digest-keyed cache or by
+    #: attaching to an identical in-flight job -- i.e. no simulation
+    #: ran for this submission.  ``None`` until the job is done.
+    cached: bool | None = None
+    #: Primary job this one coalesced onto (identical work in flight).
+    attached_to: str | None = None
+    error: str | None = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": JOB_SCHEMA,
+            "kind": "job-status",
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "benchmark": self.benchmark,
+            "digest": self.digest,
+            "label": self.label,
+            "state": self.state,
+            "cached": self.cached,
+            "attached_to": self.attached_to,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+    @classmethod
+    def from_json(cls, doc: str | bytes | dict) -> "JobStatus":
+        doc = _require_envelope(doc, kind="job-status")
+        try:
+            return cls(
+                job_id=doc["job_id"],
+                tenant=doc["tenant"],
+                benchmark=doc["benchmark"],
+                digest=doc["digest"],
+                label=doc.get("label", ""),
+                state=doc["state"],
+                cached=doc.get("cached"),
+                attached_to=doc.get("attached_to"),
+                error=doc.get("error"),
+                submitted_at=doc.get("submitted_at", 0.0),
+                started_at=doc.get("started_at"),
+                finished_at=doc.get("finished_at"),
+            )
+        except KeyError as exc:
+            raise SchemaError(f"job-status document missing {exc}") from exc
+
+
+@dataclass
+class JobResult:
+    """A finished job's simulation result, verifiable end to end.
+
+    ``result_digest`` is the canonical
+    :func:`repro.perf.digest.result_digest` of ``result`` as computed
+    on the server; a client re-computing it over the deserialized
+    result must get the same value, and a client running the same
+    platform locally through :meth:`repro.Session.run` must too.
+    """
+
+    job_id: str
+    benchmark: str
+    digest: str
+    cached: bool
+    result: SimulationResult
+    result_digest: str
+
+    def to_dict(self) -> dict:
+        from repro.obs.export import registry_to_payload
+        from repro.sim.shard import result_to_dict
+
+        # One result object serves every duplicate submission, so the
+        # heavy payload (stats + metrics registry; the result digest
+        # covers both, so the wire form must carry both for client-side
+        # re-verification) is built once and memoized on the result.
+        payload = getattr(self.result, "_serve_wire_payload", None)
+        if payload is None:
+            payload = {"result": result_to_dict(self.result)}
+            if self.result.metrics is not None:
+                payload["metrics"] = registry_to_payload(self.result.metrics)
+            self.result._serve_wire_payload = payload
+        return {
+            "schema": JOB_SCHEMA,
+            "kind": "job-result",
+            "job_id": self.job_id,
+            "benchmark": self.benchmark,
+            "digest": self.digest,
+            "cached": self.cached,
+            "result_digest": self.result_digest,
+            **payload,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, doc: str | bytes | dict) -> "JobResult":
+        from repro.obs.export import registry_from_payload
+        from repro.sim.shard import result_from_dict
+
+        doc = _require_envelope(doc, kind="job-result")
+        if "result" not in doc:
+            raise SchemaError("job-result document has no 'result' payload")
+        try:
+            metrics = (
+                registry_from_payload(doc["metrics"]) if "metrics" in doc else None
+            )
+            result = result_from_dict(doc["result"], metrics=metrics)
+        except (KeyError, TypeError) as exc:
+            raise SchemaError(f"invalid job-result payload: {exc}") from exc
+        return cls(
+            job_id=doc.get("job_id", ""),
+            benchmark=doc.get("benchmark", ""),
+            digest=doc.get("digest", ""),
+            cached=bool(doc.get("cached")),
+            result=result,
+            result_digest=doc.get("result_digest", ""),
+        )

@@ -1,0 +1,296 @@
+"""Asyncio HTTP front end of the job server (stdlib only).
+
+A deliberately small HTTP/1.1 implementation over
+:func:`asyncio.start_server`: each request opens one connection, gets
+one JSON response, and the connection closes.  The endpoint surface
+(also documented with examples in ``docs/serving.md``):
+
+====== ============================ ===========================================
+method path                         action
+====== ============================ ===========================================
+POST   ``/v1/jobs``                 submit a :class:`~repro.serve.jobs.JobSpec`
+GET    ``/v1/jobs``                 list job statuses (``?tenant=`` filters)
+GET    ``/v1/jobs/<id>``            poll one :class:`~repro.serve.jobs.JobStatus`
+GET    ``/v1/jobs/<id>/result``     fetch the :class:`~repro.serve.jobs.JobResult`
+DELETE ``/v1/jobs/<id>``            cancel a queued job
+GET    ``/v1/platform``             the server's default platform document
+GET    ``/v1/stats``                scheduler/cache/trace-store counters
+GET    ``/v1/healthz``              liveness probe
+====== ============================ ===========================================
+
+Errors are JSON bodies ``{"error": <exception class>, "message": ...}``
+with the status code from the table in :mod:`repro.errors`; clients
+can rebuild the typed exception from the class name.  All scheduler
+calls are O(queue bookkeeping) -- simulations happen on the scheduler's
+worker pool -- so the event loop stays responsive under thousands of
+concurrent clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import logging
+import re
+import threading
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import (
+    CapacityError,
+    ConfigError,
+    JobNotFound,
+    JobStateError,
+    ReproError,
+    SchemaError,
+)
+from repro.serve.jobs import JobSpec
+from repro.serve.scheduler import JobScheduler
+
+logger = logging.getLogger("repro.serve")
+
+#: Largest accepted request body (a platform document is ~1 KB).
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+_JOB_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)$")
+_RESULT_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)/result$")
+
+
+def _status_of(exc: Exception) -> int:
+    """Map a :mod:`repro.errors` exception onto its HTTP status."""
+    if isinstance(exc, JobNotFound):
+        return 404
+    if isinstance(exc, JobStateError):
+        return 409
+    if isinstance(exc, CapacityError):  # includes QuotaError
+        return 429
+    if isinstance(exc, (SchemaError, ConfigError)):
+        return 400
+    return 500
+
+
+class ReproServer:
+    """One scheduler behind an asyncio HTTP listener.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    :meth:`start`.  The server owns neither the scheduler's lifecycle
+    nor its Session -- callers compose them so tests and the CLI can
+    share schedulers across transports.
+    """
+
+    def __init__(
+        self,
+        scheduler: JobScheduler,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self.requests_served = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, backlog=4096
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, body = request
+            # Route on a worker thread: scheduler calls are lock-cheap
+            # but result serialization is not, and the accept loop must
+            # stay responsive under thousands of concurrent clients.
+            status, payload = await asyncio.get_running_loop().run_in_executor(
+                None, self._route, method, path, body
+            )
+            await self._respond(writer, status, payload)
+            self.requests_served += 1
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        except ReproError as exc:
+            # Request-parse failures (e.g. an oversized body) raise
+            # before routing; they still deserve their mapped status.
+            with contextlib.suppress(Exception):
+                await self._respond(writer, _status_of(exc), _error_doc(exc))
+        except Exception:  # noqa: BLE001 - connection sandbox
+            logger.exception("unhandled error serving a request")
+            with contextlib.suppress(Exception):
+                await self._respond(
+                    writer,
+                    500,
+                    {"error": "ReproError", "message": "internal server error"},
+                )
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> tuple[str, str, bytes] | None:
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split()
+        except ValueError:
+            return None
+        length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    length = 0
+        if length > MAX_BODY_BYTES:
+            raise SchemaError(f"request body over {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, body
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, payload
+    ) -> None:
+        if isinstance(payload, (bytes, str)):
+            body = payload.encode() if isinstance(payload, str) else payload
+        else:
+            body = json.dumps(payload, sort_keys=True).encode()
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # -- routing -------------------------------------------------------------
+
+    def _route(self, method: str, target: str, body: bytes) -> tuple[int, object]:
+        parts = urlsplit(target)
+        path = parts.path.rstrip("/") or "/"
+        query = parse_qs(parts.query)
+        try:
+            if path == "/v1/healthz" and method == "GET":
+                return 200, {"ok": True}
+            if path == "/v1/stats" and method == "GET":
+                return 200, self.scheduler.stats()
+            if path == "/v1/platform" and method == "GET":
+                return 200, self.scheduler.session.platform.to_json()
+            if path == "/v1/jobs":
+                if method == "POST":
+                    spec = JobSpec.from_json(body)
+                    status = self.scheduler.submit(spec)
+                    return (200 if status.terminal else 202), status.to_dict()
+                if method == "GET":
+                    tenant = (query.get("tenant") or [None])[0]
+                    return 200, {
+                        "jobs": [
+                            s.to_dict() for s in self.scheduler.jobs(tenant)
+                        ]
+                    }
+                return 405, _error_doc(ReproError(f"{method} not allowed here"))
+            match = _RESULT_PATH.match(path)
+            if match is not None and method == "GET":
+                return 200, self.scheduler.result(match.group(1)).to_json()
+            match = _JOB_PATH.match(path)
+            if match is not None:
+                if method == "GET":
+                    return 200, self.scheduler.status(match.group(1)).to_dict()
+                if method == "DELETE":
+                    return 200, self.scheduler.cancel(match.group(1)).to_dict()
+                return 405, _error_doc(ReproError(f"{method} not allowed here"))
+            return 404, _error_doc(JobNotFound(f"no route {path!r}"))
+        except ReproError as exc:
+            return _status_of(exc), _error_doc(exc)
+
+    # -- blocking runner (CLI) -----------------------------------------------
+
+    async def serve_until(self, shutdown: asyncio.Event) -> None:
+        """Start, run until ``shutdown`` is set, then stop cleanly."""
+        await self.start()
+        try:
+            await shutdown.wait()
+        finally:
+            await self.stop()
+
+
+def _error_doc(exc: Exception) -> dict:
+    return {"error": type(exc).__name__, "message": str(exc)}
+
+
+@contextlib.contextmanager
+def running_server(scheduler: JobScheduler, *, host: str = "127.0.0.1"):
+    """Run a :class:`ReproServer` on a background event-loop thread.
+
+    Yields the started server (with :attr:`~ReproServer.port` bound).
+    Used by tests, the smoke script and the load-test harness; the CLI
+    runs the loop in the foreground instead.  The scheduler is *not*
+    closed on exit -- the caller owns it.
+    """
+    server = ReproServer(scheduler, host=host, port=0)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    shutdown: asyncio.Event | None = None
+
+    def _run() -> None:
+        nonlocal shutdown
+        asyncio.set_event_loop(loop)
+        shutdown = asyncio.Event()
+
+        async def _main() -> None:
+            await server.start()
+            started.set()
+            await shutdown.wait()
+            await server.stop()
+
+        loop.run_until_complete(_main())
+        loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-serve-http", daemon=True)
+    thread.start()
+    if not started.wait(10.0):
+        raise RuntimeError("HTTP server failed to start within 10s")
+    try:
+        yield server
+    finally:
+        loop.call_soon_threadsafe(shutdown.set)
+        thread.join(10.0)

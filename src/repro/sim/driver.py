@@ -22,10 +22,11 @@ Figure 15 metric.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 import warnings
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from functools import lru_cache
 from typing import Iterable, Iterator
 
@@ -34,6 +35,7 @@ from repro.cache.tracer import MemoryTracer, TraceRecord, TracerStats
 from repro.core.coalescer import CoalescerStats, MemoryCoalescer
 from repro.core.config import CoalescerConfig, UNCOALESCED_CONFIG
 from repro.core.address import CACHE_LINE_SIZE
+from repro.errors import SchemaError
 from repro.core.request import CoalescedRequest, RequestType
 from repro.hmc.device import HMCDevice, HMCStats
 from repro.hmc.packet import REQUEST_CONTROL_BYTES
@@ -51,6 +53,11 @@ from repro.trace import (
     trace_key,
 )
 from repro.workloads import Workload, get_workload
+
+#: Version of the public :class:`PlatformConfig` JSON envelope
+#: (:meth:`PlatformConfig.to_json`); bumped on incompatible layout
+#: changes so old documents fail loudly instead of misparsing.
+PLATFORM_SCHEMA = 1
 
 
 @dataclass(frozen=True)
@@ -95,6 +102,102 @@ class PlatformConfig:
     def with_coalescer(self, coalescer: CoalescerConfig) -> "PlatformConfig":
         """Copy of this platform with a different coalescer config."""
         return replace(self, coalescer=coalescer)
+
+    # -- serialization (the one canonical platform codec) --------------------
+    #
+    # Checkpoint files, config digests, the job server's wire format
+    # and the CLI all round-trip platforms through these four methods;
+    # there is deliberately no second serializer anywhere else.
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-able view (digest and checkpoint payload).
+
+        Scalar fields verbatim, the three nested configs as flat
+        ``{field: value}`` dicts.  This is the exact payload
+        :meth:`content_digest` hashes, so its shape is part of the
+        cache-key contract.
+        """
+        d = {f.name: getattr(self, f.name) for f in fields(self)}
+        for name in ("hierarchy", "coalescer", "hmc"):
+            nested = getattr(self, name)
+            d[name] = {f.name: getattr(nested, f.name) for f in fields(nested)}
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PlatformConfig":
+        """Inverse of :meth:`to_dict`.
+
+        Raises :class:`repro.errors.SchemaError` on missing or unknown
+        fields (still caught by pre-existing ``except ValueError``
+        handlers).
+        """
+        from repro.cache.hierarchy import HierarchyConfig
+        from repro.hmc.timing import HMCTimingConfig
+
+        d = dict(d)
+        try:
+            d["hierarchy"] = HierarchyConfig(**d["hierarchy"])
+            d["coalescer"] = CoalescerConfig(**d["coalescer"])
+            d["hmc"] = HMCTimingConfig(**d["hmc"])
+            return cls(**d)
+        except (KeyError, TypeError) as exc:
+            raise SchemaError(f"invalid platform payload: {exc}") from exc
+
+    def content_digest(self) -> str:
+        """Stable content hash of the full configuration.
+
+        Two structurally equal platforms digest identically no matter
+        how they were constructed; every digest-keyed cache (Session
+        results, sweep checkpoints, the job server) keys on this.
+        """
+        blob = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha1(blob.encode()).hexdigest()
+
+    def to_json(self) -> str:
+        """The versioned wire form: a self-describing JSON document.
+
+        The envelope carries the schema version and the content digest
+        alongside the payload, so a receiver can reject incompatible
+        or corrupted documents before constructing anything.
+        """
+        return json.dumps(
+            {
+                "schema": PLATFORM_SCHEMA,
+                "kind": "platform",
+                "digest": self.content_digest(),
+                "platform": self.to_dict(),
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, doc: str | bytes | dict) -> "PlatformConfig":
+        """Inverse of :meth:`to_json` (accepts the parsed dict too).
+
+        Raises :class:`repro.errors.SchemaError` when the envelope is
+        malformed, carries a different schema version, or its recorded
+        digest does not match the payload.
+        """
+        if isinstance(doc, (str, bytes)):
+            try:
+                doc = json.loads(doc)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(f"platform document is not JSON: {exc}") from exc
+        if not isinstance(doc, dict) or "platform" not in doc:
+            raise SchemaError("platform document has no 'platform' payload")
+        if doc.get("schema") != PLATFORM_SCHEMA:
+            raise SchemaError(
+                f"platform document schema {doc.get('schema')!r}, "
+                f"expected {PLATFORM_SCHEMA}"
+            )
+        platform = cls.from_dict(doc["platform"])
+        recorded = doc.get("digest")
+        if recorded is not None and recorded != platform.content_digest():
+            raise SchemaError(
+                "platform document digest does not match its payload "
+                "(corrupted or hand-edited document)"
+            )
+        return platform
 
 
 @dataclass

@@ -11,6 +11,7 @@ pass runs each simulation exactly once.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.analysis.efficiency import (
     bandwidth_efficiency_curve,
@@ -35,6 +36,14 @@ from repro.workloads import BENCHMARKS
 
 #: Benchmark order used across all figures (the paper's grouping).
 BENCHMARK_ORDER = tuple(BENCHMARKS)
+
+
+class CachedRun(NamedTuple):
+    """One entry of an :class:`EvaluationSuite`/Session result cache."""
+
+    benchmark: str
+    config: str  #: config name if known, else a digest prefix
+    digest: str  #: full platform content digest (the cache key)
 
 
 @dataclass
@@ -114,10 +123,70 @@ class EvaluationSuite:
             )
         return self._cache[key]
 
+    def run_platform(
+        self, benchmark: str, platform: PlatformConfig
+    ) -> SimulationResult:
+        """Run (or fetch) one benchmark on an arbitrary full platform.
+
+        Same digest-keyed cache as :meth:`run`, but the caller supplies
+        the complete :class:`PlatformConfig` instead of a coalescer
+        override on the suite's base platform -- the job server's path,
+        where every tenant ships its own platform document.
+        """
+        digest = config_digest(platform)
+        key = (benchmark, digest)
+        if key not in self._cache:
+            self._cache[key] = run_benchmark(
+                benchmark,
+                platform=platform,
+                trace_store=self.trace_store,
+                engine=self.engine,
+            )
+        return self._cache[key]
+
+    def peek(self, benchmark: str, digest: str) -> SimulationResult | None:
+        """The cached result for ``(benchmark, platform digest)``, or
+        ``None`` -- never runs anything (the job server's admission
+        check)."""
+        return self._cache.get((benchmark, digest))
+
+    def cache_keys(self) -> tuple[CachedRun, ...]:
+        """Every cached run as ``(benchmark, config, digest)``, sorted."""
+        return tuple(
+            CachedRun(benchmark, self._config_names.get(digest, digest[:10]), digest)
+            for benchmark, digest in sorted(self._cache)
+        )
+
+    def invalidate(
+        self, digest: str | None = None, *, benchmark: str | None = None
+    ) -> int:
+        """Drop cached results and return how many entries were removed.
+
+        ``digest`` scopes the sweep to one platform digest,
+        ``benchmark`` to one benchmark; both ``None`` clears the whole
+        cache.  Only the in-memory result cache is touched -- on-disk
+        sweep checkpoints and stored traces are separate tiers with
+        their own lifecycle (``resume`` / ``repro trace gc``).
+        """
+        doomed = [
+            key
+            for key in self._cache
+            if (digest is None or key[1] == digest)
+            and (benchmark is None or key[0] == benchmark)
+        ]
+        for key in doomed:
+            del self._cache[key]
+        return len(doomed)
+
     def adopt(self, benchmark: str, config_name: str, result: SimulationResult) -> None:
-        """Seed the cache with an externally produced result."""
+        """Seed the cache with an externally produced result.
+
+        An empty ``config_name`` leaves the entry unnamed (it shows as
+        a digest prefix in :meth:`cache_keys`).
+        """
         digest = config_digest(result.platform)
-        self._config_names.setdefault(digest, config_name)
+        if config_name:
+            self._config_names.setdefault(digest, config_name)
         self._cache[(benchmark, digest)] = result
 
     def prefetch(self, *, jobs: int | None = None) -> SweepResult:

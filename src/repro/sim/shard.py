@@ -32,16 +32,14 @@ from dataclasses import fields
 from pathlib import Path
 from typing import Any
 
-from repro.cache.hierarchy import HierarchyConfig
 from repro.cache.tracer import TracerStats
-from repro.core.config import CoalescerConfig
 from repro.core.coalescer import CoalescerStats
 from repro.core.crq import CRQStats
 from repro.core.dmc import DMCStats
 from repro.core.mshr import MSHRStats
 from repro.core.pipeline import SortPipelineStats
+from repro.errors import CheckpointError
 from repro.hmc.device import HMCStats
-from repro.hmc.timing import HMCTimingConfig
 from repro.obs.export import registry_from_payload, registry_to_json_lines
 
 #: Checkpoint format version, bumped on incompatible layout changes.
@@ -65,26 +63,23 @@ def _int_keyed(d: dict) -> dict[int, int]:
 
 
 # -- platform ----------------------------------------------------------------
+#
+# The platform codec lives on the config itself now
+# (:meth:`PlatformConfig.to_dict` / ``from_dict`` / the versioned
+# ``to_json`` wire envelope); these aliases keep the historical import
+# path working for checkpoint consumers.
 
 
 def platform_to_dict(platform) -> dict:
-    """Lossless JSON-able view of a :class:`PlatformConfig`."""
-    d = _scalar_fields(platform)
-    d["hierarchy"] = _scalar_fields(platform.hierarchy)
-    d["coalescer"] = _scalar_fields(platform.coalescer)
-    d["hmc"] = _scalar_fields(platform.hmc)
-    return d
+    """Alias for :meth:`PlatformConfig.to_dict` (the canonical codec)."""
+    return platform.to_dict()
 
 
 def platform_from_dict(d: dict):
-    """Inverse of :func:`platform_to_dict`."""
+    """Alias for :meth:`PlatformConfig.from_dict`."""
     from repro.sim.driver import PlatformConfig
 
-    d = dict(d)
-    d["hierarchy"] = HierarchyConfig(**d["hierarchy"])
-    d["coalescer"] = CoalescerConfig(**d["coalescer"])
-    d["hmc"] = HMCTimingConfig(**d["hmc"])
-    return PlatformConfig(**d)
+    return PlatformConfig.from_dict(d)
 
 
 # -- results -----------------------------------------------------------------
@@ -178,8 +173,9 @@ def write_checkpoint(path: str | Path, header: dict, result) -> Path:
 def read_checkpoint(path: str | Path):
     """Load a checkpoint back into ``(header, SimulationResult)``.
 
-    Raises ``ValueError`` on truncated or unrecognizable files so the
-    scheduler can treat them as missing and re-run the key.
+    Raises :class:`repro.errors.CheckpointError` (a ``ValueError``) on
+    truncated or unrecognizable files so the scheduler can treat them
+    as missing and re-run the key.
     """
     path = Path(path)
     header: dict | None = None
@@ -198,9 +194,9 @@ def read_checkpoint(path: str | Path):
         else:
             metric_docs.append(doc)
     if header is None or result_doc is None:
-        raise ValueError(f"checkpoint {path} is missing its header or result")
+        raise CheckpointError(f"checkpoint {path} is missing its header or result")
     if header.get("version") != CHECKPOINT_VERSION:
-        raise ValueError(
+        raise CheckpointError(
             f"checkpoint {path} has version {header.get('version')!r}, "
             f"expected {CHECKPOINT_VERSION}"
         )

@@ -26,7 +26,6 @@ runs across worker processes, and folds the shards back together:
 
 from __future__ import annotations
 
-import hashlib
 import json
 import multiprocessing
 import re
@@ -73,10 +72,10 @@ def config_digest(platform: PlatformConfig) -> str:
 
     Two structurally equal configs digest identically no matter how
     they were constructed, so cache and checkpoint keys based on the
-    digest dedupe equivalent runs.
+    digest dedupe equivalent runs.  (Alias for
+    :meth:`PlatformConfig.content_digest`, the canonical definition.)
     """
-    blob = json.dumps(platform_to_dict(platform), sort_keys=True)
-    return hashlib.sha1(blob.encode()).hexdigest()
+    return platform.content_digest()
 
 
 def _safe(name: str) -> str:

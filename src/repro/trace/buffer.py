@@ -34,6 +34,7 @@ from typing import Iterator
 
 from repro.cache.tracer import TraceRecord, TracerStats
 from repro.core.request import MemoryRequest, RequestType
+from repro.errors import ReproError
 
 #: File magic of the binary trace format.
 TRACE_MAGIC = b"RTRC"
@@ -63,7 +64,7 @@ _COLUMNS = (
 _HEADER_PREFIX = struct.Struct("<HI")  # version, header_len
 
 
-class TraceError(ValueError):
+class TraceError(ReproError, ValueError):
     """Base error for unreadable trace files (corrupt or truncated)."""
 
 

@@ -37,11 +37,13 @@ import dataclasses
 import hashlib
 import json
 import logging
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
+from repro.errors import UnknownBenchmark
 from repro.trace.buffer import TRACE_SUFFIX, TRACE_VERSION, TraceBuffer, TraceError
 from repro.workloads import BENCHMARKS
 
@@ -72,7 +74,7 @@ def canonical_benchmark(name: str) -> str:
     for key, cls in BENCHMARKS.items():
         if key.lower() == name.lower():
             return cls.name
-    raise KeyError(
+    raise UnknownBenchmark(
         f"unknown benchmark {name!r}; available: {', '.join(BENCHMARKS)}"
     )
 
@@ -121,8 +123,16 @@ class TraceStore:
         self.root = Path(root) if root is not None else None
         self.max_memory_entries = max_memory_entries
         self._memory: OrderedDict[str, TraceBuffer] = OrderedDict()
+        # The store is shared across the job server's worker threads;
+        # one lock around the LRU bookkeeping keeps get/put linearizable
+        # (capture single-flighting is the *scheduler's* job -- the
+        # store only guarantees its own counters and map stay sane).
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        #: Captures filed via :meth:`put` -- with a single-flighting
+        #: caller, exactly the number of front-end captures that ran.
+        self.puts = 0
 
     # -- lookup --------------------------------------------------------------
 
@@ -133,14 +143,16 @@ class TraceStore:
         files are logged, removed and reported as a miss so the caller
         falls back to live capture (whose ``put`` overwrites them).
         """
-        buf = self._memory.get(key.digest)
-        if buf is not None:
-            self._memory.move_to_end(key.digest)
-            self.hits += 1
-            return buf
+        with self._lock:
+            buf = self._memory.get(key.digest)
+            if buf is not None:
+                self._memory.move_to_end(key.digest)
+                self.hits += 1
+                return buf
         path = self._path_of(key)
         if path is None or not path.exists():
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
         try:
             buf = TraceBuffer.load(path)
@@ -151,7 +163,8 @@ class TraceStore:
                 exc,
             )
             self._discard(path)
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
         if buf.meta.get("key_digest") != key.digest:
             logger.warning(
@@ -162,18 +175,32 @@ class TraceStore:
                 key.digest,
             )
             self._discard(path)
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
-        self._remember(key.digest, buf)
-        self.hits += 1
+        with self._lock:
+            self._remember(key.digest, buf)
+            self.hits += 1
         return buf
 
     def put(self, key: TraceKey, buffer: TraceBuffer) -> None:
         """File a finished capture under ``key`` (memory + disk)."""
-        self._remember(key.digest, buffer)
+        with self._lock:
+            self._remember(key.digest, buffer)
+            self.puts += 1
         path = self._path_of(key)
         if path is not None:
             buffer.save(path)
+
+    def stats(self) -> dict:
+        """Counter snapshot: hits, misses, captures filed, LRU size."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "memory_entries": len(self._memory),
+            }
 
     # -- maintenance / CLI ---------------------------------------------------
 
@@ -195,12 +222,14 @@ class TraceStore:
                 self._discard(path)
                 removed.append(path)
         if drop_all:
-            self._memory.clear()
+            with self._lock:
+                self._memory.clear()
         return removed
 
     def clear_memory(self) -> None:
         """Drop the in-process tier (used before forking workers)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
 
     # -- internals -----------------------------------------------------------
 

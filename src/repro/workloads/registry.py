@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.errors import UnknownBenchmark
 from repro.workloads.base import Workload
 from repro.workloads.bots import BotsSortWorkload, BotsSparseLUWorkload
 from repro.workloads.hpcg import HPCGWorkload
@@ -41,6 +42,6 @@ def get_workload(
     for key, cls in BENCHMARKS.items():
         if key.lower() == name.lower():
             return cls(num_threads=num_threads, seed=seed)
-    raise KeyError(
+    raise UnknownBenchmark(
         f"unknown benchmark {name!r}; available: {', '.join(BENCHMARKS)}"
     )

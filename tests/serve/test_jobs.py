@@ -1,0 +1,144 @@
+"""Tests for the job server's wire model (repro.serve.jobs)."""
+
+import json
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.perf.digest import result_digest
+from repro.serve.jobs import (
+    DONE,
+    JOB_SCHEMA,
+    QUEUED,
+    TERMINAL_STATES,
+    JobResult,
+    JobSpec,
+    JobStatus,
+)
+from repro.sim.driver import PlatformConfig, run_benchmark
+from repro.sim.sweep import FIGURE_CONFIGS
+
+SMALL = PlatformConfig(accesses=1_200)
+
+
+class TestJobSpec:
+    def test_round_trip(self):
+        spec = JobSpec(
+            "STREAM",
+            SMALL.with_coalescer(FIGURE_CONFIGS["combined"]),
+            tenant="acme",
+            label="combined",
+        )
+        back = JobSpec.from_json(spec.to_json())
+        assert back == spec
+        assert back.digest == spec.digest
+
+    def test_key_is_benchmark_and_digest(self):
+        spec = JobSpec("SG", SMALL)
+        assert spec.key == ("SG", SMALL.content_digest())
+
+    def test_label_and_tenant_do_not_change_identity(self):
+        a = JobSpec("STREAM", SMALL, tenant="a", label="x")
+        b = JobSpec("STREAM", SMALL, tenant="b", label="y")
+        assert a.key == b.key
+
+    def test_envelope_is_versioned(self):
+        doc = json.loads(JobSpec("STREAM", SMALL).to_json())
+        assert doc["schema"] == JOB_SCHEMA
+        assert doc["kind"] == "job-spec"
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.update(schema=99),
+            lambda d: d.update(kind="job-status"),
+            lambda d: d.pop("benchmark"),
+            lambda d: d.update(benchmark=""),
+            lambda d: d.pop("platform"),
+            lambda d: d.update(tenant=""),
+        ],
+    )
+    def test_rejects_malformed_documents(self, mutate):
+        doc = JobSpec("STREAM", SMALL).to_dict()
+        mutate(doc)
+        with pytest.raises(SchemaError):
+            JobSpec.from_json(doc)
+
+    def test_rejects_non_json_and_non_object(self):
+        with pytest.raises(SchemaError):
+            JobSpec.from_json("{not json")
+        with pytest.raises(SchemaError):
+            JobSpec.from_json(json.dumps([1, 2, 3]))
+
+    def test_schema_error_is_a_value_error(self):
+        # Compat contract: SchemaError subclasses ConfigError(ValueError).
+        with pytest.raises(ValueError):
+            JobSpec.from_json("[]")
+
+
+class TestJobStatus:
+    def test_round_trip(self):
+        status = JobStatus(
+            job_id="j000001",
+            tenant="acme",
+            benchmark="STREAM",
+            digest="d" * 40,
+            label="combined",
+            state=DONE,
+            cached=True,
+        )
+        back = JobStatus.from_json(json.dumps(status.to_dict()))
+        assert back == status
+
+    def test_terminal_property(self):
+        kw = dict(
+            job_id="j1", tenant="t", benchmark="b", digest="d", label=""
+        )
+        assert not JobStatus(state=QUEUED, **kw).terminal
+        for state in TERMINAL_STATES:
+            assert JobStatus(state=state, **kw).terminal
+
+    def test_missing_field_is_schema_error(self):
+        doc = {"schema": JOB_SCHEMA, "kind": "job-status", "job_id": "j1"}
+        with pytest.raises(SchemaError):
+            JobStatus.from_json(doc)
+
+
+class TestJobResult:
+    @pytest.fixture(scope="class")
+    def served(self):
+        result = run_benchmark("STREAM", platform=SMALL)
+        return JobResult(
+            job_id="j000001",
+            benchmark="STREAM",
+            digest=SMALL.content_digest(),
+            cached=False,
+            result=result,
+            result_digest=result_digest(result),
+        )
+
+    def test_round_trip_preserves_result_digest(self, served):
+        back = JobResult.from_json(served.to_json())
+        assert back.result_digest == served.result_digest
+        # The wire payload must reproduce the digest from scratch --
+        # this is the client-side verification the protocol promises.
+        assert result_digest(back.result) == served.result_digest
+
+    def test_wire_payload_carries_metrics(self, served):
+        doc = served.to_dict()
+        assert doc["kind"] == "job-result"
+        assert "metrics" in doc
+        back = JobResult.from_json(doc)
+        assert back.result.metrics is not None
+
+    def test_rejects_wrong_kind(self, served):
+        doc = served.to_dict()
+        doc["kind"] = "job-spec"
+        with pytest.raises(SchemaError):
+            JobResult.from_json(doc)
+
+    def test_rejects_missing_result(self):
+        with pytest.raises(SchemaError):
+            JobResult.from_json(
+                {"schema": JOB_SCHEMA, "kind": "job-result", "job_id": "j1"}
+            )

@@ -1,0 +1,118 @@
+"""Tests for the load-test harness (repro.serve.loadtest)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.serve.loadtest import (
+    SERVE_SCHEMA,
+    build_specs,
+    check_report,
+    compare_serve_reports,
+    load_serve_report,
+    run_load_test,
+    save_serve_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One small but real load-test run shared by the module."""
+    return run_load_test(
+        clients=40,
+        benchmarks=("STREAM",),
+        accesses=1_200,
+        tenants=4,
+        workers=2,
+        ramp_seconds=0.1,
+    )
+
+
+class TestBuildSpecs:
+    def test_grid_shape(self):
+        specs = build_specs(("STREAM", "SG"), accesses=1_200)
+        assert len(specs) == 8  # 2 benchmarks x 4 figure configs
+        assert len({s.key for s in specs}) == 8
+
+    def test_accesses_and_seed_flow_through(self):
+        (spec, *_rest) = build_specs(("STREAM",), accesses=999, seed=5)
+        assert spec.platform.accesses == 999
+        assert spec.platform.seed == 5
+
+
+class TestRunLoadTest:
+    def test_zero_errors_and_full_completion(self, report):
+        assert report["errors"] == 0
+        assert report["completed"] == report["clients"] == 40
+
+    def test_duplicate_cache_hit_rate(self, report):
+        cache = report["cache"]
+        assert cache["duplicate_requests"] == 40 - report["distinct_configs"]
+        assert cache["duplicate_hit_rate"] >= 0.9
+
+    def test_single_capture_per_front_end(self, report):
+        # One benchmark -> one front-end key -> exactly one capture.
+        assert report["trace_store"]["puts"] == 1
+
+    def test_served_digests_match_direct_runs(self, report):
+        assert report["direct_digest_mismatches"] == []
+        assert len(report["result_digests"]) == report["distinct_configs"]
+
+    def test_report_shape(self, report):
+        assert report["schema"] == SERVE_SCHEMA
+        latency = report["latency_seconds"]
+        assert 0 < latency["p50"] <= latency["p90"] <= latency["p99"] <= latency["max"]
+        assert report["throughput_rps"] > 0
+        assert report["normalized_throughput"] > 0
+        assert check_report(report) == []
+
+
+class TestGating:
+    def test_check_report_flags_errors(self, report):
+        bad = {**report, "errors": 3, "error_samples": ["x: Boom: y"]}
+        problems = check_report(bad)
+        assert any("3 client errors" in p for p in problems)
+
+    def test_check_report_flags_low_hit_rate(self, report):
+        bad = {**report, "cache": {**report["cache"], "duplicate_hit_rate": 0.5}}
+        assert any("hit rate" in p for p in check_report(bad))
+
+    def test_check_report_flags_digest_divergence(self, report):
+        bad = {**report, "direct_digest_mismatches": ["STREAM/combined"]}
+        assert any("diverge" in p for p in check_report(bad))
+
+    def test_compare_clean_against_self(self, report):
+        assert compare_serve_reports(report, report) == []
+
+    def test_compare_flags_digest_change(self, report):
+        name, digest = next(iter(report["result_digests"].items()))
+        tampered = {
+            **report,
+            "result_digests": {**report["result_digests"], name: "f" * len(digest)},
+        }
+        problems = compare_serve_reports(tampered, report)
+        assert any("behaviour changed" in p for p in problems)
+
+    def test_compare_flags_throughput_regression(self, report):
+        slow = {**report, "normalized_throughput": report["normalized_throughput"] / 10}
+        problems = compare_serve_reports(slow, report, threshold=0.5)
+        assert any("normalized throughput" in p for p in problems)
+
+    def test_compare_skips_digests_across_different_params(self, report):
+        other = {**report, "accesses": report["accesses"] * 2,
+                 "result_digests": {"STREAM/combined": "not-comparable"}}
+        # Different workload params: digests are not compared.
+        assert not any(
+            "behaviour changed" in p for p in compare_serve_reports(other, report)
+        )
+
+
+class TestReportIO:
+    def test_round_trip(self, report, tmp_path):
+        path = save_serve_report(report, tmp_path / "BENCH_serve.json")
+        assert load_serve_report(path) == report
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": 99}')
+        with pytest.raises(SchemaError):
+            load_serve_report(path)

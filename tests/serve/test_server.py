@@ -1,0 +1,233 @@
+"""Tests for the HTTP layer (repro.serve.server + client).
+
+The stress tests in TestConcurrency are the PR's headline contract:
+many overlapping clients (threads and asyncio tasks) submitting
+digest-identical work must all succeed, observe identical results, and
+trigger exactly one front-end trace capture between them.
+"""
+
+import asyncio
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.api import Session
+from repro.errors import (
+    JobNotFound,
+    JobStateError,
+    QuotaError,
+    ReproError,
+    SchemaError,
+    UnknownBenchmark,
+)
+from repro.perf.digest import result_digest
+from repro.serve.client import AsyncServeClient, ServeClient
+from repro.serve.jobs import JobSpec
+from repro.serve.scheduler import JobScheduler
+from repro.serve.server import running_server
+from repro.sim.driver import PlatformConfig
+from repro.sim.sweep import FIGURE_CONFIGS
+
+SMALL = PlatformConfig(accesses=1_200)
+COMBINED = SMALL.with_coalescer(FIGURE_CONFIGS["combined"])
+UNCOALESCED = SMALL.with_coalescer(FIGURE_CONFIGS["uncoalesced"])
+
+
+@pytest.fixture(scope="module")
+def server():
+    scheduler = JobScheduler(
+        session=Session(accesses=SMALL.accesses, seed=SMALL.seed),
+        workers=4,
+        queue_limit=32,
+        tenant_quota=64,
+    )
+    with running_server(scheduler) as srv:
+        yield srv
+    scheduler.close(timeout=10.0)
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServeClient(server.address, timeout=30.0)
+
+
+class TestEndpoints:
+    def test_health(self, client):
+        assert client.health() is True
+
+    def test_platform_document(self, client):
+        doc = client.platform()
+        assert doc["kind"] == "platform"
+        assert doc["platform"]["accesses"] == SMALL.accesses
+        assert doc["digest"]
+
+    def test_submit_poll_fetch_verify(self, client):
+        job = client.run(JobSpec("STREAM", COMBINED, label="combined"))
+        assert result_digest(job.result) == job.result_digest
+        direct = Session(accesses=SMALL.accesses, seed=SMALL.seed).run(
+            "STREAM", platform=COMBINED
+        )
+        assert result_digest(direct) == job.result_digest
+
+    def test_duplicate_submission_hits_cache(self, client):
+        client.run(JobSpec("STREAM", COMBINED))
+        dup = client.submit(JobSpec("STREAM", COMBINED, tenant="again"))
+        assert dup.terminal and dup.cached is True
+
+    def test_job_listing_filters_by_tenant(self, client):
+        client.run(JobSpec("STREAM", COMBINED, tenant="lister"))
+        mine = client.jobs(tenant="lister")
+        assert mine and all(s.tenant == "lister" for s in mine)
+        assert len(client.jobs()) >= len(mine)
+
+    def test_stats_shape(self, client):
+        stats = client.stats()
+        assert stats["executor"] == "thread"
+        assert "counters" in stats and "trace_store" in stats
+
+    def test_cancel_endpoint_on_done_job_is_409(self, client):
+        status = client.run(JobSpec("STREAM", COMBINED)).job_id
+        with pytest.raises(JobStateError):
+            client.cancel(status)
+
+
+class TestErrorMapping:
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(JobNotFound):
+            client.status("j999999")
+        with pytest.raises(JobNotFound):
+            client.result("j999999")
+
+    def test_unknown_benchmark_is_400(self, client):
+        with pytest.raises(UnknownBenchmark):
+            client.submit(JobSpec("NOT_A_BENCHMARK", SMALL))
+
+    def test_malformed_body_is_schema_error(self, server, client):
+        req = urllib.request.Request(
+            server.address + "/v1/jobs", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(req, timeout=10.0)
+        assert exc_info.value.code == 400
+        doc = json.loads(exc_info.value.read())
+        assert doc["error"] == "SchemaError"
+        # And through the typed client it raises the typed exception.
+        with pytest.raises(SchemaError):
+            client._request("POST", "/v1/jobs", b"{not json")
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(server.address + "/v1/nope", timeout=10.0)
+        assert exc_info.value.code == 404
+
+    def test_wrong_method_is_405(self, server):
+        req = urllib.request.Request(
+            server.address + "/v1/jobs", method="PUT", data=b""
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(req, timeout=10.0)
+        assert exc_info.value.code == 405
+
+    def test_quota_exhaustion_is_429(self):
+        scheduler = JobScheduler(
+            session=Session(accesses=SMALL.accesses), workers=1, tenant_quota=1
+        )
+        # Stall the one worker so the first job pins the quota.
+        gate = threading.Event()
+        original = scheduler._execute
+        scheduler._execute = lambda spec: (gate.wait(30.0), original(spec))[1]
+        try:
+            with running_server(scheduler) as srv:
+                c = ServeClient(srv.address, timeout=10.0)
+                c.submit(JobSpec("STREAM", COMBINED, tenant="greedy"))
+                with pytest.raises(QuotaError):
+                    c.submit(JobSpec("STREAM", UNCOALESCED, tenant="greedy"))
+                gate.set()
+        finally:
+            gate.set()
+            scheduler.close(timeout=10.0)
+
+
+class TestConcurrency:
+    def test_threaded_clients_share_one_capture(self):
+        """Overlapping jobs from many threads: every client succeeds,
+        digest-identical work returns identical results, and the trace
+        store files exactly one capture."""
+        scheduler = JobScheduler(
+            session=Session(accesses=SMALL.accesses, seed=SMALL.seed),
+            workers=4,
+            queue_limit=32,
+            tenant_quota=64,
+        )
+        specs = [
+            SMALL.with_coalescer(cfg) for cfg in FIGURE_CONFIGS.values()
+        ]
+        digests: dict[int, str] = {}
+        errors: list[Exception] = []
+        try:
+            with running_server(scheduler) as srv:
+                def one(i: int) -> None:
+                    try:
+                        c = ServeClient(srv.address, timeout=60.0)
+                        spec = JobSpec(
+                            "STREAM",
+                            specs[i % len(specs)],
+                            tenant=f"tenant-{i % 4}",
+                        )
+                        job = c.run(spec, timeout=120.0)
+                        assert result_digest(job.result) == job.result_digest
+                        digests[i] = job.result_digest
+                    except Exception as exc:  # noqa: BLE001
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=one, args=(i,)) for i in range(24)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join(timeout=180.0)
+            assert not errors, errors[:3]
+            assert len(digests) == 24
+            # Clients of the same config saw identical results ...
+            by_config: dict[int, set] = {}
+            for i, digest in digests.items():
+                by_config.setdefault(i % len(specs), set()).add(digest)
+            assert all(len(group) == 1 for group in by_config.values())
+            # ... and 4 distinct configs of one front end -> 1 capture.
+            assert scheduler.stats()["trace_store"]["puts"] == 1
+        finally:
+            scheduler.close(timeout=10.0)
+
+    def test_async_clients_digest_identical(self, server):
+        """Two tenants with identical front-end configs, many async
+        clients: single-capture sharing is asserted via TraceStore
+        stats at scheduler level by the threaded test; here the async
+        stack must agree on results end to end."""
+        async def drive():
+            c = AsyncServeClient(server.host, server.port, timeout=30.0)
+            spec_a = JobSpec("SG", COMBINED, tenant="alpha")
+            spec_b = JobSpec("SG", COMBINED, tenant="beta")
+            jobs = await asyncio.gather(
+                *[c.run(spec_a if i % 2 else spec_b) for i in range(16)]
+            )
+            return [j.result_digest for j in jobs]
+
+        digests = asyncio.run(drive())
+        assert len(set(digests)) == 1
+        direct = Session(accesses=SMALL.accesses, seed=SMALL.seed).run(
+            "SG", platform=COMBINED
+        )
+        assert result_digest(direct) == digests[0]
+
+    def test_error_bodies_rebuild_typed_exceptions(self, client):
+        # The cross-stack contract the clients rely on.
+        from repro.serve.client import raise_for_error
+
+        with pytest.raises(QuotaError):
+            raise_for_error({"error": "QuotaError", "message": "m"})
+        with pytest.raises(ReproError):
+            raise_for_error({"error": "NoSuchClass", "message": "m"})
+        raise_for_error({})  # no error key: no-op

@@ -176,7 +176,7 @@ class TestFailures:
         assert not sweep.ok
         [failure] = sweep.failures
         assert failure.key.label == "NOPE/combined"
-        assert "KeyError" in failure.error
+        assert "UnknownBenchmark" in failure.error
         assert failure.attempts == 1
         # the healthy shard still completed
         assert sweep.get("STREAM", "combined").coalescer.llc_requests > 0
@@ -185,7 +185,7 @@ class TestFailures:
         sweep = run_sweep(BROKEN, jobs=2, retries=1)
         [failure] = sweep.failures
         assert failure.key.label == "NOPE/combined"
-        assert "KeyError" in failure.error
+        assert "UnknownBenchmark" in failure.error
         assert "Traceback" in failure.traceback
         assert failure.attempts == 2
         assert len(sweep.results) == 1
