@@ -8,7 +8,9 @@ re-runs every (benchmark, config) cell serially through
 * each per-run result matches the serial run exactly (same flat
   metrics dict, same headline statistics);
 * the sweep's merged :class:`MetricsRegistry` equals the registries of
-  the serial runs merged in expansion order.
+  the serial runs merged in expansion order;
+* the persistent-pool executor writes byte-identical checkpoints to
+  the fork-per-run executor for the same grid.
 
 Exit status 0 on parity, 1 on any divergence.
 
@@ -72,6 +74,30 @@ def main() -> int:
             f"metric(s), e.g. {sorted(diff)[:5]}"
         )
 
+    with tempfile.TemporaryDirectory(prefix="sweep-parity-exec-") as root:
+        pool_dir, fork_dir = Path(root, "pool"), Path(root, "fork")
+        pooled = run_sweep(SPEC, jobs=2, executor="pool", out_dir=pool_dir, retries=0)
+        forked = run_sweep(SPEC, jobs=2, executor="fork", out_dir=fork_dir, retries=0)
+        for s, label in ((pooled, "pool"), (forked, "fork")):
+            for failure in s.failures:
+                problems.append(
+                    f"{label} executor run failed: {failure.key.label}: {failure.error}"
+                )
+        pool_names = sorted(p.name for p in pool_dir.iterdir())
+        fork_names = sorted(p.name for p in fork_dir.iterdir())
+        if pool_names != fork_names:
+            problems.append(
+                f"executor checkpoint sets differ: pool={pool_names} fork={fork_names}"
+            )
+        else:
+            for name in pool_names:
+                if (pool_dir / name).read_bytes() != (fork_dir / name).read_bytes():
+                    problems.append(
+                        f"checkpoint {name}: pool bytes differ from fork bytes"
+                    )
+        if pooled.registry.as_flat_dict() != expected:
+            problems.append("pool-executor merged registry differs from serial merge")
+
     if problems:
         print("sweep parity check FAILED:", file=sys.stderr)
         for problem in problems:
@@ -81,7 +107,8 @@ def main() -> int:
     cells = len(sweep.results)
     print(
         f"sweep parity OK: {cells} runs with --jobs 2 match serial "
-        f"execution; merged registry ({len(merged)} flat metrics) identical"
+        f"execution; merged registry ({len(merged)} flat metrics) identical; "
+        f"pool and fork executors wrote byte-identical checkpoints"
     )
     return 0
 

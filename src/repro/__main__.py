@@ -335,7 +335,7 @@ def _cmd_profile(args) -> int:
 def _cmd_sweep(args) -> int:
     from repro.analysis.sweep_report import format_sweep_summary, load_sweep_dir
     from repro.sim.driver import PlatformConfig
-    from repro.sim.sweep import FIGURE_CONFIGS, SweepSpec, run_sweep
+    from repro.sim.sweep import FIGURE_CONFIGS, SweepSpec, clamp_jobs, run_sweep
 
     if args.summarize:
         runs = load_sweep_dir(args.summarize)
@@ -368,7 +368,7 @@ def _cmd_sweep(args) -> int:
     progress = None if args.quiet else print
     sweep = run_sweep(
         spec,
-        jobs=args.jobs,
+        jobs=clamp_jobs(args.jobs),
         out_dir=args.out,
         resume=args.resume,
         timeout=args.timeout,
@@ -376,6 +376,7 @@ def _cmd_sweep(args) -> int:
         filter=args.filter,
         progress=progress,
         trace_dir=args.trace_dir,
+        executor=args.sweep_executor,
     )
     runs = list(sweep.results.items())
     if runs:
@@ -684,7 +685,21 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run the benchmark x config grid in parallel with checkpoints",
     )
-    sweep.add_argument("--jobs", type=int, default=1, help="worker processes")
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (clamped to the machine's CPU count)",
+    )
+    sweep.add_argument(
+        "--executor",
+        dest="sweep_executor",
+        choices=("auto", "inline", "pool", "fork"),
+        default=None,
+        help="execution strategy: auto (default) picks inline for "
+        "--jobs 1 and the persistent worker pool otherwise; fork "
+        "forces the legacy process-per-run path (all byte-identical)",
+    )
     sweep.add_argument("--out", help="checkpoint directory (one file per run)")
     sweep.add_argument(
         "--resume",
@@ -799,7 +814,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--suite",
         default="smoke",
         help="case suite to run: smoke (CI), trace (capture/replay "
-        "economics) or full (default: smoke)",
+        "economics), sweep (executor throughput) or full "
+        "(default: smoke)",
     )
     perf.add_argument(
         "--repeats",

@@ -43,6 +43,7 @@ from repro.sim.sweep import (
     Progress,
     SweepResult,
     SweepSpec,
+    clamp_jobs,
     run_sweep,
 )
 
@@ -225,6 +226,7 @@ class Session:
         retries: int = 1,
         filter: str | None = None,
         progress: Progress | None = None,
+        executor: str | None = None,
     ) -> SweepResult:
         """Run a parameter sweep and fold it into the session cache.
 
@@ -232,7 +234,10 @@ class Session:
         build one from ``benchmarks`` x ``configs`` (defaults: all 12
         benchmarks x the paper's four figure configs) on its own
         platform.  See :func:`repro.sim.sweep.run_sweep` for the
-        execution knobs.
+        execution knobs.  ``jobs`` above the machine's CPU count is
+        clamped (oversubscribed simulation workers only add scheduler
+        thrash); the clamp is logged and visible in the result's
+        ``metadata``.
         """
         if spec is None:
             spec = SweepSpec(
@@ -242,7 +247,7 @@ class Session:
             )
         sweep = run_sweep(
             spec,
-            jobs=self.jobs if jobs is None else jobs,
+            jobs=clamp_jobs(self.jobs if jobs is None else jobs),
             out_dir=out_dir or self.checkpoint_dir,
             # The session's own checkpoint dir is a cache: always resume
             # from it.  An explicit out_dir honours the resume flag.
@@ -252,6 +257,7 @@ class Session:
             filter=filter,
             progress=progress,
             trace_dir=self.trace_dir,
+            executor=executor,
         )
         for key, result in sweep.results.items():
             self._suite.adopt(key.benchmark, key.config, result)

@@ -21,6 +21,14 @@ actually times.  Three suites are provided:
     A broader grid across access patterns and coalescer configs, for
     local before/after comparisons when touching hot paths.
 
+``sweep``
+    The sweep engine's orchestration economics: a 24-cell mini-sweep
+    (6 benchmarks x the 4 figure configs) executed by the persistent
+    worker pool vs the legacy fork-per-run path, at ``--jobs`` 1 and
+    4.  The measured number is cells/second; the pool-vs-fork ratio at
+    equal jobs is the orchestration speedup (process reuse + shared
+    mmap traces + grouped multi-config replay).
+
 Case kinds
 ----------
 ``sim``
@@ -61,6 +69,15 @@ Case kinds
     a first-class number (see ``docs/performance.md``), and the
     derived ``vector_coalesce_phase_speedup`` isolates the coalesce
     phase the kernel replaces.
+``sweep_throughput`` / ``sweep_throughput_fork``
+    A full 24-cell mini-sweep through :func:`repro.sim.sweep.run_sweep`
+    with the persistent worker pool vs the fork-per-run executor, at
+    the case's ``jobs`` count, both against one shared on-disk trace
+    store seeded before measurement.  The report entry carries
+    ``cells`` and ``cells_per_second``; the derived
+    ``sweep_pool_speedup`` is the pool/fork ratio at equal jobs.  The
+    composite digest chains every cell's result digest, so the gate
+    also pins cross-executor bit-exactness.
 
 All vector kinds pin their object twins to ``engine="object"`` so the
 pair always measures object-vs-vector regardless of the session default,
@@ -73,7 +90,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 #: Kinds whose measurement covers more than one simulation run.
-COMPOSITE_KINDS = ("pair_live", "pair_shared_trace", "sweep_live", "sweep_shared")
+COMPOSITE_KINDS = (
+    "pair_live",
+    "pair_shared_trace",
+    "sweep_live",
+    "sweep_shared",
+    "sweep_throughput",
+    "sweep_throughput_fork",
+)
+
+#: Kinds that run a whole sweep through an executor; their cases carry
+#: a nonzero ``jobs`` and report cells/second.
+SWEEP_KINDS = ("sweep_throughput", "sweep_throughput_fork")
 
 #: Kinds measured under the vector kernel engine; each has an
 #: object-engine twin kind it derives a speedup against.
@@ -94,6 +122,10 @@ class PerfCase:
     accesses: int
     seed: int = 0
     kind: str = "sim"
+    #: Worker count for the sweep kinds; 0 for every other kind (the
+    #: field then never appears in reports, keeping old baselines
+    #: comparable).
+    jobs: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in CASE_KINDS:
@@ -101,10 +133,17 @@ class PerfCase:
                 f"unknown perf case kind {self.kind!r}; options: "
                 + ", ".join(CASE_KINDS)
             )
+        if self.jobs and self.kind not in SWEEP_KINDS:
+            raise ValueError(
+                f"jobs= only applies to sweep kinds {SWEEP_KINDS}, "
+                f"not {self.kind!r}"
+            )
 
     @property
     def name(self) -> str:
         base = f"{self.benchmark}/{self.config}@{self.accesses}"
+        if self.jobs:
+            base += f"/j{self.jobs}"
         return base if self.kind == "sim" else f"{self.kind}:{base}"
 
 
@@ -150,15 +189,29 @@ FULL_SUITE: tuple[PerfCase, ...] = SMOKE_SUITE + (
     PerfCase("SG", "combined", 12_000),
 )
 
+SWEEP_SUITE: tuple[PerfCase, ...] = (
+    # The "benchmark" label names the grid, not a workload: every case
+    # runs the same 24-cell mini-sweep (see
+    # ``repro.perf.harness.SWEEP_BENCHMARKS`` x the 4 figure configs),
+    # so pool-vs-fork pairs at equal jobs differ only in executor and
+    # the derived ``sweep_pool_speedup`` is pure orchestration.
+    PerfCase("GRID24", "combined", 600, kind="sweep_throughput", jobs=1),
+    PerfCase("GRID24", "combined", 600, kind="sweep_throughput_fork", jobs=1),
+    PerfCase("GRID24", "combined", 600, kind="sweep_throughput", jobs=4),
+    PerfCase("GRID24", "combined", 600, kind="sweep_throughput_fork", jobs=4),
+)
+
 SUITES: dict[str, tuple[PerfCase, ...]] = {
     "smoke": SMOKE_SUITE,
     "trace": TRACE_SUITE,
     "full": FULL_SUITE,
+    "sweep": SWEEP_SUITE,
 }
 
 
 def get_suite(name: str) -> tuple[PerfCase, ...]:
-    """Look up a suite by name (``smoke``, ``trace`` or ``full``)."""
+    """Look up a suite by name (``smoke``, ``trace``, ``full`` or
+    ``sweep``)."""
     try:
         return SUITES[name]
     except KeyError:

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -26,8 +28,15 @@ from typing import Callable, Iterable
 
 from repro.errors import SchemaError
 from repro.obs import PhaseProfiler
-from repro.perf.cases import VECTOR_KINDS, PerfCase
+from repro.perf.cases import SWEEP_KINDS, VECTOR_KINDS, PerfCase
 from repro.perf.digest import result_digest
+
+#: Benchmarks of the sweep-throughput mini-sweep; x the 4 figure
+#: configs = 24 cells.  Deliberately the six *lightest-replay*
+#: workloads: the sweep kinds measure orchestration (process reuse,
+#: shared traces, grouped replay), so per-cell simulation time is
+#: noise that dilutes the pool-vs-fork ratio, not signal.
+SWEEP_BENCHMARKS = ("STREAM", "MG", "FT", "HPCG", "Sort", "CG")
 
 #: Report schema version (bump on incompatible layout changes).
 SCHEMA = 1
@@ -75,12 +84,22 @@ class CaseResult:
     #: (``vector_coalesce`` only): engaged / delegated / fallback
     #: deltas plus the derived fallback rate.  ``None`` elsewhere.
     kernel: dict | None = None
+    #: Sweep cells executed per attempt (sweep kinds only; 0 elsewhere,
+    #: in which case neither ``cells`` nor ``cells_per_second`` appears
+    #: in the report -- old baselines stay comparable).
+    cells: int = 0
 
     @property
     def requests_per_second(self) -> float:
         if self.wall_seconds <= 0:
             return 0.0
         return self.llc_requests / self.wall_seconds
+
+    @property
+    def cells_per_second(self) -> float:
+        if self.wall_seconds <= 0 or not self.cells:
+            return 0.0
+        return self.cells / self.wall_seconds
 
     def as_dict(self) -> dict:
         return {
@@ -97,6 +116,12 @@ class CaseResult:
             "digest": self.digest,
             "phases": self.phases,
             **({"kernel": self.kernel} if self.kernel is not None else {}),
+            **({"jobs": self.case.jobs} if self.case.jobs else {}),
+            **(
+                {"cells": self.cells, "cells_per_second": self.cells_per_second}
+                if self.cells
+                else {}
+            ),
         }
 
 
@@ -116,7 +141,7 @@ def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
         run_baseline_and_coalesced,
         run_benchmark,
     )
-    from repro.sim.sweep import FIGURE_CONFIGS
+    from repro.sim.sweep import FIGURE_CONFIGS, SweepSpec, run_sweep
     from repro.trace import TraceStore
 
     coalescer = FIGURE_CONFIGS[case.config]
@@ -140,7 +165,41 @@ def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
             trace_store=warm_store,
         )
 
+    sweep_trace_dir: str | None = None
+    if kind in SWEEP_KINDS:
+        # Seed one shared on-disk trace store untimed, so both
+        # executors measure pure replay orchestration -- the pool's
+        # mmap/replay-cache advantage, not first-capture noise.
+        sweep_trace_dir = tempfile.mkdtemp(prefix="repro-perf-sweep-")
+        seed_store = TraceStore(sweep_trace_dir)
+        for bench in SWEEP_BENCHMARKS:
+            run_benchmark(
+                bench,
+                platform=platform,
+                coalescer=coalescer,
+                trace_store=seed_store,
+            )
+
     def attempt(profiler: PhaseProfiler | None):
+        if kind in SWEEP_KINDS:
+            # Checkpoints go to run_sweep's own temp dir (discarded per
+            # attempt); both executors pay identical checkpoint I/O.
+            sweep = run_sweep(
+                SweepSpec(
+                    platform=platform,
+                    benchmarks=SWEEP_BENCHMARKS,
+                    configs=dict(FIGURE_CONFIGS),
+                ),
+                jobs=case.jobs or 1,
+                trace_dir=sweep_trace_dir,
+                executor="pool" if kind == "sweep_throughput" else "fork",
+            )
+            if sweep.failures:
+                raise RuntimeError(
+                    f"sweep perf case {case.name} had failures: "
+                    + ", ".join(f.key.label for f in sweep.failures)
+                )
+            return list(sweep.results.values())
         if kind == "sim":
             return [
                 run_benchmark(
@@ -250,6 +309,8 @@ def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
             "fallback_rate": (fallbacks / engaged) if engaged else 0.0,
             "engagement_rate": (engaged / attempts) if attempts else 0.0,
         }
+    if sweep_trace_dir is not None:
+        shutil.rmtree(sweep_trace_dir, ignore_errors=True)
     digests = [result_digest(r) for r in best_results]
     if len(digests) == 1:
         digest = digests[0]
@@ -268,6 +329,7 @@ def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
             else {}
         ),
         kernel=kernel_stats,
+        cells=len(best_results) if kind in SWEEP_KINDS else 0,
     )
 
 
@@ -327,6 +389,7 @@ _SPEEDUP_PAIRS = {
     ("trace_capture", "vector_capture"): "vector_capture_speedup",
     ("trace_replay", "vector_replay"): "vector_replay_speedup",
     ("trace_replay", "vector_coalesce"): "vector_coalesce_speedup",
+    ("sweep_throughput_fork", "sweep_throughput"): "sweep_pool_speedup",
 }
 
 #: (slow kind, fast kind) -> (phase, metric): additionally derive the
@@ -366,6 +429,7 @@ def derive_speedups(cases: dict) -> dict:
             entry.get("config"),
             entry.get("accesses"),
             entry.get("seed"),
+            entry.get("jobs"),
         )
         by_key[key] = entry
     derived: dict = {}
@@ -377,6 +441,8 @@ def derive_speedups(cases: dict) -> dict:
             if fast is None or not fast.get("wall_seconds"):
                 continue
             label = f"{metric}:{key[1]}/{key[2]}@{key[3]}"
+            if key[5]:
+                label += f"/j{key[5]}"
             derived[label] = slow["wall_seconds"] / fast["wall_seconds"]
             if slow.get("digest") != fast.get("digest"):
                 derived[label + ":digest_mismatch"] = True
@@ -430,7 +496,7 @@ def compare_reports(
     treats as a failure in its own right.
     """
     out: list[CaseComparison] = []
-    params = ("benchmark", "config", "accesses", "seed", "kind")
+    params = ("benchmark", "config", "accesses", "seed", "kind", "jobs")
     for name, base in sorted(baseline.get("cases", {}).items()):
         cur = current.get("cases", {}).get(name)
         if cur is None:

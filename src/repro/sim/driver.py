@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import time
 import warnings
 from dataclasses import dataclass, field, fields, replace
@@ -47,6 +48,7 @@ from repro.kernels.replay import vector_replay
 from repro.obs import MetricsRegistry, PhaseProfiler
 from repro.trace import (
     TraceBuffer,
+    TraceIntegrityError,
     TraceStore,
     publish_replay_tracer_metrics,
     replay_trace,
@@ -585,9 +587,22 @@ def run_benchmark(
         key = trace_key(benchmark, platform)
         stored = trace_store.get(key)
         if stored is not None:
-            return _replay_benchmark(
-                stored, platform=platform, profiler=profiler, engine=engine
-            )
+            try:
+                return _replay_benchmark(
+                    stored, platform=platform, profiler=profiler, engine=engine
+                )
+            except TraceIntegrityError as exc:
+                # mmap stores defer payload verification to the first
+                # row read; a corrupt entry surfaces here instead of
+                # inside TraceStore.get.  Same degraded-mode contract:
+                # log, evict and fall through to a live capture.
+                logging.getLogger("repro.trace").warning(
+                    "discarding unreadable trace for %s (%s); "
+                    "re-capturing live",
+                    key.filename,
+                    exc,
+                )
+                trace_store.discard(key)
         capture = TraceBuffer()
 
     if isinstance(benchmark, Workload):

@@ -91,8 +91,10 @@ class EvaluationSuite:
         self.engine = engine
         #: Shared LLC-trace store: each benchmark's front end (workload
         #: generation + cache filtering) runs once and all four figure
-        #: configs replay the capture.  ``trace_dir`` adds a disk tier.
-        self.trace_store = TraceStore(trace_dir)
+        #: configs replay the capture.  ``trace_dir`` adds a disk tier,
+        #: read zero-copy (mmap) so concurrent suites and sweep workers
+        #: share page-cache pages instead of private decodes.
+        self.trace_store = TraceStore(trace_dir, mmap=trace_dir is not None)
         self._cache: dict[tuple[str, str], SimulationResult] = {}
         self._config_names: dict[str, str] = {}
 

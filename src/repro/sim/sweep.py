@@ -27,7 +27,9 @@ runs across worker processes, and folds the shards back together:
 from __future__ import annotations
 
 import json
+import logging
 import multiprocessing
+import os
 import re
 import tempfile
 import time
@@ -45,6 +47,7 @@ from repro.core.config import (
 )
 from repro.obs import MetricsRegistry
 from repro.sim.driver import PlatformConfig, SimulationResult
+from repro.sim.pool import _mp_context, run_pool, warn_spawn_once
 from repro.sim.shard import (
     CHECKPOINT_SUFFIX,
     FAILED_SUFFIX,
@@ -65,6 +68,39 @@ FIGURE_CONFIGS: dict[str, CoalescerConfig] = {
 }
 
 Progress = Callable[[str], None]
+
+logger = logging.getLogger("repro.sweep")
+
+
+_CLAMP_WARNED = False
+
+
+def clamp_jobs(jobs: int) -> int:
+    """Cap a worker count at the machine's CPU count, logging the clamp.
+
+    Sweep workers are CPU-bound simulators: oversubscribing cores buys
+    only scheduler thrash.  :func:`run_sweep` clamps the worker count
+    it actually spawns (``requested_jobs`` vs ``effective_jobs`` in
+    :class:`SweepResult.metadata` record both sides); the user-facing
+    entry points (``repro sweep`` and :meth:`repro.api.Session.sweep`)
+    clamp early as well so the log line appears where the user typed
+    the number.  The warning fires once per process; later clamps log
+    at debug level.
+    """
+    global _CLAMP_WARNED
+    cpus = os.cpu_count() or 1
+    if jobs > cpus:
+        if _CLAMP_WARNED:
+            logger.debug(
+                "clamping --jobs %d to the machine's %d CPU(s)", jobs, cpus
+            )
+        else:
+            _CLAMP_WARNED = True
+            logger.warning(
+                "clamping --jobs %d to the machine's %d CPU(s)", jobs, cpus
+            )
+        return cpus
+    return jobs
 
 
 def config_digest(platform: PlatformConfig) -> str:
@@ -185,6 +221,11 @@ class SweepResult:
     completed: int
     skipped: int
     out_dir: Path | None
+    #: Execution provenance: which executor ran the sweep
+    #: (``inline``/``pool``/``fork``), the multiprocessing start
+    #: method (``None`` for inline), and requested vs effective jobs
+    #: -- so perf numbers are interpretable after the fact.
+    metadata: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -232,6 +273,10 @@ def _say(progress: Progress | None, msg: str) -> None:
         progress(msg)
 
 
+#: Valid ``executor`` arguments of :func:`run_sweep`.
+EXECUTORS = ("auto", "inline", "pool", "fork")
+
+
 def run_sweep(
     spec: SweepSpec,
     *,
@@ -243,6 +288,7 @@ def run_sweep(
     filter: str | None = None,
     progress: Progress | None = None,
     trace_dir: str | Path | None = None,
+    executor: str | None = None,
 ) -> SweepResult:
     """Execute a sweep spec and return the merged :class:`SweepResult`.
 
@@ -252,7 +298,10 @@ def run_sweep(
         Worker processes.  ``1`` (with no ``timeout``) runs shards
         inline in this process -- but still through the identical
         checkpoint serialization, so per-run files are byte-identical
-        to a parallel sweep's.
+        to a parallel sweep's.  Counts above the machine's CPU count
+        are clamped (oversubscribing CPU-bound simulators only buys
+        scheduler thrash); ``metadata`` records both ``requested_jobs``
+        and ``effective_jobs``.
     out_dir:
         Checkpoint directory (created if missing).  ``None`` uses a
         temporary directory discarded when the sweep finishes.
@@ -273,10 +322,28 @@ def run_sweep(
         On-disk :class:`~repro.trace.TraceStore` directory.  Every
         shard sharing a (benchmark, geometry, pacing) key then shares
         one LLC capture: inline runs via an in-process store, forked
-        workers via the directory's atomically-written files.  ``None``
-        still shares captures within an inline sweep (in memory), but
-        parallel workers each capture their own.
+        workers via the directory's atomically-written files (pool
+        workers additionally map them zero-copy).  ``None`` still
+        shares captures within an inline sweep or a pool worker (in
+        memory), but fork-per-run workers each capture their own.
+    executor:
+        Execution strategy.  ``"auto"``/``None`` picks ``"inline"``
+        for ``jobs <= 1`` without a timeout and the persistent
+        ``"pool"`` otherwise; ``"fork"`` forces the legacy
+        process-per-run path; ``"inline"`` forces single-process
+        execution (incompatible with ``timeout``).  All three produce
+        byte-identical checkpoints.
     """
+    if executor is not None and executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+        )
+    mode = executor if executor not in (None, "auto") else None
+    if mode is None:
+        mode = "inline" if (jobs <= 1 and timeout is None) else "pool"
+    if mode == "inline" and timeout is not None:
+        raise ValueError("executor='inline' cannot enforce a per-run timeout")
+
     expanded = spec.expand(filter=filter)
     tmp_dir: tempfile.TemporaryDirectory | None = None
     if out_dir is None:
@@ -313,14 +380,44 @@ def run_sweep(
             )
 
         total = len(pending)
+        effective = 1 if mode == "inline" else clamp_jobs(jobs)
+        metadata = {
+            "executor": mode,
+            "requested_jobs": jobs,
+            "effective_jobs": effective
+            if mode != "pool"
+            else max(1, min(effective, total)),
+            "start_method": None
+            if mode == "inline"
+            else _mp_context().get_start_method(),
+        }
         if pending:
-            if jobs <= 1 and timeout is None:
+            if mode == "inline":
                 _run_inline(
                     pending, total, results, failures, retries, progress, trace_dir
                 )
+            elif mode == "pool":
+                run_pool(
+                    pending,
+                    total,
+                    results,
+                    failures,
+                    effective,
+                    timeout,
+                    retries,
+                    progress,
+                    trace_dir,
+                )
             else:
                 _run_parallel(
-                    pending, total, results, failures, jobs, timeout, retries, progress
+                    pending,
+                    total,
+                    results,
+                    failures,
+                    effective,
+                    timeout,
+                    retries,
+                    progress,
                 )
     finally:
         if tmp_dir is not None:
@@ -344,6 +441,7 @@ def run_sweep(
         completed=len(ordered) - skipped,
         skipped=skipped,
         out_dir=None if tmp_dir is not None else out_path,
+        metadata=metadata,
     )
 
 
@@ -391,11 +489,6 @@ def _run_inline(
             break
 
 
-def _mp_context():
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-
-
 def _run_parallel(
     pending: list[_Pending],
     total: int,
@@ -406,8 +499,15 @@ def _run_parallel(
     retries: int,
     progress: Progress | None,
 ) -> None:
-    """Shard ``pending`` across up to ``jobs`` worker processes."""
+    """Shard ``pending`` across up to ``jobs`` worker processes.
+
+    The legacy fork-per-run path (``executor="fork"``): one process
+    per cell, retained as the baseline the persistent pool is measured
+    against (the ``sweep_throughput`` perf kinds) and as a maximally
+    isolated fallback.
+    """
     ctx = _mp_context()
+    warn_spawn_once(ctx)
     queue: deque[_Pending] = deque(pending)
     running: dict[object, _Running] = {}
     done = 0

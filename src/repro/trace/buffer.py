@@ -19,12 +19,25 @@ cache key the store filed the trace under.  The trailing digest makes
 corruption, truncation and partial writes detectable before a single
 row is replayed; writes go through a temp file + ``os.replace`` so a
 crashed writer never leaves a half-written trace behind.
+
+Two read paths share the format.  :meth:`TraceBuffer.from_bytes` is
+the eager one: it copies every column into ``array`` objects and
+verifies the trailing sha256 up front.  :meth:`TraceBuffer.load` with
+``mmap=True`` instead maps the file read-only and exposes the columns
+as zero-copy NumPy views over the mapping, so N processes replaying
+the same trace share page-cache pages instead of N private decodes.
+Structural checks (magic, version, header, column extents) still run
+eagerly; the sha256 over the payload is deferred to the first row
+read (:meth:`columns` / :meth:`records`), where a mismatch raises
+:class:`TraceIntegrityError` -- never a segfault or partial columns,
+because the extent checks already proved every byte is in range.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import mmap as _mmap
 import os
 import struct
 import sys
@@ -62,6 +75,10 @@ _COLUMNS = (
 )
 
 _HEADER_PREFIX = struct.Struct("<HI")  # version, header_len
+
+#: Array typecode -> explicit little-endian NumPy dtype string, for the
+#: zero-copy ``frombuffer`` views of the mmap read path.
+_NP_DTYPES = {"q": "<i8", "Q": "<u8", "B": "u1", "I": "<u4"}
 
 
 class TraceError(ReproError, ValueError):
@@ -101,6 +118,9 @@ class TraceBuffer:
         "_fences",
         "_requested_bytes",
         "_kinds",
+        "_source",
+        "_verified",
+        "replay_cache",
     )
 
     def __init__(self, meta: dict | None = None):
@@ -116,6 +136,16 @@ class TraceBuffer:
         self._fences = 0
         self._requested_bytes = 0
         self._kinds = {"miss": 0, "secondary_miss": 0, "writeback": 0, "prefetch": 0}
+        # mmap read path: the mapping backing zero-copy column views
+        # (keeps the pages alive), and whether the trailing sha256 has
+        # been checked yet.  Eager buffers are born verified.
+        self._source: _mmap.mmap | None = None
+        self._verified = True
+        # Per-buffer scratch for replay engines: decoded columns and
+        # sort/merge plans that are pure functions of the trace content
+        # (plus a config envelope key), reusable across back-to-back
+        # replays of the same buffer.  Never serialized.
+        self.replay_cache: dict | None = None
 
     # -- capture -------------------------------------------------------------
 
@@ -234,10 +264,35 @@ class TraceBuffer:
     @property
     def last_cycle(self) -> int:
         """Cycle of the final record (0 for an empty trace)."""
-        return self.cycles[-1] if self.cycles else 0
+        return int(self.cycles[-1]) if len(self.cycles) else 0
+
+    @property
+    def is_mmapped(self) -> bool:
+        """Whether the columns are zero-copy views over a file mapping."""
+        return self._source is not None
+
+    def _ensure_verified(self) -> None:
+        """Deferred integrity check of the mmap read path.
+
+        Hashes the mapped payload once, on the first row read, and
+        raises :class:`TraceIntegrityError` on mismatch -- the same
+        error the eager :meth:`from_bytes` path raises up front.
+        """
+        if self._verified:
+            return
+        source = self._source
+        assert source is not None
+        view = memoryview(source)
+        try:
+            if hashlib.sha256(view[:-32]).digest() != bytes(view[-32:]):
+                raise TraceIntegrityError("trace digest mismatch (corrupt file)")
+        finally:
+            view.release()
+        self._verified = True
 
     def columns(self) -> tuple[array, array, array, array, array]:
         """The packed (cycle, addr, flags, size, requested) columns."""
+        self._ensure_verified()
         return self.cycles, self.addrs, self.flags, self.sizes, self.requested
 
     def tracer_stats(self) -> TracerStats:
@@ -253,21 +308,24 @@ class TraceBuffer:
 
     def records(self) -> Iterator[TraceRecord]:
         """Reconstruct full :class:`TraceRecord` objects row by row."""
+        self._ensure_verified()
+        # int() at the boundary: mmap-backed columns index to NumPy
+        # scalars, which must not leak into request objects or JSON.
         for i in range(len(self.cycles)):
-            flags = self.flags[i]
+            flags = int(self.flags[i])
             rtype = RequestType(flags & _TYPE_MASK)
             if rtype is RequestType.FENCE:
                 request = MemoryRequest(addr=0, rtype=RequestType.FENCE)
             else:
                 request = MemoryRequest(
-                    addr=self.addrs[i],
+                    addr=int(self.addrs[i]),
                     rtype=rtype,
-                    size=self.sizes[i],
-                    requested_bytes=self.requested[i],
+                    size=int(self.sizes[i]),
+                    requested_bytes=int(self.requested[i]),
                 )
             yield TraceRecord(
                 request=request,
-                cycle=self.cycles[i],
+                cycle=int(self.cycles[i]),
                 is_writeback=bool(flags & _FLAG_WRITEBACK),
                 is_secondary=bool(flags & _FLAG_SECONDARY),
                 is_prefetch=bool(flags & _FLAG_PREFETCH),
@@ -301,6 +359,12 @@ class TraceBuffer:
 
     def digest(self) -> str:
         """Stable content digest of the serialized trace."""
+        if self._source is not None:
+            # The mapped file's trailing 32 bytes *are* the digest of
+            # its payload; verification proves they match the content,
+            # so re-serializing would only reproduce the same bytes.
+            self._ensure_verified()
+            return bytes(self._source[-32:]).hex()
         blob = self.to_bytes()
         return blob[-32:].hex()
 
@@ -352,9 +416,80 @@ class TraceBuffer:
         return path
 
     @classmethod
-    def load(cls, path: str | Path) -> "TraceBuffer":
-        """Read and validate a stored trace."""
+    def load(cls, path: str | Path, *, mmap: bool = False) -> "TraceBuffer":
+        """Read and validate a stored trace.
+
+        With ``mmap=True`` the columns become read-only zero-copy
+        NumPy views over a private file mapping: structural validation
+        (magic, version, header, column extents) runs now, the sha256
+        integrity check is deferred to the first row read.  The
+        mapping outlives an unlink of the path, so store GC stays
+        safe.
+        """
+        if mmap:
+            return cls._load_mmap(Path(path))
         return cls.from_bytes(Path(path).read_bytes())
+
+    @classmethod
+    def _load_mmap(cls, path: Path) -> "TraceBuffer":
+        """Map ``path`` read-only and build a zero-copy buffer over it."""
+        import numpy as np
+
+        with open(path, "rb") as handle:
+            size = os.fstat(handle.fileno()).st_size
+            if size < len(TRACE_MAGIC) + _HEADER_PREFIX.size + 32:
+                raise TraceError("trace file is truncated (no header)")
+            try:
+                source = _mmap.mmap(
+                    handle.fileno(), 0, access=_mmap.ACCESS_READ
+                )
+            except (ValueError, OSError) as exc:
+                raise TraceError(f"unmappable trace file: {exc}") from exc
+        try:
+            if source[: len(TRACE_MAGIC)] != TRACE_MAGIC:
+                raise TraceError("not a repro binary trace (bad magic)")
+            version, header_len = _HEADER_PREFIX.unpack_from(
+                source, len(TRACE_MAGIC)
+            )
+            if version != TRACE_VERSION:
+                raise TraceVersionError(
+                    f"trace format version {version}, expected {TRACE_VERSION}"
+                )
+            offset = len(TRACE_MAGIC) + _HEADER_PREFIX.size
+            if offset + header_len > size - 32:
+                raise TraceError("trace file is truncated (header overruns)")
+            try:
+                header = json.loads(source[offset : offset + header_len])
+            except ValueError as exc:
+                raise TraceError(f"unreadable trace header: {exc}") from exc
+            offset += header_len
+
+            buf = cls(meta=header.get("meta") or {})
+            for name, code, count in header.get("columns", []):
+                dtype = _NP_DTYPES.get(code)
+                if dtype is None:
+                    raise TraceError(f"trace column {name!r} has unknown typecode")
+                nbytes = count * np.dtype(dtype).itemsize
+                if offset + nbytes > size - 32:
+                    raise TraceError(f"trace column {name!r} is truncated")
+                setattr(
+                    buf,
+                    _attr_of(name),
+                    np.frombuffer(source, dtype=dtype, count=count, offset=offset),
+                )
+                offset += nbytes
+            lengths = {len(getattr(buf, _attr_of(name))) for name, _ in _COLUMNS}
+            if len(lengths) != 1:
+                raise TraceError("trace columns have inconsistent lengths")
+        except Exception:
+            try:
+                source.close()
+            except BufferError:  # column views already exported
+                pass
+            raise
+        buf._source = source
+        buf._verified = False
+        return buf
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = self.meta.get("benchmark", "?")

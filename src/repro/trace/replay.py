@@ -54,6 +54,16 @@ def replay_trace(
     between live and replay runs.
     """
     cycles, addrs, flags, sizes, requested = buffer.columns()
+    # Decode to plain Python ints up front: mmap-backed buffers hand
+    # out NumPy views, and NumPy scalars must not leak into request
+    # objects (they would poison JSON digests downstream).  For the
+    # eager ``array`` columns this is the same tolist() the vector
+    # engine already pays.
+    cycles = cycles.tolist()
+    addrs = addrs.tolist()
+    flags = flags.tolist()
+    sizes = sizes.tolist()
+    requested = requested.tolist()
     n = len(cycles)
     push = coalescer.push
     if profiler is not None:

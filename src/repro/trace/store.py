@@ -115,13 +115,28 @@ class TraceStore:
     max_memory_entries:
         LRU capacity of the in-process tier.  Full traces are a few
         MB each; eight covers a figure run without unbounded growth.
+    mmap:
+        Load disk entries as zero-copy mappings
+        (:meth:`TraceBuffer.load` with ``mmap=True``) instead of eager
+        copies.  Structural checks and key-staleness detection still
+        run at :meth:`get` time; payload integrity is verified lazily
+        on first row read, where corruption raises
+        :class:`~repro.trace.buffer.TraceIntegrityError` -- callers on
+        this path (the drivers) catch it, :meth:`discard` the entry
+        and re-capture live, matching the eager path's degraded-mode
+        contract at a different point in time.
     """
 
     def __init__(
-        self, root: str | Path | None = None, *, max_memory_entries: int = 8
+        self,
+        root: str | Path | None = None,
+        *,
+        max_memory_entries: int = 8,
+        mmap: bool = False,
     ):
         self.root = Path(root) if root is not None else None
         self.max_memory_entries = max_memory_entries
+        self.mmap = mmap
         self._memory: OrderedDict[str, TraceBuffer] = OrderedDict()
         # The store is shared across the job server's worker threads;
         # one lock around the LRU bookkeeping keeps get/put linearizable
@@ -155,7 +170,7 @@ class TraceStore:
                 self.misses += 1
             return None
         try:
-            buf = TraceBuffer.load(path)
+            buf = TraceBuffer.load(path, mmap=self.mmap)
         except TraceError as exc:
             logger.warning(
                 "discarding unreadable trace %s (%s); re-capturing live",
@@ -230,6 +245,15 @@ class TraceStore:
         """Drop the in-process tier (used before forking workers)."""
         with self._lock:
             self._memory.clear()
+
+    def discard(self, key: TraceKey) -> None:
+        """Evict ``key`` from both tiers (e.g. after a lazy-integrity
+        failure surfaced mid-replay on the mmap path)."""
+        with self._lock:
+            self._memory.pop(key.digest, None)
+        path = self._path_of(key)
+        if path is not None:
+            self._discard(path)
 
     # -- internals -----------------------------------------------------------
 
