@@ -25,6 +25,16 @@ plus the flattened metrics registry -- equality means the same
    reference.  Each cell runs end to end under ``engine="object"`` and
    ``engine="vector"`` and the two digests must be identical.
 
+4. **HMC back-end parity.**  The batched HMC timing kernel
+   (:mod:`repro.kernels.hmc`) replaces the scalar device walk behind
+   the coalescing kernel.  Each cell runs under ``engine="object"``,
+   under ``engine="vector"`` with the back end pinned off
+   (:func:`repro.kernels.hmc.hmc_backend_disabled`), and under
+   ``engine="vector"`` with it on; all three digests must be
+   identical, and the enabled run must actually have engaged the
+   back end (its ``engaged`` counter grew with zero fallbacks --
+   otherwise the cell silently degenerated to object-vs-object).
+
 Exit status 0 on parity, 1 on any divergence.
 
 Usage::
@@ -66,6 +76,15 @@ REPLAY_CASES = (
     ("SparseLU", "combined"),
     ("SG", "combined"),
     ("FT", "uncoalesced"),
+)
+
+#: (benchmark, figure config) cells for the HMC back-end axis.  Both
+#: run the full DMC+MSHR pipeline (the back end only attaches behind
+#: the batched coalescing kernel): SG saturates the vault queues, and
+#: SparseLU's hit-heavy stream exercises the open-row fast path.
+HMC_CASES = (
+    ("SG", "combined"),
+    ("SparseLU", "combined"),
 )
 
 
@@ -167,11 +186,67 @@ def check_engine_parity(problems: list[str]) -> None:
             print(f"  engine {label}: {obj[:16]}... OK")
 
 
+def check_hmc_parity(problems: list[str]) -> None:
+    from repro.kernels.hmc import hmc_backend_disabled, kernel_counters
+
+    for benchmark, config_name in HMC_CASES:
+        platform = PlatformConfig(accesses=ACCESSES)
+        coalescer = FIGURE_CONFIGS[config_name]
+        label = f"{benchmark}/{config_name}"
+        obj = result_digest(
+            run_benchmark(
+                benchmark,
+                platform=platform,
+                coalescer=coalescer,
+                engine="object",
+            )
+        )
+        with hmc_backend_disabled():
+            off = result_digest(
+                run_benchmark(
+                    benchmark,
+                    platform=platform,
+                    coalescer=coalescer,
+                    engine="vector",
+                )
+            )
+        before = kernel_counters()
+        on = result_digest(
+            run_benchmark(
+                benchmark,
+                platform=platform,
+                coalescer=coalescer,
+                engine="vector",
+            )
+        )
+        after = kernel_counters()
+        engaged = after["engaged"] - before["engaged"]
+        fallbacks = after["fallbacks"] - before["fallbacks"]
+        if not (obj == off == on):
+            problems.append(
+                f"{label}: hmc digest mismatch: object={obj[:16]} "
+                f"backend-off={off[:16]} backend-on={on[:16]}"
+            )
+        elif engaged < 1:
+            problems.append(
+                f"{label}: hmc back end never engaged "
+                "(parity was object-vs-object, not object-vs-kernel)"
+            )
+        elif fallbacks:
+            problems.append(
+                f"{label}: hmc back end fell back {fallbacks}x "
+                "(digests matched only via the object fallback path)"
+            )
+        else:
+            print(f"  hmc    {label}: {obj[:16]}... OK (engaged={engaged})")
+
+
 def main() -> int:
     problems: list[str] = []
     check_mshr_parity(problems)
     check_replay_parity(problems)
     check_engine_parity(problems)
+    check_hmc_parity(problems)
 
     if problems:
         print("perf parity check FAILED:", file=sys.stderr)
@@ -181,8 +256,9 @@ def main() -> int:
 
     print(
         f"perf parity OK: {len(CASES)} MSHR cells, "
-        f"{len(REPLAY_CASES)} live-vs-replay cells and "
-        f"{len(CASES)} object-vs-vector engine cells produce "
+        f"{len(REPLAY_CASES)} live-vs-replay cells, "
+        f"{len(CASES)} object-vs-vector engine cells and "
+        f"{len(HMC_CASES)} HMC back-end cells produce "
         "bit-identical digests"
     )
     return 0

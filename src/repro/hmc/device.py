@@ -162,16 +162,21 @@ class HMCDevice:
         histogram observations in call order.  Callers must apply
         before reading the registry -- the replay driver does so before
         the digest, charged to the flush phase.
+
+        Re-entrant: a second ``defer_metrics()`` before the apply is a
+        no-op, so nested users (driver + batched back end) never drop
+        an already-accumulating batch.
         """
-        self._deferred = True
-        self._a_reads = 0
-        self._a_writes = 0
-        self._a_payload = 0
-        self._a_requested = 0
-        self._a_control = 0
-        self._a_hits = 0
-        self._a_misses = 0
-        self._a_packets = []
+        if not self._deferred:
+            self._deferred = True
+            self._a_reads = 0
+            self._a_writes = 0
+            self._a_payload = 0
+            self._a_requested = 0
+            self._a_control = 0
+            self._a_hits = 0
+            self._a_misses = 0
+            self._a_packets = []
         self.link.defer_metrics()
         for vault in self.vaults:
             vault.defer_metrics()
@@ -464,6 +469,44 @@ class HMCDevice:
             row_hit=row_hit,
             vault=vault_index,
         )
+
+    # -- batched back-end hooks -----------------------------------------------
+
+    def export_timing_state(
+        self,
+    ) -> tuple[float, list[float], list[list[int | None]]]:
+        """Snapshot the pure timing state as plain columns.
+
+        Returns ``(link_free_ns, vault_free_ns, bank_open_rows)`` --
+        everything the batched HMC back end
+        (:mod:`repro.kernels.hmc`) needs to seed its per-vault queue
+        and open-row columns, and everything a verification shadow
+        needs injected to re-serve one sampled transaction mid-run.
+        """
+        return (
+            self.link.free_at_ns,
+            [vault.free_at_ns for vault in self.vaults],
+            [[bank.open_row for bank in vault.banks] for vault in self.vaults],
+        )
+
+    def import_timing_state(
+        self,
+        state: tuple[float, list[float], list[list[int | None]]],
+    ) -> None:
+        """Install a timing-state snapshot (inverse of
+        :meth:`export_timing_state`).
+
+        Only the timing state moves (link/vault free times, open rows);
+        statistics are untouched, so a verification shadow can replay a
+        mid-run transaction without inheriting the real device's
+        accumulated traffic.
+        """
+        link_free, vault_free, bank_rows = state
+        self.link.free_at_ns = link_free
+        for vault, free_at, rows in zip(self.vaults, vault_free, bank_rows):
+            vault.free_at_ns = free_at
+            for bank, row in zip(vault.banks, rows):
+                bank.open_row = row
 
     # -- derived reporting ----------------------------------------------------
 

@@ -79,7 +79,13 @@ class HMCLink:
         self._a_busy = 0.0
 
     def defer_metrics(self) -> None:
-        """Batch this link's registry writes (see ``HMCDevice``)."""
+        """Batch this link's registry writes (see ``HMCDevice``).
+
+        Re-entrant: a repeated defer before the apply keeps the batch
+        already accumulated instead of dropping it.
+        """
+        if self._deferred:
+            return
         self._deferred = True
         self._a_transactions = 0
         self._a_flits = 0
@@ -94,7 +100,11 @@ class HMCLink:
         adding a fold's total to a zero sample reproduces the fold, and
         the live path skips zero increments entirely (so zero totals
         recording nothing matches its sample materialization too).
+        No-op unless a defer is pending, so callers may apply
+        unconditionally.
         """
+        if not self._deferred:
+            return
         self._deferred = False
         if self._a_transactions:
             self._m_transactions.inc(self._a_transactions)

@@ -109,7 +109,13 @@ class Vault:
         self._a_waits: list[float] = []
 
     def defer_metrics(self) -> None:
-        """Batch this vault's registry writes (see ``HMCDevice``)."""
+        """Batch this vault's registry writes (see ``HMCDevice``).
+
+        Re-entrant: a repeated defer before the apply keeps the batch
+        already accumulated instead of dropping it.
+        """
+        if self._deferred:
+            return
         self._deferred = True
         self._a_requests = 0
         self._a_conflicts = 0
@@ -124,8 +130,11 @@ class Vault:
         total to zero reproduces it); the queue-wait observations
         replay in call order so the histogram's float sum folds
         identically.  Zero-count batches record nothing, matching the
-        live path's lazy sample materialization.
+        live path's lazy sample materialization.  No-op unless a defer
+        is pending, so callers may apply unconditionally.
         """
+        if not self._deferred:
+            return
         self._deferred = False
         if self._a_requests:
             self._m_requests.inc(self._a_requests)

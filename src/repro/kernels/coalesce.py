@@ -229,7 +229,9 @@ class BatchedCoalescer:
     :meth:`finish` calls at end of trace.
     """
 
-    def __init__(self, coalescer: MemoryCoalescer):
+    def __init__(
+        self, coalescer: MemoryCoalescer, replay_cache: dict | None = None
+    ):
         config = coalescer.config
         self._coalescer = coalescer
         self._mshrs = coalescer.mshrs
@@ -326,6 +328,16 @@ class BatchedCoalescer:
         # after the run (snapshot_stats / the differential tests).
         self._raw_issued: list[tuple] = []
         self._raw_serviced: list[tuple] = []
+
+        # Batched HMC back end (PR 9): when the service-time closure
+        # advertises a stock device stack in deferred-metrics mode,
+        # allocations take the flat-frame timing path with batched
+        # accounting instead of walking the scalar device call tree
+        # (see ``repro.kernels.hmc``).  Imported lazily to break the
+        # module cycle (hmc.py subclasses CoalesceKernelError).
+        from repro.kernels.hmc import attach_backend
+
+        self._hmc = attach_backend(coalescer, replay_cache)
 
     # -- completion ---------------------------------------------------------
 
@@ -483,6 +495,8 @@ class BatchedCoalescer:
                     return
                 popleft()  # pop_fence records nothing
                 self._fences -= 1
+                if self._hmc is not None:
+                    self._hmc.mark_fence()
                 if self._queue_index:
                     # Probes skipped everything behind the fence, so
                     # every stored check is now suspect: re-check the
@@ -571,6 +585,8 @@ class BatchedCoalescer:
     def note_fence(self) -> None:
         """A fence marker was pushed onto the CRQ (probe filtering on)."""
         self._fences += 1
+        if self._hmc is not None:
+            self._hmc.mark_fence()
 
     def _index_slot(self, slot: _Slot) -> None:
         req = slot.request
@@ -792,9 +808,16 @@ class BatchedCoalescer:
         ``service_cycles`` callable.  Subentries are raw requests (see
         :meth:`_merge_entry`); the completion-bound refresh is replaced
         by a heap push (see ``_c_heap``).
+
+        With the batched HMC back end attached the service hop runs
+        through its flat-frame :meth:`~repro.kernels.hmc.
+        BatchedHMCBackend.service` instead -- same completion cycle,
+        computed without the scalar device call tree.
         """
         m = self._mshrs
-        service = self._service_time(request, at)
+        hmc = self._hmc
+        if hmc is None:
+            service = self._service_time(request, at)
         entry = m.entries[heappop(m._free_heap)]
         entry.valid = True
         entry.addr = request.addr
@@ -808,7 +831,10 @@ class BatchedCoalescer:
                 raise CoalesceKernelError("subentry-line-out-of-range")
         entry.subentries = list(constituents)
         entry.issue_cycle = at
-        complete = at + service
+        if hmc is None:
+            complete = at + service
+        else:
+            complete = hmc.service(request, at)
         entry.complete_cycle = complete
         m._valid_count += 1
         index = m._line_index
@@ -1151,3 +1177,5 @@ class BatchedCoalescer:
             merge_distance_counts=self._d_merge_dist,
         )
         self._coalescer.record_issued_bulk(self._d_issued)
+        if self._hmc is not None:
+            self._hmc.finalize()

@@ -142,7 +142,7 @@ def vector_replay(
     # the component stack is the stock one; otherwise every call goes
     # through the object machinery unchanged.
     if supports_batched_coalesce(coalescer):
-        kernel = BatchedCoalescer(coalescer)
+        kernel = BatchedCoalescer(coalescer, replay_cache=cache)
         record_engaged()
         complete = kernel.complete_up_to
         drain_crq = kernel.drain

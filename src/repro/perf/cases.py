@@ -69,6 +69,22 @@ Case kinds
     a first-class number (see ``docs/performance.md``), and the
     derived ``vector_coalesce_phase_speedup`` isolates the coalesce
     phase the kernel replaces.
+``vector_hmc``
+    ``vector_coalesce`` with the batched HMC back-end timing kernel
+    (``repro.kernels.hmc``) enabled: the compiled flat-frame service
+    path replaces the scalar device call tree per packet, with the
+    accounting reconstructed in batch at finalize.  The other vector
+    kinds pin the back end *off* so their numbers keep measuring the
+    pre-HMC-kernel engine; compare ``vector_hmc`` against
+    ``vector_coalesce`` for the residual-HMC-portion effect
+    (``vector_hmc_phase_speedup`` isolates the coalesce phase) and
+    against ``trace_replay`` for the full object-vs-vector gap
+    (``vector_hmc_speedup``).  The kernel-counter snapshot covers both
+    the coalescing kernel and the HMC back end, and the report entry
+    carries an ``hmc_portion_speedup`` microbenchmark: the run's
+    packet demographics replayed through the object service chain vs
+    the batched service path, best-of-N, on a fresh device each --
+    the direct measure of the scalar phase this kernel replaces.
 ``sweep_throughput`` / ``sweep_throughput_fork``
     A full 24-cell mini-sweep through :func:`repro.sim.sweep.run_sweep`
     with the persistent worker pool vs the fork-per-run executor, at
@@ -105,7 +121,12 @@ SWEEP_KINDS = ("sweep_throughput", "sweep_throughput_fork")
 
 #: Kinds measured under the vector kernel engine; each has an
 #: object-engine twin kind it derives a speedup against.
-VECTOR_KINDS = ("vector_capture", "vector_replay", "vector_coalesce")
+VECTOR_KINDS = (
+    "vector_capture",
+    "vector_replay",
+    "vector_coalesce",
+    "vector_hmc",
+)
 
 #: Every kind :func:`repro.perf.harness.run_case` can measure.
 CASE_KINDS = (
@@ -174,6 +195,8 @@ TRACE_SUITE: tuple[PerfCase, ...] = (
     PerfCase("SparseLU", "combined", 6_000, kind="vector_replay"),
     PerfCase("SG", "combined", 6_000, kind="vector_coalesce"),
     PerfCase("SparseLU", "combined", 6_000, kind="vector_coalesce"),
+    PerfCase("SG", "combined", 6_000, kind="vector_hmc"),
+    PerfCase("SparseLU", "combined", 6_000, kind="vector_hmc"),
     PerfCase("SparseLU", "combined", 6_000, kind="pair_live"),
     PerfCase("SparseLU", "combined", 6_000, kind="pair_shared_trace"),
     PerfCase("STREAM", "combined", 6_000, kind="sweep_live"),

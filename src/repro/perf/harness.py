@@ -125,6 +125,88 @@ class CaseResult:
         }
 
 
+def _hmc_portion_speedup(
+    benchmark: str, platform, coalescer, warm_store, repeats: int = 3
+) -> float | None:
+    """Microbenchmark the scalar HMC phase the batched back end replaces.
+
+    One untimed replay records the exact ``(request, issue_cycle)``
+    stream the engaged back end services; the stream then re-times
+    best-of-``repeats`` through (a) the object engine's
+    ``service_time`` closure and (b) a fresh
+    :class:`~repro.kernels.hmc.BatchedHMCBackend`, each on a fresh
+    deferred device.  The ratio is the residual-HMC-portion speedup --
+    the direct measure of the call tree the kernel replaces, free of
+    the engine-invariant replay machinery that dilutes wall ratios.
+    Returns ``None`` when the back end never engaged (nothing to
+    compare).
+    """
+    from repro.hmc.device import HMCDevice
+    from repro.kernels import hmc as hk
+    from repro.sim.driver import _make_service_time, run_benchmark
+
+    stream: list = []
+    captured: list = []
+    real_attach = hk.attach_backend
+
+    def recording_attach(coalescer_obj, replay_cache=None):
+        backend = real_attach(coalescer_obj, replay_cache)
+        if backend is not None:
+            captured.append((backend._device.config, backend._cycle_ns))
+            inner = backend.service
+
+            def service(request, at):
+                stream.append((request, at))
+                return inner(request, at)
+
+            backend.service = service
+        return backend
+
+    hk.attach_backend = recording_attach
+    try:
+        run_benchmark(
+            benchmark,
+            platform=platform,
+            coalescer=coalescer,
+            trace_store=warm_store,
+            engine="vector",
+        )
+    finally:
+        hk.attach_backend = real_attach
+    if not stream or not captured:
+        return None
+    config, cycle_ns = captured[0]
+
+    def object_pass() -> float:
+        device = HMCDevice(config)
+        device.defer_metrics()
+        service_time = _make_service_time(device, cycle_ns)
+        start = time.perf_counter()
+        for request, at in stream:
+            at + service_time(request, at)
+        return time.perf_counter() - start
+
+    def backend_pass() -> float:
+        device = HMCDevice(config)
+        device.defer_metrics()
+        backend = hk.BatchedHMCBackend(
+            device, cycle_ns, hk.hmc_constant_tables(config, cycle_ns)
+        )
+        service = backend.service
+        start = time.perf_counter()
+        for request, at in stream:
+            service(request, at)
+        elapsed = time.perf_counter() - start
+        backend.finalize()
+        return elapsed
+
+    best_object = min(object_pass() for _ in range(max(1, repeats)))
+    best_backend = min(backend_pass() for _ in range(max(1, repeats)))
+    if best_backend <= 0:
+        return None
+    return best_object / best_backend
+
+
 def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
     """Run one case ``repeats`` times; keep the fastest repeat.
 
@@ -155,7 +237,7 @@ def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
     engine = "vector" if kind in VECTOR_KINDS else "object"
 
     warm_store: TraceStore | None = None
-    if kind in ("trace_replay", "vector_replay", "vector_coalesce"):
+    if kind in ("trace_replay", "vector_replay", "vector_coalesce", "vector_hmc"):
         # One untimed capture; every measured repeat is a pure replay.
         warm_store = TraceStore()
         run_benchmark(
@@ -221,7 +303,25 @@ def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
                     engine=engine,
                 )
             ]
-        if kind in ("trace_replay", "vector_replay", "vector_coalesce"):
+        if kind in ("trace_replay", "vector_replay", "vector_coalesce", "vector_hmc"):
+            # The pre-HMC-kernel vector kinds pin the batched HMC back
+            # end *off* so their numbers (and the PR 8 baselines they
+            # are compared against) keep measuring the engine they
+            # named; only ``vector_hmc`` measures the back end.
+            from repro.kernels.hmc import hmc_backend_disabled
+
+            if kind in ("vector_replay", "vector_coalesce"):
+                with hmc_backend_disabled():
+                    return [
+                        run_benchmark(
+                            case.benchmark,
+                            platform=platform,
+                            coalescer=coalescer,
+                            profiler=profiler,
+                            trace_store=warm_store,
+                            engine=engine,
+                        )
+                    ]
             return [
                 run_benchmark(
                     case.benchmark,
@@ -269,10 +369,15 @@ def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
         ]
 
     kernel_before = None
-    if kind == "vector_coalesce":
+    hmc_before = None
+    if kind in ("vector_coalesce", "vector_hmc"):
         from repro.kernels.coalesce import kernel_counters
 
         kernel_before = kernel_counters()
+    if kind == "vector_hmc":
+        from repro.kernels.hmc import kernel_counters as hmc_counters
+
+        hmc_before = hmc_counters()
 
     walls: list[float] = []
     best_profiler: PhaseProfiler | None = None
@@ -309,6 +414,25 @@ def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
             "fallback_rate": (fallbacks / engaged) if engaged else 0.0,
             "engagement_rate": (engaged / attempts) if attempts else 0.0,
         }
+    if hmc_before is not None:
+        hafter = hmc_counters()
+        hengaged = hafter["engaged"] - hmc_before["engaged"]
+        hdelegated = hafter["delegated"] - hmc_before["delegated"]
+        hfallbacks = hafter["fallbacks"] - hmc_before["fallbacks"]
+        hattempts = hengaged + hdelegated
+        assert kernel_stats is not None
+        kernel_stats["hmc"] = {
+            "engaged": hengaged,
+            "delegated": hdelegated,
+            "fallbacks": hfallbacks,
+            "fallback_rate": (hfallbacks / hengaged) if hengaged else 0.0,
+            "engagement_rate": (hengaged / hattempts) if hattempts else 0.0,
+        }
+        portion = _hmc_portion_speedup(
+            case.benchmark, platform, coalescer, warm_store
+        )
+        if portion is not None:
+            kernel_stats["hmc_portion_speedup"] = portion
     if sweep_trace_dir is not None:
         shutil.rmtree(sweep_trace_dir, ignore_errors=True)
     digests = [result_digest(r) for r in best_results]
@@ -389,6 +513,7 @@ _SPEEDUP_PAIRS = {
     ("trace_capture", "vector_capture"): "vector_capture_speedup",
     ("trace_replay", "vector_replay"): "vector_replay_speedup",
     ("trace_replay", "vector_coalesce"): "vector_coalesce_speedup",
+    ("trace_replay", "vector_hmc"): "vector_hmc_speedup",
     ("sweep_throughput_fork", "sweep_throughput"): "sweep_pool_speedup",
 }
 
@@ -407,6 +532,13 @@ _PHASE_SPEEDUP_PAIRS = {
     ("trace_replay", "vector_coalesce"): (
         "coalesce",
         "vector_coalesce_phase_speedup",
+    ),
+    # vector_coalesce pins the HMC back end off, so this pair isolates
+    # exactly what the batched HMC kernel changed within the phase
+    # that contains it.
+    ("vector_coalesce", "vector_hmc"): (
+        "coalesce",
+        "vector_hmc_phase_speedup",
     ),
 }
 
@@ -433,26 +565,35 @@ def derive_speedups(cases: dict) -> dict:
         )
         by_key[key] = entry
     derived: dict = {}
-    for (slow_kind, fast_kind), metric in _SPEEDUP_PAIRS.items():
+    # A pair may carry a wall-ratio metric, a phase-ratio metric, or
+    # both (the vector_coalesce/vector_hmc pair is phase-only: its
+    # wall-vs-object ratio already exists as vector_hmc_speedup).
+    pairs = sorted({*_SPEEDUP_PAIRS, *_PHASE_SPEEDUP_PAIRS})
+    for slow_kind, fast_kind in pairs:
+        metric = _SPEEDUP_PAIRS.get((slow_kind, fast_kind))
+        phase_metric = _PHASE_SPEEDUP_PAIRS.get((slow_kind, fast_kind))
         for key, slow in by_key.items():
             if key[0] != slow_kind:
                 continue
             fast = by_key.get((fast_kind, *key[1:]))
             if fast is None or not fast.get("wall_seconds"):
                 continue
-            label = f"{metric}:{key[1]}/{key[2]}@{key[3]}"
+            suffix = f"{key[1]}/{key[2]}@{key[3]}"
             if key[5]:
-                label += f"/j{key[5]}"
-            derived[label] = slow["wall_seconds"] / fast["wall_seconds"]
-            if slow.get("digest") != fast.get("digest"):
-                derived[label + ":digest_mismatch"] = True
-            phase_metric = _PHASE_SPEEDUP_PAIRS.get((slow_kind, fast_kind))
+                suffix += f"/j{key[5]}"
+            if metric is not None:
+                derived[f"{metric}:{suffix}"] = (
+                    slow["wall_seconds"] / fast["wall_seconds"]
+                )
             if phase_metric is not None:
                 phase, name = phase_metric
                 slow_t = (slow.get("phases") or {}).get(phase)
                 fast_t = (fast.get("phases") or {}).get(phase)
                 if slow_t and fast_t:
-                    derived[f"{name}:{key[1]}/{key[2]}@{key[3]}"] = slow_t / fast_t
+                    derived[f"{name}:{suffix}"] = slow_t / fast_t
+            if slow.get("digest") != fast.get("digest"):
+                mismatch = metric or (phase_metric and phase_metric[1])
+                derived[f"{mismatch}:{suffix}:digest_mismatch"] = True
     return derived
 
 

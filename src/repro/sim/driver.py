@@ -445,6 +445,12 @@ def _make_service_time(device: HMCDevice, cycle_ns: float):
         cycles = int((complete_ns - arrive_ns) / cycle_ns)
         return cycles if cycles > 1 else 1
 
+    # Advertise the bound device so the batched HMC back end
+    # (repro.kernels.hmc) can recognize this exact closure shape and
+    # take over whole batches; the attributes are an execution-side
+    # contract only and never enter configs or digests.
+    service_time.hmc_device = device
+    service_time.cycle_ns = cycle_ns
     return service_time
 
 

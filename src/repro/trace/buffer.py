@@ -281,7 +281,8 @@ class TraceBuffer:
         if self._verified:
             return
         source = self._source
-        assert source is not None
+        if source is None:
+            raise TraceError("trace buffer was closed (evicted from the store)")
         view = memoryview(source)
         try:
             if hashlib.sha256(view[:-32]).digest() != bytes(view[-32:]):
@@ -490,6 +491,35 @@ class TraceBuffer:
         buf._source = source
         buf._verified = False
         return buf
+
+    def close(self) -> None:
+        """Release the file mapping behind an mmap-loaded buffer.
+
+        Eager buffers no-op.  For the mmap read path this drops the
+        zero-copy column views (and any replay scratch derived from
+        them) so the mapping's buffer exports disappear, then closes
+        the mapping -- returning its file descriptor to the OS.  The
+        store calls this on every eviction; without it a long sweep
+        leaks one fd per trace the LRU ever dropped.  If a caller
+        still holds column views, the close is deferred to the last
+        view's death (the mapping object keeps the fd until then) and
+        the buffer is still marked closed.  A closed buffer must not
+        be replayed again: the next :meth:`columns`/:meth:`records`
+        call raises :class:`TraceError` instead of reading empty
+        columns silently.
+        """
+        source = self._source
+        if source is None:
+            return
+        for name, code in _COLUMNS:
+            setattr(self, _attr_of(name), array(code))
+        self.replay_cache = None
+        self._source = None
+        self._verified = False
+        try:
+            source.close()
+        except BufferError:  # pragma: no cover - caller-held views
+            pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = self.meta.get("benchmark", "?")

@@ -238,19 +238,25 @@ class TraceStore:
                 removed.append(path)
         if drop_all:
             with self._lock:
+                for buf in self._memory.values():
+                    buf.close()
                 self._memory.clear()
         return removed
 
     def clear_memory(self) -> None:
         """Drop the in-process tier (used before forking workers)."""
         with self._lock:
+            for buf in self._memory.values():
+                buf.close()
             self._memory.clear()
 
     def discard(self, key: TraceKey) -> None:
         """Evict ``key`` from both tiers (e.g. after a lazy-integrity
         failure surfaced mid-replay on the mmap path)."""
         with self._lock:
-            self._memory.pop(key.digest, None)
+            dropped = self._memory.pop(key.digest, None)
+            if dropped is not None:
+                dropped.close()
         path = self._path_of(key)
         if path is not None:
             self._discard(path)
@@ -264,7 +270,11 @@ class TraceStore:
         self._memory[digest] = buf
         self._memory.move_to_end(digest)
         while len(self._memory) > self.max_memory_entries:
-            self._memory.popitem(last=False)
+            # Evicted mmap-backed buffers must release their mapping,
+            # or a long sweep leaks one fd per trace the LRU drops.
+            _, evicted = self._memory.popitem(last=False)
+            if evicted is not buf:
+                evicted.close()
 
     @staticmethod
     def _discard(path: Path) -> None:

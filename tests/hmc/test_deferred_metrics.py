@@ -1,0 +1,155 @@
+"""Re-entrancy of the deferred-metrics batching on the HMC stack.
+
+``defer_metrics()``/``apply_deferred_metrics()`` batch the per-packet
+registry writes of the device, link and vaults into one flush.  The
+re-entrancy contract under test: a *second* ``defer_metrics()`` while
+a batch is pending must keep the batch already accumulated (a bare
+re-zeroing would silently drop every sample taken so far), and a
+second ``apply_deferred_metrics()`` after the flush must be a no-op --
+so nested callers (driver + kernels) may defer/apply unconditionally
+and the registry still ends up identical to the live, unbatched path.
+"""
+
+from repro.hmc.device import HMCDevice
+from repro.hmc.link import HMCLink
+from repro.hmc.timing import HMCTimingConfig
+from repro.hmc.vault import Vault
+from repro.obs import MetricsRegistry
+
+_CFG = HMCTimingConfig()
+
+#: Deterministic little traffic pattern: mixed sizes, vaults, rows,
+#: reads and writes, with repeats for row hits.
+_TRAFFIC = [
+    (0, 64, False),
+    (256, 128, True),
+    (0, 64, False),
+    (4096, 256, False),
+    (1 << 20, 32, True),
+    (64, 16, False),
+    (256, 128, True),
+    (1 << 25, 64, False),
+]
+
+
+def _flat(registry: MetricsRegistry) -> dict:
+    """Order-independent snapshot of every sample in ``registry``."""
+    out: dict = {}
+    for metric in registry.metrics():
+        if metric.kind == "histogram":
+            out[metric.name] = sorted(
+                (
+                    tuple(sorted(labels.items())),
+                    series.count,
+                    series.sum,
+                    series.min,
+                    series.max,
+                    tuple(series.counts),
+                )
+                for labels, series in metric.samples()
+            )
+        else:
+            out[metric.name] = sorted(
+                (tuple(sorted(labels.items())), value)
+                for labels, value in metric.samples()
+            )
+    return out
+
+
+class TestDeviceReentrancy:
+    def _drive(self, device: HMCDevice, rows, start: int = 0) -> None:
+        for i, (addr, size, is_write) in enumerate(rows, start):
+            device.service(addr, size, is_write=is_write, arrive_ns=float(i))
+
+    def test_double_defer_keeps_the_pending_batch(self):
+        live = HMCDevice(_CFG, registry=MetricsRegistry())
+        self._drive(live, _TRAFFIC)
+
+        deferred = HMCDevice(_CFG, registry=MetricsRegistry())
+        deferred.defer_metrics()
+        self._drive(deferred, _TRAFFIC[:4])
+        deferred.defer_metrics()  # re-entrant: must not drop the batch
+        self._drive(deferred, _TRAFFIC[4:], start=4)
+        deferred.apply_deferred_metrics()
+
+        assert _flat(deferred.registry) == _flat(live.registry)
+        assert deferred.stats == live.stats
+
+    def test_apply_is_idempotent(self):
+        device = HMCDevice(_CFG, registry=MetricsRegistry())
+        device.defer_metrics()
+        self._drive(device, _TRAFFIC)
+        device.apply_deferred_metrics()
+        snapshot = _flat(device.registry)
+        device.apply_deferred_metrics()  # second flush: no-op
+        assert _flat(device.registry) == snapshot
+
+    def test_apply_without_defer_is_a_noop(self):
+        device = HMCDevice(_CFG, registry=MetricsRegistry())
+        self._drive(device, _TRAFFIC)
+        snapshot = _flat(device.registry)
+        device.apply_deferred_metrics()
+        assert _flat(device.registry) == snapshot
+
+
+class TestVaultReentrancy:
+    def _drive(self, vault: Vault, rows, start: int = 0) -> None:
+        for i, (addr, size, _w) in enumerate(rows, start):
+            vault.service(addr, size, float(i))
+
+    def test_double_defer_keeps_the_pending_batch(self):
+        live = Vault(0, _CFG, registry=MetricsRegistry())
+        self._drive(live, _TRAFFIC)
+
+        deferred = Vault(0, _CFG, registry=MetricsRegistry())
+        deferred.defer_metrics()
+        self._drive(deferred, _TRAFFIC[:3])
+        assert deferred._a_requests == 3
+        deferred.defer_metrics()
+        assert deferred._a_requests == 3  # batch survived the re-defer
+        self._drive(deferred, _TRAFFIC[3:], start=3)
+        deferred.apply_deferred_metrics()
+
+        assert _flat(deferred.registry) == _flat(live.registry)
+        assert deferred.stats == live.stats
+
+    def test_apply_pairs_with_one_defer(self):
+        vault = Vault(0, _CFG, registry=MetricsRegistry())
+        vault.defer_metrics()
+        self._drive(vault, _TRAFFIC)
+        vault.apply_deferred_metrics()
+        snapshot = _flat(vault.registry)
+        vault.apply_deferred_metrics()
+        assert _flat(vault.registry) == snapshot
+        assert not vault._a_waits  # flushed, not re-applied
+
+
+class TestLinkReentrancy:
+    def _drive(self, link: HMCLink, rows, start: int = 0) -> None:
+        for i, (_addr, size, is_write) in enumerate(rows, start):
+            link.transfer(size, float(i), is_write=is_write)
+
+    def test_double_defer_keeps_the_pending_batch(self):
+        live = HMCLink(_CFG, registry=MetricsRegistry())
+        self._drive(live, _TRAFFIC)
+
+        deferred = HMCLink(_CFG, registry=MetricsRegistry())
+        deferred.defer_metrics()
+        self._drive(deferred, _TRAFFIC[:5])
+        pending = deferred._a_transactions
+        deferred.defer_metrics()
+        assert deferred._a_transactions == pending
+        self._drive(deferred, _TRAFFIC[5:], start=5)
+        deferred.apply_deferred_metrics()
+
+        assert _flat(deferred.registry) == _flat(live.registry)
+        assert deferred.stats == live.stats
+
+    def test_apply_is_idempotent(self):
+        link = HMCLink(_CFG, registry=MetricsRegistry())
+        link.defer_metrics()
+        self._drive(link, _TRAFFIC)
+        link.apply_deferred_metrics()
+        snapshot = _flat(link.registry)
+        link.apply_deferred_metrics()
+        assert _flat(link.registry) == snapshot

@@ -200,3 +200,94 @@ class TestMaintenance:
         store = TraceStore(tmp_path)
         assert store.gc(drop_all=True)
         assert not list(store.entries())
+
+
+class TestMmapFdRelease:
+    """LRU eviction of mmap-backed buffers must return their fd.
+
+    Regression test: ``_remember`` used to drop evicted entries via a
+    bare ``popitem``, leaking one file descriptor (and one mapping)
+    per trace a long sweep ever pushed out of the in-process tier.
+    """
+
+    @staticmethod
+    def _fds() -> int:
+        import os
+
+        return len(os.listdir("/proc/self/fd"))
+
+    @staticmethod
+    def _file(store, key):
+        from repro.cache.tracer import TraceRecord
+        from repro.core.request import MemoryRequest, RequestType
+
+        buf = TraceBuffer()
+        buf.append_record(
+            TraceRecord(
+                request=MemoryRequest(
+                    addr=0, rtype=RequestType.LOAD, size=64, requested_bytes=8
+                ),
+                cycle=1,
+            )
+        )
+        buf.finalize(
+            benchmark=key.benchmark,
+            cpu_accesses=1,
+            compute_cycles_per_access=1.0,
+            secondary_misses=0,
+            key_digest=key.digest,
+        )
+        store.put(key, buf)
+
+    def test_eviction_keeps_fd_count_flat(self, tmp_path):
+        keys = [_key(seed=seed) for seed in range(10)]
+        writer = TraceStore(tmp_path)
+        for key in keys:
+            self._file(writer, key)
+
+        reader = TraceStore(tmp_path, max_memory_entries=2, mmap=True)
+        base = self._fds()
+        for key in keys:
+            buf = reader.get(key)
+            assert buf is not None and buf.is_mmapped
+            assert len(list(buf.records())) == 1
+        del buf
+        # Only the live LRU entries may still hold a mapping.
+        assert self._fds() <= base + 2
+        reader.clear_memory()
+        assert self._fds() == base
+
+    def test_discard_closes_the_mapping(self, tmp_path):
+        key = _key(seed=99)
+        writer = TraceStore(tmp_path)
+        self._file(writer, key)
+        reader = TraceStore(tmp_path, max_memory_entries=2, mmap=True)
+        base = self._fds()
+        assert reader.get(key) is not None
+        assert self._fds() == base + 1
+        reader.discard(key)
+        assert self._fds() == base
+
+    def test_closed_buffer_refuses_reads(self, tmp_path):
+        from repro.trace.buffer import TraceError
+
+        key = _key(seed=98)
+        writer = TraceStore(tmp_path)
+        self._file(writer, key)
+        reader = TraceStore(tmp_path, mmap=True)
+        buf = reader.get(key)
+        buf.close()
+        assert not buf.is_mmapped
+        with pytest.raises(TraceError):
+            buf.columns()
+
+    def test_close_is_idempotent_and_eager_noop(self, tmp_path):
+        key = _key(seed=97)
+        writer = TraceStore(tmp_path)
+        self._file(writer, key)
+        eager = TraceStore(tmp_path).get(key)
+        eager.close()  # eager buffers no-op
+        assert len(list(eager.records())) == 1
+        mapped = TraceStore(tmp_path, mmap=True).get(key)
+        mapped.close()
+        mapped.close()
