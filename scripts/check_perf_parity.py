@@ -35,6 +35,14 @@ plus the flattened metrics registry -- equality means the same
    back end (its ``engaged`` counter grew with zero fallbacks --
    otherwise the cell silently degenerated to object-vs-object).
 
+5. **Wide-sorter parity.**  The two-phase/wide sorter architectures
+   (:mod:`repro.core.sorting`) widen the coalescing window past the
+   paper's n=16 and split the comparator schedule into a presort plus
+   merge tree.  Each cell swaps the figure config's sorter for a wide
+   design point and runs end to end under ``engine="object"`` and
+   ``engine="vector"`` (which takes the batched two-phase path when
+   the architecture has one); the digests must be identical.
+
 Exit status 0 on parity, 1 on any divergence.
 
 Usage::
@@ -85,6 +93,16 @@ REPLAY_CASES = (
 HMC_CASES = (
     ("SG", "combined"),
     ("SparseLU", "combined"),
+)
+
+#: (benchmark, figure config, sorter_width, sorter_arch) cells for the
+#: wide-sorter axis: one single-phase widening (pure width scaling of
+#: the generic comparator loop) and one two-phase point (presort +
+#: merge-tree vector path, exercised only when the architecture
+#: carries a presort width).
+SORTER_CASES = (
+    ("SG", "combined", 32, "single_phase"),
+    ("SparseLU", "combined", 64, "two_phase"),
 )
 
 
@@ -241,12 +259,47 @@ def check_hmc_parity(problems: list[str]) -> None:
             print(f"  hmc    {label}: {obj[:16]}... OK (engaged={engaged})")
 
 
+def check_sorter_parity(problems: list[str]) -> None:
+    from dataclasses import replace
+
+    for benchmark, config_name, width, arch in SORTER_CASES:
+        platform = PlatformConfig(accesses=ACCESSES)
+        coalescer = replace(
+            FIGURE_CONFIGS[config_name], sorter_width=width, sorter_arch=arch
+        )
+        label = f"{benchmark}/{config_name}/w{width}/{arch}"
+        obj = result_digest(
+            run_benchmark(
+                benchmark,
+                platform=platform,
+                coalescer=coalescer,
+                engine="object",
+            )
+        )
+        vec = result_digest(
+            run_benchmark(
+                benchmark,
+                platform=platform,
+                coalescer=coalescer,
+                engine="vector",
+            )
+        )
+        if obj != vec:
+            problems.append(
+                f"{label}: sorter digest mismatch: "
+                f"object={obj[:16]} vector={vec[:16]}"
+            )
+        else:
+            print(f"  sorter {label}: {obj[:16]}... OK")
+
+
 def main() -> int:
     problems: list[str] = []
     check_mshr_parity(problems)
     check_replay_parity(problems)
     check_engine_parity(problems)
     check_hmc_parity(problems)
+    check_sorter_parity(problems)
 
     if problems:
         print("perf parity check FAILED:", file=sys.stderr)
@@ -258,7 +311,8 @@ def main() -> int:
         f"perf parity OK: {len(CASES)} MSHR cells, "
         f"{len(REPLAY_CASES)} live-vs-replay cells, "
         f"{len(CASES)} object-vs-vector engine cells and "
-        f"{len(HMC_CASES)} HMC back-end cells produce "
+        f"{len(HMC_CASES)} HMC back-end cells and "
+        f"{len(SORTER_CASES)} wide-sorter cells produce "
         "bit-identical digests"
     )
     return 0

@@ -335,7 +335,14 @@ def _cmd_profile(args) -> int:
 def _cmd_sweep(args) -> int:
     from repro.analysis.sweep_report import format_sweep_summary, load_sweep_dir
     from repro.sim.driver import PlatformConfig
-    from repro.sim.sweep import FIGURE_CONFIGS, SweepSpec, clamp_jobs, run_sweep
+    from repro.errors import ConfigError
+    from repro.sim.sweep import (
+        FIGURE_CONFIGS,
+        SweepSpec,
+        clamp_jobs,
+        parse_config_tokens,
+        run_sweep,
+    )
 
     if args.summarize:
         runs = load_sweep_dir(args.summarize)
@@ -350,16 +357,13 @@ def _cmd_sweep(args) -> int:
     benchmarks = tuple(args.benchmarks.split(",")) if args.benchmarks else None
     configs = dict(FIGURE_CONFIGS)
     if args.configs:
-        names = args.configs.split(",")
-        unknown = [n for n in names if n not in configs]
-        if unknown:
-            print(
-                f"unknown config(s) {', '.join(unknown)}; "
-                f"options: {', '.join(configs)}",
-                file=sys.stderr,
-            )
+        # Tokens may carry @key=value sorter overrides, e.g.
+        # combined@sorter_width=64@sorter_arch=two_phase.
+        try:
+            configs = parse_config_tokens(args.configs.split(","))
+        except ConfigError as exc:
+            print(str(exc), file=sys.stderr)
             return 2
-        configs = {n: configs[n] for n in names}
     spec = SweepSpec(
         platform=platform,
         benchmarks=benchmarks or (),
@@ -727,8 +731,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--configs",
-        help="comma-separated config subset "
-        "(uncoalesced,mshr_only,dmc_only,combined)",
+        help="comma-separated config tokens: a figure config "
+        "(uncoalesced,mshr_only,dmc_only,combined) optionally with "
+        "@key=value sorter overrides, e.g. "
+        "combined@sorter_width=64@sorter_arch=two_phase",
     )
     sweep.add_argument("--accesses", type=int, default=12_000)
     sweep.add_argument("--seed", type=int, default=0)

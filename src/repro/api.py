@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 from pathlib import Path
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.core.config import CoalescerConfig, UNCOALESCED_CONFIG
 from repro.errors import ConfigError
@@ -44,6 +44,8 @@ from repro.sim.sweep import (
     SweepResult,
     SweepSpec,
     clamp_jobs,
+    parse_config_token,
+    parse_config_tokens,
     run_sweep,
 )
 
@@ -218,7 +220,11 @@ class Session:
         spec: SweepSpec | None = None,
         *,
         benchmarks: tuple[str, ...] | None = None,
-        configs: Mapping[str, CoalescerConfig | PlatformConfig] | None = None,
+        configs: (
+            Mapping[str, CoalescerConfig | PlatformConfig | str]
+            | Sequence[str]
+            | None
+        ) = None,
         jobs: int | None = None,
         out_dir: str | Path | None = None,
         resume: bool = False,
@@ -233,17 +239,36 @@ class Session:
         Either pass a full :class:`SweepSpec`, or let the session
         build one from ``benchmarks`` x ``configs`` (defaults: all 12
         benchmarks x the paper's four figure configs) on its own
-        platform.  See :func:`repro.sim.sweep.run_sweep` for the
-        execution knobs.  ``jobs`` above the machine's CPU count is
-        clamped (oversubscribed simulation workers only add scheduler
-        thrash); the clamp is logged and visible in the result's
-        ``metadata``.
+        platform.  ``configs`` also accepts sweep config *tokens* --
+        a sequence like ``["combined", "combined@sorter_width=64"]``
+        (each token names itself) or a mapping whose values may be
+        token strings (see
+        :func:`repro.sim.sweep.parse_config_token`) -- so sorter
+        design-space grids need no hand-built
+        :class:`~repro.core.config.CoalescerConfig` objects.  See
+        :func:`repro.sim.sweep.run_sweep` for the execution knobs.
+        ``jobs`` above the machine's CPU count is clamped
+        (oversubscribed simulation workers only add scheduler thrash);
+        the clamp is logged and visible in the result's ``metadata``.
         """
         if spec is None:
+            if configs is None:
+                resolved: Mapping = dict(FIGURE_CONFIGS)
+            elif isinstance(configs, Mapping):
+                resolved = {
+                    name: (
+                        parse_config_token(value)[1]
+                        if isinstance(value, str)
+                        else value
+                    )
+                    for name, value in configs.items()
+                }
+            else:
+                resolved = parse_config_tokens(configs)
             spec = SweepSpec(
                 platform=self.platform,
                 benchmarks=tuple(benchmarks) if benchmarks else (),
-                configs=dict(configs) if configs is not None else dict(FIGURE_CONFIGS),
+                configs=resolved,
             )
         sweep = run_sweep(
             spec,

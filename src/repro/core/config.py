@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.address import CACHE_LINE_SIZE
+from repro.core.sorting import SORTER_ARCHITECTURES
 from repro.errors import ConfigError
 
 
@@ -22,7 +23,18 @@ class CoalescerConfig:
     ----------
     sorter_width:
         Number of requests ``n`` sorted per sequence; must be a power
-        of two (the paper uses 16).
+        of two (the paper uses 16; the wide-sorter study sweeps up to
+        128).
+    sorter_arch:
+        Physical organisation of the sorting network (see
+        :mod:`repro.core.sorting`): ``"single_phase"`` is the paper's
+        monolithic Batcher network at any width; ``"two_phase"`` is a
+        TopSort-style design where one time-multiplexed presorter
+        produces k runs of m = min(16, n/2) elements that feed an
+        odd-even merge tree.  Both sort identically (the functional
+        comparator schedule is shared); they differ in hardware cost
+        and in sort latency / initiation interval.  ``"two_phase"``
+        needs ``sorter_width >= 4``.
     pipeline_stages:
         Either ``"merge"`` for the space-optimized pipeline whose
         stages follow the odd-even mergesort merge phases (4 stages at
@@ -73,6 +85,7 @@ class CoalescerConfig:
     """
 
     sorter_width: int = 16
+    sorter_arch: str = "single_phase"
     pipeline_stages: str = "merge"
     timeout_cycles: int = 20
     num_mshrs: int = 16
@@ -89,7 +102,20 @@ class CoalescerConfig:
 
     def __post_init__(self) -> None:
         if self.sorter_width < 2 or self.sorter_width & (self.sorter_width - 1):
-            raise ConfigError("sorter_width must be a power of two >= 2")
+            raise ConfigError(
+                f"sorter_width must be a power of two >= 2, "
+                f"got {self.sorter_width}"
+            )
+        if self.sorter_arch not in SORTER_ARCHITECTURES:
+            raise ConfigError(
+                f"sorter_arch must be one of {SORTER_ARCHITECTURES}, "
+                f"got {self.sorter_arch!r}"
+            )
+        if self.sorter_arch == "two_phase" and self.sorter_width < 4:
+            raise ConfigError(
+                "two_phase needs sorter_width >= 4 "
+                "(presorted runs must be >= 2 wide)"
+            )
         if self.pipeline_stages not in ("merge", "step"):
             raise ConfigError("pipeline_stages must be 'merge' or 'step'")
         if self.num_mshrs <= 0:

@@ -11,10 +11,13 @@ This module wraps the combinational odd-even mergesort network of
   sequences still flow through the fixed-width network correctly;
 * the **stage-select** component that skips trailing merge stages when
   at most ``n/2``, ``n/4``, ... requests arrived (Section 3.3);
-* **pipeline timing**: the network is pipelined either one step per
-  stage (10 stages for n=16; latency-optimal) or with steps balanced
-  into ``log2 n`` stages (4 stages of 2/2/3/3 steps for n=16, the
-  space-optimized layout of Section 4.1), with one comparator step
+* **pipeline timing**: all latency, initiation-interval and hardware
+  accounting is derived from the configured *sorter architecture*
+  (:func:`repro.core.sorting.compiled_architecture`) -- the paper's
+  single-phase network pipelined one step per stage ("step";
+  latency-optimal) or with steps balanced into ``log2 n`` stages
+  ("merge", the space-optimized layout of Section 4.1), or the
+  two-phase presort + merge-tree design -- with one comparator step
   costing ``2 * compare_cycles`` clock cycles (compare + exchange);
 * **memory-fence semantics**: a fence drains the buffered requests and
   then monopolizes one whole pipeline slot, so no request can pass it
@@ -32,7 +35,7 @@ from dataclasses import dataclass
 
 from repro.core.config import CoalescerConfig
 from repro.core.request import MemoryRequest
-from repro.core.sorting import compiled_network
+from repro.core.sorting import balanced_step_groups, compiled_architecture
 from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 
@@ -100,18 +103,14 @@ class SortPipelineStats:
         return self.total_wait_latency_cycles / self.sequences if self.sequences else 0.0
 
 
-def balanced_step_groups(num_steps: int, num_groups: int) -> list[int]:
-    """Split ``num_steps`` pipeline steps into ``num_groups`` contiguous
-    groups as evenly as possible, short groups first.
-
-    For the paper's n = 16 network (10 steps, 4 groups) this yields
-    ``[2, 2, 3, 3]`` -- exactly the stage layout of Figure 7.
-    """
-    if num_groups <= 0:
-        raise ValueError("num_groups must be positive")
-    num_groups = min(num_groups, num_steps)
-    base, rem = divmod(num_steps, num_groups)
-    return [base] * (num_groups - rem) + [base + 1] * rem
+# ``balanced_step_groups`` moved to :mod:`repro.core.sorting` with the
+# architecture layer; re-exported here for its long-standing import path.
+__all__ = [
+    "PipelinedSortingNetwork",
+    "SortedSequence",
+    "SortPipelineStats",
+    "balanced_step_groups",
+]
 
 
 class PipelinedSortingNetwork:
@@ -121,7 +120,12 @@ class PipelinedSortingNetwork:
         self, config: CoalescerConfig, registry: MetricsRegistry | None = None
     ):
         self.config = config
-        self.network = compiled_network(config.sorter_width)
+        #: The physical design point (single- or two-phase); owns all
+        #: step-denominated timing and hardware accounting.
+        self.arch = compiled_architecture(config.sorter_width, config.sorter_arch)
+        #: The functional comparator schedule (shared by both
+        #: architectures at equal width -- see repro.core.sorting).
+        self.network = self.arch.network
         self.stats = SortPipelineStats()
         self.registry = registry if registry is not None else NULL_REGISTRY
         # Per-sequence recording: pre-bound handles (labels resolved
@@ -173,12 +177,12 @@ class PipelinedSortingNetwork:
         # "2 clock cycles per operation (totally 4 cycles)").
         self.step_cycles = 2 * config.compare_cycles
 
-        if config.pipeline_stages == "step":
-            self.stage_steps = [1] * self.network.num_steps
-        else:
-            self.stage_steps = balanced_step_groups(
-                self.network.num_steps, self.network.num_stages
-            )
+        #: Steps per physical pipeline stage, architecture-derived
+        #: (``[2, 2, 3, 3]`` for the paper's single-phase n=16 "merge"
+        #: layout).
+        self.stage_steps = list(
+            self.arch.pipeline_stage_steps(config.pipeline_stages)
+        )
 
         #: Memoized merge-stage count -> pipeline latency (cycles).
         self._latency_cache: dict[int, int] = {}
@@ -192,38 +196,48 @@ class PipelinedSortingNetwork:
 
     @property
     def num_pipeline_stages(self) -> int:
-        """Number of pipeline stages (4 or 10 for n = 16)."""
+        """Number of pipeline stages (4 or 10 for single-phase n = 16)."""
         return len(self.stage_steps)
 
     @property
     def initiation_interval_cycles(self) -> int:
-        """Cycles between consecutive sequence launches (max stage depth)."""
-        return max(self.stage_steps) * self.step_cycles
+        """Cycles between consecutive sequence launches.
+
+        Architecture-derived: the deepest pipeline stage for a
+        single-phase network, or the time-multiplexed presorter's k
+        back-to-back launches for the two-phase design (whichever of
+        presorter occupancy and widest merge-tree stage binds).
+        """
+        return (
+            self.arch.initiation_interval_steps(self.config.pipeline_stages)
+            * self.step_cycles
+        )
 
     @property
     def full_latency_cycles(self) -> int:
         """End-to-end pipeline latency for a full-width sequence."""
-        return sum(self.stage_steps) * self.step_cycles
+        return (
+            self.arch.full_latency_steps(self.config.pipeline_stages)
+            * self.step_cycles
+        )
 
     def request_buffers(self) -> int:
-        """Request buffers held by the pipeline (width per stage)."""
-        return self.num_pipeline_stages * self.config.sorter_width
+        """Request buffers held by the pipeline (stage width per stage:
+        ``n`` everywhere for single-phase, ``m`` in the two-phase
+        presorter's stages)."""
+        return self.arch.request_buffers(self.config.pipeline_stages)
 
     def comparators(self) -> int:
         """Physical comparators, reusing hardware across steps in a stage.
 
         With per-stage reuse each pipeline stage needs as many
-        comparators as its widest step.  (The paper quotes 36 for the
-        4-stage network under its own counting; the schedule-derived
-        per-stage maxima sum to a comparable 31.)
+        comparators as its widest step; the two-phase design counts its
+        one shared presorter once instead of k times.  (The paper
+        quotes 36 for the single-phase 4-stage n=16 network under its
+        own counting; the schedule-derived per-stage maxima sum to a
+        comparable 31.)
         """
-        totals = []
-        cursor = 0
-        for depth in self.stage_steps:
-            steps = self.network.steps[cursor : cursor + depth]
-            totals.append(max((len(s) for s in steps), default=0))
-            cursor += depth
-        return sum(totals)
+        return self.arch.physical_comparators(self.config.pipeline_stages)
 
     # -- timing helpers ----------------------------------------------------
 
@@ -233,20 +247,16 @@ class PipelinedSortingNetwork:
         The sequence traverses pipeline stages until all comparator
         steps belonging to the required merge stages have executed;
         with stage select, later pipeline stages are skipped entirely.
+        The walk itself lives on the architecture (the two-phase design
+        adds the presorter's sequential-launch cost first).
         """
         cached = self._latency_cache.get(merge_stages)
         if cached is not None:
             return cached
-        steps_needed = sum(
-            len(stage) for stage in self.network.stages[:merge_stages]
+        latency = (
+            self.arch.latency_steps(merge_stages, self.config.pipeline_stages)
+            * self.step_cycles
         )
-        latency = 0
-        consumed = 0
-        for depth in self.stage_steps:
-            if consumed >= steps_needed:
-                break
-            latency += depth * self.step_cycles
-            consumed += depth
         self._latency_cache[merge_stages] = latency
         return latency
 

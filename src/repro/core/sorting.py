@@ -344,3 +344,297 @@ def compiled_network(width: int) -> OddEvenMergesortNetwork:
     rebuilding the comparator schedule.  Treat the result as immutable.
     """
     return OddEvenMergesortNetwork(width)
+
+
+# -- sorter architectures ---------------------------------------------------
+#
+# The paper fixes one physical organisation: a monolithic n=16 Batcher
+# network, pipelined per step or per merge stage.  The architecture
+# layer below generalizes that into pluggable *physical* designs over
+# the same *functional* comparator schedule:
+#
+# ``single_phase``
+#     The paper's design at any power-of-two width: every comparator
+#     of the n-wide schedule exists in hardware, pipelined per step
+#     ("step") or with steps balanced into log2(n) stages ("merge").
+#
+# ``two_phase``
+#     A TopSort-style wide sorter: ONE time-multiplexed m-wide
+#     presorter (m = min(16, n/2)) sorts the k = n/m runs of a
+#     sequence back to back, feeding an n-wide odd-even merge tree
+#     (the n-wide schedule's merge stages log2(m)+1 .. log2(n)).  The
+#     first log2(m) stages of the n-wide Batcher schedule are exactly
+#     k independent m-wide Batcher sorts on aligned blocks, so the
+#     *functional* schedule — and with it sorted outputs, comparator
+#     firings and every digest-visible request ordering — is identical
+#     to ``single_phase``; what changes is hardware cost (C(m) presort
+#     comparators instead of k·C(m)) and timing (k sequential presort
+#     launches lengthen latency and the initiation interval).
+#
+# All quantities below are in *steps*; :class:`repro.core.pipeline.
+# PipelinedSortingNetwork` multiplies by its ``step_cycles`` (one
+# compare + one exchange) to get cycles.
+
+#: Valid ``CoalescerConfig.sorter_arch`` values.
+SORTER_ARCHITECTURES = ("single_phase", "two_phase")
+
+
+def balanced_step_groups(num_steps: int, num_groups: int) -> list[int]:
+    """Split ``num_steps`` pipeline steps into ``num_groups`` contiguous
+    groups as evenly as possible, short groups first.
+
+    For the paper's n = 16 network (10 steps, 4 groups) this yields
+    ``[2, 2, 3, 3]`` -- exactly the stage layout of Figure 7.
+    """
+    if num_groups <= 0:
+        raise ValueError("num_groups must be positive")
+    num_groups = min(num_groups, num_steps)
+    base, rem = divmod(num_steps, num_groups)
+    return [base] * (num_groups - rem) + [base + 1] * rem
+
+
+def two_phase_presort_width(width: int) -> int:
+    """Presorted-run width ``m`` of the two-phase design at width ``n``.
+
+    Runs are capped at the paper's 16-wide presorter; narrower windows
+    halve (so the merge tree always has at least one level).
+    """
+    return min(16, width // 2)
+
+
+def _stage_layout(
+    network: OddEvenMergesortNetwork, pipeline_mode: str
+) -> tuple[int, ...]:
+    """Steps per pipeline stage for one combinational network."""
+    if pipeline_mode == "step":
+        return (1,) * network.num_steps
+    return tuple(balanced_step_groups(network.num_steps, network.num_stages))
+
+
+def _walk_latency_steps(
+    stage_steps: tuple[int, ...], steps_needed: int
+) -> int:
+    """Pipeline stages traversed (in steps) until ``steps_needed``
+    comparator steps have executed; later stages are skipped entirely
+    (the stage-select timing rule)."""
+    latency = 0
+    consumed = 0
+    for depth in stage_steps:
+        if consumed >= steps_needed:
+            break
+        latency += depth
+        consumed += depth
+    return latency
+
+
+def _max_step_widths(
+    steps: Sequence[Step], stage_steps: tuple[int, ...]
+) -> int:
+    """Physical comparators with per-stage hardware reuse: each
+    pipeline stage needs as many comparators as its widest step."""
+    total = 0
+    cursor = 0
+    for depth in stage_steps:
+        chunk = steps[cursor : cursor + depth]
+        total += max((len(s) for s in chunk), default=0)
+        cursor += depth
+    return total
+
+
+class SinglePhaseArchitecture:
+    """The paper's monolithic Batcher network at any power-of-two width."""
+
+    kind = "single_phase"
+    #: Presorted-run width of the two-phase design; ``None`` here so
+    #: callers (the vector engine) can branch without isinstance checks.
+    presort_width: int | None = None
+
+    def __init__(self, width: int):
+        self.width = width
+        self.network = compiled_network(width)
+
+    # -- the cycle-accounting contract (all step-denominated) ------------
+
+    def pipeline_stage_steps(self, pipeline_mode: str) -> tuple[int, ...]:
+        """Steps per physical pipeline stage, in traversal order."""
+        return _stage_layout(self.network, pipeline_mode)
+
+    def initiation_interval_steps(self, pipeline_mode: str) -> int:
+        """Steps between consecutive sequence launches."""
+        return max(self.pipeline_stage_steps(pipeline_mode))
+
+    def full_latency_steps(self, pipeline_mode: str) -> int:
+        """End-to-end steps for a full-width sequence."""
+        return sum(self.pipeline_stage_steps(pipeline_mode))
+
+    def latency_steps(self, merge_stages: int, pipeline_mode: str) -> int:
+        """Steps to evaluate the first ``merge_stages`` merge stages."""
+        steps_needed = sum(
+            len(stage) for stage in self.network.stages[:merge_stages]
+        )
+        return _walk_latency_steps(
+            self.pipeline_stage_steps(pipeline_mode), steps_needed
+        )
+
+    def physical_comparators(self, pipeline_mode: str) -> int:
+        """Comparators in hardware, reusing them across steps in a stage."""
+        return _max_step_widths(
+            self.network.steps, self.pipeline_stage_steps(pipeline_mode)
+        )
+
+    def request_buffers(self, pipeline_mode: str) -> int:
+        """Request buffers held by the pipeline (width per stage)."""
+        return len(self.pipeline_stage_steps(pipeline_mode)) * self.width
+
+    def describe(self) -> dict:
+        """Static design-point summary (sweeps record this as metadata)."""
+        return {
+            "kind": self.kind,
+            "width": self.width,
+            "steps": self.network.num_steps,
+            "schedule_comparators": self.network.num_comparators,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"{type(self).__name__}(width={self.width})"
+
+
+class TwoPhaseArchitecture(SinglePhaseArchitecture):
+    """k presorted m-runs feeding an n-wide odd-even merge tree.
+
+    One m-wide presorter is time-multiplexed over the k = n/m runs of
+    each sequence (launches pipelined at the presorter's initiation
+    interval), and the merge tree evaluates the n-wide schedule's
+    stages log2(m)+1 .. log2(n), one pipeline stage per tree level in
+    ``"merge"`` mode or one per step in ``"step"`` mode.  Functionally
+    identical to :class:`SinglePhaseArchitecture` (see the module
+    comment); only hardware cost and timing differ.
+    """
+
+    kind = "two_phase"
+
+    def __init__(self, width: int):
+        if width < 4:
+            raise ValueError(
+                f"two_phase needs sorter_width >= 4 (runs must be >= 2 "
+                f"wide), got {width}"
+            )
+        super().__init__(width)
+        self.presort_width = two_phase_presort_width(width)
+        self.runs = width // self.presort_width
+        self.presort_network = compiled_network(self.presort_width)
+        #: Merge-tree levels: n-wide merge stages after the presorted
+        #: prefix.  ``num_stages`` of the presort network is log2(m).
+        self._tree_stages = self.network.stages[
+            self.presort_network.num_stages :
+        ]
+        self._tree_steps: list[Step] = [
+            step for stage in self._tree_stages for step in stage
+        ]
+
+    def _presort_stage_steps(self, pipeline_mode: str) -> tuple[int, ...]:
+        return _stage_layout(self.presort_network, pipeline_mode)
+
+    def _tree_stage_steps(self, pipeline_mode: str) -> tuple[int, ...]:
+        if pipeline_mode == "step":
+            return (1,) * len(self._tree_steps)
+        return tuple(len(stage) for stage in self._tree_stages)
+
+    def pipeline_stage_steps(self, pipeline_mode: str) -> tuple[int, ...]:
+        return self._presort_stage_steps(pipeline_mode) + self._tree_stage_steps(
+            pipeline_mode
+        )
+
+    def initiation_interval_steps(self, pipeline_mode: str) -> int:
+        # The presorter is busy for all k launches of a sequence; the
+        # widest merge-tree stage bounds the tree side.
+        presort_ii = max(self._presort_stage_steps(pipeline_mode))
+        return max(
+            self.runs * presort_ii,
+            max(self._tree_stage_steps(pipeline_mode)),
+        )
+
+    def full_latency_steps(self, pipeline_mode: str) -> int:
+        presort = self._presort_stage_steps(pipeline_mode)
+        # Runs enter the presorter back to back at its initiation
+        # interval; the merge tree launches once the last run emerges.
+        return (
+            (self.runs - 1) * max(presort)
+            + sum(presort)
+            + sum(self._tree_stage_steps(pipeline_mode))
+        )
+
+    def latency_steps(self, merge_stages: int, pipeline_mode: str) -> int:
+        presort = self._presort_stage_steps(pipeline_mode)
+        presort_depth = self.presort_network.num_stages  # log2(m)
+        if merge_stages <= presort_depth:
+            # Stage select: <= 2**s <= m valid requests all sit in the
+            # first run, so only that run's presort prefix matters.
+            steps_needed = sum(
+                len(stage)
+                for stage in self.presort_network.stages[:merge_stages]
+            )
+            return _walk_latency_steps(presort, steps_needed)
+        tree_levels = merge_stages - presort_depth
+        tree = self._tree_stage_steps(pipeline_mode)
+        steps_needed = sum(
+            len(stage) for stage in self._tree_stages[:tree_levels]
+        )
+        return (
+            (self.runs - 1) * max(presort)
+            + sum(presort)
+            + _walk_latency_steps(tree, steps_needed)
+        )
+
+    def physical_comparators(self, pipeline_mode: str) -> int:
+        # One shared presorter (not k copies) plus the merge tree.
+        return _max_step_widths(
+            self.presort_network.steps, self._presort_stage_steps(pipeline_mode)
+        ) + _max_step_widths(
+            self._tree_steps, self._tree_stage_steps(pipeline_mode)
+        )
+
+    def request_buffers(self, pipeline_mode: str) -> int:
+        # Presort stages are m wide; merge-tree stages hold the full
+        # sequence.
+        return len(self._presort_stage_steps(pipeline_mode)) * self.presort_width + len(
+            self._tree_stage_steps(pipeline_mode)
+        ) * self.width
+
+    def describe(self) -> dict:
+        d = super().describe()
+        d.update(
+            presort_width=self.presort_width,
+            runs=self.runs,
+            tree_levels=len(self._tree_stages),
+        )
+        return d
+
+
+#: Every architecture class by its config name.
+_ARCHITECTURES = {
+    "single_phase": SinglePhaseArchitecture,
+    "two_phase": TwoPhaseArchitecture,
+}
+
+
+def compiled_architecture(width: int, kind: str = "single_phase"):
+    """Shared :class:`SinglePhaseArchitecture`/:class:`TwoPhaseArchitecture`
+    per (width, kind), mirroring :func:`compiled_network`.  Treat the
+    result as immutable.
+    """
+    # Thin shim so the defaulted and explicit spellings share one
+    # cache key.
+    return _compiled_architecture_cached(width, kind)
+
+
+@lru_cache(maxsize=None)
+def _compiled_architecture_cached(width: int, kind: str):
+    try:
+        cls = _ARCHITECTURES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown sorter architecture {kind!r}; options: "
+            + ", ".join(SORTER_ARCHITECTURES)
+        ) from None
+    return cls(width)

@@ -129,7 +129,13 @@ def vector_replay(
         cycles_l, addrs_l, flags_l, sizes_l, requested_l, keys_np, keys_l = decoded
 
     pipeline = coalescer.pipeline
-    vsn = VectorSortNetwork(pipeline.network)
+    # The architecture's presorted-run width (two-phase only) engages
+    # the sortnet's batched presort + merge-tree path; permutations are
+    # bit-identical either way, so the plan memo below stays shareable
+    # across architectures of equal width.
+    vsn = VectorSortNetwork(
+        pipeline.network, presort_width=pipeline.arch.presort_width
+    )
     width = config.sorter_width
     timeout = config.timeout_cycles
     can_bypass = coalescer._can_bypass

@@ -29,6 +29,13 @@ actually times.  Three suites are provided:
     equal jobs is the orchestration speedup (process reuse + shared
     mmap traces + grouped multi-config replay).
 
+``sorter``
+    The wide-sorter scaling grid: object-vs-vector replay twins at
+    n=32/64 single-phase and n=64/128 two-phase, all on SG/combined
+    (the window-saturating workload).  The derived per-width speedups
+    gate the tentpole acceptance: the vector sort path must beat the
+    object walk >= 3x at n=64.
+
 Case kinds
 ----------
 ``sim``
@@ -85,6 +92,18 @@ Case kinds
     packet demographics replayed through the object service chain vs
     the batched service path, best-of-N, on a fresh device each --
     the direct measure of the scalar phase this kernel replaces.
+``sorter_scale`` / ``sorter_scale_object``
+    Replay from a warm trace store with the case's ``sorter_width`` /
+    ``sorter_arch`` overriding the figure config -- the wide-sorter
+    design-space axis.  ``sorter_scale`` runs the vector engine
+    (batched permutations; the two-phase presort path when the
+    architecture is two-phase), ``sorter_scale_object`` the object
+    comparator walk whose per-flush cost grows as O(n log^2 n).  Both
+    pin the batched HMC back end off so the pair isolates the sort
+    machinery; the derived ``sorter_scale_speedup`` (wall) and
+    ``sorter_scale_phase_speedup`` (coalesce phase) per width are the
+    scaling-acceptance numbers -- the vector engine must keep the wide
+    window from becoming the replay Amdahl ceiling.
 ``sweep_throughput`` / ``sweep_throughput_fork``
     A full 24-cell mini-sweep through :func:`repro.sim.sweep.run_sweep`
     with the persistent worker pool vs the fork-per-run executor, at
@@ -128,9 +147,17 @@ VECTOR_KINDS = (
     "vector_hmc",
 )
 
+#: The wide-sorter design-space kinds; their cases carry a
+#: ``sorter_width`` (and usually a ``sorter_arch``) overriding the
+#: figure config's sorter.
+SORTER_KINDS = ("sorter_scale", "sorter_scale_object")
+
 #: Every kind :func:`repro.perf.harness.run_case` can measure.
 CASE_KINDS = (
-    ("sim", "trace_capture", "trace_replay") + VECTOR_KINDS + COMPOSITE_KINDS
+    ("sim", "trace_capture", "trace_replay")
+    + VECTOR_KINDS
+    + SORTER_KINDS
+    + COMPOSITE_KINDS
 )
 
 
@@ -147,6 +174,11 @@ class PerfCase:
     #: field then never appears in reports, keeping old baselines
     #: comparable).
     jobs: int = 0
+    #: Sorter override for the ``sorter_scale`` kinds; 0 / "" on every
+    #: other kind (then never serialized, keeping old baselines
+    #: comparable).
+    sorter_width: int = 0
+    sorter_arch: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in CASE_KINDS:
@@ -159,12 +191,26 @@ class PerfCase:
                 f"jobs= only applies to sweep kinds {SWEEP_KINDS}, "
                 f"not {self.kind!r}"
             )
+        if self.kind in SORTER_KINDS:
+            if not self.sorter_width:
+                raise ValueError(
+                    f"{self.kind} cases need an explicit sorter_width"
+                )
+        elif self.sorter_width or self.sorter_arch:
+            raise ValueError(
+                f"sorter_width/sorter_arch only apply to {SORTER_KINDS}, "
+                f"not {self.kind!r}"
+            )
 
     @property
     def name(self) -> str:
         base = f"{self.benchmark}/{self.config}@{self.accesses}"
         if self.jobs:
             base += f"/j{self.jobs}"
+        if self.sorter_width:
+            base += f"/w{self.sorter_width}"
+        if self.sorter_arch:
+            base += f"/{self.sorter_arch}"
         return base if self.kind == "sim" else f"{self.kind}:{base}"
 
 
@@ -224,17 +270,42 @@ SWEEP_SUITE: tuple[PerfCase, ...] = (
     PerfCase("GRID24", "combined", 600, kind="sweep_throughput_fork", jobs=4),
 )
 
+#: The wide-sorter scaling grid: object/vector twins at each design
+#: point.  SG/combined keeps every width's window full (scatter-gather
+#: floods the front buffer), so the pair measures the sort machinery
+#: at its occupancy ceiling; n=64 single-phase is the ROADMAP
+#: acceptance point (vector-over-object >= 3x), n=128 two-phase the
+#: scaling extreme.
+SORTER_SUITE: tuple[PerfCase, ...] = tuple(
+    PerfCase(
+        "SG",
+        "combined",
+        6_000,
+        kind=kind,
+        sorter_width=width,
+        sorter_arch=arch,
+    )
+    for width, arch in (
+        (32, "single_phase"),
+        (64, "single_phase"),
+        (64, "two_phase"),
+        (128, "two_phase"),
+    )
+    for kind in ("sorter_scale_object", "sorter_scale")
+)
+
 SUITES: dict[str, tuple[PerfCase, ...]] = {
     "smoke": SMOKE_SUITE,
     "trace": TRACE_SUITE,
     "full": FULL_SUITE,
     "sweep": SWEEP_SUITE,
+    "sorter": SORTER_SUITE,
 }
 
 
 def get_suite(name: str) -> tuple[PerfCase, ...]:
-    """Look up a suite by name (``smoke``, ``trace``, ``full`` or
-    ``sweep``)."""
+    """Look up a suite by name (``smoke``, ``trace``, ``full``,
+    ``sweep`` or ``sorter``)."""
     try:
         return SUITES[name]
     except KeyError:

@@ -28,7 +28,7 @@ from typing import Callable, Iterable
 
 from repro.errors import SchemaError
 from repro.obs import PhaseProfiler
-from repro.perf.cases import SWEEP_KINDS, VECTOR_KINDS, PerfCase
+from repro.perf.cases import SORTER_KINDS, SWEEP_KINDS, VECTOR_KINDS, PerfCase
 from repro.perf.digest import result_digest
 
 #: Benchmarks of the sweep-throughput mini-sweep; x the 4 figure
@@ -117,6 +117,16 @@ class CaseResult:
             "phases": self.phases,
             **({"kernel": self.kernel} if self.kernel is not None else {}),
             **({"jobs": self.case.jobs} if self.case.jobs else {}),
+            **(
+                {"sorter_width": self.case.sorter_width}
+                if self.case.sorter_width
+                else {}
+            ),
+            **(
+                {"sorter_arch": self.case.sorter_arch}
+                if self.case.sorter_arch
+                else {}
+            ),
             **(
                 {"cells": self.cells, "cells_per_second": self.cells_per_second}
                 if self.cells
@@ -227,6 +237,19 @@ def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
     from repro.trace import TraceStore
 
     coalescer = FIGURE_CONFIGS[case.config]
+    if kind_sorter := case.kind in SORTER_KINDS:
+        # The wide-sorter axis: the case's width/architecture override
+        # the figure config's sorter (digest-visible, so each design
+        # point replays and digests independently).
+        from dataclasses import replace as dc_replace
+
+        coalescer = dc_replace(
+            coalescer,
+            sorter_width=case.sorter_width,
+            **(
+                {"sorter_arch": case.sorter_arch} if case.sorter_arch else {}
+            ),
+        )
     platform = PlatformConfig(accesses=case.accesses, seed=case.seed)
     kind = case.kind
     # The sim/trace_* kinds pin the object engine: they are the
@@ -234,10 +257,19 @@ def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
     # and their baselines predate the kernel engine.  Composite kinds
     # run whatever the session default resolves to -- they measure
     # what users of the trace layer actually get.
-    engine = "vector" if kind in VECTOR_KINDS else "object"
+    engine = (
+        "vector"
+        if kind in VECTOR_KINDS or kind == "sorter_scale"
+        else "object"
+    )
 
     warm_store: TraceStore | None = None
-    if kind in ("trace_replay", "vector_replay", "vector_coalesce", "vector_hmc"):
+    if kind_sorter or kind in (
+        "trace_replay",
+        "vector_replay",
+        "vector_coalesce",
+        "vector_hmc",
+    ):
         # One untimed capture; every measured repeat is a pure replay.
         warm_store = TraceStore()
         run_benchmark(
@@ -303,14 +335,21 @@ def run_case(case: PerfCase, repeats: int = 3) -> CaseResult:
                     engine=engine,
                 )
             ]
-        if kind in ("trace_replay", "vector_replay", "vector_coalesce", "vector_hmc"):
+        if kind_sorter or kind in (
+            "trace_replay",
+            "vector_replay",
+            "vector_coalesce",
+            "vector_hmc",
+        ):
             # The pre-HMC-kernel vector kinds pin the batched HMC back
             # end *off* so their numbers (and the PR 8 baselines they
             # are compared against) keep measuring the engine they
-            # named; only ``vector_hmc`` measures the back end.
+            # named; only ``vector_hmc`` measures the back end.  The
+            # sorter_scale pair pins it off on both sides so the
+            # object/vector ratio isolates the sort machinery.
             from repro.kernels.hmc import hmc_backend_disabled
 
-            if kind in ("vector_replay", "vector_coalesce"):
+            if kind_sorter or kind in ("vector_replay", "vector_coalesce"):
                 with hmc_backend_disabled():
                     return [
                         run_benchmark(
@@ -515,6 +554,7 @@ _SPEEDUP_PAIRS = {
     ("trace_replay", "vector_coalesce"): "vector_coalesce_speedup",
     ("trace_replay", "vector_hmc"): "vector_hmc_speedup",
     ("sweep_throughput_fork", "sweep_throughput"): "sweep_pool_speedup",
+    ("sorter_scale_object", "sorter_scale"): "sorter_scale_speedup",
 }
 
 #: (slow kind, fast kind) -> (phase, metric): additionally derive the
@@ -540,6 +580,14 @@ _PHASE_SPEEDUP_PAIRS = {
         "coalesce",
         "vector_hmc_phase_speedup",
     ),
+    # Both halves replay the same warm trace at the same width/arch
+    # with the HMC back end pinned off; the sort machinery lives in the
+    # coalesce phase, so this ratio is the sort-phase speedup the wide
+    # vector path buys at each design point.
+    ("sorter_scale_object", "sorter_scale"): (
+        "coalesce",
+        "sorter_scale_phase_speedup",
+    ),
 }
 
 
@@ -562,6 +610,8 @@ def derive_speedups(cases: dict) -> dict:
             entry.get("accesses"),
             entry.get("seed"),
             entry.get("jobs"),
+            entry.get("sorter_width"),
+            entry.get("sorter_arch"),
         )
         by_key[key] = entry
     derived: dict = {}
@@ -581,6 +631,10 @@ def derive_speedups(cases: dict) -> dict:
             suffix = f"{key[1]}/{key[2]}@{key[3]}"
             if key[5]:
                 suffix += f"/j{key[5]}"
+            if key[6]:
+                suffix += f"/w{key[6]}"
+            if key[7]:
+                suffix += f"/{key[7]}"
             if metric is not None:
                 derived[f"{metric}:{suffix}"] = (
                     slow["wall_seconds"] / fast["wall_seconds"]
@@ -637,7 +691,16 @@ def compare_reports(
     treats as a failure in its own right.
     """
     out: list[CaseComparison] = []
-    params = ("benchmark", "config", "accesses", "seed", "kind", "jobs")
+    params = (
+        "benchmark",
+        "config",
+        "accesses",
+        "seed",
+        "kind",
+        "jobs",
+        "sorter_width",
+        "sorter_arch",
+    )
     for name, base in sorted(baseline.get("cases", {}).items()):
         cur = current.get("cases", {}).get(name)
         if cur is None:

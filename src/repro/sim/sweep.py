@@ -67,6 +67,73 @@ FIGURE_CONFIGS: dict[str, CoalescerConfig] = {
     "combined": CoalescerConfig(),
 }
 
+#: Coalescer fields a ``--configs`` token may override inline, e.g.
+#: ``combined@sorter_width=64@sorter_arch=two_phase``.  Deliberately
+#: just the sorter axes for now: they are the digest-visible design
+#: space the wide-sorter study sweeps, and each override re-validates
+#: through :class:`CoalescerConfig`'s constructor.
+SWEEP_CONFIG_KEYS = ("sorter_width", "sorter_arch")
+
+
+def parse_config_token(token: str) -> tuple[str, CoalescerConfig]:
+    """Resolve one ``--configs`` token to ``(name, config)``.
+
+    A token is a figure-config name (``combined``) optionally followed
+    by ``@key=value`` overrides drawn from :data:`SWEEP_CONFIG_KEYS`
+    (``combined@sorter_width=64@sorter_arch=two_phase``).  The full
+    token becomes the config's sweep name, so checkpoints, labels and
+    summaries carry the design point.  Raises
+    :class:`~repro.errors.ConfigError` on an unknown base name,
+    unknown/malformed override key, or an override combination the
+    coalescer itself rejects.
+    """
+    from dataclasses import replace
+
+    from repro.errors import ConfigError
+
+    base, *parts = token.split("@")
+    if base not in FIGURE_CONFIGS:
+        raise ConfigError(
+            f"unknown config {base!r}; options: {', '.join(FIGURE_CONFIGS)}"
+        )
+    updates: dict[str, object] = {}
+    for part in parts:
+        key, sep, value = part.partition("=")
+        if not sep or key not in SWEEP_CONFIG_KEYS:
+            raise ConfigError(
+                f"bad override {part!r} in config token {token!r}; "
+                f"expected key=value with key in {SWEEP_CONFIG_KEYS}"
+            )
+        if key == "sorter_width":
+            try:
+                updates[key] = int(value)
+            except ValueError:
+                raise ConfigError(
+                    f"sorter_width override must be an integer, got {value!r}"
+                ) from None
+        else:
+            updates[key] = value
+    # replace() re-runs CoalescerConfig.__post_init__, so an invalid
+    # width/arch combination raises ConfigError here, at parse time.
+    config = FIGURE_CONFIGS[base]
+    if updates:
+        config = replace(config, **updates)
+    return token, config
+
+
+def parse_config_tokens(tokens) -> dict[str, CoalescerConfig]:
+    """Parse a ``--configs`` token list into a sweep ``configs`` map."""
+    from repro.errors import ConfigError
+
+    configs: dict[str, CoalescerConfig] = {}
+    for token in tokens:
+        name, config = parse_config_token(token)
+        if name in configs:
+            raise ConfigError(f"duplicate config token {name!r}")
+        configs[name] = config
+    return configs
+
+
 Progress = Callable[[str], None]
 
 logger = logging.getLogger("repro.sweep")
@@ -390,6 +457,16 @@ def run_sweep(
             "start_method": None
             if mode == "inline"
             else _mp_context().get_start_method(),
+            # The sorter design point each named config resolves to,
+            # so a wide-sorter sweep's artifacts are self-describing
+            # without re-parsing config tokens.
+            "sorter": {
+                name: {
+                    "width": spec.platform_for(name).coalescer.sorter_width,
+                    "arch": spec.platform_for(name).coalescer.sorter_arch,
+                }
+                for name in spec.configs
+            },
         }
         if pending:
             if mode == "inline":

@@ -1,0 +1,149 @@
+"""Cycle-accounting and hardware-economics pins for sorter architectures.
+
+The architecture layer (:mod:`repro.core.sorting`) is what
+:class:`~repro.core.pipeline.PipelinedSortingNetwork` derives all its
+timing from, so these pins are the contract that keeps wide windows
+honest: the n=16 single-phase numbers must stay exactly the paper's
+(Figure 7), and the two-phase design must trade initiation interval
+and latency for comparators and buffers in the direction the
+decomposition predicts.
+"""
+
+import pytest
+
+from repro.core.config import CoalescerConfig
+from repro.core.pipeline import PipelinedSortingNetwork
+from repro.core.sorting import (
+    SORTER_ARCHITECTURES,
+    SinglePhaseArchitecture,
+    TwoPhaseArchitecture,
+    compiled_architecture,
+    two_phase_presort_width,
+)
+from repro.errors import ConfigError
+
+
+def test_registry_and_cache():
+    assert SORTER_ARCHITECTURES == ("single_phase", "two_phase")
+    assert compiled_architecture(16) is compiled_architecture(
+        16, "single_phase"
+    )
+    assert isinstance(compiled_architecture(16), SinglePhaseArchitecture)
+    assert isinstance(
+        compiled_architecture(64, "two_phase"), TwoPhaseArchitecture
+    )
+    with pytest.raises(ValueError, match="unknown sorter architecture"):
+        compiled_architecture(16, "three_phase")
+
+
+def test_two_phase_needs_width_four():
+    with pytest.raises(ValueError, match="sorter_width >= 4"):
+        TwoPhaseArchitecture(2)
+
+
+@pytest.mark.parametrize(
+    "width,expected", [(4, 2), (8, 4), (16, 8), (32, 16), (64, 16), (128, 16)]
+)
+def test_presort_width_rule(width, expected):
+    assert two_phase_presort_width(width) == expected
+
+
+def test_paper_n16_single_phase_pins():
+    """Figure 7's numbers, now derived instead of hard-coded."""
+    arch = compiled_architecture(16)
+    assert arch.pipeline_stage_steps("merge") == (2, 2, 3, 3)
+    assert arch.initiation_interval_steps("merge") == 3
+    assert arch.full_latency_steps("merge") == 10
+    assert arch.physical_comparators("merge") == 31
+    assert arch.request_buffers("merge") == 4 * 16
+    assert arch.pipeline_stage_steps("step") == (1,) * 10
+    assert arch.physical_comparators("step") == 63
+    assert arch.request_buffers("step") == 10 * 16
+
+
+def test_wide_design_point_pins():
+    """The design table the docs quote (merge-mode pipelining)."""
+    table = {
+        (64, "single_phase"): dict(ii=4, full=21, comps=191, bufs=384),
+        (64, "two_phase"): dict(ii=12, full=30, comps=95, bufs=192),
+        (128, "single_phase"): dict(ii=4, full=28, comps=443, bufs=896),
+        (128, "two_phase"): dict(ii=24, full=49, comps=223, bufs=448),
+    }
+    for (width, kind), want in table.items():
+        arch = compiled_architecture(width, kind)
+        assert arch.initiation_interval_steps("merge") == want["ii"]
+        assert arch.full_latency_steps("merge") == want["full"]
+        assert arch.physical_comparators("merge") == want["comps"]
+        assert arch.request_buffers("merge") == want["bufs"]
+
+
+@pytest.mark.parametrize("width", [8, 16, 32, 64, 128])
+@pytest.mark.parametrize("mode", ["merge", "step"])
+def test_two_phase_trades_throughput_for_hardware(width, mode):
+    single = compiled_architecture(width, "single_phase")
+    two = compiled_architecture(width, "two_phase")
+    # Cheaper hardware ...
+    assert two.physical_comparators(mode) < single.physical_comparators(mode)
+    assert two.request_buffers(mode) < single.request_buffers(mode)
+    # ... paid for with a slower (or equal) launch cadence and deeper
+    # end-to-end latency.
+    assert two.initiation_interval_steps(mode) >= (
+        single.initiation_interval_steps(mode)
+    )
+    assert two.full_latency_steps(mode) >= single.full_latency_steps(mode)
+
+
+@pytest.mark.parametrize("kind", SORTER_ARCHITECTURES)
+@pytest.mark.parametrize("mode", ["merge", "step"])
+def test_latency_steps_monotone_and_bounded(kind, mode):
+    arch = compiled_architecture(64, kind)
+    depths = [
+        arch.latency_steps(s, mode)
+        for s in range(arch.network.num_stages + 1)
+    ]
+    assert depths[0] == 0
+    assert depths == sorted(depths)
+    assert depths[-1] == arch.full_latency_steps(mode)
+
+
+def test_describe_is_self_contained():
+    d = compiled_architecture(64, "two_phase").describe()
+    assert d["kind"] == "two_phase"
+    assert d["width"] == 64
+    assert d["presort_width"] == 16
+    assert d["runs"] == 4
+    assert d["tree_levels"] == 2
+    single = compiled_architecture(64).describe()
+    assert single["kind"] == "single_phase"
+    assert "runs" not in single
+
+
+def test_pipeline_derives_from_architecture():
+    """The pipeline's cycle accounting is the architecture's, scaled."""
+    for width, kind in [(16, "single_phase"), (64, "two_phase")]:
+        config = CoalescerConfig(sorter_width=width, sorter_arch=kind)
+        pipe = PipelinedSortingNetwork(config)
+        arch = compiled_architecture(width, kind)
+        assert pipe.arch is arch
+        assert (
+            pipe.initiation_interval_cycles
+            == arch.initiation_interval_steps("merge") * pipe.step_cycles
+        )
+        assert (
+            pipe.full_latency_cycles
+            == arch.full_latency_steps("merge") * pipe.step_cycles
+        )
+        assert pipe.request_buffers() == arch.request_buffers("merge")
+        assert pipe.comparators() == arch.physical_comparators("merge")
+
+
+def test_config_rejects_bad_sorter_fields():
+    with pytest.raises(ConfigError, match="sorter_arch must be one of"):
+        CoalescerConfig(sorter_arch="three_phase")
+    with pytest.raises(ConfigError, match="sorter_width >= 4"):
+        CoalescerConfig(sorter_width=2, sorter_arch="two_phase")
+    with pytest.raises(ConfigError, match="power of two"):
+        CoalescerConfig(sorter_width=48)
+    # Valid wide points construct cleanly.
+    assert CoalescerConfig(sorter_width=128, sorter_arch="two_phase")
+    assert CoalescerConfig().sorter_arch == "single_phase"

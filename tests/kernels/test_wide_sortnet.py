@@ -1,0 +1,159 @@
+"""Differential tests for the wide and two-phase sorter paths.
+
+Three contracts, each pinned against an independent specification:
+
+* **Width scaling.**  The batched vector walk must equal the object
+  engine's keyed compare-exchange loop at every supported window width
+  (16..128), duplicates and padded partial flushes included -- the
+  same contract :mod:`test_vector_sortnet` pins at narrow widths.
+
+* **Schedule decomposition.**  The first log2(m) merge stages of the
+  n-wide Batcher schedule are k = n/m *independent* m-wide Batcher
+  sorts on aligned blocks: same comparators, same within-block firing
+  order.  This is the structural fact that makes the two-phase
+  architecture functionally identical to the single-phase one, so it
+  is pinned directly on the comparator lists.
+
+* **Two-phase equivalence.**  The presort + merge-tree evaluation
+  path (``VectorSortNetwork(presort_width=m)``) must produce
+  bit-identical permutation matrices to the generic full-schedule
+  walk for every input, including ties and short sequences.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.address import INVALID_KEY
+from repro.core.sorting import (
+    compiled_network,
+    two_phase_presort_width,
+)
+from repro.kernels.sortnet import VectorSortNetwork
+
+WIDTHS = (16, 32, 64, 128)
+_NETS = {w: compiled_network(w) for w in WIDTHS}
+_VSNS = {w: VectorSortNetwork(_NETS[w]) for w in WIDTHS}
+_TWO_PHASE = {
+    w: VectorSortNetwork(_NETS[w], presort_width=two_phase_presort_width(w))
+    for w in WIDTHS
+}
+
+#: Small alphabet so hypothesis hits duplicate keys constantly -- the
+#: regime where argsort would diverge from the comparator walk.
+_keys = st.integers(min_value=0, max_value=9)
+
+
+def _object_permutation(width: int, keys: list[int]) -> list[int]:
+    """The object engine's padded keyed walk, as a permutation."""
+    keyed = [(keys[j], j) for j in range(len(keys))]
+    keyed += [(INVALID_KEY, -1)] * (width - len(keys))
+    out = _NETS[width].apply_items(keyed, key=lambda kv: kv[0])
+    return [j for _, j in out if j >= 0]
+
+
+def _padded_matrix(width: int, sequences: list[list[int]]) -> np.ndarray:
+    mat = np.full((len(sequences), width), INVALID_KEY, dtype=np.int64)
+    for g, seq in enumerate(sequences):
+        mat[g, : len(seq)] = seq
+    return mat
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_wide_vector_walk_matches_object_walk(data):
+    width = data.draw(st.sampled_from(WIDTHS))
+    sequences = data.draw(
+        st.lists(
+            st.lists(_keys, min_size=0, max_size=width),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    perms = _VSNS[width].permutations(_padded_matrix(width, sequences))
+    for g, seq in enumerate(sequences):
+        assert perms[g, : len(seq)].tolist() == _object_permutation(width, seq)
+        # Padding slots hold exactly the invalid input positions.
+        assert sorted(perms[g, len(seq) :].tolist()) == list(
+            range(len(seq), width)
+        )
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_leading_stages_decompose_into_aligned_presorts(width):
+    m = two_phase_presort_width(width)
+    presort = compiled_network(m)
+    wide = _NETS[width]
+    # Per (stage, step): the n-wide comparators are exactly the m-wide
+    # comparators replicated across every aligned m-block.
+    for s in range(presort.num_stages):
+        assert len(wide.stages[s]) == len(presort.stages[s])
+        for wide_step, small_step in zip(wide.stages[s], presort.stages[s]):
+            expected = {
+                (lo + base, hi + base)
+                for base in range(0, width, m)
+                for lo, hi in small_step
+            }
+            assert set(wide_step) == expected
+            # ... and every leading-stage comparator is block-confined.
+            for lo, hi in wide_step:
+                assert lo // m == hi // m
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_two_phase_permutations_equal_single_phase(data):
+    width = data.draw(st.sampled_from(WIDTHS))
+    sequences = data.draw(
+        st.lists(
+            st.lists(_keys, min_size=0, max_size=width),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    mat = _padded_matrix(width, sequences)
+    single = _VSNS[width].permutations(mat)
+    two = _TWO_PHASE[width].permutations(mat)
+    assert np.array_equal(single, two)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_two_phase_all_duplicates_and_full_width(width):
+    # Worst tie density (every key equal) and exact-width sequences:
+    # the permutation must be the identity under both paths.
+    mat = np.zeros((3, width), dtype=np.int64)
+    single = _VSNS[width].permutations(mat)
+    two = _TWO_PHASE[width].permutations(mat)
+    assert np.array_equal(single, two)
+    assert np.array_equal(two, np.tile(np.arange(width), (3, 1)))
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_two_phase_sorts_reversed_full_sequences(width):
+    mat = np.arange(width, dtype=np.int64)[::-1].reshape(1, -1).copy()
+    perm = _TWO_PHASE[width].permutations(mat)
+    sorted_keys = np.take_along_axis(mat, perm, axis=1)
+    assert sorted_keys[0].tolist() == sorted(range(width))
+
+
+def test_stage_prefix_requests_still_use_generic_walk():
+    # Explicit ``stages=`` prefixes bypass the two-phase split (the
+    # split is only valid for the full schedule); both objects must
+    # agree with each other there too.
+    width = 64
+    rng = np.random.default_rng(7)
+    mat = rng.integers(0, 9, size=(4, width), dtype=np.int64)
+    for stages in (0, 2, 4, _NETS[width].num_stages):
+        assert np.array_equal(
+            _TWO_PHASE[width].permutations(mat, stages=stages),
+            _VSNS[width].permutations(mat, stages=stages),
+        )
+
+
+@pytest.mark.parametrize(
+    "presort_width", [0, 1, 3, 5, 64, 128, 48]
+)
+def test_invalid_presort_widths_rejected(presort_width):
+    with pytest.raises(ValueError):
+        VectorSortNetwork(_NETS[64], presort_width=presort_width)
